@@ -1,0 +1,68 @@
+// Ablation: the two calibrations DESIGN.md §2.2 adds on top of the paper's
+// cost model —
+//   (a) approach_factor: Eq. (4) assumes every friend beelines toward the
+//       stripe at full speed; scaling the assumed approach speed down stops
+//       the E_m = E_p balance from starving the stripe of radius;
+//   (b) per-step sigma: one scalar sigma prices a 2-step stripe and a
+//       20-step stripe with the same error scale.
+// Rows report total I/O of Stripe+KF under each combination.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench_support/experiment.h"
+
+using namespace proxdet;
+
+namespace {
+
+uint64_t RunVariant(const Workload& workload, double approach_factor,
+                    bool per_step_sigma) {
+  std::unique_ptr<Predictor> predictor =
+      MakeTrainedPredictor(PredictorKind::kKalman, workload);
+  StripePolicy::Options sopts =
+      CalibratedStripeOptions(predictor.get(), workload);
+  sopts.build.approach_factor = approach_factor;
+  if (!per_step_sigma) {
+    // Collapse the calibration to its mean, as a single-sigma model would.
+    double mean = 0.0;
+    for (const double s : sopts.build.sigma_per_step) mean += s;
+    mean /= static_cast<double>(sopts.build.sigma_per_step.size());
+    sopts.build.sigma = mean;
+    sopts.build.sigma_per_step.clear();
+  }
+  RegionDetector detector(
+      std::make_unique<StripePolicy>(std::move(predictor), sopts));
+  detector.Run(workload.world);
+  if (detector.SortedAlerts() != workload.ground_truth) {
+    std::fprintf(stderr, "FATAL: ablation variant broke correctness\n");
+    std::abort();
+  }
+  return detector.stats().TotalMessages();
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = QuickMode();
+  for (const DatasetKind dataset :
+       {DatasetKind::kTruck, DatasetKind::kBeijingTaxi}) {
+    WorkloadConfig config = DefaultExperimentConfig(dataset);
+    if (quick) {
+      config.num_users = 80;
+      config.epochs = 60;
+    }
+    const Workload workload = BuildWorkload(config);
+    Table table("Ablation (cost model) - Stripe+KF total I/O on " +
+                DatasetName(dataset));
+    table.SetHeader({"approach_factor", "per-step sigma", "scalar sigma"});
+    for (const double factor : {1.0, 0.5, 0.25, 0.08}) {
+      table.AddRow({FormatDouble(factor, 2),
+                    std::to_string(RunVariant(workload, factor, true)),
+                    std::to_string(RunVariant(workload, factor, false))});
+    }
+    std::printf("%s(approach_factor = 1.00 is the literal Eq. (4))\n\n",
+                table.ToString().c_str());
+  }
+  return 0;
+}

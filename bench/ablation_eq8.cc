@@ -1,0 +1,63 @@
+// Ablation: Eq. (8)'s anchor-point clearance approximation versus exact
+// segment distances inside Algorithm 2. The approximation is cheaper per
+// build but overestimates clearance, so radii are clamped against the exact
+// bound (safety is never traded); the question is whether the optimizer's
+// degraded view of the slack costs communication.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench_support/experiment.h"
+#include "common/timer.h"
+
+using namespace proxdet;
+
+namespace {
+
+struct VariantResult {
+  uint64_t total_io = 0;
+  double server_seconds = 0.0;
+};
+
+VariantResult RunVariant(const Workload& workload, bool use_eq8) {
+  std::unique_ptr<Predictor> predictor =
+      MakeTrainedPredictor(PredictorKind::kKalman, workload);
+  StripePolicy::Options sopts =
+      CalibratedStripeOptions(predictor.get(), workload);
+  sopts.build.use_eq8_distance = use_eq8;
+  RegionDetector detector(
+      std::make_unique<StripePolicy>(std::move(predictor), sopts));
+  detector.Run(workload.world);
+  if (detector.SortedAlerts() != workload.ground_truth) {
+    std::fprintf(stderr, "FATAL: ablation variant broke correctness\n");
+    std::abort();
+  }
+  return {detector.stats().TotalMessages(),
+          detector.stats().server_seconds};
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = QuickMode();
+  Table table("Ablation (Eq. 8 vs exact clearance) - Stripe+KF");
+  table.SetHeader({"dataset", "exact I/O", "eq8 I/O", "exact CPU(s)",
+                   "eq8 CPU(s)"});
+  for (const DatasetKind dataset :
+       {DatasetKind::kTruck, DatasetKind::kBeijingTaxi}) {
+    WorkloadConfig config = DefaultExperimentConfig(dataset);
+    if (quick) {
+      config.num_users = 80;
+      config.epochs = 60;
+    }
+    const Workload workload = BuildWorkload(config);
+    const VariantResult exact = RunVariant(workload, false);
+    const VariantResult eq8 = RunVariant(workload, true);
+    table.AddRow({DatasetName(dataset), std::to_string(exact.total_io),
+                  std::to_string(eq8.total_io),
+                  FormatDouble(exact.server_seconds, 3),
+                  FormatDouble(eq8.server_seconds, 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,18 @@
+#ifndef PROXDET_BENCH_BENCH_COMMON_H_
+#define PROXDET_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <cstring>
+
+namespace proxdet {
+
+/// PROXDET_QUICK=1 shrinks every figure bench to a smoke-test size (used in
+/// CI-style runs); the default sizes are the EXPERIMENTS.md configuration.
+inline bool QuickMode() {
+  const char* v = std::getenv("PROXDET_QUICK");
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+}  // namespace proxdet
+
+#endif  // PROXDET_BENCH_BENCH_COMMON_H_

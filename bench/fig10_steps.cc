@@ -1,0 +1,36 @@
+// Figure 10: communication I/O vs number of steps S (the paper sweeps
+// 300..1500; total I/O grows roughly linearly in S for every method).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench_support/experiment.h"
+
+using namespace proxdet;
+
+int main() {
+  const bool quick = QuickMode();
+  // The paper sweeps 300..1500 (a 1:5 span); we keep the span shape.
+  const std::vector<int> sweep = quick ? std::vector<int>{60, 120}
+                                       : std::vector<int>{60, 120, 180, 240,
+                                                          300};
+  const std::vector<Method> methods = PaperMethodSet();
+
+  for (const DatasetKind dataset : AllDatasetKinds()) {
+    std::vector<std::string> x_values;
+    std::vector<std::vector<RunResult>> results;
+    for (const int s : sweep) {
+      WorkloadConfig config = DefaultExperimentConfig(dataset);
+      config.epochs = s;
+      if (quick) config.num_users = 80;
+      const Workload workload = BuildWorkload(config);
+      x_values.push_back(std::to_string(s));
+      results.push_back(RunSuite(methods, workload));
+    }
+    const Table table = MakeFigureTable(
+        "Figure 10 - I/O vs number of steps S on " + DatasetName(dataset),
+        "S", x_values, methods, results);
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  return 0;
+}

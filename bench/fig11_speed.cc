@@ -1,0 +1,39 @@
+// Figure 11: communication I/O vs moving speed V (trajectory steps
+// consumed per epoch, 2..16). FMD/CMD degrade steadily with speed; the
+// stripe methods rise only mildly on Truck (straight highways keep the
+// predicted path valid).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench_support/experiment.h"
+
+using namespace proxdet;
+
+int main() {
+  const bool quick = QuickMode();
+  const std::vector<int> sweep = quick ? std::vector<int>{4, 8}
+                                       : std::vector<int>{2, 4, 8, 12, 16};
+  const std::vector<Method> methods = PaperMethodSet();
+
+  for (const DatasetKind dataset : AllDatasetKinds()) {
+    std::vector<std::string> x_values;
+    std::vector<std::vector<RunResult>> results;
+    for (const int v : sweep) {
+      WorkloadConfig config = DefaultExperimentConfig(dataset);
+      config.speed_steps = v;
+      if (quick) {
+        config.num_users = 80;
+        config.epochs = 60;
+      }
+      const Workload workload = BuildWorkload(config);
+      x_values.push_back(std::to_string(v));
+      results.push_back(RunSuite(methods, workload));
+    }
+    const Table table = MakeFigureTable(
+        "Figure 11 - I/O vs moving speed V on " + DatasetName(dataset),
+        "V(steps/epoch)", x_values, methods, results);
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 7: prediction error (meters) of RMF, HMM, R2-D2 and the Kalman
+// filter on the four datasets, input length 10, output lengths 10/20/30.
+// Also reports mean prediction time (the text of Sec. VI-B) and the
+// cross-track sigma the cost model consumes.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench_support/experiment.h"
+#include "common/rng.h"
+#include "predict/evaluator.h"
+#include "predict/predictor.h"
+
+using namespace proxdet;
+
+int main() {
+  const bool quick = QuickMode();
+  const size_t train_users = quick ? 16 : 60;
+  const size_t test_users = quick ? 8 : 30;
+  const size_t ticks = quick ? 300 : 1600;  // Paper: 1,600 timestamps.
+  const size_t queries = quick ? 60 : 300;
+
+  for (const DatasetKind dataset : AllDatasetKinds()) {
+    TrajectoryGenerator gen(SpecFor(dataset), 7000 + static_cast<int>(dataset));
+    const std::vector<Trajectory> train = gen.Generate(train_users, ticks);
+    const std::vector<Trajectory> test = gen.Generate(test_users, ticks);
+
+    Table table("Figure 7 - prediction error on " + DatasetName(dataset) +
+                " (input length 10)");
+    table.SetHeader({"model", "out=10 err(m)", "out=20 err(m)",
+                     "out=30 err(m)", "time(us)", "xtrack sigma(m)"});
+    for (const PredictorKind kind :
+         {PredictorKind::kRmf, PredictorKind::kHmm, PredictorKind::kR2d2,
+          PredictorKind::kKalman}) {
+      auto model = MakePredictor(kind, 1.0, 42);
+      model->Train(train);
+      std::vector<std::string> row{PredictorName(kind)};
+      double time_us = 0.0;
+      for (const size_t out_len : {10u, 20u, 30u}) {
+        Rng rng(1000 + static_cast<int>(out_len));
+        const PredictionEvaluation eval =
+            EvaluatePredictor(model.get(), test, 10, out_len, queries, &rng);
+        row.push_back(FormatDouble(eval.mean_error_m, 1));
+        time_us = eval.mean_predict_time_us;
+      }
+      row.push_back(FormatDouble(time_us, 1));
+      Rng rng(555);
+      row.push_back(FormatDouble(
+          CalibrateCrossTrackSigma(model.get(), test, 10, 20, queries, &rng),
+          1));
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 8: communication I/O and server CPU with an increasing number of
+// moving objects on the Truck dataset (the paper sweeps 10K..500K on a
+// server; we sweep a laptop-scaled range with the same shape: Naive grows
+// linearly and dominates, safe-region methods stay well below, and the
+// stripe spends more server CPU on prediction than FMD/CMD).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench_support/experiment.h"
+
+using namespace proxdet;
+
+int main() {
+  const bool quick = QuickMode();
+  const std::vector<size_t> sweep =
+      quick ? std::vector<size_t>{50, 100}
+            : std::vector<size_t>{100, 200, 400, 800, 1600};
+  const std::vector<Method> methods{Method::kNaive, Method::kStatic,
+                                    Method::kFmd, Method::kCmd,
+                                    Method::kStripeKf};
+
+  Table io_table("Figure 8(a) - communication I/O vs N (Truck, Stripe+KF)");
+  Table cpu_table("Figure 8(b) - server CPU seconds vs N (Truck)");
+  std::vector<std::string> header{"N"};
+  for (const Method m : methods) header.push_back(MethodName(m));
+  io_table.SetHeader(header);
+  cpu_table.SetHeader(header);
+
+  for (const size_t n : sweep) {
+    WorkloadConfig config = DefaultExperimentConfig(DatasetKind::kTruck);
+    config.num_users = n;
+    if (quick) config.epochs = 60;
+    const Workload workload = BuildWorkload(config);
+    const std::vector<RunResult> results = RunSuite(methods, workload);
+    std::vector<std::string> io_row{std::to_string(n)};
+    std::vector<std::string> cpu_row{std::to_string(n)};
+    for (const RunResult& r : results) {
+      io_row.push_back(std::to_string(r.stats.TotalMessages()));
+      cpu_row.push_back(FormatDouble(r.stats.server_seconds, 3));
+    }
+    io_table.AddRow(std::move(io_row));
+    cpu_table.AddRow(std::move(cpu_row));
+  }
+  std::printf("%s\n%s\n", io_table.ToString().c_str(),
+              cpu_table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 9: communication I/O vs average number of friends F (10..50) on
+// all four datasets, all eight comparison methods.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench_support/experiment.h"
+
+using namespace proxdet;
+
+int main() {
+  const bool quick = QuickMode();
+  const std::vector<double> sweep =
+      quick ? std::vector<double>{10, 30}
+            : std::vector<double>{10, 20, 30, 40, 50};
+  const std::vector<Method> methods = PaperMethodSet();
+
+  for (const DatasetKind dataset : AllDatasetKinds()) {
+    std::vector<std::string> x_values;
+    std::vector<std::vector<RunResult>> results;
+    for (const double f : sweep) {
+      WorkloadConfig config = DefaultExperimentConfig(dataset);
+      config.avg_friends = f;
+      if (quick) {
+        config.num_users = 80;
+        config.epochs = 60;
+      }
+      const Workload workload = BuildWorkload(config);
+      x_values.push_back(FormatDouble(f, 0));
+      results.push_back(RunSuite(methods, workload));
+    }
+    const Table table = MakeFigureTable(
+        "Figure 9 - I/O vs avg friends F on " + DatasetName(dataset), "F",
+        x_values, methods, results);
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  return 0;
+}

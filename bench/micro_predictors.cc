@@ -1,0 +1,63 @@
+// Micro-benchmarks for Predict() latency — the server calls the prediction
+// model on every safe-region rebuild (Sec. VI-B reports prediction time).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "predict/predictor.h"
+#include "traj/generator.h"
+
+namespace proxdet {
+namespace {
+
+struct Fixture {
+  std::vector<Trajectory> training;
+  std::vector<Vec2> window;
+
+  Fixture() {
+    TrajectoryGenerator gen(SpecFor(DatasetKind::kBeijingTaxi), 99);
+    training = gen.Generate(20, 400);
+    const Trajectory probe = gen.GenerateOne(100);
+    window = probe.RecentWindow(60, 10);
+  }
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void RunPredictBench(benchmark::State& state, PredictorKind kind) {
+  Fixture& f = GetFixture();
+  auto model = MakePredictor(kind, 1.0, 7);
+  model->Train(f.training);
+  const size_t steps = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->Predict(f.window, steps));
+  }
+}
+
+void BM_PredictLinear(benchmark::State& state) {
+  RunPredictBench(state, PredictorKind::kLinear);
+}
+void BM_PredictRmf(benchmark::State& state) {
+  RunPredictBench(state, PredictorKind::kRmf);
+}
+void BM_PredictKalman(benchmark::State& state) {
+  RunPredictBench(state, PredictorKind::kKalman);
+}
+void BM_PredictHmm(benchmark::State& state) {
+  RunPredictBench(state, PredictorKind::kHmm);
+}
+void BM_PredictR2d2(benchmark::State& state) {
+  RunPredictBench(state, PredictorKind::kR2d2);
+}
+
+BENCHMARK(BM_PredictLinear)->Arg(10)->Arg(30);
+BENCHMARK(BM_PredictRmf)->Arg(10)->Arg(30);
+BENCHMARK(BM_PredictKalman)->Arg(10)->Arg(30);
+BENCHMARK(BM_PredictHmm)->Arg(10)->Arg(30);
+BENCHMARK(BM_PredictR2d2)->Arg(10)->Arg(30);
+
+}  // namespace
+}  // namespace proxdet

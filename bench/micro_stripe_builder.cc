@@ -1,0 +1,68 @@
+// Micro-benchmark for Algorithm 2 (stripe construction): latency as a
+// function of the number of friend constraints and of the prediction
+// horizon. This is the dominant server-side cost of the stripe methods
+// (Fig. 8's CPU gap between Stripe+KF and FMD/CMD).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/stripe_builder.h"
+
+namespace proxdet {
+namespace {
+
+std::vector<StripeFriendConstraint> MakeFriends(Rng* rng, int count) {
+  std::vector<StripeFriendConstraint> friends;
+  for (int i = 0; i < count; ++i) {
+    const double angle = rng->Uniform(0, 6.2831853);
+    const double dist = rng->Uniform(4000, 20000);
+    friends.push_back(
+        {Circle{{dist * std::cos(angle), dist * std::sin(angle)},
+                rng->Uniform(50, 400)},
+         3000.0, rng->Uniform(50, 400)});
+  }
+  return friends;
+}
+
+void BM_BuildStripe(benchmark::State& state) {
+  Rng rng(11);
+  const int num_friends = static_cast<int>(state.range(0));
+  const int horizon = static_cast<int>(state.range(1));
+  StripeBuildConfig config;
+  config.sigma = 150.0;
+  config.max_horizon = horizon;
+  const std::vector<StripeFriendConstraint> friends =
+      MakeFriends(&rng, num_friends);
+  std::vector<Vec2> predicted;
+  Vec2 p{0, 0};
+  for (int i = 0; i < horizon; ++i) {
+    p += Vec2{400.0, rng.Uniform(-100, 100)};
+    predicted.push_back(p);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildPredictiveStripe({0, 0}, predicted, friends,
+                                                   400.0, config, 0));
+  }
+}
+BENCHMARK(BM_BuildStripe)
+    ->Args({0, 10})
+    ->Args({10, 10})
+    ->Args({30, 10})
+    ->Args({30, 20})
+    ->Args({50, 20});
+
+void BM_SolveRadiusOnly(benchmark::State& state) {
+  std::vector<FriendGap> gaps;
+  Rng rng(13);
+  for (int i = 0; i < 30; ++i) {
+    gaps.push_back({rng.Uniform(7000, 20000), 3000.0, rng.Uniform(50, 400)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SolveStripeRadius(gaps, 10, 150.0, 400.0, 1e9, 1e-3));
+  }
+}
+BENCHMARK(BM_SolveRadiusOnly);
+
+}  // namespace
+}  // namespace proxdet

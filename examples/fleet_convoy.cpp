@@ -1,0 +1,57 @@
+// Fleet convoy monitoring: a logistics operator tracks long-haul trucks
+// and wants a ping when two partner trucks are close enough to convoy
+// (drafting, shared rest stops). Truck pairs that meet tend to STAY
+// together, which exercises the match region (Def. 3): as long as both
+// stay inside the shared circle, the pair costs no communication at all.
+//
+// Demonstrates: the Truck workload, per-method comparison including the
+// match-region machinery, and interpreting the message breakdown.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/simulation.h"
+
+using namespace proxdet;
+
+int main() {
+  WorkloadConfig config;
+  config.dataset = DatasetKind::kTruck;
+  config.num_users = 200;
+  config.epochs = 200;
+  config.speed_steps = 8;
+  config.avg_friends = 10.0;       // Partner carriers.
+  config.alert_radius_m = 4000.0;  // Close enough to coordinate a stop.
+  config.seed = 1177;
+
+  std::printf("Monitoring %zu trucks, %d epochs, convoy radius %.0f km\n\n",
+              config.num_users, config.epochs,
+              config.alert_radius_m / 1000.0);
+  const Workload workload = BuildWorkload(config);
+
+  Table table("Convoy detection: message breakdown by method");
+  table.SetHeader({"method", "total", "uploads", "probes", "safe-regions",
+                   "match-regions", "exact"});
+  for (const Method method :
+       {Method::kNaive, Method::kStatic, Method::kFmd, Method::kCmd,
+        Method::kStripeKf}) {
+    const RunResult r = RunMethod(method, workload);
+    table.AddRow({MethodName(method), std::to_string(r.stats.TotalMessages()),
+                  std::to_string(r.stats.reports),
+                  std::to_string(r.stats.probes),
+                  std::to_string(r.stats.region_installs),
+                  std::to_string(r.stats.match_installs),
+                  r.alerts_exact ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf(
+      "Reading the table:\n"
+      " - FMD pays for its constant-speed assumption: jams and toll stops\n"
+      "   strand its mobile circles, forcing constant rebuilds.\n"
+      " - The stripe is time-independent along its predicted path, so a\n"
+      "   truck stuck in traffic on the predicted highway stays safe.\n"
+      " - match-regions are identical across methods: once a convoy forms,\n"
+      "   Def. 3 takes over regardless of the safe-region flavor.\n");
+  return 0;
+}

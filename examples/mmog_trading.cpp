@@ -1,0 +1,71 @@
+// Item trading in a massively multiplayer online game (application 3 of
+// the paper's introduction): players are "interested" in each other when
+// one carries an item the other wants, and a trade prompt fires when the
+// matching pair becomes mutually visible. Items change hands constantly,
+// so the interest graph churns — the dynamic-update path of Sec. VI-E.
+//
+// Demonstrates: driving the dynamic interest graph (ScheduleUpdate) with a
+// simulated item economy, and measuring how edge churn affects I/O.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/simulation.h"
+
+using namespace proxdet;
+
+int main() {
+  // The "game world" is a dense city map: players move like pedestrians
+  // with sprints (GeoLife's mode mix is a decent stand-in for walk/mount).
+  WorkloadConfig config;
+  config.dataset = DatasetKind::kGeoLife;
+  config.num_users = 120;
+  config.epochs = 150;
+  config.speed_steps = 8;
+  config.avg_friends = 6.0;        // Initial item-interest matches.
+  config.alert_radius_m = 1500.0;  // "Visible in the same zone."
+  config.seed = 99;
+
+  Table table("MMOG trading: I/O vs item-economy churn (Stripe+KF)");
+  table.SetHeader({"trades/epoch", "total I/O", "probes", "alerts(prompts)",
+                   "exact"});
+
+  for (const int trades_per_epoch : {0, 2, 5, 10}) {
+    Workload workload = BuildWorkload(config);
+    Rng economy(7 + trades_per_epoch);
+    // Every trade retires one interest edge (the item changed hands) and
+    // mints a new one between a random pair.
+    std::vector<InterestGraph::Edge> live = workload.world.graph().Edges();
+    for (int epoch = 1; epoch < config.epochs; ++epoch) {
+      for (int k = 0; k < trades_per_epoch && !live.empty(); ++k) {
+        const size_t victim = economy.NextIndex(live.size());
+        workload.world.ScheduleUpdate(
+            {epoch, false, live[victim].u, live[victim].w, 0.0});
+        live[victim] = live.back();
+        live.pop_back();
+        const UserId u =
+            static_cast<UserId>(economy.NextIndex(config.num_users));
+        const UserId w =
+            static_cast<UserId>(economy.NextIndex(config.num_users));
+        if (u != w) {
+          workload.world.ScheduleUpdate(
+              {epoch, true, u, w, config.alert_radius_m});
+          live.push_back({u, w, config.alert_radius_m});
+        }
+      }
+    }
+    const RunResult r = RunMethod(Method::kStripeKf, workload);
+    table.AddRow({std::to_string(trades_per_epoch),
+                  std::to_string(r.stats.TotalMessages()),
+                  std::to_string(r.stats.probes),
+                  std::to_string(r.alert_count),
+                  r.alerts_exact ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Edge churn adds probes (each insertion near a pair forces a check)\n"
+      "but detection stays exact — the Sec. VI-E result.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: build a small proximity-detection workload, run every method
+// of the paper's evaluation, and compare communication I/O.
+//
+// This is the 60-second tour of the public API:
+//   WorkloadConfig -> BuildWorkload -> RunMethod -> CommStats.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/simulation.h"
+
+int main() {
+  using namespace proxdet;
+
+  WorkloadConfig config;
+  config.dataset = DatasetKind::kTruck;
+  config.num_users = 80;
+  config.epochs = 100;
+  config.speed_steps = 8;
+  config.avg_friends = 8.0;
+  config.alert_radius_m = 6000.0;
+  config.seed = 7;
+
+  std::printf("Building workload: %s, N=%zu, S=%d, F=%.0f, r=%.0fkm...\n",
+              DatasetName(config.dataset).c_str(), config.num_users,
+              config.epochs, config.avg_friends,
+              config.alert_radius_m / 1000.0);
+  const Workload workload = BuildWorkload(config);
+  std::printf("Ground truth: %zu alerts over %d epochs.\n\n",
+              workload.ground_truth.size(), config.epochs);
+
+  Table table("Continuous proximity detection: communication I/O");
+  table.SetHeader({"method", "total I/O", "reports", "probes", "region",
+                   "match", "alerts-ok"});
+  for (const Method method : PaperMethodSet()) {
+    const RunResult result = RunMethod(method, workload);
+    table.AddRow({MethodName(method),
+                  std::to_string(result.stats.TotalMessages()),
+                  std::to_string(result.stats.reports),
+                  std::to_string(result.stats.probes),
+                  std::to_string(result.stats.region_installs),
+                  std::to_string(result.stats.match_installs),
+                  result.alerts_exact ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Every method must report the exact same alert stream; safe regions\n"
+      "only trade communication for bookkeeping (Definition 2).\n");
+  return 0;
+}

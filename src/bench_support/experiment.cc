@@ -1,0 +1,58 @@
+#include "bench_support/experiment.h"
+
+#include <cstdio>
+
+namespace proxdet {
+
+WorkloadConfig DefaultExperimentConfig(DatasetKind dataset) {
+  WorkloadConfig config;
+  config.dataset = dataset;
+  config.num_users = 400;       // Paper: 10K (laptop-scaled).
+  config.epochs = 150;          // Paper: 900 (laptop-scaled).
+  config.speed_steps = 8;       // Paper default V.
+  config.avg_friends = 30.0;    // Paper default F.
+  config.alert_radius_m = 6000.0;  // Paper default r.
+  config.seed = 20180416;       // ICDE'18 vintage.
+  config.training_users = 60;
+  config.training_epochs = 200;
+  return config;
+}
+
+std::vector<RunResult> RunSuite(const std::vector<Method>& methods,
+                                const Workload& workload) {
+  std::vector<RunResult> results;
+  results.reserve(methods.size());
+  for (const Method method : methods) {
+    RunResult result = RunMethod(method, workload);
+    if (!result.alerts_exact) {
+      std::fprintf(stderr,
+                   "FATAL: %s deviated from the ground-truth alert stream on "
+                   "%s — benchmark numbers would be void.\n",
+                   MethodName(method).c_str(),
+                   DatasetName(workload.config.dataset).c_str());
+      std::abort();
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+Table MakeFigureTable(const std::string& title, const std::string& x_label,
+                      const std::vector<std::string>& x_values,
+                      const std::vector<Method>& methods,
+                      const std::vector<std::vector<RunResult>>& results) {
+  Table table(title);
+  std::vector<std::string> header{x_label};
+  for (const Method m : methods) header.push_back(MethodName(m));
+  table.SetHeader(std::move(header));
+  for (size_t i = 0; i < x_values.size(); ++i) {
+    std::vector<std::string> row{x_values[i]};
+    for (const RunResult& r : results[i]) {
+      row.push_back(std::to_string(r.stats.TotalMessages()));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace proxdet

@@ -1,0 +1,58 @@
+#ifndef PROXDET_COMMON_STATS_H_
+#define PROXDET_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace proxdet {
+
+/// Online mean/variance accumulator (Welford's algorithm). Numerically
+/// stable; used for prediction-error calibration and benchmark reporting.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStat& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of the values using linear
+/// interpolation; the input is copied and sorted. Returns 0 for empty input.
+double Quantile(std::vector<double> values, double q);
+
+/// Exponentially-weighted moving average with configurable smoothing.
+class Ewma {
+ public:
+  /// `alpha` in (0, 1]: weight of the newest observation.
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void Add(double x);
+  double value() const { return value_; }
+  bool empty() const { return !seeded_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+}  // namespace proxdet
+
+#endif  // PROXDET_COMMON_STATS_H_

@@ -1,0 +1,35 @@
+#ifndef PROXDET_COMMON_TABLE_H_
+#define PROXDET_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace proxdet {
+
+/// ASCII table builder used by the benchmark harness to print the series
+/// behind each paper figure in a fixed, diff-friendly layout.
+class Table {
+ public:
+  explicit Table(std::string title);
+
+  void SetHeader(std::vector<std::string> columns);
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns.
+  std::string ToString() const;
+
+  /// Renders as comma-separated values (header first) for plotting.
+  std::string ToCsv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals.
+std::string FormatDouble(double v, int decimals = 2);
+
+}  // namespace proxdet
+
+#endif  // PROXDET_COMMON_TABLE_H_

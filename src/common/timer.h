@@ -1,0 +1,29 @@
+#ifndef PROXDET_COMMON_TIMER_H_
+#define PROXDET_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace proxdet {
+
+/// Monotonic wall-clock stopwatch used for server-side CPU accounting in the
+/// benchmark harness (Figure 8 reports server CPU alongside I/O).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace proxdet
+
+#endif  // PROXDET_COMMON_TIMER_H_

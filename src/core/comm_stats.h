@@ -1,0 +1,46 @@
+#ifndef PROXDET_CORE_COMM_STATS_H_
+#define PROXDET_CORE_COMM_STATS_H_
+
+#include <cstdint>
+
+namespace proxdet {
+
+/// Communication I/O accounting. Each field counts *messages* between
+/// clients and the server, the unit the paper's figures report:
+///  - reports: client -> server location updates (voluntary or probe
+///    responses). A report carries the client's recent location window so
+///    the server-side predictor has its input (still one message).
+///  - probes: server -> client "send me your exact location" requests
+///    (case 2 of the cost model, Sec. V-B).
+///  - alerts: server -> client alert notifications (case 3; unavoidable).
+///  - region_installs: server -> client safe-region payloads.
+///  - match_installs: server -> client match-region create/update/delete
+///    notifications (case 4 bookkeeping).
+struct CommStats {
+  uint64_t reports = 0;
+  uint64_t probes = 0;
+  uint64_t alerts = 0;
+  uint64_t region_installs = 0;
+  uint64_t match_installs = 0;
+  /// Server-side wall-clock seconds spent in proximity bookkeeping
+  /// (pair checks, cost model, region construction) — Figure 8's CPU axis.
+  double server_seconds = 0.0;
+
+  uint64_t TotalMessages() const {
+    return reports + probes + alerts + region_installs + match_installs;
+  }
+
+  CommStats& operator+=(const CommStats& o) {
+    reports += o.reports;
+    probes += o.probes;
+    alerts += o.alerts;
+    region_installs += o.region_installs;
+    match_installs += o.match_installs;
+    server_seconds += o.server_seconds;
+    return *this;
+  }
+};
+
+}  // namespace proxdet
+
+#endif  // PROXDET_CORE_COMM_STATS_H_

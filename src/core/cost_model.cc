@@ -1,0 +1,91 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/gaussian.h"
+
+namespace proxdet {
+
+double StayProbability(double radius, double sigma) {
+  return FoldedNormalCdf(radius, sigma);
+}
+
+double ExpectedExitTime(double radius, double speed, double p, int m) {
+  const double base = radius / std::max(speed, 1e-9);
+  if (p >= 1.0) return base + static_cast<double>(m);
+  if (p <= 0.0) return base;
+  // Delta_t = 1 epoch: E_m = radius/speed + p (1 - p^m) / (1 - p).
+  return base + p * (1.0 - std::pow(p, m)) / (1.0 - p);
+}
+
+double ExpectedProbeTime(const std::vector<FriendGap>& gaps, double radius) {
+  double e_p = std::numeric_limits<double>::infinity();
+  for (const FriendGap& g : gaps) {
+    const double t = (g.y0 - radius - g.alert_radius) / std::max(g.speed, 1e-9);
+    e_p = std::min(e_p, t);
+  }
+  return e_p;
+}
+
+double RadiusUpperBound(const std::vector<FriendGap>& gaps) {
+  double ub = std::numeric_limits<double>::infinity();
+  for (const FriendGap& g : gaps) {
+    ub = std::min(ub, g.y0 - g.alert_radius);
+  }
+  return ub;
+}
+
+double InitializationRadius(double my_speed, double friend_speed,
+                            double center_distance, double alert_radius) {
+  const double slack = center_distance - alert_radius;
+  if (slack <= 0.0) return 0.0;
+  const double total = std::max(my_speed + friend_speed, 1e-9);
+  return my_speed * slack / total;
+}
+
+RadiusSolution SolveStripeRadius(const std::vector<FriendGap>& gaps, int m,
+                                 double sigma, double speed,
+                                 double radius_cap, double epsilon) {
+  speed = std::max(speed, 1e-9);
+  auto evaluate = [&gaps, m, sigma, speed](double s) {
+    RadiusSolution sol;
+    sol.radius = s;
+    sol.e_m = ExpectedExitTime(s, speed, StayProbability(s, sigma), m);
+    sol.e_p = ExpectedProbeTime(gaps, s);
+    return sol;
+  };
+
+  double upper = RadiusUpperBound(gaps);
+  if (!std::isfinite(upper)) {
+    // No friend constrains the stripe; take the configured cap.
+    return evaluate(radius_cap);
+  }
+  upper = std::min(upper, radius_cap);
+  if (upper <= 0.0) return evaluate(0.0);
+
+  RadiusSolution at_upper = evaluate(upper);
+  if (at_upper.e_m <= at_upper.e_p) {
+    // Shrinking the radius lowers E_m and raises E_p — the gap only grows
+    // (Algorithm 2's early exit).
+    return at_upper;
+  }
+  // E_m(0) = 0 <= E_p(0) and E_m(upper) > E_p(upper): bisect the crossing.
+  double lo = 0.0;
+  double hi = upper;
+  RadiusSolution sol = at_upper;
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    sol = evaluate(mid);
+    if (std::fabs(sol.e_m - sol.e_p) < epsilon) break;
+    if (sol.e_m <= sol.e_p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return sol;
+}
+
+}  // namespace proxdet

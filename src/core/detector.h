@@ -1,0 +1,47 @@
+#ifndef PROXDET_CORE_DETECTOR_H_
+#define PROXDET_CORE_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/comm_stats.h"
+#include "core/events.h"
+#include "core/world.h"
+
+namespace proxdet {
+
+/// A continuous proximity detection strategy. `Run` simulates the full
+/// client-server protocol over the world and records every message in
+/// `stats()`. Correctness contract: `SortedAlerts()` must equal
+/// `world.GroundTruthAlerts()` for every world — safe regions trade
+/// communication for bookkeeping, never for missed or spurious alerts.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  virtual std::string name() const = 0;
+  virtual void Run(const World& world) = 0;
+
+  const CommStats& stats() const { return stats_; }
+  std::vector<AlertEvent> SortedAlerts() const {
+    std::vector<AlertEvent> out = alerts_;
+    SortAlerts(&out);
+    return out;
+  }
+
+ protected:
+  CommStats stats_;
+  std::vector<AlertEvent> alerts_;
+};
+
+/// The Naive baseline (Sec. VI-C): every user reports every epoch, the
+/// server recomputes all pair distances. No probing, maximal reporting.
+class NaiveDetector : public Detector {
+ public:
+  std::string name() const override { return "Naive"; }
+  void Run(const World& world) override;
+};
+
+}  // namespace proxdet
+
+#endif  // PROXDET_CORE_DETECTOR_H_

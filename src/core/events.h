@@ -1,0 +1,32 @@
+#ifndef PROXDET_CORE_EVENTS_H_
+#define PROXDET_CORE_EVENTS_H_
+
+#include <tuple>
+#include <vector>
+
+#include "graph/interest_graph.h"
+
+namespace proxdet {
+
+/// A proximity alert: pair (u, w) with u < w crossed below its alert radius
+/// at `epoch` (Def. 1 fires only on the first crossing).
+struct AlertEvent {
+  int epoch = 0;
+  UserId u = -1;
+  UserId w = -1;
+
+  friend bool operator==(const AlertEvent& a, const AlertEvent& b) {
+    return a.epoch == b.epoch && a.u == b.u && a.w == b.w;
+  }
+  friend bool operator<(const AlertEvent& a, const AlertEvent& b) {
+    return std::tie(a.epoch, a.u, a.w) < std::tie(b.epoch, b.u, b.w);
+  }
+};
+
+/// Canonical ordering so alert streams from different detectors compare
+/// exactly.
+void SortAlerts(std::vector<AlertEvent>* alerts);
+
+}  // namespace proxdet
+
+#endif  // PROXDET_CORE_EVENTS_H_

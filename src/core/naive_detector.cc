@@ -1,0 +1,60 @@
+#include "core/detector.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/timer.h"
+
+namespace proxdet {
+
+namespace {
+
+uint64_t PairKey(UserId u, UserId w) {
+  const uint64_t a = static_cast<uint64_t>(std::min(u, w));
+  const uint64_t b = static_cast<uint64_t>(std::max(u, w));
+  return (a << 32) | b;
+}
+
+}  // namespace
+
+void NaiveDetector::Run(const World& world) {
+  stats_ = CommStats();
+  alerts_.clear();
+  InterestGraph graph = world.graph();  // Mutable copy for dynamic updates.
+  std::unordered_set<uint64_t> matched;
+  size_t next_update = 0;
+  const auto& updates = world.scheduled_updates();
+  for (int epoch = 0; epoch < world.epochs(); ++epoch) {
+    while (next_update < updates.size() &&
+           updates[next_update].epoch <= epoch) {
+      const GraphUpdate& up = updates[next_update];
+      if (up.insert) {
+        graph.AddEdge(up.u, up.w, up.alert_radius);
+      } else {
+        graph.RemoveEdge(up.u, up.w);
+        matched.erase(PairKey(up.u, up.w));
+      }
+      ++next_update;
+    }
+    // Every client uploads its position.
+    stats_.reports += world.user_count();
+    WallTimer server_timer;
+    for (const auto& e : graph.Edges()) {
+      const double d =
+          Distance(world.Position(e.u, epoch), world.Position(e.w, epoch));
+      const uint64_t key = PairKey(e.u, e.w);
+      const bool inside = d < e.alert_radius;
+      const bool was = matched.count(key) > 0;
+      if (inside && !was) {
+        matched.insert(key);
+        alerts_.push_back({epoch, std::min(e.u, e.w), std::max(e.u, e.w)});
+        stats_.alerts += 2;  // One notification per endpoint.
+      } else if (!inside && was) {
+        matched.erase(key);
+      }
+    }
+    stats_.server_seconds += server_timer.ElapsedSeconds();
+  }
+}
+
+}  // namespace proxdet

@@ -1,0 +1,141 @@
+#include "core/policies.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace proxdet {
+
+namespace {
+
+/// A representative interior point of a shape, used only to orient
+/// half-plane boundaries; soundness never depends on it (the verify-and-
+/// shrink loop checks exact distances).
+Vec2 RepresentativePoint(const SafeRegionShape& shape, int epoch) {
+  return std::visit(
+      [epoch](const auto& s) -> Vec2 {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, Circle>) {
+          return s.center;
+        } else if constexpr (std::is_same_v<T, MovingCircle>) {
+          return s.CenterAt(epoch);
+        } else if constexpr (std::is_same_v<T, ConvexPolygon>) {
+          Vec2 acc{0.0, 0.0};
+          if (s.vertices().empty()) return acc;
+          for (const Vec2& v : s.vertices()) acc += v;
+          return acc / static_cast<double>(s.vertices().size());
+        } else {
+          const auto& pts = s.path().points();
+          return pts.empty() ? Vec2{0.0, 0.0} : pts[pts.size() / 2];
+        }
+      },
+      shape);
+}
+
+}  // namespace
+
+SafeRegionShape StaticPolygonPolicy::BuildRegion(
+    UserId u, const Vec2& location, const std::vector<Vec2>& recent_window,
+    double speed, const std::vector<FriendView>& friends, int epoch) {
+  (void)u;
+  (void)recent_window;
+  (void)speed;
+  // One boundary offset per friend; start at the full measured slack and
+  // shrink on verification failure.
+  std::vector<double> offsets(friends.size());
+  std::vector<Vec2> directions(friends.size());
+  for (size_t i = 0; i < friends.size(); ++i) {
+    const double d = ShapeDistanceToPoint(friends[i].region, location, epoch);
+    offsets[i] = std::max(0.0, d - friends[i].alert_radius);
+    Vec2 dir = RepresentativePoint(friends[i].region, epoch) - location;
+    if (dir.SquaredNorm() < 1e-12) dir = Vec2{1.0, 0.0};
+    directions[i] = dir.Normalized();
+  }
+
+  for (int iter = 0;; ++iter) {
+    ConvexPolygon poly = ConvexPolygon::Square(location, options_.extent_cap);
+    for (size_t i = 0; i < friends.size(); ++i) {
+      poly = poly.ClippedBy(
+          {location + directions[i] * offsets[i], directions[i]});
+      if (poly.empty()) break;
+    }
+    if (poly.empty()) break;  // Degenerate: fall through to the point region.
+    bool violated = false;
+    for (size_t i = 0; i < friends.size(); ++i) {
+      const double d = ShapeMinDistance(SafeRegionShape(poly),
+                                        friends[i].region, epoch);
+      if (d < friends[i].alert_radius - 1e-9) {
+        offsets[i] *= 0.5;
+        violated = true;
+      }
+    }
+    if (!violated) return poly;
+    if (iter >= options_.max_shrink_iterations) break;
+  }
+  // Friends leave no polygonal room: a point region (the user reports again
+  // next epoch, which is the correct behavior when squeezed).
+  return Circle{location, 0.0};
+}
+
+SafeRegionShape MobileCirclePolicy::BuildRegion(
+    UserId u, const Vec2& location, const std::vector<Vec2>& recent_window,
+    double speed, const std::vector<FriendView>& friends, int epoch) {
+  Vec2 velocity{0.0, 0.0};
+  if (recent_window.size() >= 2) {
+    velocity = (recent_window.back() - recent_window.front()) /
+               static_cast<double>(recent_window.size() - 1);
+  }
+  (void)speed;
+  double multiplier = 1.0;
+  if (options_.self_tuning) {
+    const auto it = multiplier_.find(u);
+    if (it != multiplier_.end()) multiplier = it->second;
+  }
+  double radius = options_.base_radius * multiplier;
+  for (const FriendView& f : friends) {
+    const double d = ShapeDistanceToPoint(f.region, location, epoch);
+    radius = std::min(radius, std::max(0.0, d - f.alert_radius));
+  }
+  MovingCircle circle;
+  circle.center_at_build = location;
+  circle.velocity_per_epoch = velocity;
+  circle.radius = radius;
+  circle.built_epoch = epoch;
+  return circle;
+}
+
+void MobileCirclePolicy::OnExit(UserId u) {
+  if (!options_.self_tuning) return;
+  double& m = multiplier_.try_emplace(u, 1.0).first->second;
+  m = std::min(m * options_.increase, options_.max_multiplier);
+}
+
+void MobileCirclePolicy::OnProbe(UserId u) {
+  if (!options_.self_tuning) return;
+  double& m = multiplier_.try_emplace(u, 1.0).first->second;
+  m = std::max(m * options_.decrease, options_.min_multiplier);
+}
+
+StripePolicy::StripePolicy(std::unique_ptr<Predictor> predictor)
+    : StripePolicy(std::move(predictor), Options()) {}
+
+StripePolicy::StripePolicy(std::unique_ptr<Predictor> predictor,
+                           Options options)
+    : predictor_(std::move(predictor)), options_(options) {}
+
+SafeRegionShape StripePolicy::BuildRegion(
+    UserId u, const Vec2& location, const std::vector<Vec2>& recent_window,
+    double speed, const std::vector<FriendView>& friends, int epoch) {
+  (void)u;
+  const std::vector<Vec2> predicted = predictor_->Predict(
+      recent_window, static_cast<size_t>(options_.build.max_horizon));
+  std::vector<StripeFriendConstraint> constraints;
+  constraints.reserve(friends.size());
+  for (const FriendView& f : friends) {
+    constraints.push_back({f.region, f.alert_radius, f.speed});
+  }
+  const StripeBuildResult result = BuildPredictiveStripe(
+      location, predicted, constraints, speed, options_.build, epoch);
+  return result.stripe;
+}
+
+}  // namespace proxdet

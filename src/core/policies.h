@@ -1,0 +1,107 @@
+#ifndef PROXDET_CORE_POLICIES_H_
+#define PROXDET_CORE_POLICIES_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/region_detector.h"
+#include "core/stripe_builder.h"
+#include "predict/predictor.h"
+
+namespace proxdet {
+
+/// Buddy Tracking [3]: a static convex polygon per user. Toward each
+/// rebuilding friend the slack corridor is split by a perpendicular
+/// boundary (the "warning area" of Fig. 1(a)); toward installed regions a
+/// half-plane is placed inside the measured slack and then verified (and
+/// shrunk if needed) against the exact polygon distance — sound for every
+/// shape in the taxonomy.
+class StaticPolygonPolicy : public RegionPolicy {
+ public:
+  struct Options {
+    /// Half-extent of the bounding square before friend clipping; caps
+    /// region size when no friend is nearby.
+    double extent_cap = 3000.0;  // meters
+    /// Verify-and-shrink iterations against non-circular friend regions.
+    int max_shrink_iterations = 6;
+  };
+
+  StaticPolygonPolicy() : StaticPolygonPolicy(Options()) {}
+  explicit StaticPolygonPolicy(Options options) : options_(options) {}
+
+  std::string name() const override { return "Static"; }
+  SafeRegionShape BuildRegion(UserId u, const Vec2& location,
+                              const std::vector<Vec2>& recent_window,
+                              double speed,
+                              const std::vector<FriendView>& friends,
+                              int epoch) override;
+
+ private:
+  Options options_;
+};
+
+/// FMD / CMD [19]: a circle moving with the user's velocity at build time.
+/// FMD uses a fixed base radius; CMD (self_tuning) adapts a per-user
+/// multiplier — exits mean the region was too small, probes mean it was
+/// too large. Requires the per-epoch pair check (regions drift).
+class MobileCirclePolicy : public RegionPolicy {
+ public:
+  struct Options {
+    bool self_tuning = false;  // false = FMD, true = CMD.
+    /// FMD's fixed system-wide base radius in meters ([19] assigns every
+    /// user the same mobile-region size; only CMD adapts it per user).
+    double base_radius = 500.0;
+    double increase = 1.25;  // CMD multiplier on exit (too small).
+    double decrease = 0.8;   // CMD multiplier on probe (too large).
+    double min_multiplier = 0.2;
+    double max_multiplier = 6.0;
+  };
+
+  MobileCirclePolicy() : MobileCirclePolicy(Options()) {}
+  explicit MobileCirclePolicy(Options options) : options_(options) {}
+
+  std::string name() const override {
+    return options_.self_tuning ? "CMD" : "FMD";
+  }
+  bool NeedsPerEpochPairCheck() const override { return true; }
+  SafeRegionShape BuildRegion(UserId u, const Vec2& location,
+                              const std::vector<Vec2>& recent_window,
+                              double speed,
+                              const std::vector<FriendView>& friends,
+                              int epoch) override;
+  void OnExit(UserId u) override;
+  void OnProbe(UserId u) override;
+
+ private:
+  Options options_;
+  std::unordered_map<UserId, double> multiplier_;
+};
+
+/// This paper's method: a fixed-radius stripe around the predictor's future
+/// path, sized by the holistic cost model (Algorithm 2).
+class StripePolicy : public RegionPolicy {
+ public:
+  struct Options {
+    StripeBuildConfig build;
+  };
+
+  explicit StripePolicy(std::unique_ptr<Predictor> predictor);
+  StripePolicy(std::unique_ptr<Predictor> predictor, Options options);
+
+  std::string name() const override { return "Stripe+" + predictor_->name(); }
+  SafeRegionShape BuildRegion(UserId u, const Vec2& location,
+                              const std::vector<Vec2>& recent_window,
+                              double speed,
+                              const std::vector<FriendView>& friends,
+                              int epoch) override;
+
+  Predictor* predictor() { return predictor_.get(); }
+
+ private:
+  std::unique_ptr<Predictor> predictor_;
+  Options options_;
+};
+
+}  // namespace proxdet
+
+#endif  // PROXDET_CORE_POLICIES_H_

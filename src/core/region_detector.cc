@@ -1,0 +1,328 @@
+#include "core/region_detector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "common/timer.h"
+#include "core/cost_model.h"
+#include "region/match_region.h"
+
+namespace proxdet {
+
+namespace {
+
+uint64_t PairKey(UserId u, UserId w) {
+  const uint64_t a = static_cast<uint64_t>(std::min(u, w));
+  const uint64_t b = static_cast<uint64_t>(std::max(u, w));
+  return (a << 32) | b;
+}
+
+constexpr double kMinSpeed = 1e-3;  // m/epoch floor for estimates.
+
+}  // namespace
+
+void RegionPolicy::OnExit(UserId u) { (void)u; }
+void RegionPolicy::OnProbe(UserId u) { (void)u; }
+
+RegionDetector::RegionDetector(std::unique_ptr<RegionPolicy> policy)
+    : RegionDetector(std::move(policy), Options()) {}
+
+RegionDetector::RegionDetector(std::unique_ptr<RegionPolicy> policy,
+                               Options options)
+    : policy_(std::move(policy)), options_(options) {}
+
+RegionDetector::~RegionDetector() = default;
+
+std::string RegionDetector::name() const { return policy_->name(); }
+
+// Per-run engine state; kept out of the header.
+struct RegionDetector::Impl {
+  struct UserState {
+    std::optional<SafeRegionShape> region;
+    double speed = kMinSpeed;  // m/epoch estimate from reported windows.
+    // Per-epoch flags.
+    bool reported = false;
+    bool needs_region = false;
+    bool rebuilt = false;
+    bool queued = false;
+    Vec2 pos;  // Exact location; server-visible only when `reported`.
+  };
+
+  const World& world;
+  RegionDetector& self;
+  InterestGraph graph;
+  std::vector<UserState> users;
+  std::unordered_map<uint64_t, MatchRegion> matched;
+  std::deque<UserId> queue;
+  int epoch = 0;
+
+  Impl(const World& w, RegionDetector& s)
+      : world(w), self(s), graph(w.graph()), users(w.user_count()) {}
+
+  bool IsMatched(UserId u, UserId w) const {
+    return matched.count(PairKey(u, w)) > 0;
+  }
+
+  /// Client -> server location upload (at most one per user per epoch).
+  void Report(UserId u) {
+    if (users[u].reported) return;
+    users[u].reported = true;
+    self.stats_.reports += 1;
+    // The report carries the recent window; refresh the speed estimate.
+    const std::vector<Vec2> window =
+        world.RecentWindow(u, epoch, self.options_.window);
+    if (window.size() >= 2) {
+      double dist = 0.0;
+      for (size_t i = 1; i < window.size(); ++i) {
+        dist += Distance(window[i - 1], window[i]);
+      }
+      users[u].speed =
+          std::max(kMinSpeed, dist / static_cast<double>(window.size() - 1));
+    }
+  }
+
+  void EnqueueRebuild(UserId u) {
+    users[u].needs_region = true;
+    if (!users[u].queued) {
+      users[u].queued = true;
+      queue.push_back(u);
+    }
+  }
+
+  /// Server -> client probe: request the exact location, then rebuild the
+  /// probed user's region (Sec. V-B case 2).
+  void Probe(UserId u) {
+    if (users[u].reported) {
+      EnqueueRebuild(u);
+      return;
+    }
+    self.stats_.probes += 1;
+    Report(u);
+    EnqueueRebuild(u);
+    self.policy_->OnProbe(u);
+  }
+
+  /// Both endpoints exact and within radius: fire the alert, install the
+  /// match region (Def. 3), and drop the pair from safe-region duty.
+  void CreateMatch(UserId u, UserId w, double r) {
+    matched.emplace(PairKey(u, w),
+                    MatchRegion::Make(users[u].pos, users[w].pos, r));
+    self.alerts_.push_back({epoch, std::min(u, w), std::max(u, w)});
+    self.stats_.alerts += 2;
+    if (self.options_.use_match_regions) self.stats_.match_installs += 2;
+  }
+
+  void DissolveMatch(UserId u, UserId w) {
+    matched.erase(PairKey(u, w));
+    if (self.options_.use_match_regions) {
+      self.stats_.match_installs += 2;  // Deletion notices.
+    }
+  }
+
+  /// Applies scheduled interest-graph changes at epoch start (Sec. VI-E).
+  void ApplyGraphUpdates(size_t* next_update) {
+    const auto& updates = world.scheduled_updates();
+    while (*next_update < updates.size() &&
+           updates[*next_update].epoch <= epoch) {
+      const GraphUpdate& up = updates[*next_update];
+      ++*next_update;
+      if (up.insert) {
+        if (!graph.AddEdge(up.u, up.w, up.alert_radius)) continue;
+        // New pair: probe only when their current regions may violate the
+        // radius (the paper's insertion rule).
+        if (users[up.u].region && users[up.w].region) {
+          const double d = ShapeMinDistance(*users[up.u].region,
+                                            *users[up.w].region, epoch);
+          if (d <= up.alert_radius + self.options_.min_gap) {
+            Probe(up.u);
+            Probe(up.w);
+          }
+        }
+      } else {
+        if (IsMatched(up.u, up.w)) DissolveMatch(up.u, up.w);
+        graph.RemoveEdge(up.u, up.w);
+        // Safe regions are retained; they were conservative for the
+        // deleted edge, which is always sound.
+      }
+    }
+  }
+
+  /// Clients compare their position against match regions (Algorithm 1
+  /// lines 10-18).
+  void MatchRegionPhase() {
+    // Collect keys first: dissolution mutates the map.
+    std::vector<uint64_t> keys;
+    keys.reserve(matched.size());
+    for (const auto& [key, region] : matched) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());  // Deterministic accounting.
+    for (const uint64_t key : keys) {
+      const auto it = matched.find(key);
+      if (it == matched.end()) continue;
+      const UserId u = static_cast<UserId>(key >> 32);
+      const UserId w = static_cast<UserId>(key & 0xffffffffULL);
+      const MatchRegion& m = it->second;
+      if (self.options_.use_match_regions && m.Contains(users[u].pos) &&
+          m.Contains(users[w].pos)) {
+        continue;
+      }
+      Report(u);
+      Report(w);
+      const double r = graph.AlertRadius(u, w);
+      const double d = Distance(users[u].pos, users[w].pos);
+      if (d < r) {
+        if (self.options_.use_match_regions) {
+          it->second = MatchRegion::Make(users[u].pos, users[w].pos, r);
+          self.stats_.match_installs += 2;
+        }
+      } else {
+        DissolveMatch(u, w);
+        // Both return to safe-region tracking against each other.
+        EnqueueRebuild(u);
+        EnqueueRebuild(w);
+      }
+    }
+  }
+
+  /// Clients compare their position against their safe region (Algorithm 1
+  /// lines 19-21).
+  void SafeRegionExitPhase() {
+    for (UserId u = 0; u < static_cast<UserId>(users.size()); ++u) {
+      if (!users[u].region) {
+        // Only possible at epoch 0 before initialization.
+        Report(u);
+        EnqueueRebuild(u);
+        continue;
+      }
+      if (!ShapeContains(*users[u].region, users[u].pos, epoch)) {
+        Report(u);
+        EnqueueRebuild(u);
+        self.policy_->OnExit(u);
+      }
+    }
+  }
+
+  /// Moving regions (FMD/CMD) drift toward each other between rebuilds;
+  /// the server probes pairs whose regions may now violate the radius.
+  void PerEpochPairCheck() {
+    for (const auto& e : graph.Edges()) {
+      if (IsMatched(e.u, e.w)) continue;
+      if (users[e.u].needs_region || users[e.w].needs_region) continue;
+      if (!users[e.u].region || !users[e.w].region) continue;
+      const double d =
+          ShapeMinDistance(*users[e.u].region, *users[e.w].region, epoch);
+      if (d < e.alert_radius) {
+        Probe(e.u);
+        Probe(e.w);
+      }
+    }
+  }
+
+  /// Serialized rebuild loop: pops users needing a region, probes friends
+  /// that are dangerously close, detects fresh matches, then asks the
+  /// policy for a new region built against the friends' effective regions.
+  void ResolvePhase() {
+    while (!queue.empty()) {
+      const UserId u = queue.front();
+      queue.pop_front();
+      if (!users[u].needs_region) continue;
+      const Vec2 l_u = users[u].pos;
+      const double v_u = users[u].speed;
+
+      // Pass 1: probe friends whose region leaves no slack, then settle
+      // alerts against every exact friend.
+      for (const FriendEdge& fe : graph.FriendsOf(u)) {
+        const UserId w = fe.other;
+        if (IsMatched(u, w)) continue;
+        if (!users[w].reported) {
+          const double gap =
+              ShapeDistanceToPoint(*users[w].region, l_u, epoch) -
+              fe.alert_radius;
+          const double closing =
+              self.options_.probe_horizon_epochs * (v_u + users[w].speed);
+          if (gap <= self.options_.min_gap + closing) Probe(w);
+        }
+        if (users[w].reported) {
+          const double d = Distance(l_u, users[w].pos);
+          if (d < fe.alert_radius) CreateMatch(u, w, fe.alert_radius);
+        }
+      }
+
+      // Pass 2: collect effective constraint regions for unmatched friends.
+      std::vector<FriendView> views;
+      for (const FriendEdge& fe : graph.FriendsOf(u)) {
+        const UserId w = fe.other;
+        if (IsMatched(u, w)) continue;
+        FriendView view;
+        view.id = w;
+        view.alert_radius = fe.alert_radius;
+        view.speed = std::max(users[w].speed, kMinSpeed);
+        if (users[w].reported && users[w].needs_region && !users[w].rebuilt) {
+          // Friend rebuilds later this epoch: constrain against a virtual
+          // circle holding its Eq. (5) share of the slack, so the pair
+          // splits the corridor speed-proportionally (Lemma 2); safety is
+          // then sealed when the friend builds against u's real region.
+          const double d = Distance(l_u, users[w].pos);
+          const double share = InitializationRadius(view.speed, v_u, d,
+                                                    fe.alert_radius);
+          view.region = Circle{users[w].pos, share};
+        } else {
+          view.region = *users[w].region;
+        }
+        views.push_back(std::move(view));
+      }
+
+      const std::vector<Vec2> window =
+          world.RecentWindow(u, epoch, self.options_.window);
+      SafeRegionShape shape =
+          self.policy_->BuildRegion(u, l_u, window, v_u, views, epoch);
+      if (self.options_.validate_builds) {
+        assert(ShapeContains(shape, l_u, epoch));
+        for (const FriendView& view : views) {
+          const double d = ShapeMinDistance(shape, view.region, epoch);
+          assert(d >= view.alert_radius - 1e-6);
+          (void)d;
+        }
+      }
+      users[u].region = std::move(shape);
+      users[u].rebuilt = true;
+      users[u].needs_region = false;
+      self.stats_.region_installs += 1;
+      self.rebuild_count_ += 1;
+    }
+  }
+
+  void Run() {
+    size_t next_update = 0;
+    const bool per_epoch_check = self.policy_->NeedsPerEpochPairCheck();
+    for (epoch = 0; epoch < world.epochs(); ++epoch) {
+      for (UserId u = 0; u < static_cast<UserId>(users.size()); ++u) {
+        users[u].reported = false;
+        users[u].needs_region = false;
+        users[u].rebuilt = false;
+        users[u].queued = false;
+        users[u].pos = world.Position(u, epoch);
+      }
+      queue.clear();
+      WallTimer server_timer;
+      ApplyGraphUpdates(&next_update);
+      MatchRegionPhase();
+      SafeRegionExitPhase();
+      if (per_epoch_check) PerEpochPairCheck();
+      ResolvePhase();
+      self.stats_.server_seconds += server_timer.ElapsedSeconds();
+    }
+  }
+};
+
+void RegionDetector::Run(const World& world) {
+  stats_ = CommStats();
+  alerts_.clear();
+  rebuild_count_ = 0;
+  Impl impl(world, *this);
+  impl.Run();
+}
+
+}  // namespace proxdet

@@ -1,0 +1,103 @@
+#ifndef PROXDET_CORE_REGION_DETECTOR_H_
+#define PROXDET_CORE_REGION_DETECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "region/region.h"
+
+namespace proxdet {
+
+/// A friend as presented to a region policy during construction: the
+/// *effective* constraint region (the friend's installed safe region, or a
+/// virtual circle around its exact location when it is rebuilding in the
+/// same epoch), the pair's alert radius and the server's speed estimate.
+struct FriendView {
+  UserId id = -1;
+  SafeRegionShape region;
+  double alert_radius = 0.0;
+  double speed = 0.0;  // m/epoch
+};
+
+/// Strategy interface: how safe regions are constructed. The engine
+/// (RegionDetector) owns the protocol — exits, probes, match regions,
+/// alerts — and is shared by Static [3], FMD/CMD [19] and the predictive
+/// stripe; policies only differ in the region they build.
+///
+/// Soundness contract: the returned region must (a) contain `location` and
+/// (b) keep distance >= alert_radius from every FriendView region at
+/// `epoch`. Rebuilds within an epoch are serialized by the engine, so a
+/// policy honoring (b) preserves the pairwise invariant d(u, w) >= r_{u,w}
+/// for pairs fully inside their regions.
+class RegionPolicy {
+ public:
+  virtual ~RegionPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True when regions move over time (FMD/CMD), requiring the server to
+  /// re-check region-pair distances every epoch; static shapes only need
+  /// checks at construction.
+  virtual bool NeedsPerEpochPairCheck() const { return false; }
+
+  virtual SafeRegionShape BuildRegion(UserId u, const Vec2& location,
+                                      const std::vector<Vec2>& recent_window,
+                                      double speed,
+                                      const std::vector<FriendView>& friends,
+                                      int epoch) = 0;
+
+  /// Self-tuning hooks (CMD): the user left its region / was probed.
+  virtual void OnExit(UserId u);
+  virtual void OnProbe(UserId u);
+};
+
+/// The generic safe-region + match-region protocol of Algorithm 1, with
+/// message accounting. See DESIGN.md §5 for the message taxonomy.
+class RegionDetector : public Detector {
+ public:
+  struct Options {
+    /// Probe threshold: when a reporting user's distance to a friend's
+    /// region leaves less than this much slack beyond the alert radius, the
+    /// friend is probed (its exact position is required for safety).
+    double min_gap = 1.0;  // meters
+    /// Kinetic probe threshold (Sec. V-B case 2): also probe when the pair
+    /// could close the remaining slack within this many epochs at their
+    /// estimated speeds. A stale friend region that leaves the rebuilder
+    /// only a sliver would force a useless micro-region that dies next
+    /// epoch; one probe instead frees the space and both sides get an
+    /// Eq. (5)-style split of the true slack.
+    double probe_horizon_epochs = 0.0;
+    /// Recent-window length attached to reports (predictor input; the
+    /// paper fixes input length 10).
+    size_t window = 10;
+    /// When true, every rebuilt region is validated against all effective
+    /// friend constraints (used by tests; costs an extra distance pass).
+    bool validate_builds = false;
+    /// Ablation switch: disable Def. 3 match regions. Matched pairs then
+    /// report every epoch until they separate (the naive fallback the match
+    /// region was designed to avoid).
+    bool use_match_regions = true;
+  };
+
+  explicit RegionDetector(std::unique_ptr<RegionPolicy> policy);
+  RegionDetector(std::unique_ptr<RegionPolicy> policy, Options options);
+  ~RegionDetector() override;
+
+  std::string name() const override;
+  void Run(const World& world) override;
+
+  /// Number of safe-region constructions performed (diagnostics).
+  uint64_t rebuild_count() const { return rebuild_count_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<RegionPolicy> policy_;
+  Options options_;
+  uint64_t rebuild_count_ = 0;
+};
+
+}  // namespace proxdet
+
+#endif  // PROXDET_CORE_REGION_DETECTOR_H_

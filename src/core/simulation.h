@@ -1,0 +1,96 @@
+#ifndef PROXDET_CORE_SIMULATION_H_
+#define PROXDET_CORE_SIMULATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/policies.h"
+#include "core/region_detector.h"
+#include "predict/predictor.h"
+#include "traj/dataset.h"
+#include "traj/generator.h"
+
+namespace proxdet {
+
+/// The comparison methods of Sec. VI-C.
+enum class Method {
+  kNaive,
+  kStatic,
+  kFmd,
+  kCmd,
+  kStripeRmf,
+  kStripeHmm,
+  kStripeR2d2,
+  kStripeKf,
+  kStripeLinear,  // Extra ablation: the stripe driven by FMD's own model.
+};
+
+std::string MethodName(Method method);
+
+/// The eight methods evaluated in the paper's figures, in paper order.
+std::vector<Method> PaperMethodSet();
+
+/// A complete experiment configuration (Table II, laptop-scaled defaults).
+struct WorkloadConfig {
+  DatasetKind dataset = DatasetKind::kTruck;
+  size_t num_users = 300;       // N
+  int epochs = 200;             // S
+  int speed_steps = 8;          // V (raw ticks per epoch)
+  double avg_friends = 30.0;    // F
+  double alert_radius_m = 6000. // r; per-user preference drawn around it.
+  ;
+  uint64_t seed = 42;
+  /// Offline training set for HMM/R2-D2 and sigma calibration (the paper
+  /// trains on 1,600 synchronized timestamps).
+  size_t training_users = 60;
+  int training_epochs = 200;
+};
+
+/// A built experiment: the world plus the (epoch-spaced) training set that
+/// shares the same road network, and the precomputed ground truth.
+struct Workload {
+  WorkloadConfig config;
+  World world;
+  std::vector<Trajectory> training;
+  std::vector<AlertEvent> ground_truth;
+};
+
+/// Generates trajectories, the interest graph and the training set.
+Workload BuildWorkload(const WorkloadConfig& config);
+
+/// Constructs a ready-to-run detector for the method: stripe methods get
+/// their predictor built, trained on the workload's training set, and their
+/// cost-model sigma calibrated on it (Kalman noise parameters are grid
+/// tuned, mirroring Sec. VI-B).
+std::unique_ptr<Detector> MakeDetector(Method method, const Workload& workload,
+                                       RegionDetector::Options options = {});
+
+/// Builds and trains the prediction model a stripe method would use
+/// (Kalman noise parameters grid-tuned on the training set). Exposed for
+/// ablation studies and custom detector assembly.
+std::unique_ptr<Predictor> MakeTrainedPredictor(PredictorKind kind,
+                                                const Workload& workload);
+
+/// Calibrates the per-step cross-track sigma of `predictor` on the workload
+/// training set and returns stripe-policy options carrying it.
+StripePolicy::Options CalibratedStripeOptions(Predictor* predictor,
+                                              const Workload& workload);
+
+/// Outcome of one (method, workload) simulation.
+struct RunResult {
+  Method method = Method::kNaive;
+  CommStats stats;
+  size_t alert_count = 0;
+  /// Whether the detector's alert stream matched the ground truth exactly
+  /// (the correctness contract; always checked).
+  bool alerts_exact = false;
+};
+
+RunResult RunMethod(Method method, const Workload& workload,
+                    RegionDetector::Options options = {});
+
+}  // namespace proxdet
+
+#endif  // PROXDET_CORE_SIMULATION_H_

@@ -1,0 +1,109 @@
+#include "core/stripe_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace proxdet {
+
+namespace {
+
+/// Distance from one path segment to a friend's region shape.
+double SegmentToShape(const Vec2& a, const Vec2& b,
+                      const SafeRegionShape& shape, int epoch) {
+  const Stripe segment_as_stripe(Polyline({a, b}), 0.0);
+  return ShapeMinDistance(SafeRegionShape(segment_as_stripe), shape, epoch);
+}
+
+}  // namespace
+
+StripeBuildResult BuildPredictiveStripe(
+    const Vec2& current, const std::vector<Vec2>& predicted,
+    const std::vector<StripeFriendConstraint>& friends, double user_speed,
+    const StripeBuildConfig& config, int epoch) {
+  user_speed = std::max(user_speed, 1e-6);
+  const auto radius_cap_for = [&config](int m) {
+    return std::max(config.sigma_cap_mult * config.SigmaForStep(m),
+                    config.min_radius);
+  };
+
+  // Upper bound on m from the predicted anchors themselves (Algorithm 2
+  // lines 2-6): a predicted point already within alert radius of a friend's
+  // region cannot be enclosed.
+  int max_m = static_cast<int>(
+      std::min<size_t>(predicted.size(), config.max_horizon));
+  for (const StripeFriendConstraint& f : friends) {
+    for (int i = 1; i <= max_m; ++i) {
+      const double d = ShapeDistanceToPoint(f.region, predicted[i - 1], epoch);
+      if (d <= f.alert_radius) {
+        max_m = i - 1;
+        break;
+      }
+    }
+  }
+
+  // Anchors: current location, then the enclosed predicted points. Gap
+  // prefix minima y0_f(m) accumulate as m grows one segment at a time.
+  std::vector<FriendGap> gaps(friends.size());
+  for (size_t i = 0; i < friends.size(); ++i) {
+    gaps[i].alert_radius = friends[i].alert_radius;
+    gaps[i].speed =
+        std::max(friends[i].speed * config.approach_factor, 1e-6);
+    gaps[i].y0 =
+        ShapeDistanceToPoint(friends[i].region, current, epoch);
+  }
+
+  // m = 0: the degenerate single-anchor stripe (fresh users with no
+  // prediction, or users squeezed by friends on all sides).
+  StripeBuildResult best;
+  best.m = 0;
+  best.solution = SolveStripeRadius(gaps, 0, config.SigmaForStep(1),
+                                    user_speed, radius_cap_for(1),
+                                    config.epsilon);
+  best.stripe = Stripe(Polyline({current}), best.solution.radius);
+
+  // When the Eq. (8) approximation drives the optimization, exact prefix
+  // minima are still tracked so the chosen radius can be clamped to the
+  // sound bound.
+  std::vector<FriendGap> exact_gaps = gaps;
+  Vec2 prev_anchor = current;
+  std::vector<Vec2> anchors{current};
+  for (int m = 1; m <= max_m; ++m) {
+    const Vec2& next_anchor = predicted[m - 1];
+    for (size_t i = 0; i < friends.size(); ++i) {
+      const double exact_d =
+          SegmentToShape(prev_anchor, next_anchor, friends[i].region, epoch);
+      exact_gaps[i].y0 = std::min(exact_gaps[i].y0, exact_d);
+      if (config.use_eq8_distance) {
+        gaps[i].y0 = std::min(
+            gaps[i].y0,
+            ShapeDistanceToPoint(friends[i].region, next_anchor, epoch));
+      } else {
+        gaps[i].y0 = exact_gaps[i].y0;
+      }
+    }
+    anchors.push_back(next_anchor);
+    prev_anchor = next_anchor;
+
+    if (RadiusUpperBound(exact_gaps) <= 0.0) break;  // No sound radius left.
+    const double sigma_m = config.SigmaForStep(m);
+    RadiusSolution sol = SolveStripeRadius(
+        gaps, m, sigma_m, user_speed, radius_cap_for(m), config.epsilon);
+    if (config.use_eq8_distance) {
+      sol.radius = std::min(sol.radius, RadiusUpperBound(exact_gaps));
+    }
+    if (sol.Objective() > best.solution.Objective()) {
+      best.solution = sol;
+      best.m = m;
+      best.stripe = Stripe(
+          Polyline(std::vector<Vec2>(anchors.begin(), anchors.end())),
+          sol.radius);
+    }
+    // Confidence floor: once reaching step m is too unlikely, longer
+    // stripes only dilute the cost model (Algorithm 2's p_min cutoff).
+    const double p = StayProbability(sol.radius, sigma_m);
+    if (std::pow(p, m) < config.p_min) break;
+  }
+  return best;
+}
+
+}  // namespace proxdet

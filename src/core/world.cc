@@ -1,0 +1,100 @@
+#include "core/world.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace proxdet {
+
+namespace {
+
+uint64_t PairKey(UserId u, UserId w) {
+  const uint64_t a = static_cast<uint64_t>(std::min(u, w));
+  const uint64_t b = static_cast<uint64_t>(std::max(u, w));
+  return (a << 32) | b;
+}
+
+}  // namespace
+
+void SortAlerts(std::vector<AlertEvent>* alerts) {
+  std::sort(alerts->begin(), alerts->end());
+}
+
+World::World(std::vector<Trajectory> trajectories, InterestGraph graph,
+             int speed_steps, int epochs)
+    : trajectories_(std::move(trajectories)),
+      graph_(std::move(graph)),
+      speed_steps_(speed_steps),
+      epochs_(epochs) {}
+
+double World::epoch_seconds() const {
+  const double tick =
+      trajectories_.empty() ? 1.0 : trajectories_.front().dt();
+  return tick * static_cast<double>(speed_steps_);
+}
+
+Vec2 World::Position(UserId u, int epoch) const {
+  const Trajectory& traj = trajectories_[u];
+  const size_t idx = std::min(static_cast<size_t>(epoch) * speed_steps_,
+                              traj.size() - 1);
+  return traj.at(idx);
+}
+
+std::vector<Vec2> World::RecentWindow(UserId u, int epoch,
+                                      size_t count) const {
+  std::vector<Vec2> out;
+  const int first = std::max(0, epoch - static_cast<int>(count) + 1);
+  out.reserve(static_cast<size_t>(epoch - first + 1));
+  for (int e = first; e <= epoch; ++e) out.push_back(Position(u, e));
+  return out;
+}
+
+void World::ScheduleUpdate(const GraphUpdate& update) {
+  updates_.push_back(update);
+  std::stable_sort(updates_.begin(), updates_.end(),
+                   [](const GraphUpdate& a, const GraphUpdate& b) {
+                     return a.epoch < b.epoch;
+                   });
+}
+
+std::vector<AlertEvent> World::GroundTruthAlerts() const {
+  // Live edge set with radii; pair -> matched status.
+  std::unordered_map<uint64_t, double> live;
+  std::unordered_set<uint64_t> matched;
+  for (const auto& e : graph_.Edges()) {
+    live[PairKey(e.u, e.w)] = e.alert_radius;
+  }
+  std::vector<AlertEvent> alerts;
+  size_t next_update = 0;
+  for (int epoch = 0; epoch < epochs_; ++epoch) {
+    while (next_update < updates_.size() &&
+           updates_[next_update].epoch <= epoch) {
+      const GraphUpdate& up = updates_[next_update];
+      const uint64_t key = PairKey(up.u, up.w);
+      if (up.insert) {
+        live.emplace(key, up.alert_radius);
+      } else {
+        live.erase(key);
+        matched.erase(key);
+      }
+      ++next_update;
+    }
+    for (const auto& [key, radius] : live) {
+      const UserId u = static_cast<UserId>(key >> 32);
+      const UserId w = static_cast<UserId>(key & 0xffffffffULL);
+      const double d = Distance(Position(u, epoch), Position(w, epoch));
+      const bool inside = d < radius;
+      const bool was_matched = matched.count(key) > 0;
+      if (inside && !was_matched) {
+        alerts.push_back({epoch, std::min(u, w), std::max(u, w)});
+        matched.insert(key);
+      } else if (!inside && was_matched) {
+        matched.erase(key);
+      }
+    }
+  }
+  SortAlerts(&alerts);
+  return alerts;
+}
+
+}  // namespace proxdet

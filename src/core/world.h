@@ -1,0 +1,70 @@
+#ifndef PROXDET_CORE_WORLD_H_
+#define PROXDET_CORE_WORLD_H_
+
+#include <vector>
+
+#include "core/events.h"
+#include "graph/interest_graph.h"
+#include "traj/trajectory.h"
+
+namespace proxdet {
+
+/// A scheduled interest-graph change (Sec. VI-E's dynamic workload).
+struct GraphUpdate {
+  int epoch = 0;
+  bool insert = true;  // false = delete
+  UserId u = -1;
+  UserId w = -1;
+  double alert_radius = 0.0;
+};
+
+/// The immutable simulation input: user trajectories, the interest graph,
+/// and the epoch clock. The paper's "moving speed V (steps per epoch)"
+/// knob is `speed_steps`: each detection epoch consumes V raw trajectory
+/// ticks, so higher V means users cover more ground between checks.
+class World {
+ public:
+  World(std::vector<Trajectory> trajectories, InterestGraph graph,
+        int speed_steps, int epochs);
+
+  size_t user_count() const { return trajectories_.size(); }
+  int epochs() const { return epochs_; }
+  int speed_steps() const { return speed_steps_; }
+
+  /// Seconds covered by one epoch.
+  double epoch_seconds() const;
+
+  /// User u's exact position at the given epoch (clamped to the trajectory
+  /// end if the data runs short).
+  Vec2 Position(UserId u, int epoch) const;
+
+  /// The last `count` epoch-spaced positions of u ending at `epoch`
+  /// (inclusive, oldest first) — the payload a reporting client attaches
+  /// for the server-side predictor.
+  std::vector<Vec2> RecentWindow(UserId u, int epoch, size_t count) const;
+
+  const InterestGraph& graph() const { return graph_; }
+  const std::vector<Trajectory>& trajectories() const { return trajectories_; }
+
+  /// Schedules a graph insertion/deletion; updates apply at epoch start.
+  void ScheduleUpdate(const GraphUpdate& update);
+  const std::vector<GraphUpdate>& scheduled_updates() const {
+    return updates_;
+  }
+
+  /// Ground-truth alert stream per Def. 1, honoring scheduled updates:
+  /// an inserted edge alerts at its insertion epoch when already within
+  /// radius. This is the oracle every detector must match exactly.
+  std::vector<AlertEvent> GroundTruthAlerts() const;
+
+ private:
+  std::vector<Trajectory> trajectories_;
+  InterestGraph graph_;
+  int speed_steps_;
+  int epochs_;
+  std::vector<GraphUpdate> updates_;  // Sorted by epoch.
+};
+
+}  // namespace proxdet
+
+#endif  // PROXDET_CORE_WORLD_H_

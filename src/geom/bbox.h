@@ -1,0 +1,40 @@
+#ifndef PROXDET_GEOM_BBOX_H_
+#define PROXDET_GEOM_BBOX_H_
+
+#include <algorithm>
+
+#include "geom/vec2.h"
+
+namespace proxdet {
+
+/// Axis-aligned bounding box; the spatial extent of a dataset and the frame
+/// for grid indexes (HMM states, R2-D2 reference lookup).
+struct BBox {
+  Vec2 lo;
+  Vec2 hi;
+
+  double Width() const { return hi.x - lo.x; }
+  double Height() const { return hi.y - lo.y; }
+  Vec2 Center() const { return (lo + hi) * 0.5; }
+
+  bool Contains(const Vec2& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  /// Clamps p into the box.
+  Vec2 Clamp(const Vec2& p) const {
+    return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y)};
+  }
+
+  /// Grows the box to include p.
+  void Extend(const Vec2& p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+};
+
+}  // namespace proxdet
+
+#endif  // PROXDET_GEOM_BBOX_H_

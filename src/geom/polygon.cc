@@ -1,0 +1,93 @@
+#include "geom/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace proxdet {
+
+ConvexPolygon::ConvexPolygon(std::vector<Vec2> vertices)
+    : vertices_(std::move(vertices)) {}
+
+ConvexPolygon ConvexPolygon::Square(const Vec2& center, double half) {
+  return ConvexPolygon({{center.x - half, center.y - half},
+                        {center.x + half, center.y - half},
+                        {center.x + half, center.y + half},
+                        {center.x - half, center.y + half}});
+}
+
+ConvexPolygon ConvexPolygon::ClippedBy(const HalfPlane& hp) const {
+  std::vector<Vec2> out;
+  const size_t n = vertices_.size();
+  if (n == 0) return ConvexPolygon();
+  for (size_t i = 0; i < n; ++i) {
+    const Vec2& cur = vertices_[i];
+    const Vec2& nxt = vertices_[(i + 1) % n];
+    const double dc = (cur - hp.point).Dot(hp.normal);
+    const double dn = (nxt - hp.point).Dot(hp.normal);
+    if (dc <= 0.0) {
+      out.push_back(cur);
+      if (dn > 0.0) {
+        const double t = dc / (dc - dn);
+        out.push_back(cur + (nxt - cur) * t);
+      }
+    } else if (dn <= 0.0) {
+      const double t = dc / (dc - dn);
+      out.push_back(cur + (nxt - cur) * t);
+    }
+  }
+  return ConvexPolygon(std::move(out));
+}
+
+bool ConvexPolygon::Contains(const Vec2& p) const {
+  const size_t n = vertices_.size();
+  if (n < 3) return false;
+  for (size_t i = 0; i < n; ++i) {
+    const Vec2& a = vertices_[i];
+    const Vec2& b = vertices_[(i + 1) % n];
+    if ((b - a).Cross(p - a) < -1e-9) return false;  // Right of a CCW edge.
+  }
+  return true;
+}
+
+double ConvexPolygon::DistanceToPoint(const Vec2& p) const {
+  if (vertices_.empty()) return 0.0;
+  if (Contains(p)) return 0.0;
+  double best = Distance(p, vertices_[0]);
+  const size_t n = vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Segment edge{vertices_[i], vertices_[(i + 1) % n]};
+    best = std::min(best, DistancePointToSegment(p, edge));
+  }
+  return best;
+}
+
+double ConvexPolygon::DistanceToPolygon(const ConvexPolygon& other) const {
+  if (vertices_.empty() || other.vertices_.empty()) return 0.0;
+  // Overlap check: any vertex containment covers the convex-convex overlap
+  // case together with the edge-pair scan below (edge crossings give 0).
+  if (Contains(other.vertices_[0]) || other.Contains(vertices_[0])) return 0.0;
+  double best = Distance(vertices_[0], other.vertices_[0]);
+  const size_t n = vertices_.size();
+  const size_t m = other.vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Segment e1{vertices_[i], vertices_[(i + 1) % n]};
+    for (size_t j = 0; j < m; ++j) {
+      const Segment e2{other.vertices_[j], other.vertices_[(j + 1) % m]};
+      best = std::min(best, DistanceSegmentToSegment(e1, e2));
+      if (best == 0.0) return 0.0;
+    }
+  }
+  return best;
+}
+
+double ConvexPolygon::Area() const {
+  const size_t n = vertices_.size();
+  if (n < 3) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += vertices_[i].Cross(vertices_[(i + 1) % n]);
+  }
+  return 0.5 * std::fabs(acc);
+}
+
+}  // namespace proxdet

@@ -1,0 +1,57 @@
+#ifndef PROXDET_GEOM_POLYGON_H_
+#define PROXDET_GEOM_POLYGON_H_
+
+#include <vector>
+
+#include "geom/segment.h"
+#include "geom/vec2.h"
+
+namespace proxdet {
+
+/// Half-plane {p : (p - point) . normal <= offset} described by a boundary
+/// line through `point` with outward `normal`. Points satisfying
+/// (p - point) . normal <= 0 are kept.
+struct HalfPlane {
+  Vec2 point;   // A point on the boundary line.
+  Vec2 normal;  // Outward normal; the kept side is the non-positive side.
+
+  bool Keeps(const Vec2& p) const { return (p - point).Dot(normal) <= 1e-9; }
+};
+
+/// Convex polygon with counterclockwise vertices. This is the static safe
+/// region of Buddy Tracking [3]: the intersection of one half-plane per
+/// nearby friend, clipped against a bounding square.
+class ConvexPolygon {
+ public:
+  ConvexPolygon() = default;
+  explicit ConvexPolygon(std::vector<Vec2> vertices);
+
+  /// Axis-aligned square centered at `center` with half-extent `half`.
+  static ConvexPolygon Square(const Vec2& center, double half);
+
+  /// Clips this polygon by a half-plane (Sutherland–Hodgman step). The
+  /// result may be empty when the polygon lies fully on the discarded side.
+  ConvexPolygon ClippedBy(const HalfPlane& hp) const;
+
+  bool empty() const { return vertices_.size() < 3; }
+  const std::vector<Vec2>& vertices() const { return vertices_; }
+
+  /// Closed containment test (boundary counts as inside).
+  bool Contains(const Vec2& p) const;
+
+  /// Minimum distance from p to the polygon (0 when inside).
+  double DistanceToPoint(const Vec2& p) const;
+
+  /// Minimum distance between the boundaries/interiors of two polygons
+  /// (0 when they overlap).
+  double DistanceToPolygon(const ConvexPolygon& other) const;
+
+  double Area() const;
+
+ private:
+  std::vector<Vec2> vertices_;
+};
+
+}  // namespace proxdet
+
+#endif  // PROXDET_GEOM_POLYGON_H_

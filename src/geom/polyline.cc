@@ -1,0 +1,59 @@
+#include "geom/polyline.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace proxdet {
+
+Polyline::Polyline(std::vector<Vec2> points) : points_(std::move(points)) {}
+
+double Polyline::Length() const {
+  double acc = 0.0;
+  for (size_t i = 0; i + 1 < points_.size(); ++i) {
+    acc += Distance(points_[i], points_[i + 1]);
+  }
+  return acc;
+}
+
+double Polyline::DistanceToPoint(const Vec2& p) const {
+  if (points_.empty()) return std::numeric_limits<double>::infinity();
+  if (points_.size() == 1) return Distance(p, points_[0]);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i + 1 < points_.size(); ++i) {
+    best = std::min(best, DistancePointToSegment(p, segment(i)));
+  }
+  return best;
+}
+
+double Polyline::DistanceToPolyline(const Polyline& other) const {
+  if (points_.empty() || other.points_.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (points_.size() == 1) return other.DistanceToPoint(points_[0]);
+  if (other.points_.size() == 1) return DistanceToPoint(other.points_[0]);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i + 1 < points_.size(); ++i) {
+    const Segment s1 = segment(i);
+    for (size_t j = 0; j + 1 < other.points_.size(); ++j) {
+      best = std::min(best, DistanceSegmentToSegment(s1, other.segment(j)));
+      if (best == 0.0) return 0.0;
+    }
+  }
+  return best;
+}
+
+Vec2 Polyline::PointAtArcLength(double s) const {
+  if (points_.empty()) return Vec2();
+  if (s <= 0.0 || points_.size() == 1) return points_.front();
+  for (size_t i = 0; i + 1 < points_.size(); ++i) {
+    const double seg_len = Distance(points_[i], points_[i + 1]);
+    if (s <= seg_len) {
+      const double t = seg_len > 0.0 ? s / seg_len : 0.0;
+      return points_[i] + (points_[i + 1] - points_[i]) * t;
+    }
+    s -= seg_len;
+  }
+  return points_.back();
+}
+
+}  // namespace proxdet

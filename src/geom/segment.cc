@@ -1,0 +1,63 @@
+#include "geom/segment.h"
+
+#include <algorithm>
+
+namespace proxdet {
+
+Vec2 ClosestPointOnSegment(const Segment& s, const Vec2& p) {
+  const Vec2 d = s.b - s.a;
+  const double len2 = d.SquaredNorm();
+  if (len2 <= 0.0) return s.a;  // Degenerate segment.
+  const double t = std::clamp((p - s.a).Dot(d) / len2, 0.0, 1.0);
+  return s.a + d * t;
+}
+
+double DistancePointToSegment(const Vec2& p, const Segment& s) {
+  return Distance(p, ClosestPointOnSegment(s, p));
+}
+
+namespace {
+
+// Sign of the orientation of (a, b, c): +1 counterclockwise, -1 clockwise,
+// 0 collinear (with a small tolerance).
+int Orientation(const Vec2& a, const Vec2& b, const Vec2& c) {
+  const double cross = (b - a).Cross(c - a);
+  const double eps = 1e-12;
+  if (cross > eps) return 1;
+  if (cross < -eps) return -1;
+  return 0;
+}
+
+bool OnSegment(const Vec2& p, const Segment& s) {
+  return std::min(s.a.x, s.b.x) - 1e-12 <= p.x &&
+         p.x <= std::max(s.a.x, s.b.x) + 1e-12 &&
+         std::min(s.a.y, s.b.y) - 1e-12 <= p.y &&
+         p.y <= std::max(s.a.y, s.b.y) + 1e-12;
+}
+
+}  // namespace
+
+bool SegmentsIntersect(const Segment& s1, const Segment& s2) {
+  const int o1 = Orientation(s1.a, s1.b, s2.a);
+  const int o2 = Orientation(s1.a, s1.b, s2.b);
+  const int o3 = Orientation(s2.a, s2.b, s1.a);
+  const int o4 = Orientation(s2.a, s2.b, s1.b);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && OnSegment(s2.a, s1)) return true;
+  if (o2 == 0 && OnSegment(s2.b, s1)) return true;
+  if (o3 == 0 && OnSegment(s1.a, s2)) return true;
+  if (o4 == 0 && OnSegment(s1.b, s2)) return true;
+  return false;
+}
+
+double DistanceSegmentToSegment(const Segment& s1, const Segment& s2) {
+  if (SegmentsIntersect(s1, s2)) return 0.0;
+  // Disjoint segments: the minimum is realized at an endpoint of one of them.
+  const double d1 = DistancePointToSegment(s1.a, s2);
+  const double d2 = DistancePointToSegment(s1.b, s2);
+  const double d3 = DistancePointToSegment(s2.a, s1);
+  const double d4 = DistancePointToSegment(s2.b, s1);
+  return std::min(std::min(d1, d2), std::min(d3, d4));
+}
+
+}  // namespace proxdet

@@ -1,0 +1,34 @@
+#ifndef PROXDET_GEOM_SEGMENT_H_
+#define PROXDET_GEOM_SEGMENT_H_
+
+#include "geom/vec2.h"
+
+namespace proxdet {
+
+/// Closed line segment between two endpoints.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  double Length() const { return Distance(a, b); }
+
+  /// Point at parameter t in [0, 1] along the segment.
+  Vec2 Lerp(double t) const { return a + (b - a) * t; }
+};
+
+/// Closest point on the segment to p.
+Vec2 ClosestPointOnSegment(const Segment& s, const Vec2& p);
+
+/// Minimum Euclidean distance from p to the segment. This is the
+/// d(o, \overline{p_i p_{i+1}}) primitive of the paper's Eqs. (7)-(8).
+double DistancePointToSegment(const Vec2& p, const Segment& s);
+
+/// Minimum Euclidean distance between two segments (0 if they intersect).
+double DistanceSegmentToSegment(const Segment& s1, const Segment& s2);
+
+/// Whether the two segments intersect (including touching endpoints).
+bool SegmentsIntersect(const Segment& s1, const Segment& s2);
+
+}  // namespace proxdet
+
+#endif  // PROXDET_GEOM_SEGMENT_H_

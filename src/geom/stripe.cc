@@ -1,0 +1,52 @@
+#include "geom/stripe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace proxdet {
+
+Stripe::Stripe(Polyline path, double radius)
+    : path_(std::move(path)), radius_(radius) {}
+
+bool Stripe::Contains(const Vec2& p) const {
+  return path_.DistanceToPoint(p) <= radius_ + 1e-9;
+}
+
+double Stripe::DistanceToPoint(const Vec2& p) const {
+  return std::max(0.0, path_.DistanceToPoint(p) - radius_);
+}
+
+double Stripe::DistanceToStripe(const Stripe& other) const {
+  const double d = path_.DistanceToPolyline(other.path_);
+  return std::max(0.0, d - radius_ - other.radius_);
+}
+
+double Stripe::ApproxDistanceToStripeEq8(const Stripe& other) const {
+  // Eq. (8): min{ min_i d(a_i, S_w) - s^u, min_j d(b_j, S_u) - s^w } where
+  // a_i are this stripe's anchors and b_j the other's.
+  double best = std::numeric_limits<double>::infinity();
+  for (const Vec2& a : path_.points()) {
+    best = std::min(best, other.DistanceToPoint(a) - radius_);
+  }
+  for (const Vec2& b : other.path_.points()) {
+    best = std::min(best, DistanceToPoint(b) - other.radius_);
+  }
+  return std::max(0.0, best);
+}
+
+double Stripe::DistanceToCircle(const Circle& c) const {
+  return std::max(0.0, path_.DistanceToPoint(c.center) - radius_ - c.radius);
+}
+
+double Stripe::CapsuleAreaUpperBound() const {
+  const double pi = 3.14159265358979323846;
+  if (path_.empty()) return 0.0;
+  double area = pi * radius_ * radius_;  // End caps, counted once total.
+  for (size_t i = 0; i < path_.segment_count(); ++i) {
+    area += 2.0 * radius_ * path_.segment(i).Length();
+  }
+  return area;
+}
+
+}  // namespace proxdet

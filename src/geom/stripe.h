@@ -1,0 +1,56 @@
+#ifndef PROXDET_GEOM_STRIPE_H_
+#define PROXDET_GEOM_STRIPE_H_
+
+#include <vector>
+
+#include "geom/circle.h"
+#include "geom/polyline.h"
+#include "geom/vec2.h"
+
+namespace proxdet {
+
+/// Fixed-radius stripe (Def. 4): the set of points within `radius` of a
+/// polyline of predicted locations. This is the paper's predictive safe
+/// region. Containment is *time-independent* — a user anywhere along the
+/// buffered path is safe regardless of speed (Sec. V-A).
+class Stripe {
+ public:
+  Stripe() = default;
+  Stripe(Polyline path, double radius);
+
+  const Polyline& path() const { return path_; }
+  double radius() const { return radius_; }
+
+  /// Closed containment: boundary points are inside the safe region.
+  bool Contains(const Vec2& p) const;
+
+  /// Minimum distance from p to the stripe (0 when inside).
+  double DistanceToPoint(const Vec2& p) const;
+
+  /// Exact minimum distance between two stripes: the polyline-polyline
+  /// distance minus both radii, clamped at 0. Used for the sound
+  /// region-pair safety check.
+  double DistanceToStripe(const Stripe& other) const;
+
+  /// The paper's Eq. (8) approximation of stripe-stripe distance: the
+  /// minimum over each stripe's *anchor points* of the point-to-other-stripe
+  /// distance. Never smaller than the exact distance minus 0 (it is an upper
+  /// bound on the exact distance); the cost model uses it, the safety check
+  /// does not.
+  double ApproxDistanceToStripeEq8(const Stripe& other) const;
+
+  /// Minimum distance from a disk to the stripe (0 when intersecting).
+  double DistanceToCircle(const Circle& c) const;
+
+  /// Area of the buffered polyline, counting overlaps once is NOT attempted:
+  /// this is the simple per-capsule sum used only for diagnostics.
+  double CapsuleAreaUpperBound() const;
+
+ private:
+  Polyline path_;
+  double radius_ = 0.0;
+};
+
+}  // namespace proxdet
+
+#endif  // PROXDET_GEOM_STRIPE_H_

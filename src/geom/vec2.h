@@ -1,0 +1,61 @@
+#ifndef PROXDET_GEOM_VEC2_H_
+#define PROXDET_GEOM_VEC2_H_
+
+#include <cmath>
+
+namespace proxdet {
+
+/// 2-D point / vector in meters. All spatial reasoning in the library runs
+/// in a local planar frame (the paper uses Euclidean distance throughout,
+/// Sec. II), so a flat Vec2 is the whole coordinate story.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double px, double py) : x(px), y(py) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double k) const { return {x * k, y * k}; }
+  constexpr Vec2 operator/(double k) const { return {x / k, y / k}; }
+  Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2& o) const { return x == o.x && y == o.y; }
+
+  constexpr double Dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  /// Z component of the 3-D cross product; > 0 when `o` is counterclockwise
+  /// from this vector.
+  constexpr double Cross(const Vec2& o) const { return x * o.y - y * o.x; }
+  double Norm() const { return std::sqrt(x * x + y * y); }
+  constexpr double SquaredNorm() const { return x * x + y * y; }
+
+  /// Unit vector in this direction; returns (0, 0) for the zero vector.
+  Vec2 Normalized() const {
+    const double n = Norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{0.0, 0.0};
+  }
+
+  /// Counterclockwise perpendicular.
+  constexpr Vec2 Perp() const { return {-y, x}; }
+};
+
+inline constexpr Vec2 operator*(double k, const Vec2& v) { return v * k; }
+
+inline double Distance(const Vec2& a, const Vec2& b) { return (a - b).Norm(); }
+
+inline constexpr double SquaredDistance(const Vec2& a, const Vec2& b) {
+  return (a - b).SquaredNorm();
+}
+
+}  // namespace proxdet
+
+#endif  // PROXDET_GEOM_VEC2_H_

@@ -1,0 +1,108 @@
+#include "predict/evaluator.h"
+
+#include <cmath>
+
+#include "common/timer.h"
+#include "geom/polyline.h"
+
+namespace proxdet {
+
+PredictionEvaluation EvaluatePredictor(Predictor* predictor,
+                                       const std::vector<Trajectory>& test,
+                                       size_t input_len, size_t output_len,
+                                       size_t max_queries, Rng* rng) {
+  PredictionEvaluation eval;
+  eval.per_step_error_m.assign(output_len, 0.0);
+  double total_error = 0.0;
+  double total_time_us = 0.0;
+  size_t total_points = 0;
+  size_t queries = 0;
+  for (size_t attempt = 0; attempt < max_queries * 4 && queries < max_queries;
+       ++attempt) {
+    const Trajectory& traj = test[rng->NextIndex(test.size())];
+    if (traj.size() < input_len + output_len + 1) continue;
+    const size_t anchor = input_len - 1 +
+        rng->NextIndex(traj.size() - input_len - output_len);
+    const std::vector<Vec2> recent = traj.RecentWindow(anchor, input_len);
+    WallTimer timer;
+    const std::vector<Vec2> predicted = predictor->Predict(recent, output_len);
+    total_time_us += timer.ElapsedSeconds() * 1e6;
+    for (size_t j = 0; j < output_len; ++j) {
+      const double err = Distance(predicted[j], traj.at(anchor + 1 + j));
+      eval.per_step_error_m[j] += err;
+      total_error += err;
+      ++total_points;
+    }
+    ++queries;
+  }
+  eval.query_count = queries;
+  if (queries > 0) {
+    eval.mean_predict_time_us = total_time_us / static_cast<double>(queries);
+    for (double& e : eval.per_step_error_m) e /= static_cast<double>(queries);
+  }
+  if (total_points > 0) {
+    eval.mean_error_m = total_error / static_cast<double>(total_points);
+  }
+  return eval;
+}
+
+double CalibrateSigma(Predictor* predictor, const std::vector<Trajectory>& test,
+                      size_t input_len, size_t horizon, size_t max_queries,
+                      Rng* rng) {
+  const PredictionEvaluation eval = EvaluatePredictor(
+      predictor, test, input_len, horizon, max_queries, rng);
+  // E|N(0, sigma^2)| = sigma * sqrt(2/pi).
+  const double sqrt_half_pi = 1.2533141373155002512078826;
+  return eval.mean_error_m * sqrt_half_pi;
+}
+
+std::vector<double> CalibrateCrossTrackSigmaPerStep(
+    Predictor* predictor, const std::vector<Trajectory>& test,
+    size_t input_len, size_t horizon, size_t max_queries, Rng* rng) {
+  std::vector<double> total_error(horizon, 0.0);
+  size_t queries = 0;
+  for (size_t attempt = 0; attempt < max_queries * 4 && queries < max_queries;
+       ++attempt) {
+    const Trajectory& traj = test[rng->NextIndex(test.size())];
+    if (traj.size() < input_len + horizon + 1) continue;
+    const size_t anchor =
+        input_len - 1 + rng->NextIndex(traj.size() - input_len - horizon);
+    const std::vector<Vec2> recent = traj.RecentWindow(anchor, input_len);
+    std::vector<Vec2> predicted = predictor->Predict(recent, horizon);
+    // The stripe path is anchored at the current location (Sec. V-A). The
+    // step-j error is measured against the path *prefix* ending at step j —
+    // exactly the region a length-j stripe would enclose.
+    predicted.insert(predicted.begin(), recent.back());
+    for (size_t j = 1; j <= horizon; ++j) {
+      const Polyline prefix(
+          std::vector<Vec2>(predicted.begin(), predicted.begin() + j + 1));
+      total_error[j - 1] += prefix.DistanceToPoint(traj.at(anchor + j));
+    }
+    ++queries;
+  }
+  const double sqrt_half_pi = 1.2533141373155002512078826;
+  std::vector<double> sigma(horizon, 0.0);
+  if (queries == 0) return sigma;
+  double running_max = 0.0;  // Enforce monotone growth with the horizon.
+  for (size_t j = 0; j < horizon; ++j) {
+    const double s =
+        total_error[j] / static_cast<double>(queries) * sqrt_half_pi;
+    running_max = std::max(running_max, s);
+    sigma[j] = running_max;
+  }
+  return sigma;
+}
+
+double CalibrateCrossTrackSigma(Predictor* predictor,
+                                const std::vector<Trajectory>& test,
+                                size_t input_len, size_t horizon,
+                                size_t max_queries, Rng* rng) {
+  const std::vector<double> per_step = CalibrateCrossTrackSigmaPerStep(
+      predictor, test, input_len, horizon, max_queries, rng);
+  if (per_step.empty()) return 0.0;
+  double total = 0.0;
+  for (const double s : per_step) total += s;
+  return total / static_cast<double>(per_step.size());
+}
+
+}  // namespace proxdet

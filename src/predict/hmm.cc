@@ -1,0 +1,338 @@
+#include "predict/hmm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/polyline.h"
+#include "predict/linear_predictor.h"
+
+namespace proxdet {
+
+GridQuantizer::GridQuantizer(const BBox& extent, int rows, int cols)
+    : extent_(extent), rows_(rows), cols_(cols) {}
+
+int GridQuantizer::CellOf(const Vec2& p) const {
+  const Vec2 q = extent_.Clamp(p);
+  const double w = std::max(extent_.Width(), 1e-9);
+  const double h = std::max(extent_.Height(), 1e-9);
+  int col = static_cast<int>((q.x - extent_.lo.x) / w * cols_);
+  int row = static_cast<int>((q.y - extent_.lo.y) / h * rows_);
+  col = std::clamp(col, 0, cols_ - 1);
+  row = std::clamp(row, 0, rows_ - 1);
+  return row * cols_ + col;
+}
+
+Vec2 GridQuantizer::CenterOf(int cell) const {
+  const int row = cell / cols_;
+  const int col = cell % cols_;
+  const double cw = extent_.Width() / cols_;
+  const double ch = extent_.Height() / rows_;
+  return {extent_.lo.x + (col + 0.5) * cw, extent_.lo.y + (row + 0.5) * ch};
+}
+
+DiscreteHmm::DiscreteHmm(int num_hidden, int num_observations, uint64_t seed)
+    : num_hidden_(num_hidden), num_observations_(num_observations) {
+  Rng rng(seed);
+  auto random_stochastic = [&rng](std::vector<double>* v, size_t rows,
+                                  size_t cols) {
+    v->resize(rows * cols);
+    for (size_t r = 0; r < rows; ++r) {
+      double total = 0.0;
+      for (size_t c = 0; c < cols; ++c) {
+        const double x = 0.5 + rng.NextDouble();
+        (*v)[r * cols + c] = x;
+        total += x;
+      }
+      for (size_t c = 0; c < cols; ++c) (*v)[r * cols + c] /= total;
+    }
+  };
+  random_stochastic(&pi_, 1, num_hidden_);
+  random_stochastic(&a_, num_hidden_, num_hidden_);
+  random_stochastic(&b_, num_hidden_, num_observations_);
+}
+
+void DiscreteHmm::Forward(const std::vector<int>& seq,
+                          std::vector<double>* alpha,
+                          std::vector<double>* scale) const {
+  const size_t t_len = seq.size();
+  const int h = num_hidden_;
+  alpha->assign(t_len * h, 0.0);
+  scale->assign(t_len, 0.0);
+  double c0 = 0.0;
+  for (int i = 0; i < h; ++i) {
+    const double v = pi_[i] * b_[static_cast<size_t>(i) * num_observations_ + seq[0]];
+    (*alpha)[i] = v;
+    c0 += v;
+  }
+  (*scale)[0] = c0 > 0.0 ? 1.0 / c0 : 1.0;
+  for (int i = 0; i < h; ++i) (*alpha)[i] *= (*scale)[0];
+  for (size_t t = 1; t < t_len; ++t) {
+    double ct = 0.0;
+    for (int j = 0; j < h; ++j) {
+      double acc = 0.0;
+      for (int i = 0; i < h; ++i) {
+        acc += (*alpha)[(t - 1) * h + i] * a_[static_cast<size_t>(i) * h + j];
+      }
+      const double v =
+          acc * b_[static_cast<size_t>(j) * num_observations_ + seq[t]];
+      (*alpha)[t * h + j] = v;
+      ct += v;
+    }
+    (*scale)[t] = ct > 0.0 ? 1.0 / ct : 1.0;
+    for (int j = 0; j < h; ++j) (*alpha)[t * h + j] *= (*scale)[t];
+  }
+}
+
+void DiscreteHmm::Backward(const std::vector<int>& seq,
+                           const std::vector<double>& scale,
+                           std::vector<double>* beta) const {
+  const size_t t_len = seq.size();
+  const int h = num_hidden_;
+  beta->assign(t_len * h, 0.0);
+  for (int i = 0; i < h; ++i) (*beta)[(t_len - 1) * h + i] = scale[t_len - 1];
+  for (size_t t = t_len - 1; t-- > 0;) {
+    for (int i = 0; i < h; ++i) {
+      double acc = 0.0;
+      for (int j = 0; j < h; ++j) {
+        acc += a_[static_cast<size_t>(i) * h + j] *
+               b_[static_cast<size_t>(j) * num_observations_ + seq[t + 1]] *
+               (*beta)[(t + 1) * h + j];
+      }
+      (*beta)[t * h + i] = acc * scale[t];
+    }
+  }
+}
+
+void DiscreteHmm::Train(const std::vector<std::vector<int>>& sequences,
+                        int iterations) {
+  const int h = num_hidden_;
+  const int o = num_observations_;
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::vector<double> pi_acc(h, 1e-8);
+    std::vector<double> a_num(static_cast<size_t>(h) * h, 1e-8);
+    std::vector<double> a_den(h, 1e-8 * h);
+    std::vector<double> b_num(static_cast<size_t>(h) * o, 1e-8);
+    std::vector<double> b_den(h, 1e-8 * o);
+    for (const auto& seq : sequences) {
+      if (seq.size() < 2) continue;
+      std::vector<double> alpha, scale, beta;
+      Forward(seq, &alpha, &scale);
+      Backward(seq, scale, &beta);
+      const size_t t_len = seq.size();
+      for (size_t t = 0; t < t_len; ++t) {
+        // gamma_t(i) proportional to alpha_t(i) * beta_t(i) / scale_t.
+        double norm = 0.0;
+        for (int i = 0; i < h; ++i) {
+          norm += alpha[t * h + i] * beta[t * h + i] / scale[t];
+        }
+        if (norm <= 0.0) continue;
+        for (int i = 0; i < h; ++i) {
+          const double gamma = alpha[t * h + i] * beta[t * h + i] /
+                               (scale[t] * norm);
+          if (t == 0) pi_acc[i] += gamma;
+          b_num[static_cast<size_t>(i) * o + seq[t]] += gamma;
+          b_den[i] += gamma;
+          if (t + 1 < t_len) a_den[i] += gamma;
+        }
+        if (t + 1 < t_len) {
+          // xi_t(i, j): expected transitions.
+          double xi_norm = 0.0;
+          for (int i = 0; i < h; ++i) {
+            for (int j = 0; j < h; ++j) {
+              xi_norm += alpha[t * h + i] * a_[static_cast<size_t>(i) * h + j] *
+                         b_[static_cast<size_t>(j) * o + seq[t + 1]] *
+                         beta[(t + 1) * h + j];
+            }
+          }
+          if (xi_norm > 0.0) {
+            for (int i = 0; i < h; ++i) {
+              for (int j = 0; j < h; ++j) {
+                const double xi =
+                    alpha[t * h + i] * a_[static_cast<size_t>(i) * h + j] *
+                    b_[static_cast<size_t>(j) * o + seq[t + 1]] *
+                    beta[(t + 1) * h + j] / xi_norm;
+                a_num[static_cast<size_t>(i) * h + j] += xi;
+              }
+            }
+          }
+        }
+      }
+    }
+    // M step.
+    double pi_total = 0.0;
+    for (double v : pi_acc) pi_total += v;
+    for (int i = 0; i < h; ++i) pi_[i] = pi_acc[i] / pi_total;
+    for (int i = 0; i < h; ++i) {
+      for (int j = 0; j < h; ++j) {
+        a_[static_cast<size_t>(i) * h + j] =
+            a_num[static_cast<size_t>(i) * h + j] / a_den[i];
+      }
+      for (int ob = 0; ob < o; ++ob) {
+        b_[static_cast<size_t>(i) * o + ob] =
+            b_num[static_cast<size_t>(i) * o + ob] / b_den[i];
+      }
+    }
+  }
+}
+
+double DiscreteHmm::LogLikelihood(const std::vector<int>& sequence) const {
+  if (sequence.empty()) return 0.0;
+  std::vector<double> alpha, scale;
+  Forward(sequence, &alpha, &scale);
+  double ll = 0.0;
+  for (double c : scale) ll -= std::log(c);
+  return ll;
+}
+
+std::vector<double> DiscreteHmm::Posterior(
+    const std::vector<int>& sequence) const {
+  std::vector<double> alpha, scale;
+  Forward(sequence, &alpha, &scale);
+  const size_t t_last = sequence.size() - 1;
+  std::vector<double> post(num_hidden_);
+  double total = 0.0;
+  for (int i = 0; i < num_hidden_; ++i) {
+    post[i] = alpha[t_last * num_hidden_ + i];
+    total += post[i];
+  }
+  if (total > 0.0) {
+    for (double& v : post) v /= total;
+  }
+  return post;
+}
+
+std::vector<double> DiscreteHmm::PredictObservation(
+    std::vector<double> posterior, int steps_ahead) const {
+  const int h = num_hidden_;
+  for (int s = 0; s < steps_ahead; ++s) {
+    std::vector<double> next(h, 0.0);
+    for (int i = 0; i < h; ++i) {
+      for (int j = 0; j < h; ++j) {
+        next[j] += posterior[i] * a_[static_cast<size_t>(i) * h + j];
+      }
+    }
+    posterior.swap(next);
+  }
+  std::vector<double> obs(num_observations_, 0.0);
+  for (int i = 0; i < h; ++i) {
+    for (int ob = 0; ob < num_observations_; ++ob) {
+      obs[ob] += posterior[i] * b_[static_cast<size_t>(i) * num_observations_ + ob];
+    }
+  }
+  return obs;
+}
+
+HmmPredictor::HmmPredictor(int grid_rows, int grid_cols)
+    : grid_rows_(grid_rows), grid_cols_(grid_cols) {}
+
+void HmmPredictor::Train(const std::vector<Trajectory>& history) {
+  BBox extent{{0, 0}, {0, 0}};
+  bool first = true;
+  for (const Trajectory& traj : history) {
+    for (const Vec2& p : traj.points()) {
+      if (first) {
+        extent = BBox{p, p};
+        first = false;
+      } else {
+        extent.Extend(p);
+      }
+    }
+  }
+  if (first) return;  // No data.
+  quantizer_ = GridQuantizer(extent, grid_rows_, grid_cols_);
+  order1_.clear();
+  order2_.clear();
+  const int c = quantizer_.cell_count();
+  for (const Trajectory& traj : history) {
+    int prev = -1;
+    int cur = -1;
+    for (const Vec2& p : traj.points()) {
+      const int cell = quantizer_.CellOf(p);
+      if (cell == cur) continue;  // Dwell inside a cell: no transition.
+      if (cur >= 0) {
+        order1_[cur][cell] += 1.0;
+        if (prev >= 0) {
+          order2_[static_cast<int64_t>(prev) * c + cur][cell] += 1.0;
+        }
+      }
+      prev = cur;
+      cur = cell;
+    }
+  }
+  trained_ = true;
+}
+
+int HmmPredictor::MostLikelyNext(int prev_cell, int cur_cell) const {
+  const int c = quantizer_.cell_count();
+  if (prev_cell >= 0) {
+    const auto it = order2_.find(static_cast<int64_t>(prev_cell) * c + cur_cell);
+    if (it != order2_.end() && !it->second.empty()) {
+      const auto best = std::max_element(
+          it->second.begin(), it->second.end(),
+          [](const auto& a, const auto& b) { return a.second < b.second; });
+      return best->first;
+    }
+  }
+  const auto it = order1_.find(cur_cell);
+  if (it != order1_.end() && !it->second.empty()) {
+    const auto best = std::max_element(
+        it->second.begin(), it->second.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    return best->first;
+  }
+  return -1;
+}
+
+std::vector<Vec2> HmmPredictor::Predict(const std::vector<Vec2>& recent,
+                                        size_t steps) {
+  if (!trained_ || recent.empty()) {
+    return LinearPredictor().Predict(recent, steps);
+  }
+  // Recent cells (deduplicated) provide the second-order context.
+  int cur = quantizer_.CellOf(recent.back());
+  int prev = -1;
+  for (size_t i = recent.size(); i-- > 0;) {
+    const int cell = quantizer_.CellOf(recent[i]);
+    if (cell != cur) {
+      prev = cell;
+      break;
+    }
+  }
+  // Most-probable cell path, long enough to cover the horizon at the
+  // user's recent speed.
+  double speed_per_tick = 0.0;
+  if (recent.size() >= 2) {
+    speed_per_tick = Distance(recent.front(), recent.back()) /
+                     static_cast<double>(recent.size() - 1);
+  }
+  const double needed = speed_per_tick * static_cast<double>(steps);
+  std::vector<Vec2> path_pts{recent.back()};
+  double path_len = 0.0;
+  int p = prev, q = cur;
+  // Cap the walk so cycles in the transition graph terminate.
+  const int max_cells = static_cast<int>(steps) + 4;
+  for (int k = 0; k < max_cells && path_len < needed + 1e-9; ++k) {
+    const int next = MostLikelyNext(p, q);
+    if (next < 0 || next == q) break;
+    const Vec2 center = quantizer_.CenterOf(next);
+    path_len += Distance(path_pts.back(), center);
+    path_pts.push_back(center);
+    p = q;
+    q = next;
+  }
+  if (path_pts.size() < 2) {
+    // No transition knowledge: predict dwell at the current location.
+    return std::vector<Vec2>(steps, recent.back());
+  }
+  // Resample the cell-center path at the user's speed, one point per tick.
+  Polyline path(std::move(path_pts));
+  std::vector<Vec2> out;
+  out.reserve(steps);
+  for (size_t j = 1; j <= steps; ++j) {
+    out.push_back(path.PointAtArcLength(speed_per_tick * static_cast<double>(j)));
+  }
+  return out;
+}
+
+}  // namespace proxdet

@@ -1,0 +1,101 @@
+#include "predict/kalman.h"
+
+namespace proxdet {
+
+KalmanFilter2D::KalmanFilter2D(double dt, double process_noise,
+                               double measurement_noise)
+    : dt_(dt), f_(4, 4), q_(4, 4), r_(measurement_noise * measurement_noise),
+      state_(4, 0.0), p_(4, 4) {
+  // Constant-velocity transition.
+  f_ = Matrix::Identity(4);
+  f_.At(0, 2) = dt_;
+  f_.At(1, 3) = dt_;
+  // White-acceleration process noise (discretized), per axis:
+  // Q = sigma_a^2 * [[dt^4/4, dt^3/2], [dt^3/2, dt^2]].
+  const double s2 = process_noise * process_noise;
+  const double dt2 = dt_ * dt_;
+  const double dt3 = dt2 * dt_;
+  const double dt4 = dt3 * dt_;
+  q_.At(0, 0) = q_.At(1, 1) = s2 * dt4 / 4.0;
+  q_.At(0, 2) = q_.At(2, 0) = s2 * dt3 / 2.0;
+  q_.At(1, 3) = q_.At(3, 1) = s2 * dt3 / 2.0;
+  q_.At(2, 2) = q_.At(3, 3) = s2 * dt2;
+}
+
+void KalmanFilter2D::Reset(const Vec2& position) {
+  state_ = {position.x, position.y, 0.0, 0.0};
+  p_ = Matrix::Identity(4);
+  // Position known to measurement accuracy; velocity essentially unknown.
+  p_.At(0, 0) = p_.At(1, 1) = r_;
+  p_.At(2, 2) = p_.At(3, 3) = 1e4;
+  initialized_ = true;
+}
+
+void KalmanFilter2D::PredictStep() {
+  state_ = f_.Apply(state_);
+  p_ = f_ * p_ * f_.Transpose() + q_;
+}
+
+void KalmanFilter2D::UpdateStep(const Vec2& measurement) {
+  if (!initialized_) {
+    Reset(measurement);
+    return;
+  }
+  // H picks (x, y); S = H P H^T + R is 2x2 so invert it directly.
+  const double s00 = p_.At(0, 0) + r_;
+  const double s01 = p_.At(0, 1);
+  const double s10 = p_.At(1, 0);
+  const double s11 = p_.At(1, 1) + r_;
+  const double det = s00 * s11 - s01 * s10;
+  if (det == 0.0) return;
+  const double i00 = s11 / det, i01 = -s01 / det;
+  const double i10 = -s10 / det, i11 = s00 / det;
+  // Kalman gain K = P H^T S^-1 (4x2).
+  double k[4][2];
+  for (int row = 0; row < 4; ++row) {
+    const double ph0 = p_.At(row, 0);
+    const double ph1 = p_.At(row, 1);
+    k[row][0] = ph0 * i00 + ph1 * i10;
+    k[row][1] = ph0 * i01 + ph1 * i11;
+  }
+  const double y0 = measurement.x - state_[0];
+  const double y1 = measurement.y - state_[1];
+  for (int row = 0; row < 4; ++row) {
+    state_[row] += k[row][0] * y0 + k[row][1] * y1;
+  }
+  // P = (I - K H) P.
+  Matrix kh(4, 4);
+  for (int row = 0; row < 4; ++row) {
+    kh.At(row, 0) = k[row][0];
+    kh.At(row, 1) = k[row][1];
+  }
+  p_ = (Matrix::Identity(4) - kh) * p_;
+}
+
+Vec2 KalmanFilter2D::position() const { return {state_[0], state_[1]}; }
+
+Vec2 KalmanFilter2D::velocity() const { return {state_[2], state_[3]}; }
+
+std::vector<Vec2> KalmanFilter2D::Forecast(size_t steps) const {
+  std::vector<Vec2> out;
+  out.reserve(steps);
+  std::vector<double> s = state_;
+  for (size_t i = 0; i < steps; ++i) {
+    s = f_.Apply(s);
+    out.push_back({s[0], s[1]});
+  }
+  return out;
+}
+
+std::vector<Vec2> KalmanPredictor::Predict(const std::vector<Vec2>& recent,
+                                           size_t steps) {
+  KalmanFilter2D filter(dt_, process_noise_, measurement_noise_);
+  filter.Reset(recent.front());
+  for (size_t i = 1; i < recent.size(); ++i) {
+    filter.PredictStep();
+    filter.UpdateStep(recent[i]);
+  }
+  return filter.Forecast(steps);
+}
+
+}  // namespace proxdet

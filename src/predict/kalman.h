@@ -1,0 +1,69 @@
+#ifndef PROXDET_PREDICT_KALMAN_H_
+#define PROXDET_PREDICT_KALMAN_H_
+
+#include "common/linalg.h"
+#include "predict/predictor.h"
+
+namespace proxdet {
+
+/// Standalone constant-velocity Kalman filter over state [x, y, vx, vy] with
+/// position-only measurements. Usable on its own for tracking; the
+/// KalmanPredictor below wraps it for the Predictor interface.
+class KalmanFilter2D {
+ public:
+  /// `dt`: seconds between measurements. `process_noise` (sigma_a, m/s^2)
+  /// scales the white-acceleration process model; `measurement_noise`
+  /// (meters) is the GPS fix standard deviation.
+  KalmanFilter2D(double dt, double process_noise, double measurement_noise);
+
+  /// Resets the filter around an initial position with unknown velocity.
+  void Reset(const Vec2& position);
+
+  /// Time update: propagates state and covariance one tick.
+  void PredictStep();
+
+  /// Measurement update with an observed position.
+  void UpdateStep(const Vec2& measurement);
+
+  Vec2 position() const;
+  Vec2 velocity() const;
+
+  /// Runs `steps` pure time-updates from the current state without mutating
+  /// the filter; returns the predicted positions.
+  std::vector<Vec2> Forecast(size_t steps) const;
+
+  bool initialized() const { return initialized_; }
+
+ private:
+  double dt_;
+  Matrix f_;  // State transition (4x4).
+  Matrix q_;  // Process noise covariance (4x4).
+  double r_;  // Measurement noise variance (per axis).
+  std::vector<double> state_;  // [x, y, vx, vy]
+  Matrix p_;                   // State covariance (4x4).
+  bool initialized_ = false;
+};
+
+/// Predictor adapter: replays the recent window through a fresh filter
+/// (predict+update per sample, Sec. III-B), then forecasts `steps` ticks.
+class KalmanPredictor : public Predictor {
+ public:
+  KalmanPredictor(double dt, double process_noise, double measurement_noise)
+      : dt_(dt),
+        process_noise_(process_noise),
+        measurement_noise_(measurement_noise) {}
+
+  std::vector<Vec2> Predict(const std::vector<Vec2>& recent,
+                            size_t steps) override;
+
+  std::string name() const override { return "KF"; }
+
+ private:
+  double dt_;
+  double process_noise_;
+  double measurement_noise_;
+};
+
+}  // namespace proxdet
+
+#endif  // PROXDET_PREDICT_KALMAN_H_

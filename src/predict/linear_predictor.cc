@@ -1,0 +1,26 @@
+#include "predict/linear_predictor.h"
+
+#include <algorithm>
+
+namespace proxdet {
+
+std::vector<Vec2> LinearPredictor::Predict(const std::vector<Vec2>& recent,
+                                           size_t steps) {
+  Vec2 velocity{0.0, 0.0};
+  if (recent.size() >= 2) {
+    const size_t window =
+        std::min(velocity_window_, recent.size() - 1);
+    const Vec2 delta = recent.back() - recent[recent.size() - 1 - window];
+    velocity = delta / static_cast<double>(window);
+  }
+  std::vector<Vec2> out;
+  out.reserve(steps);
+  Vec2 p = recent.back();
+  for (size_t i = 0; i < steps; ++i) {
+    p += velocity;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace proxdet

@@ -1,0 +1,28 @@
+#ifndef PROXDET_PREDICT_LINEAR_PREDICTOR_H_
+#define PROXDET_PREDICT_LINEAR_PREDICTOR_H_
+
+#include "predict/predictor.h"
+
+namespace proxdet {
+
+/// Constant-velocity extrapolation: the velocity is the average of the last
+/// `velocity_window` per-tick displacements. This is exactly the linear
+/// motion assumption FMD/CMD [19] bake into their mobile regions, exposed
+/// here as a predictor so the stripe machinery can also be driven by it.
+class LinearPredictor : public Predictor {
+ public:
+  explicit LinearPredictor(size_t velocity_window = 3)
+      : velocity_window_(velocity_window) {}
+
+  std::vector<Vec2> Predict(const std::vector<Vec2>& recent,
+                            size_t steps) override;
+
+  std::string name() const override { return "Linear"; }
+
+ private:
+  size_t velocity_window_;
+};
+
+}  // namespace proxdet
+
+#endif  // PROXDET_PREDICT_LINEAR_PREDICTOR_H_

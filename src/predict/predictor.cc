@@ -1,0 +1,57 @@
+#include "predict/predictor.h"
+
+#include "predict/hmm.h"
+#include "predict/kalman.h"
+#include "predict/linear_predictor.h"
+#include "predict/r2d2.h"
+#include "predict/rmf.h"
+
+namespace proxdet {
+
+void Predictor::Train(const std::vector<Trajectory>& history) {
+  (void)history;  // Models without an offline phase ignore training data.
+}
+
+std::vector<PredictorKind> AllPredictorKinds() {
+  return {PredictorKind::kLinear, PredictorKind::kRmf, PredictorKind::kKalman,
+          PredictorKind::kHmm, PredictorKind::kR2d2};
+}
+
+std::string PredictorName(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::kLinear:
+      return "Linear";
+    case PredictorKind::kRmf:
+      return "RMF";
+    case PredictorKind::kKalman:
+      return "KF";
+    case PredictorKind::kHmm:
+      return "HMM";
+    case PredictorKind::kR2d2:
+      return "R2-D2";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<Predictor> MakePredictor(PredictorKind kind,
+                                         double tick_seconds, uint64_t seed) {
+  switch (kind) {
+    case PredictorKind::kLinear:
+      return std::make_unique<LinearPredictor>();
+    case PredictorKind::kRmf:
+      return std::make_unique<RmfPredictor>();
+    case PredictorKind::kKalman:
+      // Process noise ~0.5 m/s^2 handles city stop-and-go; measurement
+      // noise matches the generators' GPS jitter. The benchmark harness can
+      // re-tune these per dataset (the paper tunes them "for the best
+      // performance").
+      return std::make_unique<KalmanPredictor>(tick_seconds, 0.5, 4.0);
+    case PredictorKind::kHmm:
+      return std::make_unique<HmmPredictor>(100, 100);
+    case PredictorKind::kR2d2:
+      return std::make_unique<R2d2Predictor>(R2d2Predictor::Options{}, seed);
+  }
+  return nullptr;
+}
+
+}  // namespace proxdet

@@ -1,0 +1,58 @@
+#ifndef PROXDET_PREDICT_PREDICTOR_H_
+#define PROXDET_PREDICT_PREDICTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "traj/trajectory.h"
+
+namespace proxdet {
+
+/// A trajectory prediction model. The paper treats prediction as a black
+/// box (Sec. V): any technique that maps a recent window of locations to a
+/// sequence of future locations can drive the predictive safe region.
+///
+/// `Train` is the offline phase (the paper trains on 1,600 synchronized
+/// timestamps of 10K objects); models without a training phase (Linear,
+/// Kalman, RMF) ignore it. `Predict` may mutate internal state (e.g. the
+/// particle filter inside R2-D2 draws random numbers) but must not depend on
+/// call order — every call is a fresh prediction from `recent`.
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Offline training on historical trajectories sampled at the same tick
+  /// as the prediction queries.
+  virtual void Train(const std::vector<Trajectory>& history);
+
+  /// Predicts the next `steps` locations (one per tick) given the recent
+  /// window `recent`, ordered oldest-to-newest with the current location
+  /// last. Must return exactly `steps` points; `recent` is non-empty.
+  virtual std::vector<Vec2> Predict(const std::vector<Vec2>& recent,
+                                    size_t steps) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The model families evaluated in Sec. VI-B.
+enum class PredictorKind {
+  kLinear,  // Constant velocity; the assumption behind FMD/CMD [19].
+  kRmf,     // Recursive motion function, Tao et al. [15].
+  kKalman,  // Constant-velocity Kalman filter [20].
+  kHmm,     // Discrete hidden Markov model [13].
+  kR2d2,    // Semi-lazy reference-trajectory model, Zhou et al. [23].
+};
+
+std::vector<PredictorKind> AllPredictorKinds();
+std::string PredictorName(PredictorKind kind);
+
+/// Dataset-independent default construction. `tick_seconds` is the sampling
+/// interval; `seed` feeds stochastic models (R2-D2's particle filter).
+std::unique_ptr<Predictor> MakePredictor(PredictorKind kind,
+                                         double tick_seconds, uint64_t seed);
+
+}  // namespace proxdet
+
+#endif  // PROXDET_PREDICT_PREDICTOR_H_

@@ -1,0 +1,68 @@
+#ifndef PROXDET_PREDICT_R2D2_H_
+#define PROXDET_PREDICT_R2D2_H_
+
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "geom/bbox.h"
+#include "predict/predictor.h"
+
+namespace proxdet {
+
+/// R2-D2 (Zhou et al. [23]): a "semi-lazy" reference-trajectory predictor.
+/// Training just indexes the historical database by grid cell; prediction
+/// (the lazy part) retrieves reference trajectories whose recent
+/// sub-trajectory resembles the query's, builds a particle set over their
+/// continuations, and forecasts with importance-weighted displacement
+/// transfer plus systematic resampling — the particle-filter machinery of
+/// the original, minus the sensor-update step that forecasting has no
+/// observations for.
+class R2d2Predictor : public Predictor {
+ public:
+  struct Options {
+    int grid_rows = 60;
+    int grid_cols = 60;
+    int neighborhood = 1;       // Cells scanned around the query (Chebyshev).
+    size_t max_candidates = 64; // References scored per query.
+    size_t particles = 24;      // Particle set size.
+    double resample_ess_fraction = 0.5;
+    double step_noise_m = 2.0;  // Process noise during propagation.
+  };
+
+  R2d2Predictor(const Options& options, uint64_t seed);
+
+  void Train(const std::vector<Trajectory>& history) override;
+
+  std::vector<Vec2> Predict(const std::vector<Vec2>& recent,
+                            size_t steps) override;
+
+  std::string name() const override { return "R2-D2"; }
+
+  bool trained() const { return trained_; }
+  size_t reference_count() const { return references_.size(); }
+
+ private:
+  struct Candidate {
+    size_t traj = 0;
+    size_t index = 0;   // Position in the reference aligned to "now".
+    double cost = 0.0;  // Mean alignment distance to the recent window.
+  };
+
+  /// Retrieves and scores candidate alignments near the query point.
+  std::vector<Candidate> FindCandidates(const std::vector<Vec2>& recent,
+                                        size_t steps) const;
+
+  Options options_;
+  Rng rng_;
+  std::vector<Trajectory> references_;
+  // cell -> (traj, index) postings.
+  std::unordered_map<int, std::vector<std::pair<uint32_t, uint32_t>>> index_;
+  BBox extent_{{0, 0}, {1, 1}};
+  double cell_w_ = 1.0;
+  double cell_h_ = 1.0;
+  bool trained_ = false;
+};
+
+}  // namespace proxdet
+
+#endif  // PROXDET_PREDICT_R2D2_H_

@@ -1,0 +1,77 @@
+#include "predict/rmf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/linalg.h"
+#include "predict/linear_predictor.h"
+
+namespace proxdet {
+
+std::vector<Vec2> RmfPredictor::Predict(const std::vector<Vec2>& recent,
+                                        size_t steps) {
+  const size_t f = retrospect_;
+  // Need at least one equation per unknown: f + 1 points give one row.
+  if (recent.size() < 2 * f + 1 || f == 0) {
+    return LinearPredictor().Predict(recent, steps);
+  }
+
+  // Fit z_t = sum_i c_i z_{t-i} with coefficients shared across x and y.
+  // Work on displacements from the window mean so the recurrence does not
+  // need to reproduce a large affine offset.
+  Vec2 mean{0.0, 0.0};
+  for (const Vec2& p : recent) mean += p;
+  mean = mean / static_cast<double>(recent.size());
+
+  const size_t rows_per_axis = recent.size() - f;
+  Matrix a(2 * rows_per_axis, f);
+  std::vector<double> b(2 * rows_per_axis);
+  for (size_t t = f; t < recent.size(); ++t) {
+    const size_t row_x = t - f;
+    const size_t row_y = rows_per_axis + (t - f);
+    for (size_t i = 1; i <= f; ++i) {
+      a.At(row_x, i - 1) = recent[t - i].x - mean.x;
+      a.At(row_y, i - 1) = recent[t - i].y - mean.y;
+    }
+    b[row_x] = recent[t].x - mean.x;
+    b[row_y] = recent[t].y - mean.y;
+  }
+  std::vector<double> coeff;
+  if (!RidgeLeastSquares(a, b, ridge_, &coeff)) {
+    return LinearPredictor().Predict(recent, steps);
+  }
+
+  // Roll the recurrence forward. An unstable fit can explode; clamp each
+  // predicted step to twice the fastest recent displacement, which keeps
+  // the stripe construction sane while preserving RMF's (poor) accuracy
+  // profile from the paper.
+  double max_step = 0.0;
+  for (size_t i = 1; i < recent.size(); ++i) {
+    max_step = std::max(max_step, Distance(recent[i - 1], recent[i]));
+  }
+  const double step_cap = std::max(max_step * 2.0, 1e-6);
+
+  std::vector<Vec2> history(recent.end() - static_cast<ptrdiff_t>(f),
+                            recent.end());
+  std::vector<Vec2> out;
+  out.reserve(steps);
+  Vec2 prev = recent.back();
+  for (size_t s = 0; s < steps; ++s) {
+    Vec2 next{mean.x, mean.y};
+    for (size_t i = 1; i <= f; ++i) {
+      const Vec2& z = history[history.size() - i];
+      next.x += coeff[i - 1] * (z.x - mean.x);
+      next.y += coeff[i - 1] * (z.y - mean.y);
+    }
+    const Vec2 delta = next - prev;
+    const double len = delta.Norm();
+    if (len > step_cap) next = prev + delta * (step_cap / len);
+    out.push_back(next);
+    history.push_back(next);
+    history.erase(history.begin());
+    prev = next;
+  }
+  return out;
+}
+
+}  // namespace proxdet

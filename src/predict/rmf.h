@@ -1,0 +1,35 @@
+#ifndef PROXDET_PREDICT_RMF_H_
+#define PROXDET_PREDICT_RMF_H_
+
+#include "predict/predictor.h"
+
+namespace proxdet {
+
+/// Recursive Motion Function (Tao et al. [15]). Any polynomial motion of
+/// degree D obeys a linear recurrence after D+1 differentiations; RMF fits
+/// the recurrence z_t = sum_{i=1..f} c_i z_{t-i} over the recent window
+/// (ridge-regularized least squares standing in for the SVD solve of the
+/// original) and rolls it forward. No prior movement pattern is assumed —
+/// exactly the paper's characterization: cheap, needs only recent points,
+/// but accuracy is its weak spot.
+class RmfPredictor : public Predictor {
+ public:
+  /// `retrospect`: the recurrence order f (the paper's implementations use
+  /// small f; 3 handles quadratic motion). `ridge`: regularizer keeping the
+  /// near-collinear windows of straight-line motion well-posed.
+  explicit RmfPredictor(size_t retrospect = 3, double ridge = 1e-4)
+      : retrospect_(retrospect), ridge_(ridge) {}
+
+  std::vector<Vec2> Predict(const std::vector<Vec2>& recent,
+                            size_t steps) override;
+
+  std::string name() const override { return "RMF"; }
+
+ private:
+  size_t retrospect_;
+  double ridge_;
+};
+
+}  // namespace proxdet
+
+#endif  // PROXDET_PREDICT_RMF_H_

@@ -1,0 +1,11 @@
+#include "region/match_region.h"
+
+namespace proxdet {
+
+MatchRegion MatchRegion::Make(const Vec2& l_u, const Vec2& l_w, double r) {
+  MatchRegion m;
+  m.circle_ = Circle{(l_u + l_w) * 0.5, r * 0.5};
+  return m;
+}
+
+}  // namespace proxdet

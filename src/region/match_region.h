@@ -1,0 +1,32 @@
+#ifndef PROXDET_REGION_MATCH_REGION_H_
+#define PROXDET_REGION_MATCH_REGION_H_
+
+#include "geom/circle.h"
+#include "geom/vec2.h"
+
+namespace proxdet {
+
+/// The match region of Def. 3: once a pair (u, w) matches, both carry a
+/// circle centered at their midpoint with radius r_{u,w} / 2. While both
+/// stay strictly inside it, d(u, w) < r_{u,w} by the triangle inequality,
+/// so no communication is needed to keep the alert state alive.
+class MatchRegion {
+ public:
+  MatchRegion() = default;
+
+  /// Builds the region for exact locations l_u, l_w and alert radius r.
+  static MatchRegion Make(const Vec2& l_u, const Vec2& l_w, double r);
+
+  /// Strict containment (see DESIGN.md §2.2: strictness guarantees
+  /// d(u,w) < r, matching Def. 1's strict alert predicate).
+  bool Contains(const Vec2& p) const { return circle_.ContainsStrict(p); }
+
+  const Circle& circle() const { return circle_; }
+
+ private:
+  Circle circle_;
+};
+
+}  // namespace proxdet
+
+#endif  // PROXDET_REGION_MATCH_REGION_H_

@@ -1,0 +1,32 @@
+#ifndef PROXDET_REGION_MOVING_CIRCLE_H_
+#define PROXDET_REGION_MOVING_CIRCLE_H_
+
+#include "geom/circle.h"
+#include "geom/vec2.h"
+
+namespace proxdet {
+
+/// The mobile safe region of FMD/CMD [19]: a circle whose center moves with
+/// the constant velocity the user had at construction time. Time is
+/// measured in epochs (the simulation tick).
+struct MovingCircle {
+  Vec2 center_at_build;
+  Vec2 velocity_per_epoch;  // Meters per epoch.
+  double radius = 0.0;
+  int built_epoch = 0;
+
+  Vec2 CenterAt(int epoch) const {
+    return center_at_build +
+           velocity_per_epoch * static_cast<double>(epoch - built_epoch);
+  }
+
+  Circle AtEpoch(int epoch) const { return {CenterAt(epoch), radius}; }
+
+  bool Contains(const Vec2& p, int epoch) const {
+    return AtEpoch(epoch).Contains(p);
+  }
+};
+
+}  // namespace proxdet
+
+#endif  // PROXDET_REGION_MOVING_CIRCLE_H_

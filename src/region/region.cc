@@ -1,0 +1,140 @@
+#include "region/region.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace proxdet {
+namespace {
+
+// Distance between a polyline and a convex polygon boundary/interior.
+double PolylineToPolygon(const Polyline& line, const ConvexPolygon& poly) {
+  if (line.empty() || poly.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Inside-polygon cases collapse to zero via the vertex-distance test.
+  double best = std::numeric_limits<double>::infinity();
+  for (const Vec2& p : line.points()) {
+    best = std::min(best, poly.DistanceToPoint(p));
+    if (best == 0.0) return 0.0;
+  }
+  const auto& verts = poly.vertices();
+  for (size_t i = 0; i < verts.size(); ++i) {
+    const Segment edge{verts[i], verts[(i + 1) % verts.size()]};
+    if (line.size() == 1) {
+      best = std::min(best, DistancePointToSegment(line.points()[0], edge));
+      continue;
+    }
+    for (size_t j = 0; j + 1 < line.size(); ++j) {
+      best = std::min(best, DistanceSegmentToSegment(edge, line.segment(j)));
+      if (best == 0.0) return 0.0;
+    }
+  }
+  return best;
+}
+
+double CircleToPolygon(const Circle& c, const ConvexPolygon& poly) {
+  return std::max(0.0, poly.DistanceToPoint(c.center) - c.radius);
+}
+
+double StripeToPolygon(const Stripe& s, const ConvexPolygon& poly) {
+  return std::max(0.0, PolylineToPolygon(s.path(), poly) - s.radius());
+}
+
+double StripeToCircleShape(const Stripe& s, const Circle& c) {
+  return s.DistanceToCircle(c);
+}
+
+struct DistanceVisitor {
+  int epoch;
+
+  double operator()(const Circle& a, const Circle& b) const {
+    return DistanceCircleToCircle(a, b);
+  }
+  double operator()(const Circle& a, const MovingCircle& b) const {
+    return DistanceCircleToCircle(a, b.AtEpoch(epoch));
+  }
+  double operator()(const Circle& a, const ConvexPolygon& b) const {
+    return CircleToPolygon(a, b);
+  }
+  double operator()(const Circle& a, const Stripe& b) const {
+    return StripeToCircleShape(b, a);
+  }
+  double operator()(const MovingCircle& a, const Circle& b) const {
+    return DistanceCircleToCircle(a.AtEpoch(epoch), b);
+  }
+  double operator()(const MovingCircle& a, const MovingCircle& b) const {
+    return DistanceCircleToCircle(a.AtEpoch(epoch), b.AtEpoch(epoch));
+  }
+  double operator()(const MovingCircle& a, const ConvexPolygon& b) const {
+    return CircleToPolygon(a.AtEpoch(epoch), b);
+  }
+  double operator()(const MovingCircle& a, const Stripe& b) const {
+    return StripeToCircleShape(b, a.AtEpoch(epoch));
+  }
+  double operator()(const ConvexPolygon& a, const Circle& b) const {
+    return CircleToPolygon(b, a);
+  }
+  double operator()(const ConvexPolygon& a, const MovingCircle& b) const {
+    return CircleToPolygon(b.AtEpoch(epoch), a);
+  }
+  double operator()(const ConvexPolygon& a, const ConvexPolygon& b) const {
+    return a.DistanceToPolygon(b);
+  }
+  double operator()(const ConvexPolygon& a, const Stripe& b) const {
+    return StripeToPolygon(b, a);
+  }
+  double operator()(const Stripe& a, const Circle& b) const {
+    return StripeToCircleShape(a, b);
+  }
+  double operator()(const Stripe& a, const MovingCircle& b) const {
+    return StripeToCircleShape(a, b.AtEpoch(epoch));
+  }
+  double operator()(const Stripe& a, const ConvexPolygon& b) const {
+    return StripeToPolygon(a, b);
+  }
+  double operator()(const Stripe& a, const Stripe& b) const {
+    return a.DistanceToStripe(b);
+  }
+};
+
+}  // namespace
+
+bool ShapeContains(const SafeRegionShape& shape, const Vec2& p, int epoch) {
+  return std::visit(
+      [&p, epoch](const auto& s) -> bool {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, Circle>) {
+          return s.Contains(p);
+        } else if constexpr (std::is_same_v<T, MovingCircle>) {
+          return s.Contains(p, epoch);
+        } else {
+          return s.Contains(p);
+        }
+      },
+      shape);
+}
+
+double ShapeDistanceToPoint(const SafeRegionShape& shape, const Vec2& p,
+                            int epoch) {
+  return std::visit(
+      [&p, epoch](const auto& s) -> double {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, Circle>) {
+          return DistancePointToCircle(p, s);
+        } else if constexpr (std::is_same_v<T, MovingCircle>) {
+          return DistancePointToCircle(p, s.AtEpoch(epoch));
+        } else if constexpr (std::is_same_v<T, ConvexPolygon>) {
+          return s.DistanceToPoint(p);
+        } else {
+          return s.DistanceToPoint(p);
+        }
+      },
+      shape);
+}
+
+double ShapeMinDistance(const SafeRegionShape& a, const SafeRegionShape& b,
+                        int epoch) {
+  return std::visit(DistanceVisitor{epoch}, a, b);
+}
+
+}  // namespace proxdet

@@ -1,0 +1,34 @@
+#ifndef PROXDET_REGION_REGION_H_
+#define PROXDET_REGION_REGION_H_
+
+#include <variant>
+
+#include "geom/circle.h"
+#include "geom/polygon.h"
+#include "geom/stripe.h"
+#include "region/moving_circle.h"
+
+namespace proxdet {
+
+/// The safe-region taxonomy used by the detectors: static circles
+/// (initialization, Sec. V-C), mobile circles (FMD/CMD [19]), static convex
+/// polygons (Buddy Tracking [3]) and predictive stripes (this paper).
+using SafeRegionShape = std::variant<Circle, MovingCircle, ConvexPolygon, Stripe>;
+
+/// Closed containment of p in the shape at the given epoch (only
+/// MovingCircle is time-dependent).
+bool ShapeContains(const SafeRegionShape& shape, const Vec2& p, int epoch);
+
+/// Minimum distance from p to the shape at the given epoch (0 when inside).
+double ShapeDistanceToPoint(const SafeRegionShape& shape, const Vec2& p,
+                            int epoch);
+
+/// Minimum distance between two shapes at the given epoch (0 on overlap).
+/// Exact for every pair in the taxonomy (polygon-vs-buffered-polyline pairs
+/// reduce to segment-segment scans).
+double ShapeMinDistance(const SafeRegionShape& a, const SafeRegionShape& b,
+                        int epoch);
+
+}  // namespace proxdet
+
+#endif  // PROXDET_REGION_REGION_H_

@@ -1,0 +1,107 @@
+#include "traj/dataset.h"
+
+namespace proxdet {
+
+std::vector<DatasetKind> AllDatasetKinds() {
+  return {DatasetKind::kGeoLife, DatasetKind::kBeijingTaxi,
+          DatasetKind::kSingaporeTaxi, DatasetKind::kTruck};
+}
+
+std::string DatasetName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kGeoLife:
+      return "GeoLife";
+    case DatasetKind::kBeijingTaxi:
+      return "BeijingTaxi";
+    case DatasetKind::kSingaporeTaxi:
+      return "SingaporeTaxi";
+    case DatasetKind::kTruck:
+      return "Truck";
+  }
+  return "Unknown";
+}
+
+DatasetSpec SpecFor(DatasetKind kind) {
+  DatasetSpec spec;
+  spec.kind = kind;
+  switch (kind) {
+    case DatasetKind::kGeoLife:
+      // 182 users over 3 years, mostly Beijing: walking, cycling, bus and
+      // car share the same street grid. Metro extent, slow and curvy.
+      spec.grid_rows = 64;
+      spec.grid_cols = 64;
+      spec.grid_spacing_m = 1200.0;
+      spec.arterial_every = 4;
+      spec.local_speed = 1.4;
+      spec.arterial_speed = 1.8;
+      spec.mode_factors = {1.0, 1.0, 2.8, 5.5};  // walk, walk, bike, bus/car
+      spec.pause_probability = 0.35;
+      spec.max_pause_ticks = 30;
+      spec.gps_noise_m = 3.0;
+      // Pedestrians and buses stop at crossings and stations.
+      spec.intersection_stop_prob = 0.3;
+      spec.max_stop_seconds = 45.0;
+      spec.jam_probability = 0.004;
+      spec.max_jam_ticks = 40;
+      break;
+    case DatasetKind::kBeijingTaxi:
+      // 33K taxis over a metropolitan grid; medium-high speed, turns at
+      // intersections, ~3 min raw sampling interpolated down to ticks.
+      spec.grid_rows = 80;
+      spec.grid_cols = 80;
+      spec.grid_spacing_m = 1400.0;
+      spec.arterial_every = 4;
+      spec.local_speed = 8.0;
+      spec.arterial_speed = 14.0;
+      spec.mode_factors = {0.85, 1.0, 1.15};
+      spec.pause_probability = 0.2;
+      spec.max_pause_ticks = 12;
+      spec.gps_noise_m = 5.0;
+      // Signals and congestion: city taxis rarely hold a constant speed.
+      spec.intersection_stop_prob = 0.4;
+      spec.max_stop_seconds = 60.0;
+      spec.jam_probability = 0.01;
+      spec.max_jam_ticks = 60;
+      break;
+    case DatasetKind::kSingaporeTaxi:
+      // 13K taxis, compact dense island grid, 20-80 s sampling.
+      spec.grid_rows = 60;
+      spec.grid_cols = 60;
+      spec.grid_spacing_m = 950.0;
+      spec.arterial_every = 5;
+      spec.local_speed = 7.0;
+      spec.arterial_speed = 12.0;
+      spec.mode_factors = {0.85, 1.0, 1.15};
+      spec.pause_probability = 0.25;
+      spec.max_pause_ticks = 12;
+      spec.gps_noise_m = 5.0;
+      spec.intersection_stop_prob = 0.45;
+      spec.max_stop_seconds = 60.0;
+      spec.jam_probability = 0.012;
+      spec.max_jam_ticks = 60;
+      break;
+    case DatasetKind::kTruck:
+      // Long-haul trucks on inter-city highways: long straight stretches,
+      // high speed, sparse spatial distribution.
+      spec.highway_extent_m = 360000.0;
+      spec.highway_corridors = 12;
+      spec.local_speed = 8.0;
+      spec.arterial_speed = 14.0;
+      spec.highway_speed = 22.0;
+      spec.mode_factors = {0.9, 1.0, 1.1};
+      spec.pause_probability = 0.1;
+      spec.max_pause_ticks = 40;
+      spec.gps_noise_m = 4.0;
+      // Long-haul reality: toll gates, rest stops and rolling congestion
+      // break the constant-speed assumption even on straight highways.
+      spec.intersection_stop_prob = 0.08;
+      spec.max_stop_seconds = 180.0;
+      spec.jam_probability = 0.015;
+      spec.jam_factor = 0.2;
+      spec.max_jam_ticks = 100;
+      break;
+  }
+  return spec;
+}
+
+}  // namespace proxdet

@@ -1,0 +1,64 @@
+#ifndef PROXDET_TRAJ_DATASET_H_
+#define PROXDET_TRAJ_DATASET_H_
+
+#include <string>
+#include <vector>
+
+namespace proxdet {
+
+/// The four motion-pattern families of the paper's evaluation (Sec. VI-A).
+/// Each is realized by a synthetic generator over a road substrate; see
+/// DESIGN.md §2.1 for the substitution rationale.
+enum class DatasetKind {
+  kGeoLife,        // Pedestrians with mixed transport modes; small extent.
+  kBeijingTaxi,    // Large city grid, city-speed taxis.
+  kSingaporeTaxi,  // Smaller, denser city grid.
+  kTruck,          // Sparse long-haul highways, high speed, few turns.
+};
+
+/// All four kinds in paper order.
+std::vector<DatasetKind> AllDatasetKinds();
+
+/// Human-readable name matching the paper's dataset labels.
+std::string DatasetName(DatasetKind kind);
+
+/// Tunable motion profile for a dataset generator.
+struct DatasetSpec {
+  DatasetKind kind = DatasetKind::kGeoLife;
+  // Network shape.
+  int grid_rows = 30;
+  int grid_cols = 30;
+  double grid_spacing_m = 200.0;  // City grids.
+  int arterial_every = 5;
+  double node_jitter_m = 20.0;
+  double highway_extent_m = 0.0;  // > 0 selects the highway skeleton.
+  int highway_corridors = 0;
+  // Speed profile (m/s) by road class; a per-trip mode factor multiplies it.
+  double local_speed = 1.4;
+  double arterial_speed = 1.8;
+  double highway_speed = 22.0;
+  // Per-trip transport-mode speed multipliers, drawn uniformly.
+  std::vector<double> mode_factors = {1.0};
+  // Dwell behavior between trips.
+  double pause_probability = 0.3;
+  int max_pause_ticks = 24;
+  // Traffic realism during trips — these violate the constant-speed
+  // assumption of linear safe regions while leaving the *path* intact,
+  // which is precisely the regime the time-free stripe tolerates (Sec. V-A).
+  double intersection_stop_prob = 0.0;  // Stop at a crossed node...
+  double max_stop_seconds = 30.0;       // ...for up to this long.
+  double jam_probability = 0.0;         // Per-tick chance a jam begins.
+  double jam_factor = 0.25;             // Speed multiplier inside a jam.
+  int max_jam_ticks = 60;               // Jam duration upper bound.
+  // Measurement (GPS) noise applied to every emitted point, meters.
+  double gps_noise_m = 2.0;
+  // Base sampling tick, seconds (paper interpolates at 5 s).
+  double tick_seconds = 5.0;
+};
+
+/// Canonical spec for each dataset kind.
+DatasetSpec SpecFor(DatasetKind kind);
+
+}  // namespace proxdet
+
+#endif  // PROXDET_TRAJ_DATASET_H_

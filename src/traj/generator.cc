@@ -1,0 +1,144 @@
+#include "traj/generator.h"
+
+#include <algorithm>
+
+#include "geom/bbox.h"
+
+namespace proxdet {
+
+TrajectoryGenerator::TrajectoryGenerator(const DatasetSpec& spec, uint64_t seed)
+    : spec_(spec), rng_(seed) {
+  if (spec.highway_extent_m > 0.0) {
+    const BBox extent{{0.0, 0.0},
+                      {spec.highway_extent_m, spec.highway_extent_m}};
+    network_ = std::make_unique<RoadNetwork>(RoadNetwork::MakeHighwaySkeleton(
+        extent, spec.highway_corridors, 60, &rng_));
+  } else {
+    network_ = std::make_unique<RoadNetwork>(RoadNetwork::MakeCityGrid(
+        spec.grid_rows, spec.grid_cols, spec.grid_spacing_m,
+        spec.arterial_every, spec.node_jitter_m, &rng_));
+  }
+}
+
+double TrajectoryGenerator::SpeedFor(RoadClass road_class) const {
+  switch (road_class) {
+    case RoadClass::kLocal:
+      return spec_.local_speed;
+    case RoadClass::kArterial:
+      return spec_.arterial_speed;
+    case RoadClass::kHighway:
+      return spec_.highway_speed;
+  }
+  return spec_.local_speed;
+}
+
+void TrajectoryGenerator::AppendTrip(size_t ticks, NodeId* node,
+                                     std::vector<Vec2>* out) {
+  // Destination: any other node; the network metric shapes the route.
+  NodeId dest = network_->RandomNode(&rng_);
+  for (int attempt = 0; attempt < 4 && dest == *node; ++attempt) {
+    dest = network_->RandomNode(&rng_);
+  }
+  const std::vector<NodeId> path = network_->ShortestPath(*node, dest);
+  if (path.size() < 2) return;
+
+  const double mode =
+      spec_.mode_factors[rng_.NextIndex(spec_.mode_factors.size())];
+  const double trip_speed_factor = mode * rng_.Uniform(0.9, 1.1);
+
+  size_t edge = 0;  // Index into path segments: path[edge] -> path[edge+1].
+  Vec2 pos = network_->node_position(path[0]);
+  double along = 0.0;  // Distance already traveled on the current segment.
+  double jitter = 1.0;       // Mean-reverting stop-and-go factor.
+  double stop_seconds = 0.0;  // Remaining signal/toll dwell.
+  int jam_ticks = 0;          // Remaining congestion ticks.
+  while (out->size() < ticks && edge + 1 < path.size()) {
+    double t_remaining = spec_.tick_seconds;
+    jitter = 0.85 * jitter + 0.15 * rng_.Uniform(0.75, 1.25);
+    if (jam_ticks > 0) {
+      --jam_ticks;
+    } else if (rng_.NextBool(spec_.jam_probability)) {
+      jam_ticks = static_cast<int>(
+          rng_.UniformInt(spec_.max_jam_ticks / 4 + 1, spec_.max_jam_ticks));
+    }
+    const double regime = jam_ticks > 0 ? spec_.jam_factor : 1.0;
+    while (t_remaining > 1e-9 && edge + 1 < path.size()) {
+      if (stop_seconds > 0.0) {
+        // Held at a signal / toll gate: time passes, position does not.
+        const double waited = std::min(stop_seconds, t_remaining);
+        stop_seconds -= waited;
+        t_remaining -= waited;
+        continue;
+      }
+      const Vec2 a = network_->node_position(path[edge]);
+      const Vec2 b = network_->node_position(path[edge + 1]);
+      const double seg_len = Distance(a, b);
+      const RoadClass klass = network_->EdgeClass(path[edge], path[edge + 1]);
+      const double speed = std::max(
+          0.2, SpeedFor(klass) * trip_speed_factor * jitter * regime);
+      const double remaining_on_edge = seg_len - along;
+      const double time_to_edge_end = remaining_on_edge / speed;
+      if (time_to_edge_end > t_remaining) {
+        along += speed * t_remaining;
+        t_remaining = 0.0;
+      } else {
+        t_remaining -= time_to_edge_end;
+        along = 0.0;
+        ++edge;
+        if (rng_.NextBool(spec_.intersection_stop_prob)) {
+          stop_seconds = rng_.Uniform(3.0, spec_.max_stop_seconds);
+        }
+      }
+      if (edge + 1 < path.size()) {
+        const Vec2 na = network_->node_position(path[edge]);
+        const Vec2 nb = network_->node_position(path[edge + 1]);
+        const double nlen = Distance(na, nb);
+        pos = nlen > 0.0 ? na + (nb - na) * (along / nlen) : na;
+      } else {
+        pos = network_->node_position(path.back());
+      }
+    }
+    out->push_back(pos + Vec2{rng_.Gaussian(0.0, spec_.gps_noise_m),
+                              rng_.Gaussian(0.0, spec_.gps_noise_m)});
+  }
+  *node = path.back();
+}
+
+Trajectory TrajectoryGenerator::GenerateOne(size_t ticks) {
+  std::vector<Vec2> points;
+  points.reserve(ticks);
+  NodeId node = network_->RandomNode(&rng_);
+  points.push_back(network_->node_position(node));
+  while (points.size() < ticks) {
+    if (rng_.NextBool(spec_.pause_probability)) {
+      // Dwell: the user stays put (GPS noise still jitters the fix).
+      const int dwell = static_cast<int>(
+          rng_.UniformInt(1, std::max(1, spec_.max_pause_ticks)));
+      const Vec2 anchor = points.back();
+      for (int i = 0; i < dwell && points.size() < ticks; ++i) {
+        points.push_back(anchor +
+                         Vec2{rng_.Gaussian(0.0, spec_.gps_noise_m * 0.5),
+                              rng_.Gaussian(0.0, spec_.gps_noise_m * 0.5)});
+      }
+    }
+    const size_t before = points.size();
+    AppendTrip(ticks, &node, &points);
+    if (points.size() == before) {
+      // Unreachable destination or degenerate trip; emit one dwell tick so
+      // the loop always makes progress.
+      points.push_back(points.back());
+    }
+  }
+  points.resize(ticks);
+  return Trajectory(std::move(points), spec_.tick_seconds);
+}
+
+std::vector<Trajectory> TrajectoryGenerator::Generate(size_t count,
+                                                      size_t ticks) {
+  std::vector<Trajectory> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(GenerateOne(ticks));
+  return out;
+}
+
+}  // namespace proxdet

@@ -1,0 +1,46 @@
+#ifndef PROXDET_TRAJ_GENERATOR_H_
+#define PROXDET_TRAJ_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "road/road_network.h"
+#include "traj/dataset.h"
+#include "traj/trajectory.h"
+
+namespace proxdet {
+
+/// Generates trajectory datasets over a road-network substrate. One
+/// generator owns one network; all users it emits move on that network, so
+/// their motion patterns (and, for R2-D2, the historical references) are
+/// mutually consistent — mirroring how taxis in one city share one map.
+class TrajectoryGenerator {
+ public:
+  explicit TrajectoryGenerator(const DatasetSpec& spec, uint64_t seed);
+
+  /// Emits one user's trajectory with `ticks` samples.
+  Trajectory GenerateOne(size_t ticks);
+
+  /// Emits `count` independent user trajectories of equal length.
+  std::vector<Trajectory> Generate(size_t count, size_t ticks);
+
+  const RoadNetwork& network() const { return *network_; }
+  const DatasetSpec& spec() const { return spec_; }
+
+ private:
+  /// Appends one routed trip starting at `*node`, advancing it to the trip's
+  /// destination; emits ticked samples into `out` until either the trip ends
+  /// or `out` reaches `ticks`.
+  void AppendTrip(size_t ticks, NodeId* node, std::vector<Vec2>* out);
+
+  double SpeedFor(RoadClass road_class) const;
+
+  DatasetSpec spec_;
+  std::unique_ptr<RoadNetwork> network_;
+  Rng rng_;
+};
+
+}  // namespace proxdet
+
+#endif  // PROXDET_TRAJ_GENERATOR_H_

@@ -1,0 +1,132 @@
+#include "traj/simplify.h"
+
+#include <cmath>
+
+#include "geom/segment.h"
+
+namespace proxdet {
+
+namespace {
+
+void DouglasPeuckerRecurse(const std::vector<Vec2>& pts, size_t lo, size_t hi,
+                           double epsilon, std::vector<bool>* keep) {
+  if (hi <= lo + 1) return;
+  const Segment base{pts[lo], pts[hi]};
+  double worst = -1.0;
+  size_t worst_idx = lo;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    const double d = DistancePointToSegment(pts[i], base);
+    if (d > worst) {
+      worst = d;
+      worst_idx = i;
+    }
+  }
+  if (worst > epsilon) {
+    (*keep)[worst_idx] = true;
+    DouglasPeuckerRecurse(pts, lo, worst_idx, epsilon, keep);
+    DouglasPeuckerRecurse(pts, worst_idx, hi, epsilon, keep);
+  }
+}
+
+// Normalizes an angle into (-pi, pi].
+double WrapAngle(double a) {
+  const double pi = 3.14159265358979323846;
+  while (a > pi) a -= 2 * pi;
+  while (a <= -pi) a += 2 * pi;
+  return a;
+}
+
+}  // namespace
+
+std::vector<Vec2> DouglasPeucker(const std::vector<Vec2>& points,
+                                 double epsilon) {
+  if (points.size() <= 2) return points;
+  std::vector<bool> keep(points.size(), false);
+  keep.front() = keep.back() = true;
+  DouglasPeuckerRecurse(points, 0, points.size() - 1, epsilon, &keep);
+  std::vector<Vec2> out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (keep[i]) out.push_back(points[i]);
+  }
+  return out;
+}
+
+OnePassSimplifier::OnePassSimplifier(double epsilon) : epsilon_(epsilon) {}
+
+void OnePassSimplifier::Push(const Vec2& p, std::vector<Vec2>* out) {
+  if (!has_anchor_) {
+    anchor_ = p;
+    last_ = p;
+    has_anchor_ = true;
+    out->push_back(p);
+    return;
+  }
+  const Vec2 delta = p - anchor_;
+  const double dist = delta.Norm();
+  if (dist <= epsilon_) {
+    // Still inside the anchor's tolerance disk: any heading remains valid.
+    last_ = p;
+    has_candidate_ = true;
+    return;
+  }
+  // Angular window within which a segment from the anchor passes within
+  // epsilon of p: center +- asin(eps/dist).
+  const double center = std::atan2(delta.y, delta.x);
+  const double half = std::asin(std::min(1.0, epsilon_ / dist));
+  if (!has_candidate_) {
+    sector_lo_ = center - half;
+    sector_hi_ = center + half;
+    last_ = p;
+    has_candidate_ = true;
+    return;
+  }
+  // Intersect the new window with the running sector; if the current
+  // heading leaves the sector, close the segment at the previous point.
+  const double lo = WrapAngle(center - half - sector_lo_);
+  const double hi = WrapAngle(center + half - sector_lo_);
+  const double span = WrapAngle(sector_hi_ - sector_lo_);
+  const double new_lo = std::max(0.0, lo);
+  const double new_hi = std::min(span, hi);
+  const bool heading_ok = WrapAngle(center - sector_lo_) >= -1e-12 &&
+                          WrapAngle(center - sector_lo_) <= span + 1e-12;
+  if (new_lo <= new_hi + 1e-12 && heading_ok) {
+    sector_lo_ = WrapAngle(sector_lo_ + new_lo);
+    sector_hi_ = WrapAngle(sector_lo_ + (new_hi - new_lo));
+    last_ = p;
+    return;
+  }
+  // Emit the previous point as the segment end and restart from it.
+  out->push_back(last_);
+  anchor_ = last_;
+  last_ = p;
+  has_candidate_ = false;
+  // Re-process p against the fresh anchor to seed the sector.
+  const Vec2 d2 = p - anchor_;
+  const double dist2 = d2.Norm();
+  if (dist2 > epsilon_) {
+    const double c2 = std::atan2(d2.y, d2.x);
+    const double h2 = std::asin(std::min(1.0, epsilon_ / dist2));
+    sector_lo_ = c2 - h2;
+    sector_hi_ = c2 + h2;
+    has_candidate_ = true;
+  }
+}
+
+void OnePassSimplifier::Finish(std::vector<Vec2>* out) {
+  if (has_anchor_ && (out->empty() || !(out->back() == last_))) {
+    out->push_back(last_);
+  }
+  has_anchor_ = false;
+  has_candidate_ = false;
+}
+
+std::vector<Vec2> OnePassSimplifier::Simplify(const std::vector<Vec2>& points,
+                                              double epsilon) {
+  OnePassSimplifier simplifier(epsilon);
+  std::vector<Vec2> out;
+  for (const Vec2& p : points) simplifier.Push(p, &out);
+  simplifier.Finish(&out);
+  return out;
+}
+
+}  // namespace proxdet

@@ -1,0 +1,59 @@
+#ifndef PROXDET_TRAJ_SIMPLIFY_H_
+#define PROXDET_TRAJ_SIMPLIFY_H_
+
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace proxdet {
+
+/// Trajectory/polyline simplification with a hard error bound: every
+/// dropped point stays within `epsilon` meters of the simplified polyline.
+/// Two flavors are provided, mirroring the toolchain the paper's Truck
+/// dataset was prepared with (Lin et al., "One-pass error bounded
+/// trajectory simplification", PVLDB'17 — reference [12]):
+///
+///  - DouglasPeucker: the classic batch algorithm, optimal-ish quality,
+///    O(n log n) typical. Use for offline dataset compression.
+///  - OnePassSimplifier: streaming, O(1) amortized per point via the
+///    sector-intersection method. Use online — e.g., a client compacting
+///    its GPS buffer before attaching it to a report, or the stripe
+///    builder thinning a dense predicted path.
+
+/// Batch simplification; keeps the first and last points. `epsilon` is the
+/// maximum allowed perpendicular deviation in meters.
+std::vector<Vec2> DouglasPeucker(const std::vector<Vec2>& points,
+                                 double epsilon);
+
+/// Streaming error-bounded simplifier. Feed points with Push; emitted
+/// anchor points arrive in order and the polyline through them stays within
+/// `epsilon` of every input point. Call Finish to flush the final anchor.
+class OnePassSimplifier {
+ public:
+  explicit OnePassSimplifier(double epsilon);
+
+  /// Processes one point; appends 0+ anchors to `out`.
+  void Push(const Vec2& p, std::vector<Vec2>* out);
+
+  /// Flushes the trailing anchor (the last pushed point).
+  void Finish(std::vector<Vec2>* out);
+
+  /// Convenience: simplify a whole sequence in one call.
+  static std::vector<Vec2> Simplify(const std::vector<Vec2>& points,
+                                    double epsilon);
+
+ private:
+  double epsilon_;
+  bool has_anchor_ = false;
+  Vec2 anchor_;
+  Vec2 last_;
+  bool has_candidate_ = false;
+  // Feasible heading sector from the anchor, maintained as the
+  // intersection of per-point disks' angular windows.
+  double sector_lo_ = 0.0;
+  double sector_hi_ = 0.0;
+};
+
+}  // namespace proxdet
+
+#endif  // PROXDET_TRAJ_SIMPLIFY_H_

@@ -1,0 +1,43 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace proxdet {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t("demo");
+  t.SetHeader({"a", "bb"});
+  t.AddRow({"1", "2"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+TEST(TableTest, CsvFormat) {
+  Table t("demo");
+  t.SetHeader({"x", "y"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4"});
+  EXPECT_EQ(t.ToCsv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TableTest, AlignsColumnsByWidestCell) {
+  Table t("w");
+  t.SetHeader({"col", "c"});
+  t.AddRow({"longvalue", "1"});
+  const std::string s = t.ToString();
+  // The header row pads "col" to the width of "longvalue".
+  EXPECT_NE(s.find("col       "), std::string::npos);
+}
+
+TEST(FormatDoubleTest, RespectsDecimals) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace proxdet

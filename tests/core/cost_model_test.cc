@@ -1,0 +1,163 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/gaussian.h"
+
+namespace proxdet {
+namespace {
+
+TEST(CostModelTest, StayProbabilityMatchesFoldedNormal) {
+  EXPECT_DOUBLE_EQ(StayProbability(2.0, 1.0), FoldedNormalCdf(2.0, 1.0));
+  EXPECT_EQ(StayProbability(0.0, 1.0), 0.0);
+}
+
+TEST(CostModelTest, ExitTimeClosedFormMatchesSeries) {
+  // E_m = s/v + sum_{i=1..m-1} i p^i (1-p) + m p^m (Sec. V-D telescoped).
+  const double s = 10.0, v = 2.0, p = 0.7;
+  for (int m = 0; m <= 12; ++m) {
+    double series = s / v;
+    for (int i = 1; i < m; ++i) {
+      series += i * std::pow(p, i) * (1 - p);
+    }
+    if (m >= 1) series += m * std::pow(p, m);
+    EXPECT_NEAR(ExpectedExitTime(s, v, p, m), series, 1e-9) << "m=" << m;
+  }
+}
+
+TEST(CostModelTest, ExitTimeEdgeCases) {
+  EXPECT_DOUBLE_EQ(ExpectedExitTime(10.0, 2.0, 0.0, 5), 5.0);   // p=0: s/v.
+  EXPECT_DOUBLE_EQ(ExpectedExitTime(10.0, 2.0, 1.0, 5), 10.0);  // p=1: s/v+m.
+  EXPECT_DOUBLE_EQ(ExpectedExitTime(0.0, 2.0, 0.5, 0), 0.0);
+}
+
+TEST(CostModelTest, ExitTimeMonotoneInRadiusAndHorizon) {
+  const double sigma = 5.0;
+  double prev = -1.0;
+  for (double s = 0.0; s <= 30.0; s += 2.0) {
+    const double em = ExpectedExitTime(s, 2.0, StayProbability(s, sigma), 8);
+    EXPECT_GT(em, prev);
+    prev = em;
+  }
+  for (int m = 1; m < 10; ++m) {
+    EXPECT_LE(ExpectedExitTime(10.0, 2.0, 0.8, m),
+              ExpectedExitTime(10.0, 2.0, 0.8, m + 1));
+  }
+}
+
+TEST(CostModelTest, ProbeTimeMinOverFriends) {
+  const std::vector<FriendGap> gaps{{100.0, 20.0, 4.0}, {90.0, 10.0, 8.0}};
+  // friend 1: (100-5-20)/4 = 18.75; friend 2: (90-5-10)/8 = 9.375.
+  EXPECT_DOUBLE_EQ(ExpectedProbeTime(gaps, 5.0), 9.375);
+}
+
+TEST(CostModelTest, ProbeTimeInfiniteWithNoFriends) {
+  EXPECT_TRUE(std::isinf(ExpectedProbeTime({}, 5.0)));
+}
+
+TEST(CostModelTest, ProbeTimeDecreasesWithRadius) {
+  const std::vector<FriendGap> gaps{{100.0, 20.0, 4.0}};
+  double prev = 1e18;
+  for (double s = 0.0; s < 80.0; s += 5.0) {
+    const double ep = ExpectedProbeTime(gaps, s);
+    EXPECT_LT(ep, prev);
+    prev = ep;
+  }
+}
+
+TEST(CostModelTest, RadiusUpperBound) {
+  const std::vector<FriendGap> gaps{{100.0, 20.0, 4.0}, {50.0, 10.0, 8.0}};
+  EXPECT_DOUBLE_EQ(RadiusUpperBound(gaps), 40.0);
+  EXPECT_TRUE(std::isinf(RadiusUpperBound({})));
+}
+
+TEST(InitializationRadiusTest, Equation5) {
+  // s^u = v_u (tau - r) / (v_u + v_w).
+  EXPECT_DOUBLE_EQ(InitializationRadius(2.0, 3.0, 100.0, 50.0), 20.0);
+  EXPECT_DOUBLE_EQ(InitializationRadius(3.0, 2.0, 100.0, 50.0), 30.0);
+}
+
+TEST(InitializationRadiusTest, Lemma2PairwiseConstraint) {
+  // s^u + s^w + r <= tau for every speed/distance combination (Lemma 2).
+  for (double vu = 0.5; vu <= 8.0; vu += 1.5) {
+    for (double vw = 0.5; vw <= 8.0; vw += 1.5) {
+      for (double tau = 10.0; tau <= 200.0; tau += 37.0) {
+        for (double r = 0.0; r < tau; r += 19.0) {
+          const double su = InitializationRadius(vu, vw, tau, r);
+          const double sw = InitializationRadius(vw, vu, tau, r);
+          EXPECT_LE(su + sw + r, tau + 1e-9);
+          EXPECT_GE(su, 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(InitializationRadiusTest, NoSlackMeansZeroRadius) {
+  EXPECT_EQ(InitializationRadius(2.0, 3.0, 50.0, 50.0), 0.0);
+  EXPECT_EQ(InitializationRadius(2.0, 3.0, 40.0, 50.0), 0.0);
+}
+
+TEST(SolveStripeRadiusTest, NoFriendsTakesCap) {
+  const RadiusSolution sol = SolveStripeRadius({}, 5, 10.0, 2.0, 77.0, 1e-6);
+  EXPECT_DOUBLE_EQ(sol.radius, 77.0);
+  EXPECT_TRUE(std::isinf(sol.e_p));
+}
+
+TEST(SolveStripeRadiusTest, BalancesWhenCrossingExists) {
+  const std::vector<FriendGap> gaps{{200.0, 50.0, 3.0}};
+  const RadiusSolution sol =
+      SolveStripeRadius(gaps, 6, 20.0, 2.0, 1e9, 1e-9);
+  EXPECT_GT(sol.radius, 0.0);
+  EXPECT_LT(sol.radius, 150.0);  // Below the upper bound y0 - r.
+  EXPECT_NEAR(sol.e_m, sol.e_p, 1e-6);
+}
+
+TEST(SolveStripeRadiusTest, EarlyExitWhenEmBelowEpAtUpperBound) {
+  // The cap (42) binds below the slack bound (150); at the cap the fast
+  // user's E_m is still below the slow friend's E_p, so Algorithm 2's
+  // early exit returns the cap without bisection.
+  const std::vector<FriendGap> gaps{{200.0, 50.0, 1.0}};
+  const RadiusSolution sol = SolveStripeRadius(gaps, 2, 1.0, 10.0, 42.0, 1e-9);
+  EXPECT_NEAR(sol.radius, 42.0, 1e-6);
+  EXPECT_LE(sol.e_m, sol.e_p);
+}
+
+TEST(SolveStripeRadiusTest, CapAppliesWithFriends) {
+  const std::vector<FriendGap> gaps{{10000.0, 50.0, 0.001}};
+  const RadiusSolution sol = SolveStripeRadius(gaps, 2, 1.0, 0.001, 42.0, 1e-9);
+  EXPECT_LE(sol.radius, 42.0 + 1e-9);
+}
+
+TEST(SolveStripeRadiusTest, ZeroUpperBoundDegenerates) {
+  const std::vector<FriendGap> gaps{{50.0, 50.0, 1.0}};  // y0 == r.
+  const RadiusSolution sol = SolveStripeRadius(gaps, 3, 5.0, 1.0, 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(sol.radius, 0.0);
+}
+
+// Property: the solution's objective min(E_m, E_p) is within tolerance of
+// the best over a dense radius sweep — Algorithm 2's inner loop is optimal.
+TEST(SolveStripeRadiusTest, PropertySolutionNearSweepOptimum) {
+  const std::vector<FriendGap> gaps{{300.0, 60.0, 2.5}, {500.0, 40.0, 5.0}};
+  for (const double sigma : {2.0, 10.0, 40.0}) {
+    for (const int m : {1, 4, 10}) {
+      const RadiusSolution sol =
+          SolveStripeRadius(gaps, m, sigma, 3.0, 1e9, 1e-9);
+      double best = 0.0;
+      const double ub = RadiusUpperBound(gaps);
+      for (double s = 0.0; s <= ub; s += ub / 2000.0) {
+        const double em =
+            ExpectedExitTime(s, 3.0, StayProbability(s, sigma), m);
+        const double ep = ExpectedProbeTime(gaps, s);
+        best = std::max(best, std::min(em, ep));
+      }
+      EXPECT_NEAR(sol.Objective(), best, best * 0.02 + 1e-6)
+          << "sigma=" << sigma << " m=" << m;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace proxdet

@@ -1,0 +1,55 @@
+#include "region/match_region.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace proxdet {
+namespace {
+
+TEST(MatchRegionTest, CenterAtMidpointRadiusHalfR) {
+  const MatchRegion m = MatchRegion::Make({0, 0}, {10, 0}, 12.0);
+  EXPECT_EQ(m.circle().center, (Vec2{5, 0}));
+  EXPECT_DOUBLE_EQ(m.circle().radius, 6.0);
+}
+
+TEST(MatchRegionTest, ContainsBothEndpointsWhenMatched) {
+  // If d(u, w) < r, both users start inside their match region.
+  const Vec2 u{0, 0};
+  const Vec2 w{8, 0};
+  const MatchRegion m = MatchRegion::Make(u, w, 10.0);
+  EXPECT_TRUE(m.Contains(u));
+  EXPECT_TRUE(m.Contains(w));
+}
+
+TEST(MatchRegionTest, StrictContainment) {
+  const MatchRegion m = MatchRegion::Make({0, 0}, {10, 0}, 10.0);
+  // Radius 5 centered at (5,0): the endpoints are ON the boundary — with
+  // d(u,w) == r they are not strictly inside (they are not matched).
+  EXPECT_FALSE(m.Contains({0, 0}));
+  EXPECT_TRUE(m.Contains({1, 0}));
+}
+
+// Lemma (Def. 3 soundness): two points strictly inside the match region are
+// strictly within alert radius of each other.
+TEST(MatchRegionTest, PropertyMembersAlwaysWithinRadius) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec2 u{rng.Uniform(-50, 50), rng.Uniform(-50, 50)};
+    const Vec2 w = u + Vec2{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    const double r = Distance(u, w) + rng.Uniform(0.1, 20.0);
+    const MatchRegion m = MatchRegion::Make(u, w, r);
+    for (int i = 0; i < 100; ++i) {
+      const Vec2 a = m.circle().center +
+                     Vec2{rng.Uniform(-r, r), rng.Uniform(-r, r)};
+      const Vec2 b = m.circle().center +
+                     Vec2{rng.Uniform(-r, r), rng.Uniform(-r, r)};
+      if (m.Contains(a) && m.Contains(b)) {
+        EXPECT_LT(Distance(a, b), r);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace proxdet

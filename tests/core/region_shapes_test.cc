@@ -1,0 +1,130 @@
+#include "region/region.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace proxdet {
+namespace {
+
+SafeRegionShape MovingAt(const Vec2& c, const Vec2& v, double r, int t0) {
+  MovingCircle mc;
+  mc.center_at_build = c;
+  mc.velocity_per_epoch = v;
+  mc.radius = r;
+  mc.built_epoch = t0;
+  return mc;
+}
+
+TEST(RegionShapesTest, MovingCircleTranslates) {
+  const MovingCircle mc{{0, 0}, {10, 0}, 5.0, 100};
+  EXPECT_EQ(mc.CenterAt(100), (Vec2{0, 0}));
+  EXPECT_EQ(mc.CenterAt(103), (Vec2{30, 0}));
+  EXPECT_TRUE(mc.Contains({30, 4}, 103));
+  EXPECT_FALSE(mc.Contains({30, 4}, 100));
+}
+
+TEST(RegionShapesTest, ContainsDispatch) {
+  const SafeRegionShape circle = Circle{{0, 0}, 5.0};
+  EXPECT_TRUE(ShapeContains(circle, {3, 4}, 0));
+  EXPECT_FALSE(ShapeContains(circle, {6, 0}, 0));
+
+  const SafeRegionShape moving = MovingAt({0, 0}, {1, 0}, 2.0, 0);
+  EXPECT_TRUE(ShapeContains(moving, {5, 0}, 5));
+  EXPECT_FALSE(ShapeContains(moving, {5, 0}, 0));
+
+  const SafeRegionShape poly = ConvexPolygon::Square({0, 0}, 2.0);
+  EXPECT_TRUE(ShapeContains(poly, {1, 1}, 0));
+
+  const SafeRegionShape stripe = Stripe(Polyline({{0, 0}, {10, 0}}), 1.0);
+  EXPECT_TRUE(ShapeContains(stripe, {5, 1}, 0));
+  EXPECT_FALSE(ShapeContains(stripe, {5, 2}, 0));
+}
+
+TEST(RegionShapesTest, PointDistanceDispatch) {
+  EXPECT_DOUBLE_EQ(
+      ShapeDistanceToPoint(SafeRegionShape(Circle{{0, 0}, 2.0}), {5, 0}, 0),
+      3.0);
+  EXPECT_DOUBLE_EQ(ShapeDistanceToPoint(MovingAt({0, 0}, {1, 0}, 2.0, 0),
+                                        {10, 0}, 5),
+                   3.0);
+  EXPECT_DOUBLE_EQ(ShapeDistanceToPoint(
+                       SafeRegionShape(ConvexPolygon::Square({0, 0}, 1.0)),
+                       {4, 0}, 0),
+                   3.0);
+  EXPECT_DOUBLE_EQ(
+      ShapeDistanceToPoint(
+          SafeRegionShape(Stripe(Polyline({{0, 0}, {10, 0}}), 1.0)), {5, 4},
+          0),
+      3.0);
+}
+
+TEST(RegionShapesTest, PairwiseDistancesSymmetric) {
+  std::vector<SafeRegionShape> shapes;
+  shapes.push_back(Circle{{0, 0}, 2.0});
+  shapes.push_back(MovingAt({20, 0}, {1, 1}, 3.0, 0));
+  shapes.push_back(ConvexPolygon::Square({0, 30}, 4.0));
+  shapes.push_back(Stripe(Polyline({{-30, 0}, {-30, 20}}), 1.5));
+  for (const int epoch : {0, 3}) {
+    for (size_t i = 0; i < shapes.size(); ++i) {
+      for (size_t j = 0; j < shapes.size(); ++j) {
+        EXPECT_NEAR(ShapeMinDistance(shapes[i], shapes[j], epoch),
+                    ShapeMinDistance(shapes[j], shapes[i], epoch), 1e-9)
+            << "i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(RegionShapesTest, SelfDistanceZero) {
+  std::vector<SafeRegionShape> shapes;
+  shapes.push_back(Circle{{0, 0}, 2.0});
+  shapes.push_back(ConvexPolygon::Square({0, 0}, 4.0));
+  shapes.push_back(Stripe(Polyline({{0, 0}, {10, 0}}), 1.5));
+  for (const auto& s : shapes) {
+    EXPECT_DOUBLE_EQ(ShapeMinDistance(s, s, 0), 0.0);
+  }
+}
+
+TEST(RegionShapesTest, KnownCrossTypeDistances) {
+  const SafeRegionShape circle = Circle{{0, 0}, 2.0};
+  const SafeRegionShape poly = ConvexPolygon::Square({10, 0}, 3.0);
+  EXPECT_DOUBLE_EQ(ShapeMinDistance(circle, poly, 0), 5.0);  // 10 - 3 - 2.
+
+  const SafeRegionShape stripe = Stripe(Polyline({{0, 10}, {20, 10}}), 1.0);
+  EXPECT_DOUBLE_EQ(ShapeMinDistance(circle, stripe, 0), 7.0);  // 10 - 1 - 2.
+  EXPECT_DOUBLE_EQ(ShapeMinDistance(poly, stripe, 0), 6.0);    // 10 - 3 - 1.
+}
+
+TEST(RegionShapesTest, MovingPairApproachOverTime) {
+  const SafeRegionShape a = MovingAt({0, 0}, {5, 0}, 1.0, 0);
+  const SafeRegionShape b = MovingAt({100, 0}, {-5, 0}, 1.0, 0);
+  EXPECT_DOUBLE_EQ(ShapeMinDistance(a, b, 0), 98.0);
+  EXPECT_DOUBLE_EQ(ShapeMinDistance(a, b, 5), 48.0);
+  EXPECT_DOUBLE_EQ(ShapeMinDistance(a, b, 10), 0.0);  // Overlapping.
+}
+
+// Property: ShapeMinDistance lower-bounds the distance between any two
+// contained points (the safety argument of Definition 2 rests on this).
+TEST(RegionShapesTest, PropertyMinDistanceLowerBoundsMemberDistance) {
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    const SafeRegionShape a =
+        Stripe(Polyline({{rng.Uniform(-50, 0), rng.Uniform(-20, 20)},
+                         {rng.Uniform(0, 50), rng.Uniform(-20, 20)}}),
+               rng.Uniform(0.5, 5));
+    const SafeRegionShape b = Circle{
+        {rng.Uniform(-50, 50), rng.Uniform(30, 80)}, rng.Uniform(1, 10)};
+    const double min_d = ShapeMinDistance(a, b, 0);
+    for (int i = 0; i < 200; ++i) {
+      const Vec2 pa{rng.Uniform(-60, 60), rng.Uniform(-30, 30)};
+      const Vec2 pb{rng.Uniform(-60, 60), rng.Uniform(20, 95)};
+      if (ShapeContains(a, pa, 0) && ShapeContains(b, pb, 0)) {
+        EXPECT_GE(Distance(pa, pb) + 1e-9, min_d);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace proxdet

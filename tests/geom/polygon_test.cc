@@ -1,0 +1,112 @@
+#include "geom/polygon.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace proxdet {
+namespace {
+
+TEST(PolygonTest, SquareConstruction) {
+  const ConvexPolygon sq = ConvexPolygon::Square({0, 0}, 2.0);
+  EXPECT_EQ(sq.vertices().size(), 4u);
+  EXPECT_DOUBLE_EQ(sq.Area(), 16.0);
+  EXPECT_TRUE(sq.Contains({0, 0}));
+  EXPECT_TRUE(sq.Contains({2, 2}));  // Corner (closed containment).
+  EXPECT_FALSE(sq.Contains({2.01, 0}));
+}
+
+TEST(PolygonTest, HalfPlaneKeeps) {
+  const HalfPlane hp{{0, 0}, {1, 0}};  // Keep x <= 0.
+  EXPECT_TRUE(hp.Keeps({-1, 5}));
+  EXPECT_TRUE(hp.Keeps({0, 0}));
+  EXPECT_FALSE(hp.Keeps({1, 0}));
+}
+
+TEST(PolygonTest, ClipCutsSquareInHalf) {
+  const ConvexPolygon sq = ConvexPolygon::Square({0, 0}, 1.0);
+  const ConvexPolygon half = sq.ClippedBy({{0, 0}, {1, 0}});
+  EXPECT_DOUBLE_EQ(half.Area(), 2.0);
+  EXPECT_TRUE(half.Contains({-0.5, 0}));
+  EXPECT_FALSE(half.Contains({0.5, 0}));
+}
+
+TEST(PolygonTest, ClipToEmpty) {
+  const ConvexPolygon sq = ConvexPolygon::Square({0, 0}, 1.0);
+  const ConvexPolygon none = sq.ClippedBy({{5, 0}, {-1, 0}});  // Keep x >= 5.
+  EXPECT_TRUE(none.empty());
+  EXPECT_FALSE(none.Contains({0, 0}));
+}
+
+TEST(PolygonTest, RepeatedClipsShrinkArea) {
+  ConvexPolygon poly = ConvexPolygon::Square({0, 0}, 10.0);
+  Rng rng(3);
+  double prev_area = poly.Area();
+  for (int i = 0; i < 8 && !poly.empty(); ++i) {
+    const Vec2 n =
+        Vec2{rng.Uniform(-1, 1), rng.Uniform(-1, 1)}.Normalized();
+    poly = poly.ClippedBy({{rng.Uniform(0, 4) * n.x, rng.Uniform(0, 4) * n.y},
+                           n});
+    EXPECT_LE(poly.Area(), prev_area + 1e-9);
+    prev_area = poly.Area();
+  }
+}
+
+TEST(PolygonTest, DistanceToPointInsideIsZero) {
+  const ConvexPolygon sq = ConvexPolygon::Square({0, 0}, 1.0);
+  EXPECT_DOUBLE_EQ(sq.DistanceToPoint({0.5, 0.5}), 0.0);
+}
+
+TEST(PolygonTest, DistanceToPointOutside) {
+  const ConvexPolygon sq = ConvexPolygon::Square({0, 0}, 1.0);
+  EXPECT_DOUBLE_EQ(sq.DistanceToPoint({3, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(sq.DistanceToPoint({4, 5}), 5.0);  // Corner diagonal 3-4-5.
+}
+
+TEST(PolygonTest, PolygonPolygonDistance) {
+  const ConvexPolygon a = ConvexPolygon::Square({0, 0}, 1.0);
+  const ConvexPolygon b = ConvexPolygon::Square({5, 0}, 1.0);
+  EXPECT_DOUBLE_EQ(a.DistanceToPolygon(b), 3.0);
+  const ConvexPolygon c = ConvexPolygon::Square({1.5, 0}, 1.0);
+  EXPECT_DOUBLE_EQ(a.DistanceToPolygon(c), 0.0);  // Overlap.
+}
+
+TEST(PolygonTest, ContainedPolygonDistanceZero) {
+  const ConvexPolygon outer = ConvexPolygon::Square({0, 0}, 5.0);
+  const ConvexPolygon inner = ConvexPolygon::Square({1, 1}, 0.5);
+  EXPECT_DOUBLE_EQ(outer.DistanceToPolygon(inner), 0.0);
+  EXPECT_DOUBLE_EQ(inner.DistanceToPolygon(outer), 0.0);
+}
+
+// Property: clipping preserves containment semantics — points kept by every
+// half-plane stay inside, discarded points leave.
+TEST(PolygonTest, PropertyClipConsistentWithHalfPlane) {
+  Rng rng(17);
+  for (int trial = 0; trial < 40; ++trial) {
+    ConvexPolygon poly = ConvexPolygon::Square({0, 0}, 8.0);
+    std::vector<HalfPlane> planes;
+    for (int i = 0; i < 4; ++i) {
+      const Vec2 n =
+          Vec2{rng.Uniform(-1, 1), rng.Uniform(-1, 1)}.Normalized();
+      if (n.Norm() < 0.5) continue;
+      const HalfPlane hp{{rng.Uniform(-3, 3), rng.Uniform(-3, 3)}, n};
+      planes.push_back(hp);
+      poly = poly.ClippedBy(hp);
+    }
+    for (int i = 0; i < 50; ++i) {
+      const Vec2 p{rng.Uniform(-8, 8), rng.Uniform(-8, 8)};
+      bool kept = std::abs(p.x) <= 8.0 && std::abs(p.y) <= 8.0;
+      for (const HalfPlane& hp : planes) kept = kept && hp.Keeps(p);
+      if (poly.empty()) continue;
+      if (kept) {
+        EXPECT_TRUE(poly.Contains(p))
+            << "point (" << p.x << "," << p.y << ") should be inside";
+      } else if (!poly.Contains(p)) {
+        SUCCEED();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace proxdet

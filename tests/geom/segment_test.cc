@@ -1,0 +1,105 @@
+#include "geom/segment.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace proxdet {
+namespace {
+
+TEST(SegmentTest, ClosestPointProjectsOntoInterior) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_EQ(ClosestPointOnSegment(s, {5, 3}), (Vec2{5, 0}));
+}
+
+TEST(SegmentTest, ClosestPointClampsToEndpoints) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_EQ(ClosestPointOnSegment(s, {-4, 2}), (Vec2{0, 0}));
+  EXPECT_EQ(ClosestPointOnSegment(s, {14, -2}), (Vec2{10, 0}));
+}
+
+TEST(SegmentTest, DegenerateSegmentIsAPoint) {
+  const Segment s{{3, 3}, {3, 3}};
+  EXPECT_EQ(ClosestPointOnSegment(s, {0, 0}), (Vec2{3, 3}));
+  EXPECT_DOUBLE_EQ(DistancePointToSegment({0, 3}, s), 3.0);
+}
+
+TEST(SegmentTest, PointDistanceKnownValues) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(DistancePointToSegment({5, 4}, s), 4.0);
+  EXPECT_DOUBLE_EQ(DistancePointToSegment({13, 4}, s), 5.0);
+  EXPECT_DOUBLE_EQ(DistancePointToSegment({5, 0}, s), 0.0);
+}
+
+TEST(SegmentTest, IntersectionCrossing) {
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {10, 10}}, {{0, 10}, {10, 0}}));
+}
+
+TEST(SegmentTest, IntersectionTouchingEndpoint) {
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {5, 5}}, {{5, 5}, {9, 1}}));
+}
+
+TEST(SegmentTest, IntersectionCollinearOverlap) {
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {10, 0}}, {{5, 0}, {15, 0}}));
+}
+
+TEST(SegmentTest, NoIntersectionCollinearDisjoint) {
+  EXPECT_FALSE(SegmentsIntersect({{0, 0}, {4, 0}}, {{5, 0}, {9, 0}}));
+}
+
+TEST(SegmentTest, NoIntersectionParallel) {
+  EXPECT_FALSE(SegmentsIntersect({{0, 0}, {10, 0}}, {{0, 1}, {10, 1}}));
+}
+
+TEST(SegmentTest, SegmentDistanceZeroWhenCrossing) {
+  EXPECT_DOUBLE_EQ(
+      DistanceSegmentToSegment({{0, 0}, {10, 10}}, {{0, 10}, {10, 0}}), 0.0);
+}
+
+TEST(SegmentTest, SegmentDistanceParallel) {
+  EXPECT_DOUBLE_EQ(
+      DistanceSegmentToSegment({{0, 0}, {10, 0}}, {{0, 3}, {10, 3}}), 3.0);
+}
+
+TEST(SegmentTest, SegmentDistanceEndpointToInterior) {
+  EXPECT_DOUBLE_EQ(
+      DistanceSegmentToSegment({{0, 0}, {10, 0}}, {{5, 2}, {5, 9}}), 2.0);
+}
+
+// Property: the segment-segment distance equals the minimum over many
+// sampled point-to-other-segment distances (within sampling error).
+TEST(SegmentTest, PropertyDistanceMatchesDenseSampling) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Segment s1{{rng.Uniform(-10, 10), rng.Uniform(-10, 10)},
+                     {rng.Uniform(-10, 10), rng.Uniform(-10, 10)}};
+    const Segment s2{{rng.Uniform(-10, 10), rng.Uniform(-10, 10)},
+                     {rng.Uniform(-10, 10), rng.Uniform(-10, 10)}};
+    const double exact = DistanceSegmentToSegment(s1, s2);
+    double sampled = 1e18;
+    const int kSamples = 200;
+    for (int i = 0; i <= kSamples; ++i) {
+      const double t = static_cast<double>(i) / kSamples;
+      sampled = std::min(sampled, DistancePointToSegment(s1.Lerp(t), s2));
+    }
+    // Sampling can only overestimate the true minimum.
+    EXPECT_LE(exact, sampled + 1e-9);
+    EXPECT_NEAR(exact, sampled, 0.15);  // Fine grid: small gap.
+  }
+}
+
+// Property: distance is symmetric.
+TEST(SegmentTest, PropertyDistanceSymmetry) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Segment s1{{rng.Uniform(-5, 5), rng.Uniform(-5, 5)},
+                     {rng.Uniform(-5, 5), rng.Uniform(-5, 5)}};
+    const Segment s2{{rng.Uniform(-5, 5), rng.Uniform(-5, 5)},
+                     {rng.Uniform(-5, 5), rng.Uniform(-5, 5)}};
+    EXPECT_DOUBLE_EQ(DistanceSegmentToSegment(s1, s2),
+                     DistanceSegmentToSegment(s2, s1));
+  }
+}
+
+}  // namespace
+}  // namespace proxdet

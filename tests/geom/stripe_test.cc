@@ -1,0 +1,119 @@
+#include "geom/stripe.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace proxdet {
+namespace {
+
+Stripe MakeLStripe(double radius) {
+  return Stripe(Polyline({{0, 0}, {10, 0}, {10, 10}}), radius);
+}
+
+TEST(StripeTest, ContainsWithinRadiusOfAnySegment) {
+  const Stripe s = MakeLStripe(2.0);
+  EXPECT_TRUE(s.Contains({5, 1.5}));
+  EXPECT_TRUE(s.Contains({11.5, 5}));
+  EXPECT_TRUE(s.Contains({5, 2}));   // Exactly on the boundary.
+  EXPECT_FALSE(s.Contains({5, 2.1}));
+  EXPECT_FALSE(s.Contains({-3, 0}));
+}
+
+TEST(StripeTest, DefinitionEquivalence) {
+  // Def. 4: contained iff min segment distance <= radius.
+  const Stripe s = MakeLStripe(1.5);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const Vec2 p{rng.Uniform(-5, 15), rng.Uniform(-5, 15)};
+    const bool by_def = s.path().DistanceToPoint(p) <= s.radius() + 1e-9;
+    EXPECT_EQ(s.Contains(p), by_def);
+  }
+}
+
+TEST(StripeTest, DistanceToPoint) {
+  const Stripe s = MakeLStripe(2.0);
+  // Nearest segment is the vertical one (distance 5), minus radius 2.
+  EXPECT_DOUBLE_EQ(s.DistanceToPoint({5, 6}), 3.0);
+  EXPECT_DOUBLE_EQ(s.DistanceToPoint({5, 1}), 0.0);  // Inside.
+}
+
+TEST(StripeTest, StripeStripeDistance) {
+  const Stripe a(Polyline({{0, 0}, {10, 0}}), 1.0);
+  const Stripe b(Polyline({{0, 10}, {10, 10}}), 2.0);
+  EXPECT_DOUBLE_EQ(a.DistanceToStripe(b), 7.0);
+  const Stripe overlapping(Polyline({{0, 2}, {10, 2}}), 1.5);
+  EXPECT_DOUBLE_EQ(a.DistanceToStripe(overlapping), 0.0);
+}
+
+TEST(StripeTest, Eq8IsUpperBoundOnExact) {
+  // Eq. (8) anchors only at predicted points, so it can only overestimate
+  // the true clearance (never report "safe" when the exact test says not).
+  Rng rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto random_stripe = [&rng]() {
+      std::vector<Vec2> pts;
+      Vec2 p{rng.Uniform(-20, 20), rng.Uniform(-20, 20)};
+      for (int i = 0; i < 5; ++i) {
+        pts.push_back(p);
+        p += Vec2{rng.Uniform(-4, 4), rng.Uniform(-4, 4)};
+      }
+      return Stripe(Polyline(pts), rng.Uniform(0.5, 3.0));
+    };
+    const Stripe a = random_stripe();
+    const Stripe b = random_stripe();
+    EXPECT_GE(a.ApproxDistanceToStripeEq8(b) + 1e-9, a.DistanceToStripe(b));
+  }
+}
+
+TEST(StripeTest, DistanceToCircle) {
+  const Stripe s(Polyline({{0, 0}, {10, 0}}), 1.0);
+  const Circle c{{5, 6}, 2.0};
+  EXPECT_DOUBLE_EQ(s.DistanceToCircle(c), 3.0);
+  const Circle touching{{5, 2.5}, 1.5};
+  EXPECT_DOUBLE_EQ(s.DistanceToCircle(touching), 0.0);
+}
+
+TEST(StripeTest, SinglePointStripeActsAsDisk) {
+  const Stripe s(Polyline({{3, 3}}), 2.0);
+  EXPECT_TRUE(s.Contains({4, 3}));
+  EXPECT_FALSE(s.Contains({6, 3}));
+  EXPECT_DOUBLE_EQ(s.DistanceToPoint({3, 8}), 3.0);
+}
+
+TEST(StripeTest, ZeroRadiusStripeContainsOnlyPath) {
+  const Stripe s(Polyline({{0, 0}, {10, 0}}), 0.0);
+  EXPECT_TRUE(s.Contains({5, 0}));
+  EXPECT_FALSE(s.Contains({5, 0.1}));
+}
+
+TEST(StripeTest, CapsuleAreaUpperBound) {
+  const Stripe s(Polyline({{0, 0}, {10, 0}}), 1.0);
+  // pi * r^2 + 2 r L = pi + 20.
+  EXPECT_NEAR(s.CapsuleAreaUpperBound(), 3.14159265 + 20.0, 1e-6);
+}
+
+// Property: symmetry and the triangle-ish consistency of stripe distance
+// with containment (distance 0 iff some sampled path point of one is inside
+// the other's buffer expanded by its radius).
+TEST(StripeTest, PropertyStripeDistanceSymmetric) {
+  Rng rng(31);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto random_stripe = [&rng]() {
+      std::vector<Vec2> pts;
+      Vec2 p{rng.Uniform(-20, 20), rng.Uniform(-20, 20)};
+      for (int i = 0; i < 4; ++i) {
+        pts.push_back(p);
+        p += Vec2{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+      }
+      return Stripe(Polyline(pts), rng.Uniform(0.1, 2.0));
+    };
+    const Stripe a = random_stripe();
+    const Stripe b = random_stripe();
+    EXPECT_DOUBLE_EQ(a.DistanceToStripe(b), b.DistanceToStripe(a));
+    EXPECT_GE(a.DistanceToStripe(b), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace proxdet

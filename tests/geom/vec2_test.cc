@@ -1,0 +1,63 @@
+#include "geom/vec2.h"
+
+#include <gtest/gtest.h>
+
+namespace proxdet {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (Vec2{0.5, 1.0}));
+}
+
+TEST(Vec2Test, CompoundAssignment) {
+  Vec2 a{1.0, 1.0};
+  a += Vec2{2.0, 3.0};
+  EXPECT_EQ(a, (Vec2{3.0, 4.0}));
+  a -= Vec2{1.0, 1.0};
+  EXPECT_EQ(a, (Vec2{2.0, 3.0}));
+}
+
+TEST(Vec2Test, DotAndCross) {
+  const Vec2 a{1.0, 0.0};
+  const Vec2 b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.Cross(b), 1.0);   // b is CCW from a.
+  EXPECT_DOUBLE_EQ(b.Cross(a), -1.0);  // a is CW from b.
+  EXPECT_DOUBLE_EQ(a.Dot(a), 1.0);
+}
+
+TEST(Vec2Test, NormAndDistance) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, a), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, a), 25.0);
+}
+
+TEST(Vec2Test, NormalizedUnitLength) {
+  const Vec2 a{3.0, 4.0};
+  const Vec2 n = a.Normalized();
+  EXPECT_NEAR(n.Norm(), 1.0, 1e-12);
+  EXPECT_NEAR(n.x, 0.6, 1e-12);
+  EXPECT_NEAR(n.y, 0.8, 1e-12);
+}
+
+TEST(Vec2Test, NormalizedZeroVectorIsZero) {
+  const Vec2 z{0.0, 0.0};
+  EXPECT_EQ(z.Normalized(), z);
+}
+
+TEST(Vec2Test, PerpIsCcwRotation) {
+  const Vec2 a{1.0, 0.0};
+  EXPECT_EQ(a.Perp(), (Vec2{0.0, 1.0}));
+  EXPECT_DOUBLE_EQ(a.Dot(a.Perp()), 0.0);
+}
+
+}  // namespace
+}  // namespace proxdet

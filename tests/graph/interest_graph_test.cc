@@ -1,0 +1,107 @@
+#include "graph/interest_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace proxdet {
+namespace {
+
+TEST(InterestGraphTest, AddAndQueryEdge) {
+  InterestGraph g(4);
+  EXPECT_TRUE(g.AddEdge(0, 1, 100.0));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));  // Undirected.
+  EXPECT_DOUBLE_EQ(g.AlertRadius(0, 1), 100.0);
+  EXPECT_DOUBLE_EQ(g.AlertRadius(1, 0), 100.0);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(InterestGraphTest, RejectsDuplicatesAndSelfLoops) {
+  InterestGraph g(3);
+  EXPECT_TRUE(g.AddEdge(0, 1, 10.0));
+  EXPECT_FALSE(g.AddEdge(0, 1, 20.0));
+  EXPECT_FALSE(g.AddEdge(1, 0, 20.0));
+  EXPECT_FALSE(g.AddEdge(2, 2, 10.0));
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(g.AlertRadius(0, 1), 10.0);  // Original kept.
+}
+
+TEST(InterestGraphTest, RejectsOutOfRange) {
+  InterestGraph g(2);
+  EXPECT_FALSE(g.AddEdge(0, 5, 10.0));
+  EXPECT_FALSE(g.AddEdge(-1, 1, 10.0));
+}
+
+TEST(InterestGraphTest, RemoveEdge) {
+  InterestGraph g(3);
+  g.AddEdge(0, 1, 10.0);
+  g.AddEdge(1, 2, 10.0);
+  EXPECT_TRUE(g.RemoveEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_FALSE(g.RemoveEdge(0, 1));  // Already gone.
+}
+
+TEST(InterestGraphTest, AlertRadiusZeroWhenAbsent) {
+  InterestGraph g(2);
+  EXPECT_DOUBLE_EQ(g.AlertRadius(0, 1), 0.0);
+}
+
+TEST(InterestGraphTest, EdgesListCanonical) {
+  InterestGraph g(4);
+  g.AddEdge(2, 1, 5.0);
+  g.AddEdge(3, 0, 7.0);
+  const auto edges = g.Edges();
+  ASSERT_EQ(edges.size(), 2u);
+  // u < w per edge and sorted by (u, w).
+  EXPECT_EQ(edges[0].u, 0);
+  EXPECT_EQ(edges[0].w, 3);
+  EXPECT_EQ(edges[1].u, 1);
+  EXPECT_EQ(edges[1].w, 2);
+}
+
+TEST(InterestGraphTest, RandomGraphHitsTargetDegree) {
+  Rng rng(42);
+  const InterestGraph g = InterestGraph::Random(500, 12.0, 100.0, 200.0, &rng);
+  EXPECT_EQ(g.user_count(), 500u);
+  EXPECT_NEAR(g.AverageDegree(), 12.0, 1.0);
+}
+
+TEST(InterestGraphTest, RandomGraphEdgeRadiusIsMinOfPreferences) {
+  Rng rng(43);
+  const InterestGraph g = InterestGraph::Random(50, 5.0, 100.0, 200.0, &rng);
+  for (const auto& e : g.Edges()) {
+    EXPECT_DOUBLE_EQ(
+        e.alert_radius,
+        std::min(g.PreferredRadius(e.u), g.PreferredRadius(e.w)));
+    EXPECT_GE(e.alert_radius, 100.0);
+    EXPECT_LE(e.alert_radius, 200.0);
+  }
+}
+
+TEST(InterestGraphTest, RandomGraphDeterministic) {
+  Rng r1(7);
+  Rng r2(7);
+  const InterestGraph a = InterestGraph::Random(100, 6.0, 10.0, 20.0, &r1);
+  const InterestGraph b = InterestGraph::Random(100, 6.0, 10.0, 20.0, &r2);
+  const auto ea = a.Edges();
+  const auto eb = b.Edges();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].u, eb[i].u);
+    EXPECT_EQ(ea[i].w, eb[i].w);
+  }
+}
+
+TEST(InterestGraphTest, FriendsOfListsNeighbors) {
+  InterestGraph g(4);
+  g.AddEdge(0, 1, 10.0);
+  g.AddEdge(0, 2, 20.0);
+  const auto& friends = g.FriendsOf(0);
+  EXPECT_EQ(friends.size(), 2u);
+  EXPECT_EQ(g.FriendsOf(3).size(), 0u);
+}
+
+}  // namespace
+}  // namespace proxdet

