@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_eq8.dir/ablation_eq8.cc.o"
+  "CMakeFiles/ablation_eq8.dir/ablation_eq8.cc.o.d"
+  "ablation_eq8"
+  "ablation_eq8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eq8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

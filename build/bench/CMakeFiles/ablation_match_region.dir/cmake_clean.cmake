@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_match_region.dir/ablation_match_region.cc.o"
+  "CMakeFiles/ablation_match_region.dir/ablation_match_region.cc.o.d"
+  "ablation_match_region"
+  "ablation_match_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_match_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_steps.dir/fig10_steps.cc.o"
+  "CMakeFiles/fig10_steps.dir/fig10_steps.cc.o.d"
+  "fig10_steps"
+  "fig10_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_speed.dir/fig11_speed.cc.o"
+  "CMakeFiles/fig11_speed.dir/fig11_speed.cc.o.d"
+  "fig11_speed"
+  "fig11_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

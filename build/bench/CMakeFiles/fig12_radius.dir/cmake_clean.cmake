@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_radius.dir/fig12_radius.cc.o"
+  "CMakeFiles/fig12_radius.dir/fig12_radius.cc.o.d"
+  "fig12_radius"
+  "fig12_radius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_dynamic_graph.dir/fig13_dynamic_graph.cc.o"
+  "CMakeFiles/fig13_dynamic_graph.dir/fig13_dynamic_graph.cc.o.d"
+  "fig13_dynamic_graph"
+  "fig13_dynamic_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_dynamic_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_prediction_error.dir/fig7_prediction_error.cc.o"
+  "CMakeFiles/fig7_prediction_error.dir/fig7_prediction_error.cc.o.d"
+  "fig7_prediction_error"
+  "fig7_prediction_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_prediction_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

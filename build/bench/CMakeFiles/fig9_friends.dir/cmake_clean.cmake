@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_friends.dir/fig9_friends.cc.o"
+  "CMakeFiles/fig9_friends.dir/fig9_friends.cc.o.d"
+  "fig9_friends"
+  "fig9_friends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_friends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

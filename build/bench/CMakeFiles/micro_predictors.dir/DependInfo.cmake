@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_predictors.cc" "bench/CMakeFiles/micro_predictors.dir/micro_predictors.cc.o" "gcc" "bench/CMakeFiles/micro_predictors.dir/micro_predictors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench_support/CMakeFiles/proxdet_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/proxdet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/region/CMakeFiles/proxdet_region.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/proxdet_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/proxdet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/proxdet_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/proxdet_road.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/proxdet_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/proxdet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_stripe_builder.dir/micro_stripe_builder.cc.o"
+  "CMakeFiles/micro_stripe_builder.dir/micro_stripe_builder.cc.o.d"
+  "micro_stripe_builder"
+  "micro_stripe_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_stripe_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_convoy.dir/fleet_convoy.cpp.o"
+  "CMakeFiles/fleet_convoy.dir/fleet_convoy.cpp.o.d"
+  "fleet_convoy"
+  "fleet_convoy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_convoy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/friend_tracker.dir/friend_tracker.cpp.o"
+  "CMakeFiles/friend_tracker.dir/friend_tracker.cpp.o.d"
+  "friend_tracker"
+  "friend_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/friend_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmog_trading.dir/mmog_trading.cpp.o"
+  "CMakeFiles/mmog_trading.dir/mmog_trading.cpp.o.d"
+  "mmog_trading"
+  "mmog_trading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmog_trading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

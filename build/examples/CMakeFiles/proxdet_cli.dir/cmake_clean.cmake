@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxdet_cli.dir/proxdet_cli.cpp.o"
+  "CMakeFiles/proxdet_cli.dir/proxdet_cli.cpp.o.d"
+  "proxdet_cli"
+  "proxdet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxdet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/proxdet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/region/CMakeFiles/proxdet_region.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/proxdet_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/proxdet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/proxdet_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/proxdet_road.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/proxdet_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/proxdet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxdet_bench_support.dir/experiment.cc.o"
+  "CMakeFiles/proxdet_bench_support.dir/experiment.cc.o.d"
+  "libproxdet_bench_support.a"
+  "libproxdet_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxdet_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxdet_common.dir/gaussian.cc.o"
+  "CMakeFiles/proxdet_common.dir/gaussian.cc.o.d"
+  "CMakeFiles/proxdet_common.dir/linalg.cc.o"
+  "CMakeFiles/proxdet_common.dir/linalg.cc.o.d"
+  "CMakeFiles/proxdet_common.dir/rng.cc.o"
+  "CMakeFiles/proxdet_common.dir/rng.cc.o.d"
+  "CMakeFiles/proxdet_common.dir/stats.cc.o"
+  "CMakeFiles/proxdet_common.dir/stats.cc.o.d"
+  "CMakeFiles/proxdet_common.dir/table.cc.o"
+  "CMakeFiles/proxdet_common.dir/table.cc.o.d"
+  "libproxdet_common.a"
+  "libproxdet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxdet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

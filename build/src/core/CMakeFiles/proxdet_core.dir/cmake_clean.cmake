@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxdet_core.dir/cost_model.cc.o"
+  "CMakeFiles/proxdet_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/proxdet_core.dir/naive_detector.cc.o"
+  "CMakeFiles/proxdet_core.dir/naive_detector.cc.o.d"
+  "CMakeFiles/proxdet_core.dir/policies.cc.o"
+  "CMakeFiles/proxdet_core.dir/policies.cc.o.d"
+  "CMakeFiles/proxdet_core.dir/region_detector.cc.o"
+  "CMakeFiles/proxdet_core.dir/region_detector.cc.o.d"
+  "CMakeFiles/proxdet_core.dir/simulation.cc.o"
+  "CMakeFiles/proxdet_core.dir/simulation.cc.o.d"
+  "CMakeFiles/proxdet_core.dir/stripe_builder.cc.o"
+  "CMakeFiles/proxdet_core.dir/stripe_builder.cc.o.d"
+  "CMakeFiles/proxdet_core.dir/world.cc.o"
+  "CMakeFiles/proxdet_core.dir/world.cc.o.d"
+  "libproxdet_core.a"
+  "libproxdet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxdet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/circle.cc" "src/geom/CMakeFiles/proxdet_geom.dir/circle.cc.o" "gcc" "src/geom/CMakeFiles/proxdet_geom.dir/circle.cc.o.d"
+  "/root/repo/src/geom/polygon.cc" "src/geom/CMakeFiles/proxdet_geom.dir/polygon.cc.o" "gcc" "src/geom/CMakeFiles/proxdet_geom.dir/polygon.cc.o.d"
+  "/root/repo/src/geom/polyline.cc" "src/geom/CMakeFiles/proxdet_geom.dir/polyline.cc.o" "gcc" "src/geom/CMakeFiles/proxdet_geom.dir/polyline.cc.o.d"
+  "/root/repo/src/geom/segment.cc" "src/geom/CMakeFiles/proxdet_geom.dir/segment.cc.o" "gcc" "src/geom/CMakeFiles/proxdet_geom.dir/segment.cc.o.d"
+  "/root/repo/src/geom/stripe.cc" "src/geom/CMakeFiles/proxdet_geom.dir/stripe.cc.o" "gcc" "src/geom/CMakeFiles/proxdet_geom.dir/stripe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/proxdet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxdet_geom.dir/circle.cc.o"
+  "CMakeFiles/proxdet_geom.dir/circle.cc.o.d"
+  "CMakeFiles/proxdet_geom.dir/polygon.cc.o"
+  "CMakeFiles/proxdet_geom.dir/polygon.cc.o.d"
+  "CMakeFiles/proxdet_geom.dir/polyline.cc.o"
+  "CMakeFiles/proxdet_geom.dir/polyline.cc.o.d"
+  "CMakeFiles/proxdet_geom.dir/segment.cc.o"
+  "CMakeFiles/proxdet_geom.dir/segment.cc.o.d"
+  "CMakeFiles/proxdet_geom.dir/stripe.cc.o"
+  "CMakeFiles/proxdet_geom.dir/stripe.cc.o.d"
+  "libproxdet_geom.a"
+  "libproxdet_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxdet_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxdet_graph.dir/interest_graph.cc.o"
+  "CMakeFiles/proxdet_graph.dir/interest_graph.cc.o.d"
+  "libproxdet_graph.a"
+  "libproxdet_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxdet_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/evaluator.cc" "src/predict/CMakeFiles/proxdet_predict.dir/evaluator.cc.o" "gcc" "src/predict/CMakeFiles/proxdet_predict.dir/evaluator.cc.o.d"
+  "/root/repo/src/predict/hmm.cc" "src/predict/CMakeFiles/proxdet_predict.dir/hmm.cc.o" "gcc" "src/predict/CMakeFiles/proxdet_predict.dir/hmm.cc.o.d"
+  "/root/repo/src/predict/kalman.cc" "src/predict/CMakeFiles/proxdet_predict.dir/kalman.cc.o" "gcc" "src/predict/CMakeFiles/proxdet_predict.dir/kalman.cc.o.d"
+  "/root/repo/src/predict/linear_predictor.cc" "src/predict/CMakeFiles/proxdet_predict.dir/linear_predictor.cc.o" "gcc" "src/predict/CMakeFiles/proxdet_predict.dir/linear_predictor.cc.o.d"
+  "/root/repo/src/predict/predictor.cc" "src/predict/CMakeFiles/proxdet_predict.dir/predictor.cc.o" "gcc" "src/predict/CMakeFiles/proxdet_predict.dir/predictor.cc.o.d"
+  "/root/repo/src/predict/r2d2.cc" "src/predict/CMakeFiles/proxdet_predict.dir/r2d2.cc.o" "gcc" "src/predict/CMakeFiles/proxdet_predict.dir/r2d2.cc.o.d"
+  "/root/repo/src/predict/rmf.cc" "src/predict/CMakeFiles/proxdet_predict.dir/rmf.cc.o" "gcc" "src/predict/CMakeFiles/proxdet_predict.dir/rmf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traj/CMakeFiles/proxdet_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/proxdet_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/proxdet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/proxdet_road.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

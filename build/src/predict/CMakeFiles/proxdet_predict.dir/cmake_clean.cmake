@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxdet_predict.dir/evaluator.cc.o"
+  "CMakeFiles/proxdet_predict.dir/evaluator.cc.o.d"
+  "CMakeFiles/proxdet_predict.dir/hmm.cc.o"
+  "CMakeFiles/proxdet_predict.dir/hmm.cc.o.d"
+  "CMakeFiles/proxdet_predict.dir/kalman.cc.o"
+  "CMakeFiles/proxdet_predict.dir/kalman.cc.o.d"
+  "CMakeFiles/proxdet_predict.dir/linear_predictor.cc.o"
+  "CMakeFiles/proxdet_predict.dir/linear_predictor.cc.o.d"
+  "CMakeFiles/proxdet_predict.dir/predictor.cc.o"
+  "CMakeFiles/proxdet_predict.dir/predictor.cc.o.d"
+  "CMakeFiles/proxdet_predict.dir/r2d2.cc.o"
+  "CMakeFiles/proxdet_predict.dir/r2d2.cc.o.d"
+  "CMakeFiles/proxdet_predict.dir/rmf.cc.o"
+  "CMakeFiles/proxdet_predict.dir/rmf.cc.o.d"
+  "libproxdet_predict.a"
+  "libproxdet_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxdet_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

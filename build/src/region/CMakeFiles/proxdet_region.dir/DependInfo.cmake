@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/region/match_region.cc" "src/region/CMakeFiles/proxdet_region.dir/match_region.cc.o" "gcc" "src/region/CMakeFiles/proxdet_region.dir/match_region.cc.o.d"
+  "/root/repo/src/region/region.cc" "src/region/CMakeFiles/proxdet_region.dir/region.cc.o" "gcc" "src/region/CMakeFiles/proxdet_region.dir/region.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/proxdet_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/proxdet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

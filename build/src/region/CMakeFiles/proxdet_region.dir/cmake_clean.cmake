@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxdet_region.dir/match_region.cc.o"
+  "CMakeFiles/proxdet_region.dir/match_region.cc.o.d"
+  "CMakeFiles/proxdet_region.dir/region.cc.o"
+  "CMakeFiles/proxdet_region.dir/region.cc.o.d"
+  "libproxdet_region.a"
+  "libproxdet_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxdet_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

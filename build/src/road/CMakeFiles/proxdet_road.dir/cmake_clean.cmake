@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxdet_road.dir/road_network.cc.o"
+  "CMakeFiles/proxdet_road.dir/road_network.cc.o.d"
+  "libproxdet_road.a"
+  "libproxdet_road.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxdet_road.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traj/dataset.cc" "src/traj/CMakeFiles/proxdet_traj.dir/dataset.cc.o" "gcc" "src/traj/CMakeFiles/proxdet_traj.dir/dataset.cc.o.d"
+  "/root/repo/src/traj/generator.cc" "src/traj/CMakeFiles/proxdet_traj.dir/generator.cc.o" "gcc" "src/traj/CMakeFiles/proxdet_traj.dir/generator.cc.o.d"
+  "/root/repo/src/traj/simplify.cc" "src/traj/CMakeFiles/proxdet_traj.dir/simplify.cc.o" "gcc" "src/traj/CMakeFiles/proxdet_traj.dir/simplify.cc.o.d"
+  "/root/repo/src/traj/trajectory.cc" "src/traj/CMakeFiles/proxdet_traj.dir/trajectory.cc.o" "gcc" "src/traj/CMakeFiles/proxdet_traj.dir/trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/road/CMakeFiles/proxdet_road.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/proxdet_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/proxdet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxdet_traj.dir/dataset.cc.o"
+  "CMakeFiles/proxdet_traj.dir/dataset.cc.o.d"
+  "CMakeFiles/proxdet_traj.dir/generator.cc.o"
+  "CMakeFiles/proxdet_traj.dir/generator.cc.o.d"
+  "CMakeFiles/proxdet_traj.dir/simplify.cc.o"
+  "CMakeFiles/proxdet_traj.dir/simplify.cc.o.d"
+  "CMakeFiles/proxdet_traj.dir/trajectory.cc.o"
+  "CMakeFiles/proxdet_traj.dir/trajectory.cc.o.d"
+  "libproxdet_traj.a"
+  "libproxdet_traj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxdet_traj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

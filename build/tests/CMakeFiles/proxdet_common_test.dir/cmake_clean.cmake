@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxdet_common_test.dir/common/gaussian_test.cc.o"
+  "CMakeFiles/proxdet_common_test.dir/common/gaussian_test.cc.o.d"
+  "CMakeFiles/proxdet_common_test.dir/common/linalg_test.cc.o"
+  "CMakeFiles/proxdet_common_test.dir/common/linalg_test.cc.o.d"
+  "CMakeFiles/proxdet_common_test.dir/common/rng_test.cc.o"
+  "CMakeFiles/proxdet_common_test.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/proxdet_common_test.dir/common/stats_test.cc.o"
+  "CMakeFiles/proxdet_common_test.dir/common/stats_test.cc.o.d"
+  "CMakeFiles/proxdet_common_test.dir/common/table_test.cc.o"
+  "CMakeFiles/proxdet_common_test.dir/common/table_test.cc.o.d"
+  "proxdet_common_test"
+  "proxdet_common_test.pdb"
+  "proxdet_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxdet_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/cost_model_test.cc" "tests/CMakeFiles/proxdet_core_test.dir/core/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/proxdet_core_test.dir/core/cost_model_test.cc.o.d"
+  "/root/repo/tests/core/match_region_test.cc" "tests/CMakeFiles/proxdet_core_test.dir/core/match_region_test.cc.o" "gcc" "tests/CMakeFiles/proxdet_core_test.dir/core/match_region_test.cc.o.d"
+  "/root/repo/tests/core/region_shapes_test.cc" "tests/CMakeFiles/proxdet_core_test.dir/core/region_shapes_test.cc.o" "gcc" "tests/CMakeFiles/proxdet_core_test.dir/core/region_shapes_test.cc.o.d"
+  "/root/repo/tests/core/stripe_builder_test.cc" "tests/CMakeFiles/proxdet_core_test.dir/core/stripe_builder_test.cc.o" "gcc" "tests/CMakeFiles/proxdet_core_test.dir/core/stripe_builder_test.cc.o.d"
+  "/root/repo/tests/core/world_test.cc" "tests/CMakeFiles/proxdet_core_test.dir/core/world_test.cc.o" "gcc" "tests/CMakeFiles/proxdet_core_test.dir/core/world_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/proxdet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_support/CMakeFiles/proxdet_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/region/CMakeFiles/proxdet_region.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/proxdet_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/proxdet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/proxdet_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/proxdet_road.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/proxdet_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/proxdet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

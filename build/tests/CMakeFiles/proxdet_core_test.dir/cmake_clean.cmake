@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxdet_core_test.dir/core/cost_model_test.cc.o"
+  "CMakeFiles/proxdet_core_test.dir/core/cost_model_test.cc.o.d"
+  "CMakeFiles/proxdet_core_test.dir/core/match_region_test.cc.o"
+  "CMakeFiles/proxdet_core_test.dir/core/match_region_test.cc.o.d"
+  "CMakeFiles/proxdet_core_test.dir/core/region_shapes_test.cc.o"
+  "CMakeFiles/proxdet_core_test.dir/core/region_shapes_test.cc.o.d"
+  "CMakeFiles/proxdet_core_test.dir/core/stripe_builder_test.cc.o"
+  "CMakeFiles/proxdet_core_test.dir/core/stripe_builder_test.cc.o.d"
+  "CMakeFiles/proxdet_core_test.dir/core/world_test.cc.o"
+  "CMakeFiles/proxdet_core_test.dir/core/world_test.cc.o.d"
+  "proxdet_core_test"
+  "proxdet_core_test.pdb"
+  "proxdet_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxdet_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

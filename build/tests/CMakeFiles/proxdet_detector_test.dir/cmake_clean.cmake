@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxdet_detector_test.dir/core/detector_integration_test.cc.o"
+  "CMakeFiles/proxdet_detector_test.dir/core/detector_integration_test.cc.o.d"
+  "CMakeFiles/proxdet_detector_test.dir/core/naive_detector_test.cc.o"
+  "CMakeFiles/proxdet_detector_test.dir/core/naive_detector_test.cc.o.d"
+  "CMakeFiles/proxdet_detector_test.dir/core/policies_test.cc.o"
+  "CMakeFiles/proxdet_detector_test.dir/core/policies_test.cc.o.d"
+  "CMakeFiles/proxdet_detector_test.dir/core/region_detector_test.cc.o"
+  "CMakeFiles/proxdet_detector_test.dir/core/region_detector_test.cc.o.d"
+  "CMakeFiles/proxdet_detector_test.dir/core/simulation_test.cc.o"
+  "CMakeFiles/proxdet_detector_test.dir/core/simulation_test.cc.o.d"
+  "proxdet_detector_test"
+  "proxdet_detector_test.pdb"
+  "proxdet_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxdet_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxdet_geom_test.dir/geom/circle_test.cc.o"
+  "CMakeFiles/proxdet_geom_test.dir/geom/circle_test.cc.o.d"
+  "CMakeFiles/proxdet_geom_test.dir/geom/polygon_test.cc.o"
+  "CMakeFiles/proxdet_geom_test.dir/geom/polygon_test.cc.o.d"
+  "CMakeFiles/proxdet_geom_test.dir/geom/polyline_test.cc.o"
+  "CMakeFiles/proxdet_geom_test.dir/geom/polyline_test.cc.o.d"
+  "CMakeFiles/proxdet_geom_test.dir/geom/segment_test.cc.o"
+  "CMakeFiles/proxdet_geom_test.dir/geom/segment_test.cc.o.d"
+  "CMakeFiles/proxdet_geom_test.dir/geom/stripe_test.cc.o"
+  "CMakeFiles/proxdet_geom_test.dir/geom/stripe_test.cc.o.d"
+  "CMakeFiles/proxdet_geom_test.dir/geom/vec2_test.cc.o"
+  "CMakeFiles/proxdet_geom_test.dir/geom/vec2_test.cc.o.d"
+  "proxdet_geom_test"
+  "proxdet_geom_test.pdb"
+  "proxdet_geom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxdet_geom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

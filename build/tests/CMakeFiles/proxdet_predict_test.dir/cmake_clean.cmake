@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxdet_predict_test.dir/predict/evaluator_test.cc.o"
+  "CMakeFiles/proxdet_predict_test.dir/predict/evaluator_test.cc.o.d"
+  "CMakeFiles/proxdet_predict_test.dir/predict/hmm_test.cc.o"
+  "CMakeFiles/proxdet_predict_test.dir/predict/hmm_test.cc.o.d"
+  "CMakeFiles/proxdet_predict_test.dir/predict/kalman_test.cc.o"
+  "CMakeFiles/proxdet_predict_test.dir/predict/kalman_test.cc.o.d"
+  "CMakeFiles/proxdet_predict_test.dir/predict/linear_test.cc.o"
+  "CMakeFiles/proxdet_predict_test.dir/predict/linear_test.cc.o.d"
+  "CMakeFiles/proxdet_predict_test.dir/predict/r2d2_test.cc.o"
+  "CMakeFiles/proxdet_predict_test.dir/predict/r2d2_test.cc.o.d"
+  "CMakeFiles/proxdet_predict_test.dir/predict/rmf_test.cc.o"
+  "CMakeFiles/proxdet_predict_test.dir/predict/rmf_test.cc.o.d"
+  "proxdet_predict_test"
+  "proxdet_predict_test.pdb"
+  "proxdet_predict_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxdet_predict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

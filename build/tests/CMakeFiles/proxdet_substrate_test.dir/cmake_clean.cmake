@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxdet_substrate_test.dir/graph/interest_graph_test.cc.o"
+  "CMakeFiles/proxdet_substrate_test.dir/graph/interest_graph_test.cc.o.d"
+  "CMakeFiles/proxdet_substrate_test.dir/road/road_network_test.cc.o"
+  "CMakeFiles/proxdet_substrate_test.dir/road/road_network_test.cc.o.d"
+  "CMakeFiles/proxdet_substrate_test.dir/traj/generator_test.cc.o"
+  "CMakeFiles/proxdet_substrate_test.dir/traj/generator_test.cc.o.d"
+  "CMakeFiles/proxdet_substrate_test.dir/traj/simplify_test.cc.o"
+  "CMakeFiles/proxdet_substrate_test.dir/traj/simplify_test.cc.o.d"
+  "CMakeFiles/proxdet_substrate_test.dir/traj/trajectory_test.cc.o"
+  "CMakeFiles/proxdet_substrate_test.dir/traj/trajectory_test.cc.o.d"
+  "proxdet_substrate_test"
+  "proxdet_substrate_test.pdb"
+  "proxdet_substrate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxdet_substrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

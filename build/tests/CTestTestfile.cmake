@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/proxdet_common_test[1]_include.cmake")
+include("/root/repo/build/tests/proxdet_geom_test[1]_include.cmake")
+include("/root/repo/build/tests/proxdet_substrate_test[1]_include.cmake")
+include("/root/repo/build/tests/proxdet_predict_test[1]_include.cmake")
+include("/root/repo/build/tests/proxdet_core_test[1]_include.cmake")
+include("/root/repo/build/tests/proxdet_detector_test[1]_include.cmake")
