@@ -5,19 +5,21 @@
 //       the E_m = E_p balance from starving the stripe of radius;
 //   (b) per-step sigma: one scalar sigma prices a 2-step stripe and a
 //       20-step stripe with the same error scale.
-// Rows report total I/O of Stripe+KF under each combination.
+// Rows report total I/O of Stripe+KF under each combination; the variant
+// cells fan out through SweepRunner.
 
 #include <cstdio>
 
 #include "bench/bench_common.h"
 #include "bench_support/experiment.h"
+#include "bench_support/sweep_runner.h"
 
 using namespace proxdet;
 
 namespace {
 
-uint64_t RunVariant(const Workload& workload, double approach_factor,
-                    bool per_step_sigma) {
+RunResult RunVariant(const Workload& workload, double approach_factor,
+                     bool per_step_sigma) {
   std::unique_ptr<Predictor> predictor =
       MakeTrainedPredictor(PredictorKind::kKalman, workload);
   StripePolicy::Options sopts =
@@ -34,17 +36,34 @@ uint64_t RunVariant(const Workload& workload, double approach_factor,
   RegionDetector detector(
       std::make_unique<StripePolicy>(std::move(predictor), sopts));
   detector.Run(workload.world);
-  if (detector.SortedAlerts() != workload.ground_truth) {
-    std::fprintf(stderr, "FATAL: ablation variant broke correctness\n");
-    std::abort();
-  }
-  return detector.stats().TotalMessages();
+  RunResult result;
+  result.method = Method::kStripeKf;
+  result.stats = detector.stats();
+  const std::vector<AlertEvent> alerts = detector.SortedAlerts();
+  result.alert_count = alerts.size();
+  result.alerts_exact = alerts == workload.ground_truth;
+  return result;
 }
 
 }  // namespace
 
 int main() {
   const bool quick = QuickMode();
+  const std::vector<double> factors{1.0, 0.5, 0.25, 0.08};
+
+  // Columns: (approach_factor x sigma mode), per-step first.
+  std::vector<SweepColumn> columns;
+  for (const double factor : factors) {
+    for (const bool per_step : {true, false}) {
+      columns.push_back(
+          {FormatDouble(factor, 2) + (per_step ? "/per-step" : "/scalar"),
+           [factor, per_step](const Workload& workload) {
+             return RunVariant(workload, factor, per_step);
+           }});
+    }
+  }
+
+  SweepRunner runner("ablation_cost_model", columns);
   for (const DatasetKind dataset :
        {DatasetKind::kTruck, DatasetKind::kBeijingTaxi}) {
     WorkloadConfig config = DefaultExperimentConfig(dataset);
@@ -52,17 +71,26 @@ int main() {
       config.num_users = 80;
       config.epochs = 60;
     }
-    const Workload workload = BuildWorkload(config);
+    runner.AddPoint(DatasetName(dataset), DatasetName(dataset), config);
+  }
+  const std::vector<std::vector<RunResult>>& results = runner.Run();
+
+  size_t row = 0;
+  for (const DatasetKind dataset :
+       {DatasetKind::kTruck, DatasetKind::kBeijingTaxi}) {
     Table table("Ablation (cost model) - Stripe+KF total I/O on " +
                 DatasetName(dataset));
     table.SetHeader({"approach_factor", "per-step sigma", "scalar sigma"});
-    for (const double factor : {1.0, 0.5, 0.25, 0.08}) {
-      table.AddRow({FormatDouble(factor, 2),
-                    std::to_string(RunVariant(workload, factor, true)),
-                    std::to_string(RunVariant(workload, factor, false))});
+    for (size_t fi = 0; fi < factors.size(); ++fi) {
+      table.AddRow(
+          {FormatDouble(factors[fi], 2),
+           std::to_string(results[row][2 * fi].stats.TotalMessages()),
+           std::to_string(results[row][2 * fi + 1].stats.TotalMessages())});
     }
     std::printf("%s(approach_factor = 1.00 is the literal Eq. (4))\n\n",
                 table.ToString().c_str());
+    ++row;
   }
+  runner.WriteJson();
   return 0;
 }

@@ -2,24 +2,20 @@
 // segment distances inside Algorithm 2. The approximation is cheaper per
 // build but overestimates clearance, so radii are clamped against the exact
 // bound (safety is never traded); the question is whether the optimizer's
-// degraded view of the slack costs communication.
+// degraded view of the slack costs communication. Both variants of each
+// dataset fan out through SweepRunner.
 
 #include <cstdio>
 
 #include "bench/bench_common.h"
 #include "bench_support/experiment.h"
-#include "common/timer.h"
+#include "bench_support/sweep_runner.h"
 
 using namespace proxdet;
 
 namespace {
 
-struct VariantResult {
-  uint64_t total_io = 0;
-  double server_seconds = 0.0;
-};
-
-VariantResult RunVariant(const Workload& workload, bool use_eq8) {
+RunResult RunVariant(const Workload& workload, bool use_eq8) {
   std::unique_ptr<Predictor> predictor =
       MakeTrainedPredictor(PredictorKind::kKalman, workload);
   StripePolicy::Options sopts =
@@ -28,21 +24,24 @@ VariantResult RunVariant(const Workload& workload, bool use_eq8) {
   RegionDetector detector(
       std::make_unique<StripePolicy>(std::move(predictor), sopts));
   detector.Run(workload.world);
-  if (detector.SortedAlerts() != workload.ground_truth) {
-    std::fprintf(stderr, "FATAL: ablation variant broke correctness\n");
-    std::abort();
-  }
-  return {detector.stats().TotalMessages(),
-          detector.stats().server_seconds};
+  RunResult result;
+  result.method = Method::kStripeKf;
+  result.stats = detector.stats();
+  const std::vector<AlertEvent> alerts = detector.SortedAlerts();
+  result.alert_count = alerts.size();
+  result.alerts_exact = alerts == workload.ground_truth;
+  return result;
 }
 
 }  // namespace
 
 int main() {
   const bool quick = QuickMode();
-  Table table("Ablation (Eq. 8 vs exact clearance) - Stripe+KF");
-  table.SetHeader({"dataset", "exact I/O", "eq8 I/O", "exact CPU(s)",
-                   "eq8 CPU(s)"});
+  std::vector<SweepColumn> columns{
+      {"exact", [](const Workload& w) { return RunVariant(w, false); }},
+      {"eq8", [](const Workload& w) { return RunVariant(w, true); }}};
+
+  SweepRunner runner("ablation_eq8", columns);
   for (const DatasetKind dataset :
        {DatasetKind::kTruck, DatasetKind::kBeijingTaxi}) {
     WorkloadConfig config = DefaultExperimentConfig(dataset);
@@ -50,14 +49,26 @@ int main() {
       config.num_users = 80;
       config.epochs = 60;
     }
-    const Workload workload = BuildWorkload(config);
-    const VariantResult exact = RunVariant(workload, false);
-    const VariantResult eq8 = RunVariant(workload, true);
-    table.AddRow({DatasetName(dataset), std::to_string(exact.total_io),
-                  std::to_string(eq8.total_io),
-                  FormatDouble(exact.server_seconds, 3),
-                  FormatDouble(eq8.server_seconds, 3)});
+    runner.AddPoint(DatasetName(dataset), DatasetName(dataset), config);
+  }
+  const std::vector<std::vector<RunResult>>& results = runner.Run();
+
+  Table table("Ablation (Eq. 8 vs exact clearance) - Stripe+KF");
+  table.SetHeader({"dataset", "exact I/O", "eq8 I/O", "exact CPU(s)",
+                   "eq8 CPU(s)"});
+  size_t row = 0;
+  for (const DatasetKind dataset :
+       {DatasetKind::kTruck, DatasetKind::kBeijingTaxi}) {
+    const RunResult& exact = results[row][0];
+    const RunResult& eq8 = results[row][1];
+    table.AddRow({DatasetName(dataset),
+                  std::to_string(exact.stats.TotalMessages()),
+                  std::to_string(eq8.stats.TotalMessages()),
+                  FormatDouble(exact.stats.server_seconds, 3),
+                  FormatDouble(eq8.stats.server_seconds, 3)});
+    ++row;
   }
   std::printf("%s\n", table.ToString().c_str());
+  runner.WriteJson();
   return 0;
 }

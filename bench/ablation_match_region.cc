@@ -1,16 +1,35 @@
 // Ablation: the match region (Def. 3). Without it, a matched pair reports
 // every epoch until it separates; with it, a pair moving together costs
-// nothing. The gap widens with alert pressure (dense datasets).
+// nothing. The gap widens with alert pressure (dense datasets). The
+// (dataset x method x option) cells fan out through SweepRunner.
 
 #include <cstdio>
 
 #include "bench/bench_common.h"
 #include "bench_support/experiment.h"
+#include "bench_support/sweep_runner.h"
 
 using namespace proxdet;
 
 int main() {
   const bool quick = QuickMode();
+  const std::vector<Method> methods{Method::kCmd, Method::kStripeKf};
+
+  // Columns: every method with and without match regions, interleaved so
+  // a row reads (with, without) per method.
+  std::vector<SweepColumn> columns;
+  for (const Method method : methods) {
+    RegionDetector::Options without;
+    without.use_match_regions = false;
+    SweepColumn with_col = MethodColumn(method);
+    with_col.label = MethodName(method) + "+mr";
+    SweepColumn without_col = MethodColumn(method, without);
+    without_col.label = MethodName(method) + "-mr";
+    columns.push_back(std::move(with_col));
+    columns.push_back(std::move(without_col));
+  }
+
+  SweepRunner runner("ablation_match_region", columns);
   for (const DatasetKind dataset :
        {DatasetKind::kTruck, DatasetKind::kSingaporeTaxi}) {
     WorkloadConfig config = DefaultExperimentConfig(dataset);
@@ -18,31 +37,32 @@ int main() {
       config.num_users = 80;
       config.epochs = 60;
     }
-    const Workload workload = BuildWorkload(config);
+    runner.AddPoint(DatasetName(dataset), DatasetName(dataset), config);
+  }
+  const std::vector<std::vector<RunResult>>& results = runner.Run();
+
+  size_t row = 0;
+  for (const DatasetKind dataset :
+       {DatasetKind::kTruck, DatasetKind::kSingaporeTaxi}) {
     Table table("Ablation (match region) - total I/O on " +
                 DatasetName(dataset));
     table.SetHeader({"method", "with match region", "without", "overhead"});
-    for (const Method method : {Method::kCmd, Method::kStripeKf}) {
-      RegionDetector::Options with;
-      RegionDetector::Options without;
-      without.use_match_regions = false;
-      const RunResult a = RunMethod(method, workload, with);
-      const RunResult b = RunMethod(method, workload, without);
-      if (!a.alerts_exact || !b.alerts_exact) {
-        std::fprintf(stderr, "FATAL: ablation broke correctness\n");
-        return 1;
-      }
+    for (size_t m = 0; m < methods.size(); ++m) {
+      const RunResult& a = results[row][2 * m];
+      const RunResult& b = results[row][2 * m + 1];
       const double overhead =
           100.0 * (static_cast<double>(b.stats.TotalMessages()) /
                        static_cast<double>(a.stats.TotalMessages()) -
                    1.0);
-      table.AddRow({MethodName(method),
+      table.AddRow({MethodName(methods[m]),
                     std::to_string(a.stats.TotalMessages()),
                     std::to_string(b.stats.TotalMessages()),
                     (overhead >= 0 ? "+" : "") + FormatDouble(overhead, 1) +
                         "%"});
     }
     std::printf("%s\n", table.ToString().c_str());
+    ++row;
   }
+  runner.WriteJson();
   return 0;
 }

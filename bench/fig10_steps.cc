@@ -1,10 +1,12 @@
 // Figure 10: communication I/O vs number of steps S (the paper sweeps
 // 300..1500; total I/O grows roughly linearly in S for every method).
+// Cells fan out across the thread pool (PROXDET_THREADS).
 
 #include <cstdio>
 
 #include "bench/bench_common.h"
 #include "bench_support/experiment.h"
+#include "bench_support/sweep_runner.h"
 
 using namespace proxdet;
 
@@ -14,23 +16,22 @@ int main() {
   const std::vector<int> sweep = quick ? std::vector<int>{60, 120}
                                        : std::vector<int>{60, 120, 180, 240,
                                                           300};
-  const std::vector<Method> methods = PaperMethodSet();
 
+  SweepRunner runner("fig10", PaperMethodSet());
   for (const DatasetKind dataset : AllDatasetKinds()) {
-    std::vector<std::string> x_values;
-    std::vector<std::vector<RunResult>> results;
     for (const int s : sweep) {
       WorkloadConfig config = DefaultExperimentConfig(dataset);
       config.epochs = s;
       if (quick) config.num_users = 80;
-      const Workload workload = BuildWorkload(config);
-      x_values.push_back(std::to_string(s));
-      results.push_back(RunSuite(methods, workload));
+      runner.AddPoint(DatasetName(dataset), std::to_string(s), config);
     }
-    const Table table = MakeFigureTable(
-        "Figure 10 - I/O vs number of steps S on " + DatasetName(dataset),
-        "S", x_values, methods, results);
+  }
+  runner.Run();
+  for (const std::string& group : runner.groups()) {
+    const Table table = runner.GroupTable(
+        "Figure 10 - I/O vs number of steps S on " + group, "S", group);
     std::printf("%s\n", table.ToString().c_str());
   }
+  runner.WriteJson();
   return 0;
 }

@@ -1,12 +1,13 @@
 // Figure 11: communication I/O vs moving speed V (trajectory steps
 // consumed per epoch, 2..16). FMD/CMD degrade steadily with speed; the
 // stripe methods rise only mildly on Truck (straight highways keep the
-// predicted path valid).
+// predicted path valid). Cells fan out across the thread pool.
 
 #include <cstdio>
 
 #include "bench/bench_common.h"
 #include "bench_support/experiment.h"
+#include "bench_support/sweep_runner.h"
 
 using namespace proxdet;
 
@@ -14,11 +15,9 @@ int main() {
   const bool quick = QuickMode();
   const std::vector<int> sweep = quick ? std::vector<int>{4, 8}
                                        : std::vector<int>{2, 4, 8, 12, 16};
-  const std::vector<Method> methods = PaperMethodSet();
 
+  SweepRunner runner("fig11", PaperMethodSet());
   for (const DatasetKind dataset : AllDatasetKinds()) {
-    std::vector<std::string> x_values;
-    std::vector<std::vector<RunResult>> results;
     for (const int v : sweep) {
       WorkloadConfig config = DefaultExperimentConfig(dataset);
       config.speed_steps = v;
@@ -26,14 +25,16 @@ int main() {
         config.num_users = 80;
         config.epochs = 60;
       }
-      const Workload workload = BuildWorkload(config);
-      x_values.push_back(std::to_string(v));
-      results.push_back(RunSuite(methods, workload));
+      runner.AddPoint(DatasetName(dataset), std::to_string(v), config);
     }
-    const Table table = MakeFigureTable(
-        "Figure 11 - I/O vs moving speed V on " + DatasetName(dataset),
-        "V(steps/epoch)", x_values, methods, results);
+  }
+  runner.Run();
+  for (const std::string& group : runner.groups()) {
+    const Table table = runner.GroupTable(
+        "Figure 11 - I/O vs moving speed V on " + group, "V(steps/epoch)",
+        group);
     std::printf("%s\n", table.ToString().c_str());
   }
+  runner.WriteJson();
   return 0;
 }

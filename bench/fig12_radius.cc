@@ -1,11 +1,13 @@
 // Figure 12: communication I/O vs alert radius r (2..6 km). Larger radii
 // increase probing pressure but also park close pairs inside match
-// regions; the taxi datasets react the most (Sec. VI-D.5).
+// regions; the taxi datasets react the most (Sec. VI-D.5). Cells fan out
+// across the thread pool.
 
 #include <cstdio>
 
 #include "bench/bench_common.h"
 #include "bench_support/experiment.h"
+#include "bench_support/sweep_runner.h"
 
 using namespace proxdet;
 
@@ -14,11 +16,9 @@ int main() {
   const std::vector<double> sweep =
       quick ? std::vector<double>{2000, 6000}
             : std::vector<double>{2000, 3000, 4000, 5000, 6000};
-  const std::vector<Method> methods = PaperMethodSet();
 
+  SweepRunner runner("fig12", PaperMethodSet());
   for (const DatasetKind dataset : AllDatasetKinds()) {
-    std::vector<std::string> x_values;
-    std::vector<std::vector<RunResult>> results;
     for (const double r : sweep) {
       WorkloadConfig config = DefaultExperimentConfig(dataset);
       config.alert_radius_m = r;
@@ -26,14 +26,16 @@ int main() {
         config.num_users = 80;
         config.epochs = 60;
       }
-      const Workload workload = BuildWorkload(config);
-      x_values.push_back(FormatDouble(r / 1000.0, 0) + "km");
-      results.push_back(RunSuite(methods, workload));
+      runner.AddPoint(DatasetName(dataset), FormatDouble(r / 1000.0, 0) + "km",
+                      config);
     }
-    const Table table = MakeFigureTable(
-        "Figure 12 - I/O vs alert radius r on " + DatasetName(dataset), "r",
-        x_values, methods, results);
+  }
+  runner.Run();
+  for (const std::string& group : runner.groups()) {
+    const Table table = runner.GroupTable(
+        "Figure 12 - I/O vs alert radius r on " + group, "r", group);
     std::printf("%s\n", table.ToString().c_str());
   }
+  runner.WriteJson();
   return 0;
 }

@@ -1,12 +1,15 @@
 // Figure 13 / Sec. VI-E: dynamic interest-graph updates. E random edges
 // are inserted per epoch over a long run (the paper inserts 0..200 per
 // epoch for 100 epochs on GeoLife and Singapore Taxi); total I/O should
-// grow gracefully with the insertion rate.
+// grow gracefully with the insertion rate. Each sweep point schedules its
+// updates inside its workload customizer with a point-local Rng, so the
+// fan-out stays deterministic.
 
 #include <cstdio>
 
 #include "bench/bench_common.h"
 #include "bench_support/experiment.h"
+#include "bench_support/sweep_runner.h"
 #include "common/rng.h"
 
 using namespace proxdet;
@@ -21,34 +24,37 @@ int main() {
                                     Method::kFmd, Method::kCmd,
                                     Method::kStripeKf};
 
+  SweepRunner runner("fig13", methods);
   for (const DatasetKind dataset :
        {DatasetKind::kGeoLife, DatasetKind::kSingaporeTaxi}) {
-    std::vector<std::string> x_values;
-    std::vector<std::vector<RunResult>> results;
     for (const int e : sweep) {
       WorkloadConfig config = DefaultExperimentConfig(dataset);
       config.epochs = quick ? 60 : 100;  // Paper: 100 epochs of updates.
       if (quick) config.num_users = 80;
-      Workload workload = BuildWorkload(config);
-      Rng rng(31337 + e);
-      const auto n = static_cast<UserId>(config.num_users);
-      for (int epoch = 1; epoch < config.epochs; ++epoch) {
-        for (int k = 0; k < e; ++k) {
-          const UserId u = static_cast<UserId>(rng.NextIndex(n));
-          const UserId w = static_cast<UserId>(rng.NextIndex(n));
-          if (u == w) continue;
-          workload.world.ScheduleUpdate(
-              {epoch, true, u, w, config.alert_radius_m});
-        }
-      }
-      x_values.push_back(std::to_string(e));
-      results.push_back(RunSuite(methods, workload));
+      runner.AddPoint(
+          DatasetName(dataset), std::to_string(e), config,
+          [e, config](Workload* workload) {
+            Rng rng(31337 + e);
+            const auto n = static_cast<UserId>(config.num_users);
+            for (int epoch = 1; epoch < config.epochs; ++epoch) {
+              for (int k = 0; k < e; ++k) {
+                const UserId u = static_cast<UserId>(rng.NextIndex(n));
+                const UserId w = static_cast<UserId>(rng.NextIndex(n));
+                if (u == w) continue;
+                workload->world.ScheduleUpdate(
+                    {epoch, true, u, w, config.alert_radius_m});
+              }
+            }
+          });
     }
-    const Table table = MakeFigureTable(
-        "Figure 13 - I/O vs edge insertions per epoch on " +
-            DatasetName(dataset),
-        "E/epoch", x_values, methods, results);
+  }
+  runner.Run();
+  for (const std::string& group : runner.groups()) {
+    const Table table = runner.GroupTable(
+        "Figure 13 - I/O vs edge insertions per epoch on " + group, "E/epoch",
+        group);
     std::printf("%s\n", table.ToString().c_str());
   }
+  runner.WriteJson();
   return 0;
 }

@@ -2,12 +2,15 @@
 // moving objects on the Truck dataset (the paper sweeps 10K..500K on a
 // server; we sweep a laptop-scaled range with the same shape: Naive grows
 // linearly and dominates, safe-region methods stay well below, and the
-// stripe spends more server CPU on prediction than FMD/CMD).
+// stripe spends more server CPU on prediction than FMD/CMD). Cells fan out
+// across the thread pool; note the CPU column is wall-clock and therefore
+// the one table that is not bit-stable between runs.
 
 #include <cstdio>
 
 #include "bench/bench_common.h"
 #include "bench_support/experiment.h"
+#include "bench_support/sweep_runner.h"
 
 using namespace proxdet;
 
@@ -20,6 +23,15 @@ int main() {
                                     Method::kFmd, Method::kCmd,
                                     Method::kStripeKf};
 
+  SweepRunner runner("fig8", methods);
+  for (const size_t n : sweep) {
+    WorkloadConfig config = DefaultExperimentConfig(DatasetKind::kTruck);
+    config.num_users = n;
+    if (quick) config.epochs = 60;
+    runner.AddPoint("Truck", std::to_string(n), config);
+  }
+  const std::vector<std::vector<RunResult>>& results = runner.Run();
+
   Table io_table("Figure 8(a) - communication I/O vs N (Truck, Stripe+KF)");
   Table cpu_table("Figure 8(b) - server CPU seconds vs N (Truck)");
   std::vector<std::string> header{"N"};
@@ -27,15 +39,10 @@ int main() {
   io_table.SetHeader(header);
   cpu_table.SetHeader(header);
 
-  for (const size_t n : sweep) {
-    WorkloadConfig config = DefaultExperimentConfig(DatasetKind::kTruck);
-    config.num_users = n;
-    if (quick) config.epochs = 60;
-    const Workload workload = BuildWorkload(config);
-    const std::vector<RunResult> results = RunSuite(methods, workload);
-    std::vector<std::string> io_row{std::to_string(n)};
-    std::vector<std::string> cpu_row{std::to_string(n)};
-    for (const RunResult& r : results) {
+  for (size_t p = 0; p < sweep.size(); ++p) {
+    std::vector<std::string> io_row{std::to_string(sweep[p])};
+    std::vector<std::string> cpu_row{std::to_string(sweep[p])};
+    for (const RunResult& r : results[p]) {
       io_row.push_back(std::to_string(r.stats.TotalMessages()));
       cpu_row.push_back(FormatDouble(r.stats.server_seconds, 3));
     }
@@ -44,5 +51,6 @@ int main() {
   }
   std::printf("%s\n%s\n", io_table.ToString().c_str(),
               cpu_table.ToString().c_str());
+  runner.WriteJson();
   return 0;
 }

@@ -1,10 +1,12 @@
 // Figure 9: communication I/O vs average number of friends F (10..50) on
-// all four datasets, all eight comparison methods.
+// all four datasets, all eight comparison methods. Cells fan out across the
+// thread pool (PROXDET_THREADS); tables are identical for any thread count.
 
 #include <cstdio>
 
 #include "bench/bench_common.h"
 #include "bench_support/experiment.h"
+#include "bench_support/sweep_runner.h"
 
 using namespace proxdet;
 
@@ -13,11 +15,9 @@ int main() {
   const std::vector<double> sweep =
       quick ? std::vector<double>{10, 30}
             : std::vector<double>{10, 20, 30, 40, 50};
-  const std::vector<Method> methods = PaperMethodSet();
 
+  SweepRunner runner("fig9", PaperMethodSet());
   for (const DatasetKind dataset : AllDatasetKinds()) {
-    std::vector<std::string> x_values;
-    std::vector<std::vector<RunResult>> results;
     for (const double f : sweep) {
       WorkloadConfig config = DefaultExperimentConfig(dataset);
       config.avg_friends = f;
@@ -25,14 +25,15 @@ int main() {
         config.num_users = 80;
         config.epochs = 60;
       }
-      const Workload workload = BuildWorkload(config);
-      x_values.push_back(FormatDouble(f, 0));
-      results.push_back(RunSuite(methods, workload));
+      runner.AddPoint(DatasetName(dataset), FormatDouble(f, 0), config);
     }
-    const Table table = MakeFigureTable(
-        "Figure 9 - I/O vs avg friends F on " + DatasetName(dataset), "F",
-        x_values, methods, results);
+  }
+  runner.Run();
+  for (const std::string& group : runner.groups()) {
+    const Table table = runner.GroupTable(
+        "Figure 9 - I/O vs avg friends F on " + group, "F", group);
     std::printf("%s\n", table.ToString().c_str());
   }
+  runner.WriteJson();
   return 0;
 }

@@ -43,6 +43,20 @@ void BM_StripeContains(benchmark::State& state) {
 }
 BENCHMARK(BM_StripeContains)->Arg(2)->Arg(8)->Arg(21);
 
+// The common negative case in a live run: the queried position is nowhere
+// near the stripe. The AABB early-reject answers these without touching a
+// single segment, so time should be flat in the anchor count (compare with
+// BM_StripeContains, which scales linearly).
+void BM_StripeContainsFarPoint(benchmark::State& state) {
+  Rng rng(2);
+  const Stripe stripe = RandomStripe(&rng, static_cast<int>(state.range(0)));
+  const Vec2 p{1e6, 1e6};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stripe.Contains(p));
+  }
+}
+BENCHMARK(BM_StripeContainsFarPoint)->Arg(2)->Arg(8)->Arg(21);
+
 void BM_StripeStripeDistance(benchmark::State& state) {
   Rng rng(3);
   const Stripe a = RandomStripe(&rng, static_cast<int>(state.range(0)));

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "exec/thread_pool.h"
+
 namespace proxdet {
 
 WorkloadConfig DefaultExperimentConfig(DatasetKind dataset) {
@@ -20,19 +22,21 @@ WorkloadConfig DefaultExperimentConfig(DatasetKind dataset) {
 
 std::vector<RunResult> RunSuite(const std::vector<Method>& methods,
                                 const Workload& workload) {
-  std::vector<RunResult> results;
-  results.reserve(methods.size());
-  for (const Method method : methods) {
-    RunResult result = RunMethod(method, workload);
-    if (!result.alerts_exact) {
+  // Method cells are independent (each builds its own detector and
+  // predictor from the const workload), so they fan out across the pool;
+  // results land in method order regardless of the thread count.
+  std::vector<RunResult> results = ParallelMap<RunResult>(
+      methods.size(),
+      [&](size_t i) { return RunMethod(methods[i], workload); });
+  for (size_t i = 0; i < methods.size(); ++i) {
+    if (!results[i].alerts_exact) {
       std::fprintf(stderr,
                    "FATAL: %s deviated from the ground-truth alert stream on "
                    "%s — benchmark numbers would be void.\n",
-                   MethodName(method).c_str(),
+                   MethodName(methods[i]).c_str(),
                    DatasetName(workload.config.dataset).c_str());
       std::abort();
     }
-    results.push_back(std::move(result));
   }
   return results;
 }

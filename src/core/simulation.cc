@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "core/policies.h"
+#include "exec/thread_pool.h"
 #include "predict/evaluator.h"
 #include "predict/kalman.h"
 
@@ -69,26 +70,42 @@ PredictorKind PredictorForMethod(Method method) {
 }
 
 /// Grid-tunes the Kalman noise parameters on the training set (the paper
-/// tunes them "for the best performance", Sec. VI-B).
+/// tunes them "for the best performance", Sec. VI-B). The 18 grid cells are
+/// independent — each evaluates its own candidate with its own Rng(seed) —
+/// so they fan out across the pool; the argmin scans cell results in grid
+/// order, which reproduces the serial tie-breaking exactly.
 std::unique_ptr<Predictor> MakeTunedKalman(
     const std::vector<Trajectory>& training, uint64_t seed) {
-  const double process_grid[] = {0.05, 0.2, 0.8, 3.0, 12.0, 50.0};
-  const double measurement_grid[] = {2.0, 5.0, 12.0};
+  const std::vector<double> process_grid = {0.05, 0.2, 0.8, 3.0, 12.0, 50.0};
+  const std::vector<double> measurement_grid = {2.0, 5.0, 12.0};
+  struct Cell {
+    double q = 0.0;
+    double r = 0.0;
+    double mean_error = 0.0;
+    size_t query_count = 0;
+  };
+  const size_t cells = process_grid.size() * measurement_grid.size();
+  const std::vector<Cell> results = ParallelMap<Cell>(cells, [&](size_t i) {
+    Cell cell;
+    cell.q = process_grid[i / measurement_grid.size()];
+    cell.r = measurement_grid[i % measurement_grid.size()];
+    KalmanPredictor candidate(1.0, cell.q, cell.r);
+    Rng rng(seed);
+    const PredictionEvaluation eval =
+        EvaluatePredictor(&candidate, training, 10, 10, 120, &rng);
+    cell.mean_error = eval.mean_error_m;
+    cell.query_count = eval.query_count;
+    return cell;
+  });
   double best_error = -1.0;
   double best_q = 0.8;
   double best_r = 5.0;
-  for (const double q : process_grid) {
-    for (const double r : measurement_grid) {
-      KalmanPredictor candidate(1.0, q, r);
-      Rng rng(seed);
-      const PredictionEvaluation eval =
-          EvaluatePredictor(&candidate, training, 10, 10, 120, &rng);
-      if (eval.query_count == 0) continue;
-      if (best_error < 0.0 || eval.mean_error_m < best_error) {
-        best_error = eval.mean_error_m;
-        best_q = q;
-        best_r = r;
-      }
+  for (const Cell& cell : results) {
+    if (cell.query_count == 0) continue;
+    if (best_error < 0.0 || cell.mean_error < best_error) {
+      best_error = cell.mean_error;
+      best_q = cell.q;
+      best_r = cell.r;
     }
   }
   return std::make_unique<KalmanPredictor>(1.0, best_q, best_r);

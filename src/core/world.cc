@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <unordered_map>
-#include <unordered_set>
+
+#include "exec/thread_pool.h"
 
 namespace proxdet {
 
@@ -58,40 +59,85 @@ void World::ScheduleUpdate(const GraphUpdate& update) {
 }
 
 std::vector<AlertEvent> World::GroundTruthAlerts() const {
-  // Live edge set with radii; pair -> matched status.
-  std::unordered_map<uint64_t, double> live;
-  std::unordered_set<uint64_t> matched;
+  // Pairs never interact: an edge's alert timeline depends only on its own
+  // updates and the two trajectories. The scan therefore partitions by
+  // *pair* — each pair replays all epochs with its private live/matched
+  // state — and the per-pair streams are merged and sorted. This yields
+  // the same alert set as the historical per-epoch sweep over a shared
+  // live map, for any thread count.
+  struct PairState {
+    UserId u = -1;
+    UserId w = -1;
+    double initial_radius = 0.0;
+    bool initially_live = false;
+    // Indices into updates_ touching this pair, in schedule order.
+    std::vector<size_t> updates;
+  };
+  std::vector<PairState> pairs;
+  std::unordered_map<uint64_t, size_t> pair_index;
   for (const auto& e : graph_.Edges()) {
-    live[PairKey(e.u, e.w)] = e.alert_radius;
+    pair_index.emplace(PairKey(e.u, e.w), pairs.size());
+    pairs.push_back({std::min(e.u, e.w), std::max(e.u, e.w), e.alert_radius,
+                     true, {}});
   }
+  for (size_t i = 0; i < updates_.size(); ++i) {
+    const uint64_t key = PairKey(updates_[i].u, updates_[i].w);
+    auto [it, inserted] = pair_index.emplace(key, pairs.size());
+    if (inserted) {
+      pairs.push_back({std::min(updates_[i].u, updates_[i].w),
+                       std::max(updates_[i].u, updates_[i].w), 0.0, false,
+                       {}});
+    }
+    pairs[it->second].updates.push_back(i);
+  }
+
+  // Chunked fan-out keeps per-task bookkeeping negligible next to the
+  // epochs * pairs distance work.
+  const size_t chunk = 64;
+  const size_t chunks = (pairs.size() + chunk - 1) / chunk;
+  std::vector<std::vector<AlertEvent>> partial(chunks);
+  ParallelFor(chunks, [&](size_t c) {
+    std::vector<AlertEvent>& alerts = partial[c];
+    const size_t lo = c * chunk;
+    const size_t hi = std::min(lo + chunk, pairs.size());
+    for (size_t p = lo; p < hi; ++p) {
+      const PairState& pair = pairs[p];
+      bool live = pair.initially_live;
+      double radius = pair.initial_radius;
+      bool matched = false;
+      size_t next_update = 0;
+      for (int epoch = 0; epoch < epochs_; ++epoch) {
+        while (next_update < pair.updates.size() &&
+               updates_[pair.updates[next_update]].epoch <= epoch) {
+          const GraphUpdate& up = updates_[pair.updates[next_update]];
+          if (up.insert) {
+            if (!live) {  // Matches the shared map's emplace(): inserting
+              live = true;  // an already-live edge keeps the old radius.
+              radius = up.alert_radius;
+            }
+          } else {
+            live = false;
+            matched = false;
+          }
+          ++next_update;
+        }
+        if (!live) continue;
+        const double d =
+            Distance(Position(pair.u, epoch), Position(pair.w, epoch));
+        const bool inside = d < radius;
+        if (inside && !matched) {
+          alerts.push_back({epoch, pair.u, pair.w});
+          matched = true;
+        } else if (!inside && matched) {
+          matched = false;
+        }
+      }
+    }
+  });
+
   std::vector<AlertEvent> alerts;
-  size_t next_update = 0;
-  for (int epoch = 0; epoch < epochs_; ++epoch) {
-    while (next_update < updates_.size() &&
-           updates_[next_update].epoch <= epoch) {
-      const GraphUpdate& up = updates_[next_update];
-      const uint64_t key = PairKey(up.u, up.w);
-      if (up.insert) {
-        live.emplace(key, up.alert_radius);
-      } else {
-        live.erase(key);
-        matched.erase(key);
-      }
-      ++next_update;
-    }
-    for (const auto& [key, radius] : live) {
-      const UserId u = static_cast<UserId>(key >> 32);
-      const UserId w = static_cast<UserId>(key & 0xffffffffULL);
-      const double d = Distance(Position(u, epoch), Position(w, epoch));
-      const bool inside = d < radius;
-      const bool was_matched = matched.count(key) > 0;
-      if (inside && !was_matched) {
-        alerts.push_back({epoch, std::min(u, w), std::max(u, w)});
-        matched.insert(key);
-      } else if (!inside && was_matched) {
-        matched.erase(key);
-      }
-    }
+  for (const std::vector<AlertEvent>& part : partial) {
+    alerts.insert(alerts.end(), part.begin(), part.end());
   }
   SortAlerts(&alerts);
   return alerts;

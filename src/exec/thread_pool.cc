@@ -1,0 +1,154 @@
+#include "exec/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace proxdet {
+
+ThreadPool::ThreadPool(unsigned threads) : threads_(threads == 0 ? 1 : threads) {
+  workers_.reserve(threads_ - 1);
+  for (unsigned i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+unsigned ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("PROXDET_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+std::mutex& GlobalPoolMutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  std::unique_ptr<ThreadPool>& slot = GlobalPoolSlot();
+  if (!slot) slot = std::make_unique<ThreadPool>(DefaultThreadCount());
+  return *slot;
+}
+
+void ThreadPool::SetGlobalThreads(unsigned threads) {
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  std::unique_ptr<ThreadPool>& slot = GlobalPoolSlot();
+  slot.reset();  // Joins the old workers before the new pool spins up.
+  slot = std::make_unique<ThreadPool>(threads);
+}
+
+namespace {
+
+/// Shared loop state. Helpers submitted to the pool may outlive the
+/// ParallelFor call (they run, find no index left, and exit), so the state
+/// is shared_ptr-owned; `fn` is only invoked for claimed indices, which
+/// the caller is guaranteed to still be waiting on.
+struct LoopState {
+  explicit LoopState(size_t total, std::function<void(size_t)> f)
+      : n(total), fn(std::move(f)) {}
+
+  const size_t n;
+  const std::function<void(size_t)> fn;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::atomic<bool> failed{false};
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::exception_ptr error;
+
+  void RunIterations() {
+    for (size_t i; (i = next.fetch_add(1, std::memory_order_relaxed)) < n;) {
+      if (!failed.load(std::memory_order_relaxed)) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (!error) error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(mutex);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelFor(ThreadPool& pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (pool.thread_count() <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto state = std::make_shared<LoopState>(n, fn);
+  const size_t helpers =
+      std::min<size_t>(pool.thread_count() - 1, n - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    pool.Submit([state] { state->RunIterations(); });
+  }
+  // The caller drains the iteration space itself: even if every helper is
+  // stuck behind other queued work (nested ParallelFor under saturation),
+  // progress is guaranteed and the wait below terminates.
+  state->RunIterations();
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelFor(ThreadPool::Global(), n, fn);
+}
+
+}  // namespace proxdet

@@ -1,6 +1,7 @@
 #include "geom/polyline.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace proxdet {
@@ -16,11 +17,15 @@ double Polyline::Length() const {
 }
 
 double Polyline::DistanceToPoint(const Vec2& p) const {
+  return std::sqrt(SquaredDistanceToPoint(p));
+}
+
+double Polyline::SquaredDistanceToPoint(const Vec2& p) const {
   if (points_.empty()) return std::numeric_limits<double>::infinity();
-  if (points_.size() == 1) return Distance(p, points_[0]);
+  if (points_.size() == 1) return SquaredDistance(p, points_[0]);
   double best = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i + 1 < points_.size(); ++i) {
-    best = std::min(best, DistancePointToSegment(p, segment(i)));
+    best = std::min(best, SquaredDistancePointToSegment(p, segment(i)));
   }
   return best;
 }
@@ -35,11 +40,12 @@ double Polyline::DistanceToPolyline(const Polyline& other) const {
   for (size_t i = 0; i + 1 < points_.size(); ++i) {
     const Segment s1 = segment(i);
     for (size_t j = 0; j + 1 < other.points_.size(); ++j) {
-      best = std::min(best, DistanceSegmentToSegment(s1, other.segment(j)));
+      best = std::min(best,
+                      SquaredDistanceSegmentToSegment(s1, other.segment(j)));
       if (best == 0.0) return 0.0;
     }
   }
-  return best;
+  return std::sqrt(best);
 }
 
 Vec2 Polyline::PointAtArcLength(double s) const {

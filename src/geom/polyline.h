@@ -32,6 +32,11 @@ class Polyline {
   /// that point. Returns +inf for an empty polyline.
   double DistanceToPoint(const Vec2& p) const;
 
+  /// Squared form of DistanceToPoint: the per-segment scan compares squared
+  /// distances and defers the single sqrt to the caller, which is bit-exact
+  /// because correctly-rounded sqrt is monotone.
+  double SquaredDistanceToPoint(const Vec2& p) const;
+
   /// Exact minimum distance between two polylines (0 if they cross).
   double DistanceToPolyline(const Polyline& other) const;
 

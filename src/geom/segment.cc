@@ -1,6 +1,7 @@
 #include "geom/segment.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace proxdet {
 
@@ -13,7 +14,11 @@ Vec2 ClosestPointOnSegment(const Segment& s, const Vec2& p) {
 }
 
 double DistancePointToSegment(const Vec2& p, const Segment& s) {
-  return Distance(p, ClosestPointOnSegment(s, p));
+  return std::sqrt(SquaredDistancePointToSegment(p, s));
+}
+
+double SquaredDistancePointToSegment(const Vec2& p, const Segment& s) {
+  return SquaredDistance(p, ClosestPointOnSegment(s, p));
 }
 
 namespace {
@@ -51,12 +56,16 @@ bool SegmentsIntersect(const Segment& s1, const Segment& s2) {
 }
 
 double DistanceSegmentToSegment(const Segment& s1, const Segment& s2) {
+  return std::sqrt(SquaredDistanceSegmentToSegment(s1, s2));
+}
+
+double SquaredDistanceSegmentToSegment(const Segment& s1, const Segment& s2) {
   if (SegmentsIntersect(s1, s2)) return 0.0;
   // Disjoint segments: the minimum is realized at an endpoint of one of them.
-  const double d1 = DistancePointToSegment(s1.a, s2);
-  const double d2 = DistancePointToSegment(s1.b, s2);
-  const double d3 = DistancePointToSegment(s2.a, s1);
-  const double d4 = DistancePointToSegment(s2.b, s1);
+  const double d1 = SquaredDistancePointToSegment(s1.a, s2);
+  const double d2 = SquaredDistancePointToSegment(s1.b, s2);
+  const double d3 = SquaredDistancePointToSegment(s2.a, s1);
+  const double d4 = SquaredDistancePointToSegment(s2.b, s1);
   return std::min(std::min(d1, d2), std::min(d3, d4));
 }
 

@@ -23,8 +23,17 @@ Vec2 ClosestPointOnSegment(const Segment& s, const Vec2& p);
 /// d(o, \overline{p_i p_{i+1}}) primitive of the paper's Eqs. (7)-(8).
 double DistancePointToSegment(const Vec2& p, const Segment& s);
 
+/// Squared minimum distance from p to the segment. The polyline scans
+/// minimize this and take one sqrt at the end; because IEEE sqrt is
+/// correctly rounded (hence monotone), sqrt(min d^2) == min sqrt(d^2)
+/// bit-for-bit, so the two formulations are interchangeable.
+double SquaredDistancePointToSegment(const Vec2& p, const Segment& s);
+
 /// Minimum Euclidean distance between two segments (0 if they intersect).
 double DistanceSegmentToSegment(const Segment& s1, const Segment& s2);
+
+/// Squared minimum distance between two segments (0 if they intersect).
+double SquaredDistanceSegmentToSegment(const Segment& s1, const Segment& s2);
 
 /// Whether the two segments intersect (including touching endpoints).
 bool SegmentsIntersect(const Segment& s1, const Segment& s2);

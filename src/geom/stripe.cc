@@ -7,9 +7,27 @@
 namespace proxdet {
 
 Stripe::Stripe(Polyline path, double radius)
-    : path_(std::move(path)), radius_(radius) {}
+    : path_(std::move(path)), radius_(radius) {
+  if (!path_.empty()) {
+    reject_box_.lo = reject_box_.hi = path_.points().front();
+    for (const Vec2& p : path_.points()) reject_box_.Extend(p);
+    // Inflate by the radius plus 1e-6: three orders of magnitude above the
+    // 1e-9 containment tolerance, so rounding in the inflation can never
+    // turn a contained point into a reject.
+    const double margin = radius_ + 1e-6;
+    reject_box_.lo -= Vec2{margin, margin};
+    reject_box_.hi += Vec2{margin, margin};
+    has_reject_box_ = true;
+  }
+}
 
 bool Stripe::Contains(const Vec2& p) const {
+  // AABB early-reject: every path point is inside reject_box_ deflated by
+  // radius_ + 1e-6, so any p outside the box is strictly farther than the
+  // containment threshold from every segment.
+  if (!has_reject_box_ || !reject_box_.Contains(p)) {
+    return false;
+  }
   return path_.DistanceToPoint(p) <= radius_ + 1e-9;
 }
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "geom/bbox.h"
 #include "geom/circle.h"
 #include "geom/polyline.h"
 #include "geom/vec2.h"
@@ -49,6 +50,11 @@ class Stripe {
  private:
   Polyline path_;
   double radius_ = 0.0;
+  // Bounding box of the path inflated by radius_ plus a margin that safely
+  // dominates the containment tolerance; Contains() rejects points outside
+  // it without scanning a single segment. Invalid when the path is empty.
+  BBox reject_box_;
+  bool has_reject_box_ = false;
 };
 
 }  // namespace proxdet

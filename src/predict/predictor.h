@@ -16,9 +16,12 @@ namespace proxdet {
 ///
 /// `Train` is the offline phase (the paper trains on 1,600 synchronized
 /// timestamps of 10K objects); models without a training phase (Linear,
-/// Kalman, RMF) ignore it. `Predict` may mutate internal state (e.g. the
-/// particle filter inside R2-D2 draws random numbers) but must not depend on
-/// call order — every call is a fresh prediction from `recent`.
+/// Kalman, RMF) ignore it. `Predict` must be a pure function of the trained
+/// state and its arguments: no member mutation, no call-order dependence.
+/// Stochastic models derive any randomness from a per-call Rng seeded by
+/// the model seed and the query (see R2-D2). This makes concurrent Predict
+/// calls on a shared trained model both safe and deterministic — the
+/// parallel calibration and evaluation paths (src/exec) rely on it.
 class Predictor {
  public:
   virtual ~Predictor() = default;

@@ -2,12 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "predict/kalman.h"
 
 namespace proxdet {
 
 namespace {
+
+/// Mixes the query into the model seed so the per-call particle Rng is a
+/// deterministic function of the input alone (SplitMix64-style finalizer).
+uint64_t HashQuery(uint64_t seed, const std::vector<Vec2>& recent,
+                   size_t steps) {
+  uint64_t h = seed ^ (0x9e3779b97f4a7c15ULL + steps);
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+  };
+  for (const Vec2& p : recent) {
+    uint64_t bx, by;
+    static_assert(sizeof(bx) == sizeof(p.x), "Vec2 coordinates are doubles");
+    std::memcpy(&bx, &p.x, sizeof(bx));
+    std::memcpy(&by, &p.y, sizeof(by));
+    mix(bx);
+    mix(by);
+  }
+  return h;
+}
 
 int CellIndex(const BBox& extent, double cell_w, double cell_h, int cols,
               int rows, const Vec2& p) {
@@ -22,7 +44,7 @@ int CellIndex(const BBox& extent, double cell_w, double cell_h, int cols,
 }  // namespace
 
 R2d2Predictor::R2d2Predictor(const Options& options, uint64_t seed)
-    : options_(options), rng_(seed) {}
+    : options_(options), seed_(seed) {}
 
 void R2d2Predictor::Train(const std::vector<Trajectory>& history) {
   references_ = history;
@@ -144,10 +166,12 @@ std::vector<Vec2> R2d2Predictor::Predict(const std::vector<Vec2>& recent,
     Vec2 offset;  // Accumulated process noise.
     double weight;
   };
+  // Per-call stream: Predict stays reentrant and order-independent.
+  Rng rng(HashQuery(seed_, recent, steps));
   std::vector<Particle> particles;
   particles.reserve(options_.particles);
   for (size_t i = 0; i < options_.particles; ++i) {
-    const size_t pick = rng_.WeightedIndex(weights);
+    const size_t pick = rng.WeightedIndex(weights);
     particles.push_back({pick, Vec2{0.0, 0.0}, 1.0});
   }
 
@@ -163,8 +187,8 @@ std::vector<Vec2> R2d2Predictor::Predict(const std::vector<Vec2>& recent,
       const Candidate& cand = candidates[p.candidate];
       const auto& ref = references_[cand.traj].points();
       const Vec2 displacement = ref[cand.index + j] - ref[cand.index];
-      p.offset += Vec2{rng_.Gaussian(0.0, options_.step_noise_m),
-                       rng_.Gaussian(0.0, options_.step_noise_m)};
+      p.offset += Vec2{rng.Gaussian(0.0, options_.step_noise_m),
+                       rng.Gaussian(0.0, options_.step_noise_m)};
       // Re-weight by agreement with the candidate pool consensus, computed
       // against the plain weighted displacement (keeps divergent references
       // from dominating long horizons).
@@ -183,7 +207,7 @@ std::vector<Vec2> R2d2Predictor::Predict(const std::vector<Vec2>& recent,
       std::vector<Particle> next;
       next.reserve(particles.size());
       const double step_size = weight_sum / particles.size();
-      double pointer = rng_.NextDouble() * step_size;
+      double pointer = rng.NextDouble() * step_size;
       double cumulative = 0.0;
       size_t src = 0;
       for (size_t i = 0; i < particles.size(); ++i) {

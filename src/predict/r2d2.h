@@ -17,6 +17,11 @@ namespace proxdet {
 /// transfer plus systematic resampling — the particle-filter machinery of
 /// the original, minus the sensor-update step that forecasting has no
 /// observations for.
+///
+/// The particle draws come from a per-call Rng seeded by the constructor
+/// seed mixed with a hash of the query window, so Predict is a pure
+/// function of (trained state, recent, steps): call order and concurrency
+/// cannot change its output.
 class R2d2Predictor : public Predictor {
  public:
   struct Options {
@@ -53,7 +58,7 @@ class R2d2Predictor : public Predictor {
                                         size_t steps) const;
 
   Options options_;
-  Rng rng_;
+  uint64_t seed_;
   std::vector<Trajectory> references_;
   // cell -> (traj, index) postings.
   std::unordered_map<int, std::vector<std::pair<uint32_t, uint32_t>>> index_;

@@ -1,0 +1,104 @@
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace proxdet {
+namespace {
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmittedTasksAllComplete) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::condition_variable cv;
+  int done = 0;
+  constexpr int kTasks = 64;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      std::lock_guard<std::mutex> lock(m);
+      if (++done == kTasks) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(m);
+  cv.wait(lock, [&] { return done == kTasks; });
+  EXPECT_EQ(done, kTasks);
+}
+
+// Every index in [0, n) is claimed exactly once, whatever the pool size
+// (including the single-thread pool, which runs the loop inline).
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    for (const size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{1000}}) {
+      std::vector<int> hits(n, 0);
+      // Each index is claimed by exactly one thread, so the unsynchronized
+      // increment of its own slot is race-free.
+      ParallelFor(pool, n, [&](size_t i) { ++hits[i]; });
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i], 1) << "threads=" << threads << " n=" << n
+                              << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesSlotOrder) {
+  for (const unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    const std::vector<size_t> out =
+        ParallelMap<size_t>(pool, 500, [](size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 500u);
+    for (size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], i * i);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  for (const unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(ParallelFor(pool, 100,
+                             [](size_t i) {
+                               if (i == 37) throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+  }
+}
+
+// Nested ParallelFor must not deadlock even when the outer loop saturates
+// the pool: the inner call's caller drains its own iteration space.
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  ThreadPool pool(4);
+  constexpr size_t kOuter = 16;
+  constexpr size_t kInner = 16;
+  std::vector<std::vector<int>> hits(kOuter, std::vector<int>(kInner, 0));
+  ParallelFor(pool, kOuter, [&](size_t i) {
+    ParallelFor(pool, kInner, [&, i](size_t j) { ++hits[i][j]; });
+  });
+  for (size_t i = 0; i < kOuter; ++i) {
+    for (size_t j = 0; j < kInner; ++j) {
+      ASSERT_EQ(hits[i][j], 1) << "cell " << i << "," << j;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SetGlobalThreadsRebuildsGlobalPool) {
+  ThreadPool::SetGlobalThreads(3);
+  EXPECT_EQ(ThreadPool::Global().thread_count(), 3u);
+  std::atomic<int> count{0};
+  ParallelFor(100, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+  ThreadPool::SetGlobalThreads(ThreadPool::DefaultThreadCount());
+}
+
+}  // namespace
+}  // namespace proxdet

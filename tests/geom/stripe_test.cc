@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "common/rng.h"
 
 namespace proxdet {
@@ -91,6 +95,64 @@ TEST(StripeTest, CapsuleAreaUpperBound) {
   const Stripe s(Polyline({{0, 0}, {10, 0}}), 1.0);
   // pi * r^2 + 2 r L = pi + 20.
   EXPECT_NEAR(s.CapsuleAreaUpperBound(), 3.14159265 + 20.0, 1e-6);
+}
+
+// Property: the AABB early-reject in Contains never changes the answer.
+// Points are drawn from a range much wider than the stripe so most fall
+// outside the reject box, and every verdict must still match Def. 4.
+TEST(StripeTest, PropertyContainsMatchesDefinitionFarField) {
+  Rng rng(47);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Vec2> pts;
+    Vec2 p{rng.Uniform(-50, 50), rng.Uniform(-50, 50)};
+    for (int i = 0; i < 5; ++i) {
+      pts.push_back(p);
+      p += Vec2{rng.Uniform(-10, 10), rng.Uniform(-10, 10)};
+    }
+    const Stripe s(Polyline(pts), rng.Uniform(0.5, 5.0));
+    for (int i = 0; i < 100; ++i) {
+      const Vec2 q{rng.Uniform(-2000, 2000), rng.Uniform(-2000, 2000)};
+      const bool by_def = s.path().DistanceToPoint(q) <= s.radius() + 1e-9;
+      EXPECT_EQ(s.Contains(q), by_def);
+    }
+  }
+}
+
+// Boundary points sit exactly at the containment threshold; the inflated
+// reject box must never clip them.
+TEST(StripeTest, BoundaryPointsSurviveEarlyReject) {
+  const Stripe s(Polyline({{0, 0}, {10, 0}}), 2.0);
+  EXPECT_TRUE(s.Contains({5, 2}));     // On the boundary.
+  EXPECT_TRUE(s.Contains({-2, 0}));    // End-cap extreme, outside the
+  EXPECT_TRUE(s.Contains({12, 0}));    // path's own bbox.
+  EXPECT_TRUE(s.Contains({0, -2}));
+  EXPECT_FALSE(s.Contains({5, 2.001}));
+  EXPECT_FALSE(s.Contains({1e6, 1e6}));  // Far-field reject.
+}
+
+// Property: the squared-distance segment scan with one final sqrt is
+// bit-identical to the historical per-segment sqrt minimization (IEEE sqrt
+// is monotone), so detector output cannot shift.
+TEST(StripeTest, PropertySquaredScanMatchesPerSegmentSqrt) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Vec2> pts;
+    Vec2 p{rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+    const int n = 2 + static_cast<int>(rng.NextIndex(6));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back(p);
+      p += Vec2{rng.Uniform(-20, 20), rng.Uniform(-20, 20)};
+    }
+    const Polyline poly(pts);
+    const Vec2 q{rng.Uniform(-500, 500), rng.Uniform(-500, 500)};
+    double per_segment = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < poly.segment_count(); ++i) {
+      per_segment =
+          std::min(per_segment, DistancePointToSegment(q, poly.segment(i)));
+    }
+    EXPECT_EQ(poly.DistanceToPoint(q), per_segment);  // Bit-exact.
+    EXPECT_EQ(std::sqrt(poly.SquaredDistanceToPoint(q)), per_segment);
+  }
 }
 
 // Property: symmetry and the triangle-ish consistency of stripe distance
