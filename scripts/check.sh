@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# TSan gate for the in-epoch parallelism: configures a separate build tree
+# with -DPROXDET_SANITIZE=thread, builds it, and runs the `sanitize`-labelled
+# suite (thread-pool + determinism tests) under a multi-thread global pool.
+# The parallel-scan/serial-commit pattern is only safe if the scans are
+# genuinely read-only — TSan is the check that they are.
+#
+#   scripts/check.sh [extra cmake args...]
+#
+# BUILD_DIR overrides the build tree (default: build-tsan, kept separate
+# from the plain `build` tree so the two configurations never fight).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-tsan}"
+JOBS="$(nproc)"
+
+cmake -B "$BUILD_DIR" -S . -DPROXDET_SANITIZE=thread "$@"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+PROXDET_THREADS="${PROXDET_THREADS:-4}" \
+  ctest --test-dir "$BUILD_DIR" -L sanitize --output-on-failure -j "$JOBS"

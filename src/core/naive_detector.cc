@@ -1,9 +1,10 @@
-#include "core/detector.h"
-
-#include <unordered_map>
+#include <algorithm>
 #include <unordered_set>
+#include <vector>
 
 #include "common/timer.h"
+#include "core/detector.h"
+#include "exec/thread_pool.h"
 
 namespace proxdet {
 
@@ -15,13 +16,35 @@ uint64_t PairKey(UserId u, UserId w) {
   return (a << 32) | b;
 }
 
+// Edges per scan chunk: coarse enough that chunk bookkeeping is negligible
+// next to the distance math, fine enough to balance the pool at 10k users.
+constexpr size_t kEdgeGrain = 1024;
+
 }  // namespace
 
+// The O(edges) distance scan is split into a parallel read-only scan and a
+// serial in-order commit, preserving the serial engine's outputs bit-exactly
+// for any thread count:
+//  - scan: every edge's distance comparison runs on the pool; each chunk
+//    appends the slots whose inside/outside state *changed* to its own
+//    delta list (positions, edge list and matched flags are read-only).
+//  - commit: delta lists are walked in chunk order — i.e. global edge
+//    order — flipping per-edge matched state and emitting alerts exactly
+//    where the serial loop would have.
+// Matched state is slot-indexed against a cached edge snapshot (rebuilt
+// only when graph updates apply); per-edge decisions depend only on that
+// edge's own persistent state, so the transition set is order-independent
+// and the commit order fixes the alert order.
 void NaiveDetector::Run(const World& world) {
   stats_ = CommStats();
   alerts_.clear();
   InterestGraph graph = world.graph();  // Mutable copy for dynamic updates.
-  std::unordered_set<uint64_t> matched;
+  std::unordered_set<uint64_t> matched_pairs;  // Source of truth across rebuilds.
+  std::vector<InterestGraph::Edge> edges;
+  std::vector<uint8_t> matched;  // Slot-aligned mirror of matched_pairs.
+  std::vector<Vec2> pos(world.user_count());
+  std::vector<std::vector<uint32_t>> deltas;
+  bool edges_dirty = true;
   size_t next_update = 0;
   const auto& updates = world.scheduled_updates();
   for (int epoch = 0; epoch < world.epochs(); ++epoch) {
@@ -32,25 +55,51 @@ void NaiveDetector::Run(const World& world) {
         graph.AddEdge(up.u, up.w, up.alert_radius);
       } else {
         graph.RemoveEdge(up.u, up.w);
-        matched.erase(PairKey(up.u, up.w));
+        matched_pairs.erase(PairKey(up.u, up.w));
       }
       ++next_update;
+      edges_dirty = true;
+    }
+    if (edges_dirty) {
+      edges = graph.Edges();
+      matched.assign(edges.size(), 0);
+      for (size_t i = 0; i < edges.size(); ++i) {
+        matched[i] = matched_pairs.count(PairKey(edges[i].u, edges[i].w)) > 0;
+      }
+      edges_dirty = false;
     }
     // Every client uploads its position.
     stats_.reports += world.user_count();
     WallTimer server_timer;
-    for (const auto& e : graph.Edges()) {
-      const double d =
-          Distance(world.Position(e.u, epoch), world.Position(e.w, epoch));
-      const uint64_t key = PairKey(e.u, e.w);
-      const bool inside = d < e.alert_radius;
-      const bool was = matched.count(key) > 0;
-      if (inside && !was) {
-        matched.insert(key);
-        alerts_.push_back({epoch, std::min(e.u, e.w), std::max(e.u, e.w)});
-        stats_.alerts += 2;  // One notification per endpoint.
-      } else if (!inside && was) {
-        matched.erase(key);
+    ParallelForChunked(pos.size(), kEdgeGrain, [&](size_t lo, size_t hi) {
+      for (size_t u = lo; u < hi; ++u) {
+        pos[u] = world.Position(static_cast<UserId>(u), epoch);
+      }
+    });
+    const size_t chunks =
+        edges.empty() ? 0 : (edges.size() + kEdgeGrain - 1) / kEdgeGrain;
+    deltas.assign(chunks, {});
+    ParallelForChunked(edges.size(), kEdgeGrain, [&](size_t lo, size_t hi) {
+      std::vector<uint32_t>& out = deltas[lo / kEdgeGrain];
+      for (size_t i = lo; i < hi; ++i) {
+        const auto& e = edges[i];
+        const bool inside = Distance(pos[e.u], pos[e.w]) < e.alert_radius;
+        if (inside != (matched[i] != 0)) out.push_back(static_cast<uint32_t>(i));
+      }
+    });
+    for (const std::vector<uint32_t>& delta : deltas) {
+      for (const uint32_t i : delta) {
+        const auto& e = edges[i];
+        const uint64_t key = PairKey(e.u, e.w);
+        if (matched[i]) {
+          matched[i] = 0;
+          matched_pairs.erase(key);
+        } else {
+          matched[i] = 1;
+          matched_pairs.insert(key);
+          alerts_.push_back({epoch, std::min(e.u, e.w), std::max(e.u, e.w)});
+          stats_.alerts += 2;  // One notification per endpoint.
+        }
       }
     }
     stats_.server_seconds += server_timer.ElapsedSeconds();

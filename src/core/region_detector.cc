@@ -8,6 +8,7 @@
 
 #include "common/timer.h"
 #include "core/cost_model.h"
+#include "exec/thread_pool.h"
 #include "region/match_region.h"
 
 namespace proxdet {
@@ -21,6 +22,14 @@ uint64_t PairKey(UserId u, UserId w) {
 }
 
 constexpr double kMinSpeed = 1e-3;  // m/epoch floor for estimates.
+
+// Chunk sizes for the parallel read-only scans. Coarse enough that the
+// per-chunk scheduling cost vanishes next to the geometry, fine enough to
+// balance 8 threads on 10k-user workloads. Chunk boundaries never affect
+// results (scans write index-addressed slots; commits run in index order).
+constexpr size_t kUserGrain = 512;   // ShapeContains per user.
+constexpr size_t kEdgeGrain = 256;   // ShapeMinDistance per edge.
+constexpr size_t kPairGrain = 128;   // MatchRegion::Contains per pair.
 
 }  // namespace
 
@@ -59,6 +68,19 @@ struct RegionDetector::Impl {
   std::deque<UserId> queue;
   int epoch = 0;
 
+  // Reused scratch, kept allocation-free across epochs. The scan buffers
+  // are written by parallel read-only scans (distinct slots per index) and
+  // consumed by the serial in-order commits below; window_buf is only ever
+  // touched from serial code (Report / ResolvePhase).
+  std::vector<Vec2> window_buf;
+  std::vector<uint8_t> exit_flags;    // Per user: see ExitFlag.
+  std::vector<uint8_t> pair_inside;   // Per sorted matched-pair key.
+  std::vector<uint8_t> edge_probe;    // Per cached edge: scan said d < r.
+  std::vector<InterestGraph::Edge> edge_cache;
+  bool edges_dirty = true;  // Edge list must be re-snapshotted from graph.
+
+  enum ExitFlag : uint8_t { kInside = 0, kExited = 1, kNeedsInit = 2 };
+
   Impl(const World& w, RegionDetector& s)
       : world(w), self(s), graph(w.graph()), users(w.user_count()) {}
 
@@ -67,20 +89,20 @@ struct RegionDetector::Impl {
   }
 
   /// Client -> server location upload (at most one per user per epoch).
+  /// Serial-commit code only (reuses the shared window buffer).
   void Report(UserId u) {
     if (users[u].reported) return;
     users[u].reported = true;
     self.stats_.reports += 1;
     // The report carries the recent window; refresh the speed estimate.
-    const std::vector<Vec2> window =
-        world.RecentWindow(u, epoch, self.options_.window);
-    if (window.size() >= 2) {
+    world.RecentWindow(u, epoch, self.options_.window, &window_buf);
+    if (window_buf.size() >= 2) {
       double dist = 0.0;
-      for (size_t i = 1; i < window.size(); ++i) {
-        dist += Distance(window[i - 1], window[i]);
+      for (size_t i = 1; i < window_buf.size(); ++i) {
+        dist += Distance(window_buf[i - 1], window_buf[i]);
       }
-      users[u].speed =
-          std::max(kMinSpeed, dist / static_cast<double>(window.size() - 1));
+      users[u].speed = std::max(
+          kMinSpeed, dist / static_cast<double>(window_buf.size() - 1));
     }
   }
 
@@ -129,17 +151,17 @@ struct RegionDetector::Impl {
            updates[*next_update].epoch <= epoch) {
       const GraphUpdate& up = updates[*next_update];
       ++*next_update;
+      edges_dirty = true;
       if (up.insert) {
         if (!graph.AddEdge(up.u, up.w, up.alert_radius)) continue;
         // New pair: probe only when their current regions may violate the
         // radius (the paper's insertion rule).
-        if (users[up.u].region && users[up.w].region) {
-          const double d = ShapeMinDistance(*users[up.u].region,
-                                            *users[up.w].region, epoch);
-          if (d <= up.alert_radius + self.options_.min_gap) {
-            Probe(up.u);
-            Probe(up.w);
-          }
+        if (users[up.u].region && users[up.w].region &&
+            ShapeMinDistanceBelow(*users[up.u].region, *users[up.w].region,
+                                  epoch, up.alert_radius + self.options_.min_gap,
+                                  /*inclusive=*/true)) {
+          Probe(up.u);
+          Probe(up.w);
         }
       } else {
         if (IsMatched(up.u, up.w)) DissolveMatch(up.u, up.w);
@@ -151,21 +173,36 @@ struct RegionDetector::Impl {
   }
 
   /// Clients compare their position against match regions (Algorithm 1
-  /// lines 10-18).
+  /// lines 10-18). Parallel scan: both containment tests per pair fan out
+  /// over the pool (the map and every position are read-only until the
+  /// commit). Serial commit: reports, re-centers and dissolutions apply in
+  /// sorted-key order, so stats and dissolution side effects are identical
+  /// to the historical serial loop for any thread count.
   void MatchRegionPhase() {
     // Collect keys first: dissolution mutates the map.
     std::vector<uint64_t> keys;
     keys.reserve(matched.size());
     for (const auto& [key, region] : matched) keys.push_back(key);
     std::sort(keys.begin(), keys.end());  // Deterministic accounting.
-    for (const uint64_t key : keys) {
+    if (self.options_.use_match_regions) {
+      pair_inside.assign(keys.size(), 0);
+      ParallelForChunked(keys.size(), kPairGrain, [&](size_t lo, size_t hi) {
+        for (size_t k = lo; k < hi; ++k) {
+          const UserId u = static_cast<UserId>(keys[k] >> 32);
+          const UserId w = static_cast<UserId>(keys[k] & 0xffffffffULL);
+          const MatchRegion& m = matched.find(keys[k])->second;
+          pair_inside[k] =
+              m.Contains(users[u].pos) && m.Contains(users[w].pos);
+        }
+      });
+    }
+    for (size_t k = 0; k < keys.size(); ++k) {
+      const uint64_t key = keys[k];
       const auto it = matched.find(key);
       if (it == matched.end()) continue;
       const UserId u = static_cast<UserId>(key >> 32);
       const UserId w = static_cast<UserId>(key & 0xffffffffULL);
-      const MatchRegion& m = it->second;
-      if (self.options_.use_match_regions && m.Contains(users[u].pos) &&
-          m.Contains(users[w].pos)) {
+      if (self.options_.use_match_regions && pair_inside[k]) {
         continue;
       }
       Report(u);
@@ -187,36 +224,70 @@ struct RegionDetector::Impl {
   }
 
   /// Clients compare their position against their safe region (Algorithm 1
-  /// lines 19-21).
+  /// lines 19-21). Parallel scan: every user's ShapeContains runs on the
+  /// pool into a per-user flag (regions and positions are read-only here).
+  /// Serial commit: Report / EnqueueRebuild / OnExit fire in user order,
+  /// exactly as the historical serial loop did.
   void SafeRegionExitPhase() {
-    for (UserId u = 0; u < static_cast<UserId>(users.size()); ++u) {
-      if (!users[u].region) {
-        // Only possible at epoch 0 before initialization.
-        Report(u);
-        EnqueueRebuild(u);
-        continue;
+    const size_t n = users.size();
+    exit_flags.assign(n, kInside);
+    ParallelForChunked(n, kUserGrain, [&](size_t lo, size_t hi) {
+      for (size_t u = lo; u < hi; ++u) {
+        if (!users[u].region) {
+          // Only possible at epoch 0 before initialization.
+          exit_flags[u] = kNeedsInit;
+        } else if (!ShapeContains(*users[u].region, users[u].pos, epoch)) {
+          exit_flags[u] = kExited;
+        }
       }
-      if (!ShapeContains(*users[u].region, users[u].pos, epoch)) {
-        Report(u);
-        EnqueueRebuild(u);
-        self.policy_->OnExit(u);
-      }
+    });
+    for (UserId u = 0; u < static_cast<UserId>(n); ++u) {
+      if (exit_flags[u] == kInside) continue;
+      Report(u);
+      EnqueueRebuild(u);
+      if (exit_flags[u] == kExited) self.policy_->OnExit(u);
     }
   }
 
   /// Moving regions (FMD/CMD) drift toward each other between rebuilds;
   /// the server probes pairs whose regions may now violate the radius.
+  ///
+  /// Parallel scan: each edge's (AABB-pruned) region-pair comparison runs
+  /// on the pool into a per-edge slot, filtered on the phase-*start* state
+  /// (matched set and regions cannot change during this phase; needs_region
+  /// only grows). Serial commit: edges are revisited in edge order and the
+  /// skip conditions re-evaluated against the *current* state, so a probe
+  /// issued for an earlier edge suppresses later edges of the same user
+  /// exactly as the historical serial loop did. The edge snapshot is cached
+  /// across epochs and refreshed only after graph updates (Edges() sorts
+  /// the whole list on every call).
   void PerEpochPairCheck() {
-    for (const auto& e : graph.Edges()) {
+    if (edges_dirty) {
+      edge_cache = graph.Edges();
+      edges_dirty = false;
+    }
+    const size_t n = edge_cache.size();
+    edge_probe.assign(n, 0);
+    ParallelForChunked(n, kEdgeGrain, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        const auto& e = edge_cache[i];
+        if (IsMatched(e.u, e.w)) continue;
+        if (users[e.u].needs_region || users[e.w].needs_region) continue;
+        if (!users[e.u].region || !users[e.w].region) continue;
+        edge_probe[i] = ShapeMinDistanceBelow(
+            *users[e.u].region, *users[e.w].region, epoch, e.alert_radius);
+      }
+    });
+    for (size_t i = 0; i < n; ++i) {
+      if (!edge_probe[i]) continue;
+      const auto& e = edge_cache[i];
+      // Re-check with commit-time state: earlier probes may have flagged an
+      // endpoint for rebuild, which skips the pair just as the serial loop
+      // would have.
       if (IsMatched(e.u, e.w)) continue;
       if (users[e.u].needs_region || users[e.w].needs_region) continue;
-      if (!users[e.u].region || !users[e.w].region) continue;
-      const double d =
-          ShapeMinDistance(*users[e.u].region, *users[e.w].region, epoch);
-      if (d < e.alert_radius) {
-        Probe(e.u);
-        Probe(e.w);
-      }
+      Probe(e.u);
+      Probe(e.w);
     }
   }
 
@@ -237,12 +308,16 @@ struct RegionDetector::Impl {
         const UserId w = fe.other;
         if (IsMatched(u, w)) continue;
         if (!users[w].reported) {
-          const double gap =
-              ShapeDistanceToPoint(*users[w].region, l_u, epoch) -
-              fe.alert_radius;
+          // gap <= min_gap + closing, phrased so the AABB lower bound can
+          // settle the comparison without exact point-to-shape geometry.
           const double closing =
               self.options_.probe_horizon_epochs * (v_u + users[w].speed);
-          if (gap <= self.options_.min_gap + closing) Probe(w);
+          if (ShapeDistanceToPointBelow(
+                  *users[w].region, l_u, epoch,
+                  fe.alert_radius + self.options_.min_gap + closing,
+                  /*inclusive=*/true)) {
+            Probe(w);
+          }
         }
         if (users[w].reported) {
           const double d = Distance(l_u, users[w].pos);
@@ -274,10 +349,9 @@ struct RegionDetector::Impl {
         views.push_back(std::move(view));
       }
 
-      const std::vector<Vec2> window =
-          world.RecentWindow(u, epoch, self.options_.window);
+      world.RecentWindow(u, epoch, self.options_.window, &window_buf);
       SafeRegionShape shape =
-          self.policy_->BuildRegion(u, l_u, window, v_u, views, epoch);
+          self.policy_->BuildRegion(u, l_u, window_buf, v_u, views, epoch);
       if (self.options_.validate_builds) {
         assert(ShapeContains(shape, l_u, epoch));
         for (const FriendView& view : views) {
@@ -298,13 +372,16 @@ struct RegionDetector::Impl {
     size_t next_update = 0;
     const bool per_epoch_check = self.policy_->NeedsPerEpochPairCheck();
     for (epoch = 0; epoch < world.epochs(); ++epoch) {
-      for (UserId u = 0; u < static_cast<UserId>(users.size()); ++u) {
-        users[u].reported = false;
-        users[u].needs_region = false;
-        users[u].rebuilt = false;
-        users[u].queued = false;
-        users[u].pos = world.Position(u, epoch);
-      }
+      // Per-user reset + position fetch: independent slots, fanned out.
+      ParallelForChunked(users.size(), kUserGrain, [&](size_t lo, size_t hi) {
+        for (size_t u = lo; u < hi; ++u) {
+          users[u].reported = false;
+          users[u].needs_region = false;
+          users[u].rebuilt = false;
+          users[u].queued = false;
+          users[u].pos = world.Position(static_cast<UserId>(u), epoch);
+        }
+      });
       queue.clear();
       WallTimer server_timer;
       ApplyGraphUpdates(&next_update);

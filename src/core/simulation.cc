@@ -140,8 +140,30 @@ Workload BuildWorkload(const WorkloadConfig& config) {
   World world(std::move(trajectories), std::move(graph), config.speed_steps,
               config.epochs);
   std::vector<AlertEvent> ground_truth = world.GroundTruthAlerts();
-  return Workload{config, std::move(world), std::move(training),
-                  std::move(ground_truth)};
+  return Workload(config, std::move(world), std::move(training),
+                  std::move(ground_truth));
+}
+
+Workload::Workload(WorkloadConfig config_in, World world_in,
+                   std::vector<Trajectory> training_in,
+                   std::vector<AlertEvent> ground_truth_in)
+    : config(config_in),
+      world(std::move(world_in)),
+      training(std::move(training_in)),
+      ground_truth(std::move(ground_truth_in)),
+      oracle_cache_(std::make_unique<OracleCache>()) {}
+
+const std::vector<AlertEvent>& Workload::GroundTruth() const {
+  const size_t update_count = world.scheduled_updates().size();
+  if (update_count == 0) return ground_truth;  // Build-time oracle holds.
+  OracleCache& cache = *oracle_cache_;
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  if (!cache.valid || cache.update_count != update_count) {
+    cache.alerts = world.GroundTruthAlerts();
+    cache.update_count = update_count;
+    cache.valid = true;
+  }
+  return cache.alerts;
 }
 
 std::unique_ptr<Detector> MakeDetector(Method method, const Workload& workload,
@@ -211,14 +233,15 @@ RunResult RunMethod(Method method, const Workload& workload,
   RunResult result;
   result.method = method;
   result.stats = detector->stats();
+  if (const auto* rd = dynamic_cast<const RegionDetector*>(detector.get())) {
+    result.rebuild_count = rd->rebuild_count();
+  }
   const std::vector<AlertEvent> alerts = detector->SortedAlerts();
   result.alert_count = alerts.size();
-  // Updates scheduled after BuildWorkload invalidate the cached oracle.
-  if (workload.world.scheduled_updates().empty()) {
-    result.alerts_exact = alerts == workload.ground_truth;
-  } else {
-    result.alerts_exact = alerts == workload.world.GroundTruthAlerts();
-  }
+  // GroundTruth() memoizes the post-build-update oracle, so methods on a
+  // dynamic-graph workload share one recomputation instead of paying one
+  // full scan each.
+  result.alerts_exact = alerts == workload.GroundTruth();
   return result;
 }
 

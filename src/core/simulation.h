@@ -2,6 +2,7 @@
 #define PROXDET_CORE_SIMULATION_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -54,7 +55,31 @@ struct Workload {
   WorkloadConfig config;
   World world;
   std::vector<Trajectory> training;
+  /// Oracle computed at build time (valid while no updates are scheduled
+  /// after BuildWorkload). Prefer GroundTruth(), which handles both cases.
   std::vector<AlertEvent> ground_truth;
+
+  Workload(WorkloadConfig config, World world,
+           std::vector<Trajectory> training,
+           std::vector<AlertEvent> ground_truth);
+
+  /// The oracle matching the world's *current* update schedule. Returns
+  /// `ground_truth` when nothing was scheduled after build; otherwise
+  /// recomputes the full scan once and memoizes it (keyed on the schedule
+  /// length; thread-safe, so concurrent method cells share one scan).
+  /// RunMethod historically re-ran the scan for every method on
+  /// dynamic-graph workloads — fig13 paid the oracle 8x per sweep point.
+  const std::vector<AlertEvent>& GroundTruth() const;
+
+ private:
+  // Heap-held so Workload stays movable (mutex members are not).
+  struct OracleCache {
+    std::mutex mutex;
+    bool valid = false;
+    size_t update_count = 0;  // Schedule length the cache was computed at.
+    std::vector<AlertEvent> alerts;
+  };
+  std::unique_ptr<OracleCache> oracle_cache_;
 };
 
 /// Generates trajectories, the interest graph and the training set.
@@ -83,6 +108,9 @@ struct RunResult {
   Method method = Method::kNaive;
   CommStats stats;
   size_t alert_count = 0;
+  /// Safe-region constructions performed (0 for Naive); part of the
+  /// bit-exact determinism contract across thread counts.
+  uint64_t rebuild_count = 0;
   /// Whether the detector's alert stream matched the ground truth exactly
   /// (the correctness contract; always checked).
   bool alerts_exact = false;

@@ -26,7 +26,8 @@ World::World(std::vector<Trajectory> trajectories, InterestGraph graph,
     : trajectories_(std::move(trajectories)),
       graph_(std::move(graph)),
       speed_steps_(speed_steps),
-      epochs_(epochs) {}
+      epochs_(epochs),
+      schedule_state_(std::make_unique<ScheduleState>()) {}
 
 double World::epoch_seconds() const {
   const double tick =
@@ -44,21 +45,42 @@ Vec2 World::Position(UserId u, int epoch) const {
 std::vector<Vec2> World::RecentWindow(UserId u, int epoch,
                                       size_t count) const {
   std::vector<Vec2> out;
-  const int first = std::max(0, epoch - static_cast<int>(count) + 1);
-  out.reserve(static_cast<size_t>(epoch - first + 1));
-  for (int e = first; e <= epoch; ++e) out.push_back(Position(u, e));
+  RecentWindow(u, epoch, count, &out);
   return out;
+}
+
+void World::RecentWindow(UserId u, int epoch, size_t count,
+                         std::vector<Vec2>* out) const {
+  out->clear();
+  const int first = std::max(0, epoch - static_cast<int>(count) + 1);
+  out->reserve(static_cast<size_t>(epoch - first + 1));
+  for (int e = first; e <= epoch; ++e) out->push_back(Position(u, e));
 }
 
 void World::ScheduleUpdate(const GraphUpdate& update) {
   updates_.push_back(update);
-  std::stable_sort(updates_.begin(), updates_.end(),
-                   [](const GraphUpdate& a, const GraphUpdate& b) {
-                     return a.epoch < b.epoch;
-                   });
+  schedule_state_->dirty.store(true, std::memory_order_release);
+}
+
+const std::vector<GraphUpdate>& World::scheduled_updates() const {
+  ScheduleState& state = *schedule_state_;
+  if (state.dirty.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (state.dirty.load(std::memory_order_relaxed)) {
+      std::stable_sort(updates_.begin(), updates_.end(),
+                       [](const GraphUpdate& a, const GraphUpdate& b) {
+                         return a.epoch < b.epoch;
+                       });
+      state.dirty.store(false, std::memory_order_release);
+    }
+  }
+  return updates_;
 }
 
 std::vector<AlertEvent> World::GroundTruthAlerts() const {
+  // Resolve the lazily-sorted schedule once; the per-pair replay below
+  // depends on epoch order.
+  const std::vector<GraphUpdate>& updates = scheduled_updates();
   // Pairs never interact: an edge's alert timeline depends only on its own
   // updates and the two trajectories. The scan therefore partitions by
   // *pair* — each pair replays all epochs with its private live/matched
@@ -80,12 +102,12 @@ std::vector<AlertEvent> World::GroundTruthAlerts() const {
     pairs.push_back({std::min(e.u, e.w), std::max(e.u, e.w), e.alert_radius,
                      true, {}});
   }
-  for (size_t i = 0; i < updates_.size(); ++i) {
-    const uint64_t key = PairKey(updates_[i].u, updates_[i].w);
+  for (size_t i = 0; i < updates.size(); ++i) {
+    const uint64_t key = PairKey(updates[i].u, updates[i].w);
     auto [it, inserted] = pair_index.emplace(key, pairs.size());
     if (inserted) {
-      pairs.push_back({std::min(updates_[i].u, updates_[i].w),
-                       std::max(updates_[i].u, updates_[i].w), 0.0, false,
+      pairs.push_back({std::min(updates[i].u, updates[i].w),
+                       std::max(updates[i].u, updates[i].w), 0.0, false,
                        {}});
     }
     pairs[it->second].updates.push_back(i);
@@ -108,8 +130,8 @@ std::vector<AlertEvent> World::GroundTruthAlerts() const {
       size_t next_update = 0;
       for (int epoch = 0; epoch < epochs_; ++epoch) {
         while (next_update < pair.updates.size() &&
-               updates_[pair.updates[next_update]].epoch <= epoch) {
-          const GraphUpdate& up = updates_[pair.updates[next_update]];
+               updates[pair.updates[next_update]].epoch <= epoch) {
+          const GraphUpdate& up = updates[pair.updates[next_update]];
           if (up.insert) {
             if (!live) {  // Matches the shared map's emplace(): inserting
               live = true;  // an already-live edge keeps the old radius.

@@ -1,6 +1,9 @@
 #ifndef PROXDET_CORE_WORLD_H_
 #define PROXDET_CORE_WORLD_H_
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/events.h"
@@ -43,14 +46,27 @@ class World {
   /// for the server-side predictor.
   std::vector<Vec2> RecentWindow(UserId u, int epoch, size_t count) const;
 
+  /// Allocation-free overload: clears `*out` and fills it with the window.
+  /// The detector hot path calls this once per report and once per rebuild;
+  /// a reused buffer keeps the epoch loop free of per-user allocations.
+  void RecentWindow(UserId u, int epoch, size_t count,
+                    std::vector<Vec2>* out) const;
+
   const InterestGraph& graph() const { return graph_; }
   const std::vector<Trajectory>& trajectories() const { return trajectories_; }
 
   /// Schedules a graph insertion/deletion; updates apply at epoch start.
+  /// Appends in O(1) and marks the schedule dirty — the epoch-ordered
+  /// stable sort is deferred to the first read, so an n-update schedule
+  /// costs one sort instead of n (the historical per-call re-sort was
+  /// O(n^2 log n) across a fig13-style schedule). Must not race with
+  /// readers, like any non-const method.
   void ScheduleUpdate(const GraphUpdate& update);
-  const std::vector<GraphUpdate>& scheduled_updates() const {
-    return updates_;
-  }
+
+  /// Updates stable-sorted by epoch (ties keep scheduling order). Lazily
+  /// sorts on first read after a burst of ScheduleUpdate calls; safe to
+  /// call from concurrent readers (the one-time sort is mutex-guarded).
+  const std::vector<GraphUpdate>& scheduled_updates() const;
 
   /// Ground-truth alert stream per Def. 1, honoring scheduled updates:
   /// an inserted edge alerts at its insertion epoch when already within
@@ -58,11 +74,19 @@ class World {
   std::vector<AlertEvent> GroundTruthAlerts() const;
 
  private:
+  // Synchronization for the lazy schedule sort; heap-held so World stays
+  // movable (moving a World while readers are active is already UB).
+  struct ScheduleState {
+    std::atomic<bool> dirty{false};
+    std::mutex mutex;
+  };
+
   std::vector<Trajectory> trajectories_;
   InterestGraph graph_;
   int speed_steps_;
   int epochs_;
-  std::vector<GraphUpdate> updates_;  // Sorted by epoch.
+  mutable std::vector<GraphUpdate> updates_;  // Sorted by epoch when clean.
+  std::unique_ptr<ScheduleState> schedule_state_;
 };
 
 }  // namespace proxdet

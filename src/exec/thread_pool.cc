@@ -1,5 +1,6 @@
 #include "exec/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <memory>
@@ -149,6 +150,26 @@ void ParallelFor(ThreadPool& pool, size_t n,
 
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   ParallelFor(ThreadPool::Global(), n, fn);
+}
+
+void ParallelForChunked(ThreadPool& pool, size_t n, size_t grain,
+                        const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  // No single-call fast path: the chunk partition must be the same for
+  // every thread count so slot-per-chunk callers (delta lists indexed by
+  // lo / grain) see identical layouts. ParallelFor already degenerates to
+  // a plain loop on a 1-thread pool.
+  const size_t chunks = (n + grain - 1) / grain;
+  ParallelFor(pool, chunks, [n, grain, &fn](size_t c) {
+    const size_t lo = c * grain;
+    fn(lo, std::min(lo + grain, n));
+  });
+}
+
+void ParallelForChunked(size_t n, size_t grain,
+                        const std::function<void(size_t, size_t)>& fn) {
+  ParallelForChunked(ThreadPool::Global(), n, grain, fn);
 }
 
 }  // namespace proxdet

@@ -76,6 +76,20 @@ void ParallelFor(ThreadPool& pool, size_t n,
 /// ParallelFor over the global pool.
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+/// Chunked ParallelFor: partitions [0, n) into contiguous ranges of at most
+/// `grain` indices and runs fn(begin, end) for each range. The per-iteration
+/// std::function dispatch of plain ParallelFor is too heavy for fine-grained
+/// work (a containment test per user, a distance per edge); here the lambda
+/// runs a tight inner loop over its range instead. Chunk boundaries are a
+/// pure function of (n, grain), so results written into index-addressed
+/// slots stay independent of the thread count. grain == 0 is treated as 1.
+void ParallelForChunked(ThreadPool& pool, size_t n, size_t grain,
+                        const std::function<void(size_t, size_t)>& fn);
+
+/// ParallelForChunked over the global pool.
+void ParallelForChunked(size_t n, size_t grain,
+                        const std::function<void(size_t, size_t)>& fn);
+
 /// Slot-ordered parallel map: out[i] = fn(i). The deterministic-merge
 /// pattern most parallel paths in the library reduce to.
 template <typename T>

@@ -2,6 +2,7 @@
 #define PROXDET_GEOM_BBOX_H_
 
 #include <algorithm>
+#include <cmath>
 
 #include "geom/vec2.h"
 
@@ -32,6 +33,30 @@ struct BBox {
     lo.y = std::min(lo.y, p.y);
     hi.x = std::max(hi.x, p.x);
     hi.y = std::max(hi.y, p.y);
+  }
+
+  /// Grows the box in every direction by `margin`.
+  void Inflate(double margin) {
+    lo.x -= margin;
+    lo.y -= margin;
+    hi.x += margin;
+    hi.y += margin;
+  }
+
+  /// Minimum distance from p to the box (0 when inside). A sound lower
+  /// bound on the distance from p to anything the box contains.
+  double DistanceToPoint(const Vec2& p) const {
+    const double dx = std::max({lo.x - p.x, p.x - hi.x, 0.0});
+    const double dy = std::max({lo.y - p.y, p.y - hi.y, 0.0});
+    return std::sqrt(dx * dx + dy * dy);
+  }
+
+  /// Minimum distance between two boxes (0 on overlap). A sound lower
+  /// bound on the distance between any two shapes the boxes contain.
+  double DistanceToBox(const BBox& o) const {
+    const double dx = std::max({lo.x - o.hi.x, o.lo.x - hi.x, 0.0});
+    const double dy = std::max({lo.y - o.hi.y, o.lo.y - hi.y, 0.0});
+    return std::sqrt(dx * dx + dy * dy);
   }
 };
 

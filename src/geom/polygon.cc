@@ -6,7 +6,12 @@
 namespace proxdet {
 
 ConvexPolygon::ConvexPolygon(std::vector<Vec2> vertices)
-    : vertices_(std::move(vertices)) {}
+    : vertices_(std::move(vertices)) {
+  if (!vertices_.empty()) {
+    bounds_.lo = bounds_.hi = vertices_.front();
+    for (const Vec2& v : vertices_) bounds_.Extend(v);
+  }
+}
 
 ConvexPolygon ConvexPolygon::Square(const Vec2& center, double half) {
   return ConvexPolygon({{center.x - half, center.y - half},

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "geom/bbox.h"
 #include "geom/segment.h"
 #include "geom/vec2.h"
 
@@ -36,6 +37,10 @@ class ConvexPolygon {
   bool empty() const { return vertices_.size() < 3; }
   const std::vector<Vec2>& vertices() const { return vertices_; }
 
+  /// Cached axis-aligned bounds of the vertex set (exact: a convex polygon
+  /// is contained in its vertices' box). Only meaningful when !empty().
+  const BBox& bounds() const { return bounds_; }
+
   /// Closed containment test (boundary counts as inside).
   bool Contains(const Vec2& p) const;
 
@@ -50,6 +55,7 @@ class ConvexPolygon {
 
  private:
   std::vector<Vec2> vertices_;
+  BBox bounds_;  // Cached in the constructor; lo/hi both (0,0) when empty.
 };
 
 }  // namespace proxdet

@@ -22,6 +22,12 @@ class Stripe {
   const Polyline& path() const { return path_; }
   double radius() const { return radius_; }
 
+  /// Cached axis-aligned bounds: the path box inflated by radius_ plus the
+  /// reject margin. Contains the whole stripe, so box distances derived
+  /// from it are sound lower bounds. Only meaningful when has_bounds().
+  const BBox& bounds() const { return reject_box_; }
+  bool has_bounds() const { return has_reject_box_; }
+
   /// Closed containment: boundary points are inside the safe region.
   bool Contains(const Vec2& p) const;
 

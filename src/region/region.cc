@@ -137,4 +137,64 @@ double ShapeMinDistance(const SafeRegionShape& a, const SafeRegionShape& b,
   return std::visit(DistanceVisitor{epoch}, a, b);
 }
 
+namespace {
+
+BBox CircleBounds(const Circle& c) {
+  return {{c.center.x - c.radius, c.center.y - c.radius},
+          {c.center.x + c.radius, c.center.y + c.radius}};
+}
+
+bool Below(double d, double threshold, bool inclusive) {
+  return inclusive ? d <= threshold : d < threshold;
+}
+
+}  // namespace
+
+bool ShapeBoundsAt(const SafeRegionShape& shape, int epoch, BBox* out) {
+  return std::visit(
+      [epoch, out](const auto& s) -> bool {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, Circle>) {
+          *out = CircleBounds(s);
+          return true;
+        } else if constexpr (std::is_same_v<T, MovingCircle>) {
+          *out = CircleBounds(s.AtEpoch(epoch));
+          return true;
+        } else if constexpr (std::is_same_v<T, ConvexPolygon>) {
+          // A vertex-free polygon reports distance 0 to everything; no box
+          // can bound that convention. One or two vertices still behave as
+          // exact point/segment geometry, which the vertex box contains.
+          if (s.vertices().empty()) return false;
+          *out = s.bounds();
+          return true;
+        } else {
+          if (!s.has_bounds()) return false;
+          *out = s.bounds();
+          return true;
+        }
+      },
+      shape);
+}
+
+bool ShapeMinDistanceBelow(const SafeRegionShape& a, const SafeRegionShape& b,
+                           int epoch, double threshold, bool inclusive) {
+  BBox box_a, box_b;
+  if (ShapeBoundsAt(a, epoch, &box_a) && ShapeBoundsAt(b, epoch, &box_b) &&
+      box_a.DistanceToBox(box_b) > threshold) {
+    // exact >= box distance > threshold: the branch is decided.
+    return false;
+  }
+  return Below(ShapeMinDistance(a, b, epoch), threshold, inclusive);
+}
+
+bool ShapeDistanceToPointBelow(const SafeRegionShape& shape, const Vec2& p,
+                               int epoch, double threshold, bool inclusive) {
+  BBox box;
+  if (ShapeBoundsAt(shape, epoch, &box) &&
+      box.DistanceToPoint(p) > threshold) {
+    return false;
+  }
+  return Below(ShapeDistanceToPoint(shape, p, epoch), threshold, inclusive);
+}
+
 }  // namespace proxdet

@@ -3,6 +3,7 @@
 
 #include <variant>
 
+#include "geom/bbox.h"
 #include "geom/circle.h"
 #include "geom/polygon.h"
 #include "geom/stripe.h"
@@ -28,6 +29,29 @@ double ShapeDistanceToPoint(const SafeRegionShape& shape, const Vec2& p,
 /// reduce to segment-segment scans).
 double ShapeMinDistance(const SafeRegionShape& a, const SafeRegionShape& b,
                         int epoch);
+
+/// Epoch-resolved axis-aligned bounds containing the whole shape. Circles
+/// and moving circles resolve on the fly (trivial); polygons and stripes
+/// return the box cached at construction. Returns false for degenerate
+/// shapes (no vertices / empty path) whose exact distances follow special
+/// conventions — callers must then skip box-based pruning.
+bool ShapeBoundsAt(const SafeRegionShape& shape, int epoch, BBox* out);
+
+/// True iff ShapeMinDistance(a, b, epoch) < threshold (<= when inclusive),
+/// with AABB lower-bound pruning: when the box-to-box distance already
+/// clears the threshold the exact geometry (O(segments^2) for
+/// stripe/polygon pairs) is never touched. Sound because the box distance
+/// never exceeds the exact distance, so the comparison outcome — the only
+/// thing detector decisions consume — is identical to the unpruned form.
+bool ShapeMinDistanceBelow(const SafeRegionShape& a, const SafeRegionShape& b,
+                           int epoch, double threshold,
+                           bool inclusive = false);
+
+/// True iff ShapeDistanceToPoint(shape, p, epoch) < threshold (<= when
+/// inclusive), with the same AABB pruning contract.
+bool ShapeDistanceToPointBelow(const SafeRegionShape& shape, const Vec2& p,
+                               int epoch, double threshold,
+                               bool inclusive = false);
 
 }  // namespace proxdet
 

@@ -126,5 +126,97 @@ TEST(RegionShapesTest, PropertyMinDistanceLowerBoundsMemberDistance) {
   }
 }
 
+SafeRegionShape RandomShape(Rng* rng) {
+  const Vec2 c{rng->Uniform(-20000, 20000), rng->Uniform(-20000, 20000)};
+  switch (rng->NextIndex(4)) {
+    case 0:
+      return Circle{c, rng->Uniform(1, 4000)};
+    case 1:
+      return MovingAt(c, {rng->Uniform(-300, 300), rng->Uniform(-300, 300)},
+                      rng->Uniform(1, 4000),
+                      static_cast<int>(rng->NextIndex(5)));
+    case 2:
+      return ConvexPolygon::Square(c, rng->Uniform(1, 4000));
+    default: {
+      std::vector<Vec2> pts;
+      const size_t n = 2 + rng->NextIndex(5);
+      Vec2 p = c;
+      for (size_t i = 0; i < n; ++i) {
+        pts.push_back(p);
+        p.x += rng->Uniform(-2000, 2000);
+        p.y += rng->Uniform(-2000, 2000);
+      }
+      return Stripe(Polyline(std::move(pts)), rng->Uniform(1, 500));
+    }
+  }
+}
+
+// Property: the AABB-pruned comparison predicates decide exactly like the
+// unpruned exact distances. Pruning may only skip work, never flip a
+// branch — the serial engine's decisions are the determinism contract.
+TEST(RegionShapesTest, PropertyPrunedPredicatesMatchExactDecisions) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 400; ++trial) {
+    const SafeRegionShape a = RandomShape(&rng);
+    const SafeRegionShape b = RandomShape(&rng);
+    const int epoch = static_cast<int>(rng.NextIndex(12));
+    // Thresholds straddling both branches: small draws usually prune, the
+    // mid-scale draw sits near shape spacing, the huge one never prunes.
+    for (const double threshold :
+         {rng.Uniform(0, 2000), rng.Uniform(0, 60000), 150000.0}) {
+      const double exact = ShapeMinDistance(a, b, epoch);
+      EXPECT_EQ(ShapeMinDistanceBelow(a, b, epoch, threshold),
+                exact < threshold)
+          << "trial " << trial;
+      EXPECT_EQ(ShapeMinDistanceBelow(a, b, epoch, threshold, true),
+                exact <= threshold)
+          << "trial " << trial;
+      const Vec2 p{rng.Uniform(-40000, 40000), rng.Uniform(-40000, 40000)};
+      const double exact_p = ShapeDistanceToPoint(a, p, epoch);
+      EXPECT_EQ(ShapeDistanceToPointBelow(a, p, epoch, threshold),
+                exact_p < threshold)
+          << "trial " << trial;
+      EXPECT_EQ(ShapeDistanceToPointBelow(a, p, epoch, threshold, true),
+                exact_p <= threshold)
+          << "trial " << trial;
+    }
+  }
+}
+
+// The soundness of the prune itself: a cached box's distance never exceeds
+// the exact distance (the box contains the shape), so `box > threshold`
+// proves `exact > threshold`.
+TEST(RegionShapesTest, PropertyBoxDistanceLowerBoundsExact) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 400; ++trial) {
+    const SafeRegionShape a = RandomShape(&rng);
+    const SafeRegionShape b = RandomShape(&rng);
+    const int epoch = static_cast<int>(rng.NextIndex(12));
+    BBox box_a, box_b;
+    if (!ShapeBoundsAt(a, epoch, &box_a) || !ShapeBoundsAt(b, epoch, &box_b)) {
+      continue;  // Only degenerate shapes decline to report bounds.
+    }
+    EXPECT_LE(box_a.DistanceToBox(box_b),
+              ShapeMinDistance(a, b, epoch) + 1e-9)
+        << "trial " << trial;
+    const Vec2 p{rng.Uniform(-40000, 40000), rng.Uniform(-40000, 40000)};
+    EXPECT_LE(box_a.DistanceToPoint(p),
+              ShapeDistanceToPoint(a, p, epoch) + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+// A vertex-free polygon reports distance 0 to everything (the library's
+// degenerate-shape convention), so no sound box exists: ShapeBoundsAt must
+// decline and the pruned predicate must still agree with the exact path.
+TEST(RegionShapesTest, EmptyPolygonDeclinesBoundsButDecidesExactly) {
+  const SafeRegionShape empty = ConvexPolygon(std::vector<Vec2>{});
+  BBox box;
+  EXPECT_FALSE(ShapeBoundsAt(empty, 0, &box));
+  const SafeRegionShape far_circle = Circle{{1e6, 1e6}, 1.0};
+  EXPECT_TRUE(ShapeMinDistanceBelow(empty, far_circle, 0, 1.0));
+  EXPECT_TRUE(ShapeDistanceToPointBelow(empty, {1e6, 1e6}, 0, 1.0));
+}
+
 }  // namespace
 }  // namespace proxdet

@@ -114,6 +114,60 @@ TEST(WorldTest, DynamicDeletionStopsTracking) {
   EXPECT_TRUE(w.GroundTruthAlerts().empty());
 }
 
+// ScheduleUpdate used to re-sort the whole schedule on every call
+// (O(n^2 log n) across a burst); it now just marks the list dirty and
+// scheduled_updates() stable-sorts lazily on first read. Out-of-order
+// scheduling must still yield an epoch-sorted schedule, ties must keep
+// scheduling order, and scheduling after a read must re-sort.
+TEST(WorldTest, OutOfOrderSchedulingSortsLazilyAndStably) {
+  std::vector<Trajectory> trajs;
+  trajs.push_back(LineFrom(0.0, 0.0, 21));
+  trajs.push_back(LineFrom(100.0, 0.0, 21));
+  trajs.push_back(LineFrom(200.0, 0.0, 21));
+  World w(std::move(trajs), InterestGraph(3), 1, 20);
+  w.ScheduleUpdate({.epoch = 7, .insert = true, .u = 0, .w = 1,
+                    .alert_radius = 500.0});
+  w.ScheduleUpdate({.epoch = 2, .insert = true, .u = 1, .w = 2,
+                    .alert_radius = 500.0});
+  w.ScheduleUpdate({.epoch = 7, .insert = false, .u = 0, .w = 1,
+                    .alert_radius = 0.0});
+
+  const std::vector<GraphUpdate>& sorted = w.scheduled_updates();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].epoch, 2);
+  EXPECT_EQ(sorted[1].epoch, 7);
+  EXPECT_EQ(sorted[2].epoch, 7);
+  EXPECT_TRUE(sorted[1].insert);   // Stable: insert scheduled first...
+  EXPECT_FALSE(sorted[2].insert);  // ...delete keeps its later position.
+
+  // Scheduling after a read marks the list dirty again.
+  w.ScheduleUpdate({.epoch = 1, .insert = true, .u = 0, .w = 2,
+                    .alert_radius = 500.0});
+  const std::vector<GraphUpdate>& resorted = w.scheduled_updates();
+  ASSERT_EQ(resorted.size(), 4u);
+  EXPECT_EQ(resorted[0].epoch, 1);
+  EXPECT_EQ(resorted[3].epoch, 7);
+
+  // GroundTruthAlerts consumes the sorted view: the epoch-7 insert is
+  // cancelled by its same-epoch delete, so only edges (0,2) and (1,2)
+  // (within radius at insertion) alert.
+  const std::vector<AlertEvent> alerts = w.GroundTruthAlerts();
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_EQ(alerts[0], (AlertEvent{1, 0, 2}));
+  EXPECT_EQ(alerts[1], (AlertEvent{2, 1, 2}));
+}
+
+// The allocation-free RecentWindow overload must agree with the returning
+// one and fully overwrite whatever the reused buffer held.
+TEST(WorldTest, RecentWindowIntoBufferMatchesReturningOverload) {
+  const World w = TwoUserWorld(1000.0, 1.0, 4, 10, 100.0);
+  std::vector<Vec2> buf(7, Vec2{-1.0, -1.0});  // Stale content to clobber.
+  for (const int epoch : {0, 1, 3, 9}) {
+    w.RecentWindow(1, epoch, 3, &buf);
+    EXPECT_EQ(buf, w.RecentWindow(1, epoch, 3)) << "epoch " << epoch;
+  }
+}
+
 TEST(WorldTest, SortAlertsCanonicalOrder) {
   std::vector<AlertEvent> alerts{{5, 2, 3}, {1, 7, 9}, {5, 0, 1}};
   SortAlerts(&alerts);

@@ -83,6 +83,54 @@ TEST(DeterminismTest, CalibrationIdenticalAcrossThreadCounts) {
   }
 }
 
+// The in-epoch parallelism (SafeRegionExitPhase / MatchRegionPhase /
+// PerEpochPairCheck scans, Naive's edge scan): every paper method on a
+// dynamic-graph workload must produce identical decisions — not just the
+// same alert *count* — under 1- and 4-thread pools. alerts_exact pins both
+// streams to the same oracle, so equal counts + exact == equal streams.
+TEST(DeterminismTest, DetectorEpochLoopIdenticalAcrossThreadCounts) {
+  GlobalPoolGuard guard;
+  Workload workload = BuildWorkload(TinyConfig(60));
+  // Interleave inserts and deletes so the edge-cache invalidation path and
+  // match-dissolution on removal run under both pools.
+  Rng rng(123);
+  std::vector<std::pair<UserId, UserId>> inserted;
+  for (int epoch = 1; epoch < 28; epoch += 2) {
+    const UserId u = static_cast<UserId>(rng.NextIndex(60));
+    const UserId w = static_cast<UserId>(rng.NextIndex(60));
+    if (u == w) continue;
+    if (epoch % 6 == 5 && !inserted.empty()) {
+      const auto& pair = inserted[rng.NextIndex(inserted.size())];
+      workload.world.ScheduleUpdate({epoch, false, pair.first, pair.second,
+                                     workload.config.alert_radius_m});
+    } else {
+      workload.world.ScheduleUpdate(
+          {epoch, true, u, w, workload.config.alert_radius_m});
+      inserted.push_back({u, w});
+    }
+  }
+
+  for (const Method method : PaperMethodSet()) {
+    ThreadPool::SetGlobalThreads(1);
+    const RunResult serial = RunMethod(method, workload);
+    ThreadPool::SetGlobalThreads(4);
+    const RunResult parallel = RunMethod(method, workload);
+
+    const std::string name = MethodName(method);
+    EXPECT_EQ(serial.stats.reports, parallel.stats.reports) << name;
+    EXPECT_EQ(serial.stats.probes, parallel.stats.probes) << name;
+    EXPECT_EQ(serial.stats.alerts, parallel.stats.alerts) << name;
+    EXPECT_EQ(serial.stats.region_installs, parallel.stats.region_installs)
+        << name;
+    EXPECT_EQ(serial.stats.match_installs, parallel.stats.match_installs)
+        << name;
+    EXPECT_EQ(serial.rebuild_count, parallel.rebuild_count) << name;
+    EXPECT_EQ(serial.alert_count, parallel.alert_count) << name;
+    EXPECT_TRUE(serial.alerts_exact) << name;
+    EXPECT_TRUE(parallel.alerts_exact) << name;
+  }
+}
+
 std::vector<std::vector<RunResult>> RunTinySweep() {
   SweepRunner runner("determinism_test",
                      std::vector<Method>{Method::kStatic, Method::kCmd,

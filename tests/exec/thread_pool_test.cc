@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <mutex>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace proxdet {
@@ -89,6 +90,52 @@ TEST(ThreadPoolTest, NestedParallelForCompletes) {
       ASSERT_EQ(hits[i][j], 1) << "cell " << i << "," << j;
     }
   }
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedCoversEveryIndexOnce) {
+  for (const unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    // Sizes probing the chunking edges: empty, smaller than one grain, an
+    // exact multiple of the grain, and a ragged final chunk.
+    for (const size_t n : {size_t{0}, size_t{5}, size_t{192}, size_t{1000}}) {
+      std::vector<int> hits(n, 0);
+      ParallelForChunked(pool, n, 64, [&](size_t lo, size_t hi) {
+        ASSERT_LT(lo, hi);
+        ASSERT_LE(hi, n);
+        ASSERT_LE(hi - lo, 64u);
+        for (size_t i = lo; i < hi; ++i) ++hits[i];
+      });
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i], 1) << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedZeroGrainTreatedAsOne) {
+  ThreadPool pool(4);
+  std::atomic<size_t> covered{0};
+  ParallelForChunked(pool, 10, 0, [&](size_t lo, size_t hi) {
+    covered.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(covered.load(), 10u);
+}
+
+// Chunk boundaries are a pure function of (n, grain): slot-addressed
+// writes merge identically for any thread count.
+TEST(ThreadPoolTest, ParallelForChunkedDeterministicBoundaries) {
+  auto boundaries = [](unsigned threads) {
+    ThreadPool pool(threads);
+    std::vector<std::pair<size_t, size_t>> out(
+        (1000 + 63) / 64, {0, 0});
+    std::mutex mu;
+    ParallelForChunked(pool, 1000, 64, [&](size_t lo, size_t hi) {
+      std::lock_guard<std::mutex> lock(mu);
+      out[lo / 64] = {lo, hi};
+    });
+    return out;
+  };
+  EXPECT_EQ(boundaries(1), boundaries(4));
 }
 
 TEST(ThreadPoolTest, SetGlobalThreadsRebuildsGlobalPool) {
