@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench_support/bench_json.h"
 #include "common/timer.h"
 #include "core/events.h"
 #include "core/simulation.h"
@@ -59,14 +60,8 @@ WorkloadConfig DetectorConfig(size_t users, int epochs) {
 }
 
 std::string WriteJson(const std::vector<Row>& rows) {
-  const char* env = std::getenv("PROXDET_BENCH_JSON");
-  if (env != nullptr && std::strcmp(env, "0") == 0) return "";
-  std::string dir;
-  if (env != nullptr && std::strcmp(env, "1") != 0 && env[0] != '\0') {
-    dir = env;
-    if (dir.back() != '/') dir.push_back('/');
-  }
-  const std::string path = dir + "BENCH_detector.json";
+  const std::string path = BenchJsonPath("BENCH_detector.json");
+  if (path.empty()) return "";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());

@@ -1,0 +1,327 @@
+// Wire-layer cost of the network subsystem: (a) raw encode/decode
+// throughput per message kind — frames per second and MB/s over
+// representative payloads — and (b) the end-to-end overhead of running a
+// detector through net::TransportLink versus in-process, with the
+// byte-level up/down totals each method actually puts on the wire (the
+// numbers CommStats counts only as abstract messages).
+//
+// Contract checks ride along, micro_detector style: the transported run
+// must keep the engine's message counts bit-exact, match ground truth at
+// every injected drop rate, and round-trip every installed region exactly —
+// the bench aborts otherwise, because throughput numbers from a broken
+// transport are void.
+//
+// Emits BENCH_net.json (PROXDET_BENCH_JSON: "0" disables, unset/"1" writes
+// to the current directory, anything else is the target directory).
+// PROXDET_QUICK=1 shrinks to smoke-test size.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench_support/bench_json.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/simulation.h"
+#include "net/transport.h"
+#include "net/wire.h"
+
+namespace proxdet {
+namespace {
+
+struct CodecRow {
+  std::string kind;
+  size_t payload_bytes = 0;
+  double encode_msgs_per_s = 0.0;
+  double encode_mb_per_s = 0.0;
+  double decode_msgs_per_s = 0.0;
+  double decode_mb_per_s = 0.0;
+};
+
+struct TransportRow {
+  Method method = Method::kNaive;
+  double drop_rate = 0.0;
+  double inprocess_seconds = 0.0;
+  double transported_seconds = 0.0;
+  double overhead_x = 0.0;
+  uint64_t bytes_up = 0;
+  uint64_t bytes_down = 0;
+  uint64_t frames_up = 0;
+  uint64_t frames_down = 0;
+  uint64_t retransmits = 0;
+  uint64_t total_messages = 0;
+  bool alerts_exact = false;
+};
+
+// ---------------------------------------------------------------------------
+// (a) Codec throughput.
+
+std::vector<Vec2> SyntheticPath(Rng& rng, size_t n) {
+  std::vector<Vec2> points;
+  Vec2 p = {rng.Uniform(0.0, 1e5), rng.Uniform(0.0, 1e5)};
+  for (size_t i = 0; i < n; ++i) {
+    p.x += rng.Uniform(-300.0, 300.0);
+    p.y += rng.Uniform(-300.0, 300.0);
+    points.push_back(p);
+  }
+  return points;
+}
+
+template <typename Msg>
+CodecRow MeasureCodec(const std::string& kind, const Msg& msg, size_t iters) {
+  CodecRow row;
+  row.kind = kind;
+  const std::vector<uint8_t> payload = net::Encode(msg);
+  row.payload_bytes = payload.size();
+
+  WallTimer encode_timer;
+  size_t sink = 0;
+  for (size_t i = 0; i < iters; ++i) {
+    sink += net::Encode(msg).size();  // Defeats dead-code elimination.
+  }
+  const double encode_s = encode_timer.ElapsedSeconds();
+
+  WallTimer decode_timer;
+  Msg out;
+  size_t ok = 0;
+  for (size_t i = 0; i < iters; ++i) {
+    ok += net::Decode(payload, &out) ? 1 : 0;
+  }
+  const double decode_s = decode_timer.ElapsedSeconds();
+  if (ok != iters || sink != iters * payload.size()) {
+    std::fprintf(stderr, "FATAL: %s codec failed mid-benchmark.\n",
+                 kind.c_str());
+    std::exit(1);
+  }
+
+  const double mb = static_cast<double>(iters) * payload.size() / 1e6;
+  row.encode_msgs_per_s = encode_s > 0.0 ? iters / encode_s : 0.0;
+  row.encode_mb_per_s = encode_s > 0.0 ? mb / encode_s : 0.0;
+  row.decode_msgs_per_s = decode_s > 0.0 ? iters / decode_s : 0.0;
+  row.decode_mb_per_s = decode_s > 0.0 ? mb / decode_s : 0.0;
+  return row;
+}
+
+std::vector<CodecRow> RunCodecBench(size_t iters) {
+  Rng rng(20180416);
+  std::vector<CodecRow> rows;
+
+  net::LocationReportMsg report;
+  report.user = 12345;
+  report.epoch = 500;
+  report.position = {54321.0, 12345.0};
+  report.window = SyntheticPath(rng, 10);  // The default predictor window.
+  rows.push_back(MeasureCodec("location_report", report, iters));
+
+  net::ProbeMsg probe;
+  probe.user = 12345;
+  probe.epoch = 500;
+  rows.push_back(MeasureCodec("probe", probe, iters));
+
+  net::AlertMsg alert;
+  alert.user = 12345;
+  alert.u = 11111;
+  alert.w = 12345;
+  alert.epoch = 500;
+  rows.push_back(MeasureCodec("alert", alert, iters));
+
+  net::RegionInstallMsg stripe_install;
+  stripe_install.user = 12345;
+  stripe_install.epoch = 500;
+  stripe_install.region =
+      Stripe(Polyline(SyntheticPath(rng, 16)), 900.0);  // Typical stripe.
+  rows.push_back(MeasureCodec("region_install_stripe", stripe_install, iters));
+
+  net::RegionInstallMsg circle_install;
+  circle_install.user = 12345;
+  circle_install.epoch = 500;
+  circle_install.region = Circle{{54321.0, 12345.0}, 3000.0};
+  rows.push_back(MeasureCodec("region_install_circle", circle_install, iters));
+
+  net::MatchInstallMsg match;
+  match.user = 12345;
+  match.epoch = 500;
+  match.op = 0;
+  match.u = 11111;
+  match.w = 12345;
+  match.region = Circle{{54321.0, 12345.0}, 3000.0};
+  rows.push_back(MeasureCodec("match_install", match, iters));
+
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// (b) End-to-end transported overhead.
+
+WorkloadConfig NetConfigWorkload(bool quick) {
+  WorkloadConfig config;
+  config.dataset = DatasetKind::kTruck;
+  config.num_users = quick ? 100 : 500;
+  config.epochs = quick ? 20 : 100;
+  config.speed_steps = 8;
+  config.avg_friends = quick ? 6.0 : 15.0;
+  config.alert_radius_m = 6000.0;
+  config.seed = 20180416;
+  config.training_users = quick ? 16 : 40;
+  config.training_epochs = quick ? 60 : 120;
+  return config;
+}
+
+net::NetConfig MakeNetConfig(double drop_rate) {
+  net::NetConfig config;
+  if (drop_rate > 0.0) {
+    config.up.latency_s = 0.01;
+    config.up.jitter_s = 0.02;
+    config.up.drop_rate = drop_rate;
+    config.up.dup_rate = 0.02;
+    config.down = config.up;
+    config.down.latency_s = 0.015;
+  }
+  return config;
+}
+
+std::vector<TransportRow> RunTransportBench(const Workload& workload) {
+  const std::vector<Method> methods = {Method::kNaive, Method::kCmd,
+                                       Method::kStripeKf};
+  const std::vector<double> drops = {0.0, 0.05};
+  std::vector<TransportRow> rows;
+  for (const Method method : methods) {
+    WallTimer direct_timer;
+    const RunResult direct = RunMethod(method, workload);
+    const double direct_s = direct_timer.ElapsedSeconds();
+    for (const double drop : drops) {
+      WallTimer timer;
+      const net::TransportedRunResult transported =
+          net::RunTransportedMethod(method, workload, MakeNetConfig(drop));
+      TransportRow row;
+      row.method = method;
+      row.drop_rate = drop;
+      row.inprocess_seconds = direct_s;
+      row.transported_seconds = timer.ElapsedSeconds();
+      row.overhead_x = direct_s > 0.0 ? row.transported_seconds / direct_s : 0.0;
+      row.bytes_up = transported.net.bytes_up;
+      row.bytes_down = transported.net.bytes_down;
+      row.frames_up = transported.net.frames_up;
+      row.frames_down = transported.net.frames_down;
+      row.retransmits = transported.net.retransmits;
+      row.total_messages = transported.run.stats.TotalMessages();
+      row.alerts_exact = transported.run.alerts_exact;
+
+      // Contract checks — numbers from a broken transport are void.
+      if (!transported.run.alerts_exact || !direct.alerts_exact) {
+        std::fprintf(stderr,
+                     "FATAL: %s (drop=%.2f) deviated from ground truth over "
+                     "the transport.\n",
+                     MethodName(method).c_str(), drop);
+        std::exit(1);
+      }
+      if (!transported.run.stats.SameMessageCounts(direct.stats) ||
+          transported.run.rebuild_count != direct.rebuild_count) {
+        std::fprintf(stderr,
+                     "FATAL: %s (drop=%.2f) transported message/rebuild "
+                     "counts diverged from the in-process run.\n",
+                     MethodName(method).c_str(), drop);
+        std::exit(1);
+      }
+      if (!transported.net.codec_exact || transported.net.failed) {
+        std::fprintf(stderr,
+                     "FATAL: %s (drop=%.2f) codec round-trip or delivery "
+                     "contract broken.\n",
+                     MethodName(method).c_str(), drop);
+        std::exit(1);
+      }
+      rows.push_back(row);
+      std::printf(
+          "  %-11s drop=%.2f  in-proc %7.3f s  transported %7.3f s (%5.1fx)"
+          "  up %9llu B  down %9llu B  retx %llu\n",
+          MethodName(method).c_str(), drop, row.inprocess_seconds,
+          row.transported_seconds, row.overhead_x,
+          static_cast<unsigned long long>(row.bytes_up),
+          static_cast<unsigned long long>(row.bytes_down),
+          static_cast<unsigned long long>(row.retransmits));
+      std::fflush(stdout);
+    }
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+
+std::string WriteJson(const std::vector<CodecRow>& codec,
+                      const std::vector<TransportRow>& transport) {
+  const std::string path = BenchJsonPath("BENCH_net.json");
+  if (path.empty()) return "";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return "";
+  }
+  std::fprintf(f, "{\n  \"figure\": \"net\",\n  \"codec\": [\n");
+  for (size_t i = 0; i < codec.size(); ++i) {
+    const CodecRow& r = codec[i];
+    std::fprintf(f,
+                 "    {\"kind\": \"%s\", \"payload_bytes\": %zu, "
+                 "\"encode_msgs_per_s\": %.0f, \"encode_mb_per_s\": %.2f, "
+                 "\"decode_msgs_per_s\": %.0f, \"decode_mb_per_s\": %.2f}%s\n",
+                 r.kind.c_str(), r.payload_bytes, r.encode_msgs_per_s,
+                 r.encode_mb_per_s, r.decode_msgs_per_s, r.decode_mb_per_s,
+                 i + 1 == codec.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n  \"transport\": [\n");
+  for (size_t i = 0; i < transport.size(); ++i) {
+    const TransportRow& r = transport[i];
+    std::fprintf(
+        f,
+        "    {\"method\": \"%s\", \"drop_rate\": %.2f, "
+        "\"inprocess_seconds\": %.6f, \"transported_seconds\": %.6f, "
+        "\"overhead_x\": %.2f, \"bytes_up\": %llu, \"bytes_down\": %llu, "
+        "\"frames_up\": %llu, \"frames_down\": %llu, \"retransmits\": %llu, "
+        "\"total_messages\": %llu, \"alerts_exact\": %s}%s\n",
+        MethodName(r.method).c_str(), r.drop_rate, r.inprocess_seconds,
+        r.transported_seconds, r.overhead_x,
+        static_cast<unsigned long long>(r.bytes_up),
+        static_cast<unsigned long long>(r.bytes_down),
+        static_cast<unsigned long long>(r.frames_up),
+        static_cast<unsigned long long>(r.frames_down),
+        static_cast<unsigned long long>(r.retransmits),
+        static_cast<unsigned long long>(r.total_messages),
+        r.alerts_exact ? "true" : "false",
+        i + 1 == transport.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return path;
+}
+
+int Main() {
+  const bool quick = QuickMode();
+  const size_t codec_iters = quick ? 20000 : 500000;
+
+  std::printf("codec throughput (%zu iterations per kind)...\n", codec_iters);
+  const std::vector<CodecRow> codec = RunCodecBench(codec_iters);
+  for (const CodecRow& r : codec) {
+    std::printf(
+        "  %-22s %4zu B  encode %10.0f msg/s (%7.2f MB/s)  "
+        "decode %10.0f msg/s (%7.2f MB/s)\n",
+        r.kind.c_str(), r.payload_bytes, r.encode_msgs_per_s,
+        r.encode_mb_per_s, r.decode_msgs_per_s, r.decode_mb_per_s);
+  }
+
+  const WorkloadConfig config = NetConfigWorkload(quick);
+  std::printf("transported runs (%zu users, %d epochs)...\n", config.num_users,
+              config.epochs);
+  const Workload workload = BuildWorkload(config);
+  const std::vector<TransportRow> transport = RunTransportBench(workload);
+
+  const std::string json = WriteJson(codec, transport);
+  if (!json.empty()) std::printf("wrote %s\n", json.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace proxdet
+
+int main() { return proxdet::Main(); }

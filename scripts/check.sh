@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # TSan gate for the in-epoch parallelism: configures a separate build tree
-# with -DPROXDET_SANITIZE=thread, builds it, and runs the `sanitize`-labelled
-# suite (thread-pool + determinism tests) under a multi-thread global pool.
-# The parallel-scan/serial-commit pattern is only safe if the scans are
-# genuinely read-only — TSan is the check that they are.
+# with -DPROXDET_SANITIZE=thread, builds it, and runs the `sanitize`- and
+# `net`-labelled suites (thread-pool + determinism tests, plus the
+# wire/transport suite whose transported runs drive the network link while
+# the engine scans fan out) under a multi-thread global pool. The
+# parallel-scan/serial-commit pattern is only safe if the scans are
+# genuinely read-only and the link is only touched from commit sections —
+# TSan is the check that they are.
 #
 #   scripts/check.sh [extra cmake args...]
 #
@@ -18,4 +21,4 @@ JOBS="$(nproc)"
 cmake -B "$BUILD_DIR" -S . -DPROXDET_SANITIZE=thread "$@"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 PROXDET_THREADS="${PROXDET_THREADS:-4}" \
-  ctest --test-dir "$BUILD_DIR" -L sanitize --output-on-failure -j "$JOBS"
+  ctest --test-dir "$BUILD_DIR" -L 'sanitize|net' --output-on-failure -j "$JOBS"

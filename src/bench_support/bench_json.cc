@@ -1,0 +1,19 @@
+#include "bench_support/bench_json.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace proxdet {
+
+std::string BenchJsonPath(const std::string& filename) {
+  const char* env = std::getenv("PROXDET_BENCH_JSON");
+  if (env != nullptr && std::strcmp(env, "0") == 0) return "";
+  std::string dir;
+  if (env != nullptr && std::strcmp(env, "1") != 0 && env[0] != '\0') {
+    dir = env;
+    if (dir.back() != '/') dir.push_back('/');
+  }
+  return dir + filename;
+}
+
+}  // namespace proxdet

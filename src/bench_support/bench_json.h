@@ -1,0 +1,17 @@
+#ifndef PROXDET_BENCH_SUPPORT_BENCH_JSON_H_
+#define PROXDET_BENCH_SUPPORT_BENCH_JSON_H_
+
+#include <string>
+
+namespace proxdet {
+
+/// Resolves the output path for a benchmark JSON artifact from the
+/// PROXDET_BENCH_JSON environment variable, the convention every bench
+/// binary shares: "0" disables emission (returns the empty string),
+/// unset/""/"1" writes `filename` to the current directory, and any other
+/// value is the target directory.
+std::string BenchJsonPath(const std::string& filename);
+
+}  // namespace proxdet
+
+#endif  // PROXDET_BENCH_SUPPORT_BENCH_JSON_H_

@@ -1,0 +1,66 @@
+#ifndef PROXDET_CORE_CLIENT_LINK_H_
+#define PROXDET_CORE_CLIENT_LINK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/circle.h"
+#include "geom/vec2.h"
+#include "graph/interest_graph.h"
+#include "region/region.h"
+
+namespace proxdet {
+
+/// Match-region lifecycle notice carried by a match-install message
+/// (CommStats::match_installs counts all three the same way).
+enum class MatchOp : uint8_t {
+  kCreate = 0,
+  kUpdate = 1,
+  kDelete = 2,
+};
+
+/// The client<->server message seam of the detection engines. Every call
+/// corresponds to exactly one message the paper's cost model charges (the
+/// five kinds in CommStats); the engines own the *counting*, a link only
+/// moves the payload. With no link installed the engines read the World
+/// directly (the historical in-process fast path, zero overhead); a
+/// transported link (net::TransportLink) serializes each call onto a
+/// simulated wire and hands the engine the payload *as the server decoded
+/// it* — so an exact codec makes the transported run bit-identical to the
+/// in-process one.
+///
+/// All calls are made from the engines' serial commit sections only, never
+/// from parallel scans, so a link implementation needs no synchronization.
+class ClientLink {
+ public:
+  virtual ~ClientLink() = default;
+
+  /// Client -> server location upload (voluntary report or probe response).
+  /// The client attaches its exact position and, when `window_len > 0`, its
+  /// recent `window_len`-epoch location window (the server-side predictor's
+  /// input). Out-params receive the payload as the server received it.
+  virtual void Report(UserId u, int epoch, size_t window_len, Vec2* position,
+                      std::vector<Vec2>* window) = 0;
+
+  /// Server -> client "send me your exact location" request (Sec. V-B
+  /// case 2). The engine issues the matching Report immediately after.
+  virtual void Probe(UserId u, int epoch) = 0;
+
+  /// Server -> client alert notification for pair (a, b), a < b, delivered
+  /// to endpoint `u` (one call per endpoint).
+  virtual void Alert(UserId u, UserId a, UserId b, int epoch) = 0;
+
+  /// Server -> client safe-region install.
+  virtual void InstallRegion(UserId u, int epoch,
+                             const SafeRegionShape& region) = 0;
+
+  /// Server -> client match-region create/update/delete notice for pair
+  /// (a, b), delivered to endpoint `u`. `region` is meaningful for
+  /// create/update; delete sends a default circle.
+  virtual void InstallMatch(UserId u, int epoch, MatchOp op, UserId a,
+                            UserId b, const Circle& region) = 0;
+};
+
+}  // namespace proxdet
+
+#endif  // PROXDET_CORE_CLIENT_LINK_H_

@@ -16,12 +16,20 @@ namespace proxdet {
 ///  - region_installs: server -> client safe-region payloads.
 ///  - match_installs: server -> client match-region create/update/delete
 ///    notifications (case 4 bookkeeping).
+///
+/// Transported runs (src/net/) additionally fill the byte counters with
+/// actual wire traffic — frames plus acks plus retransmissions, by
+/// direction. In-process runs leave them 0: no byte is ever serialized.
 struct CommStats {
   uint64_t reports = 0;
   uint64_t probes = 0;
   uint64_t alerts = 0;
   uint64_t region_installs = 0;
   uint64_t match_installs = 0;
+  /// Wire bytes client -> server (uplink frames + uplink acks).
+  uint64_t bytes_up = 0;
+  /// Wire bytes server -> client (downlink frames + downlink acks).
+  uint64_t bytes_down = 0;
   /// Server-side wall-clock seconds spent in proximity bookkeeping
   /// (pair checks, cost model, region construction) — Figure 8's CPU axis.
   double server_seconds = 0.0;
@@ -30,14 +38,41 @@ struct CommStats {
     return reports + probes + alerts + region_installs + match_installs;
   }
 
+  /// Total wire traffic of a transported run; 0 for in-process runs.
+  uint64_t TotalBytes() const { return bytes_up + bytes_down; }
+
   CommStats& operator+=(const CommStats& o) {
     reports += o.reports;
     probes += o.probes;
     alerts += o.alerts;
     region_installs += o.region_installs;
     match_installs += o.match_installs;
+    bytes_up += o.bytes_up;
+    bytes_down += o.bytes_down;
     server_seconds += o.server_seconds;
     return *this;
+  }
+
+  /// Equality over the deterministic accounting fields — message counts and
+  /// wire bytes. `server_seconds` is wall-clock, not part of the bit-exact
+  /// determinism contract, and deliberately excluded.
+  friend bool operator==(const CommStats& a, const CommStats& b) {
+    return a.reports == b.reports && a.probes == b.probes &&
+           a.alerts == b.alerts && a.region_installs == b.region_installs &&
+           a.match_installs == b.match_installs && a.bytes_up == b.bytes_up &&
+           a.bytes_down == b.bytes_down;
+  }
+  friend bool operator!=(const CommStats& a, const CommStats& b) {
+    return !(a == b);
+  }
+
+  /// The message-count fields only (no bytes): the comparison used by the
+  /// transported-vs-in-process bit-exactness contract, where the transported
+  /// side carries wire bytes the in-process side by definition cannot.
+  bool SameMessageCounts(const CommStats& o) const {
+    return reports == o.reports && probes == o.probes && alerts == o.alerts &&
+           region_installs == o.region_installs &&
+           match_installs == o.match_installs;
   }
 };
 

@@ -10,6 +10,8 @@
 
 namespace proxdet {
 
+class ClientLink;
+
 /// A continuous proximity detection strategy. `Run` simulates the full
 /// client-server protocol over the world and records every message in
 /// `stats()`. Correctness contract: `SortedAlerts()` must equal
@@ -29,9 +31,16 @@ class Detector {
     return out;
   }
 
+  /// Routes every protocol message of the next Run through `link` (the
+  /// transported mode, src/net/). nullptr restores the in-process fast
+  /// path. Not owned; must outlive the Run it is installed for.
+  void set_link(ClientLink* link) { link_ = link; }
+  ClientLink* link() const { return link_; }
+
  protected:
   CommStats stats_;
   std::vector<AlertEvent> alerts_;
+  ClientLink* link_ = nullptr;
 };
 
 /// The Naive baseline (Sec. VI-C): every user reports every epoch, the

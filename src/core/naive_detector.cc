@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "core/client_link.h"
 #include "core/detector.h"
 #include "exec/thread_pool.h"
 
@@ -76,6 +77,16 @@ void NaiveDetector::Run(const World& world) {
         pos[u] = world.Position(static_cast<UserId>(u), epoch);
       }
     });
+    if (link_ != nullptr) {
+      // Transported run: every upload crosses the wire (window-less reports;
+      // Naive never predicts). The server-decoded positions replace the
+      // direct-read mirror above — bit-identical by the codec's exact
+      // round-trip, so the distance scan below is unchanged.
+      std::vector<Vec2> window_scratch;
+      for (UserId u = 0; u < static_cast<UserId>(pos.size()); ++u) {
+        link_->Report(u, epoch, 0, &pos[u], &window_scratch);
+      }
+    }
     const size_t chunks =
         edges.empty() ? 0 : (edges.size() + kEdgeGrain - 1) / kEdgeGrain;
     deltas.assign(chunks, {});
@@ -97,8 +108,14 @@ void NaiveDetector::Run(const World& world) {
         } else {
           matched[i] = 1;
           matched_pairs.insert(key);
-          alerts_.push_back({epoch, std::min(e.u, e.w), std::max(e.u, e.w)});
+          const UserId a = std::min(e.u, e.w);
+          const UserId b = std::max(e.u, e.w);
+          alerts_.push_back({epoch, a, b});
           stats_.alerts += 2;  // One notification per endpoint.
+          if (link_ != nullptr) {
+            link_->Alert(e.u, a, b, epoch);
+            link_->Alert(e.w, a, b, epoch);
+          }
         }
       }
     }

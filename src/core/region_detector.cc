@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/timer.h"
+#include "core/client_link.h"
 #include "core/cost_model.h"
 #include "exec/thread_pool.h"
 #include "region/match_region.h"
@@ -95,7 +96,16 @@ struct RegionDetector::Impl {
     users[u].reported = true;
     self.stats_.reports += 1;
     // The report carries the recent window; refresh the speed estimate.
-    world.RecentWindow(u, epoch, self.options_.window, &window_buf);
+    if (self.link_ != nullptr) {
+      // Transported run: the client uploads through the wire and the engine
+      // consumes position + window exactly as the server decoded them (the
+      // codec's exact round-trip keeps this bit-identical to the direct
+      // read below).
+      self.link_->Report(u, epoch, self.options_.window, &users[u].pos,
+                         &window_buf);
+    } else {
+      world.RecentWindow(u, epoch, self.options_.window, &window_buf);
+    }
     if (window_buf.size() >= 2) {
       double dist = 0.0;
       for (size_t i = 1; i < window_buf.size(); ++i) {
@@ -122,6 +132,7 @@ struct RegionDetector::Impl {
       return;
     }
     self.stats_.probes += 1;
+    if (self.link_ != nullptr) self.link_->Probe(u, epoch);
     Report(u);
     EnqueueRebuild(u);
     self.policy_->OnProbe(u);
@@ -130,17 +141,37 @@ struct RegionDetector::Impl {
   /// Both endpoints exact and within radius: fire the alert, install the
   /// match region (Def. 3), and drop the pair from safe-region duty.
   void CreateMatch(UserId u, UserId w, double r) {
-    matched.emplace(PairKey(u, w),
-                    MatchRegion::Make(users[u].pos, users[w].pos, r));
-    self.alerts_.push_back({epoch, std::min(u, w), std::max(u, w)});
+    const MatchRegion region = MatchRegion::Make(users[u].pos, users[w].pos, r);
+    matched.emplace(PairKey(u, w), region);
+    const UserId a = std::min(u, w);
+    const UserId b = std::max(u, w);
+    self.alerts_.push_back({epoch, a, b});
     self.stats_.alerts += 2;
-    if (self.options_.use_match_regions) self.stats_.match_installs += 2;
+    if (self.link_ != nullptr) {
+      self.link_->Alert(u, a, b, epoch);
+      self.link_->Alert(w, a, b, epoch);
+    }
+    if (self.options_.use_match_regions) {
+      self.stats_.match_installs += 2;
+      if (self.link_ != nullptr) {
+        self.link_->InstallMatch(u, epoch, MatchOp::kCreate, a, b,
+                                 region.circle());
+        self.link_->InstallMatch(w, epoch, MatchOp::kCreate, a, b,
+                                 region.circle());
+      }
+    }
   }
 
   void DissolveMatch(UserId u, UserId w) {
     matched.erase(PairKey(u, w));
     if (self.options_.use_match_regions) {
       self.stats_.match_installs += 2;  // Deletion notices.
+      if (self.link_ != nullptr) {
+        const UserId a = std::min(u, w);
+        const UserId b = std::max(u, w);
+        self.link_->InstallMatch(u, epoch, MatchOp::kDelete, a, b, Circle{});
+        self.link_->InstallMatch(w, epoch, MatchOp::kDelete, a, b, Circle{});
+      }
     }
   }
 
@@ -213,6 +244,12 @@ struct RegionDetector::Impl {
         if (self.options_.use_match_regions) {
           it->second = MatchRegion::Make(users[u].pos, users[w].pos, r);
           self.stats_.match_installs += 2;
+          if (self.link_ != nullptr) {
+            self.link_->InstallMatch(u, epoch, MatchOp::kUpdate, u, w,
+                                     it->second.circle());
+            self.link_->InstallMatch(w, epoch, MatchOp::kUpdate, u, w,
+                                     it->second.circle());
+          }
         }
       } else {
         DissolveMatch(u, w);
@@ -360,6 +397,7 @@ struct RegionDetector::Impl {
           (void)d;
         }
       }
+      if (self.link_ != nullptr) self.link_->InstallRegion(u, epoch, shape);
       users[u].region = std::move(shape);
       users[u].rebuilt = true;
       users[u].needs_region = false;

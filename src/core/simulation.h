@@ -40,8 +40,7 @@ struct WorkloadConfig {
   int epochs = 200;             // S
   int speed_steps = 8;          // V (raw ticks per epoch)
   double avg_friends = 30.0;    // F
-  double alert_radius_m = 6000. // r; per-user preference drawn around it.
-  ;
+  double alert_radius_m = 6000.0;  // r; per-user preference drawn around it.
   uint64_t seed = 42;
   /// Offline training set for HMM/R2-D2 and sigma calibration (the paper
   /// trains on 1,600 synchronized timestamps).

@@ -23,6 +23,12 @@ struct Circle {
   bool ContainsStrict(const Vec2& p) const {
     return SquaredDistance(center, p) < radius * radius;
   }
+
+  /// Exact (bitwise) structural equality; the wire codec's round-trip
+  /// guarantee is stated in terms of it.
+  friend bool operator==(const Circle& a, const Circle& b) {
+    return a.center == b.center && a.radius == b.radius;
+  }
 };
 
 /// Minimum distance from p to the disk (0 when inside).

@@ -53,6 +53,13 @@ class ConvexPolygon {
 
   double Area() const;
 
+  /// Exact (bitwise) structural equality on the vertex list (the cached
+  /// bounds are derived from it); the wire codec's round-trip guarantee is
+  /// stated in terms of it.
+  friend bool operator==(const ConvexPolygon& a, const ConvexPolygon& b) {
+    return a.vertices_ == b.vertices_;
+  }
+
  private:
   std::vector<Vec2> vertices_;
   BBox bounds_;  // Cached in the constructor; lo/hi both (0,0) when empty.

@@ -43,6 +43,12 @@ class Polyline {
   /// Point at arc-length s from the start (clamped to the ends).
   Vec2 PointAtArcLength(double s) const;
 
+  /// Exact (bitwise) structural equality; the wire codec's round-trip
+  /// guarantee is stated in terms of it.
+  friend bool operator==(const Polyline& a, const Polyline& b) {
+    return a.points_ == b.points_;
+  }
+
  private:
   std::vector<Vec2> points_;
 };

@@ -53,6 +53,13 @@ class Stripe {
   /// this is the simple per-capsule sum used only for diagnostics.
   double CapsuleAreaUpperBound() const;
 
+  /// Exact (bitwise) structural equality on path and radius (the reject box
+  /// is derived from them); the wire codec's round-trip guarantee is stated
+  /// in terms of it.
+  friend bool operator==(const Stripe& a, const Stripe& b) {
+    return a.radius_ == b.radius_ && a.path_ == b.path_;
+  }
+
  private:
   Polyline path_;
   double radius_ = 0.0;

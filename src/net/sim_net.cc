@@ -1,0 +1,186 @@
+#include "net/sim_net.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace proxdet {
+namespace net {
+
+int SimNet::AddEndpoint(Handler handler) {
+  handlers_.push_back(std::move(handler));
+  return static_cast<int>(handlers_.size()) - 1;
+}
+
+void SimNet::PushEvent(Event e) {
+  heap_.push_back(std::move(e));
+  std::push_heap(heap_.begin(), heap_.end(), EventAfter());
+}
+
+SimNet::Event SimNet::PopEvent() {
+  std::pop_heap(heap_.begin(), heap_.end(), EventAfter());
+  Event e = std::move(heap_.back());
+  heap_.pop_back();
+  return e;
+}
+
+void SimNet::MixHash(uint64_t v) {
+  // FNV-1a 64, one byte at a time, over the value's little-endian bytes.
+  for (int i = 0; i < 8; ++i) {
+    schedule_hash_ ^= (v >> (8 * i)) & 0xff;
+    schedule_hash_ *= 1099511628211ULL;
+  }
+}
+
+void SimNet::RecordOutcome(const DeliveryRecord& r) {
+  uint64_t time_bits;
+  static_assert(sizeof(time_bits) == sizeof(r.send_time));
+  std::memcpy(&time_bits, &r.send_time, sizeof(time_bits));
+  MixHash(time_bits);
+  std::memcpy(&time_bits, &r.deliver_time, sizeof(time_bits));
+  MixHash(time_bits);
+  MixHash((static_cast<uint64_t>(static_cast<uint32_t>(r.src)) << 32) |
+          static_cast<uint32_t>(r.dst));
+  MixHash((static_cast<uint64_t>(r.frame_hash) << 2) |
+          (r.dropped ? 2u : 0u) | (r.duplicate ? 1u : 0u));
+  if (record_log_) log_.push_back(r);
+}
+
+void SimNet::Send(int src, int dst, std::vector<uint8_t> frame) {
+  const LinkModel model = link_model_ ? link_model_(src, dst) : LinkModel();
+  // One Rng draw per decision, in fixed order, regardless of the model's
+  // parameters — the draw sequence (hence the schedule) is a pure function
+  // of the seed and the Send/Schedule call sequence.
+  const bool duplicate = rng_.NextBool(model.dup_rate);
+  const int copies = duplicate ? 2 : 1;
+  if (duplicate) frames_duplicated_ += 1;
+  const uint32_t frame_hash = Fnv1a32(frame.data(), frame.size());
+  for (int c = 0; c < copies; ++c) {
+    const bool drop = rng_.NextBool(model.drop_rate);
+    const double jitter =
+        model.jitter_s > 0.0 ? rng_.Uniform(0.0, model.jitter_s) : 0.0;
+    frames_offered_ += 1;
+    DeliveryRecord record;
+    record.send_time = now_;
+    record.deliver_time = now_ + model.latency_s + jitter;
+    record.src = src;
+    record.dst = dst;
+    record.frame_hash = frame_hash;
+    record.dropped = drop;
+    record.duplicate = c > 0;
+    RecordOutcome(record);
+    if (drop) {
+      frames_dropped_ += 1;
+      continue;
+    }
+    Event e;
+    e.time = record.deliver_time;
+    e.id = next_event_id_++;
+    e.src = src;
+    e.dst = dst;
+    // The last surviving copy moves the buffer; earlier ones copy it.
+    e.frame = (c == copies - 1) ? std::move(frame) : frame;
+    PushEvent(std::move(e));
+  }
+}
+
+void SimNet::Schedule(double delay_s, std::function<void()> fn) {
+  Event e;
+  e.time = now_ + delay_s;
+  e.id = next_event_id_++;
+  e.timer = std::move(fn);
+  PushEvent(std::move(e));
+}
+
+void SimNet::RunUntilIdle() {
+  while (!heap_.empty()) {
+    Event e = PopEvent();
+    now_ = std::max(now_, e.time);
+    if (e.timer) {
+      e.timer();
+    } else {
+      handlers_[e.dst](e.src, e.frame);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+ReliableEndpoint::ReliableEndpoint(SimNet* net, double rto_s, int max_retries,
+                                   FrameHandler handler)
+    : net_(net),
+      rto_s_(rto_s),
+      max_retries_(max_retries),
+      handler_(std::move(handler)) {
+  id_ = net_->AddEndpoint(
+      [this](int src, const std::vector<uint8_t>& bytes) { OnWire(src, bytes); });
+}
+
+void ReliableEndpoint::Send(int dst, MsgKind kind,
+                            const std::vector<uint8_t>& payload) {
+  const uint64_t seq = ++next_seq_[dst];
+  pending_.emplace(std::make_pair(dst, seq), EncodeFrame(kind, seq, payload));
+  Transmit(dst, seq, 0);
+}
+
+void ReliableEndpoint::Transmit(int dst, uint64_t seq, int attempt) {
+  const auto it = pending_.find({dst, seq});
+  if (it == pending_.end()) return;  // Acked since the timer was armed.
+  if (attempt > max_retries_) {
+    delivery_failed_ = true;
+    pending_.erase(it);
+    return;
+  }
+  bytes_sent_ += it->second.size();
+  frames_sent_ += 1;
+  if (attempt > 0) retransmits_ += 1;
+  net_->Send(id_, dst, it->second);
+  // Linear backoff keeps the retry storm bounded at high drop rates while
+  // staying cheap to reason about; the timer is cancelled lazily (it fires
+  // and finds nothing pending).
+  net_->Schedule(rto_s_ * (attempt + 1), [this, dst, seq, attempt] {
+    Transmit(dst, seq, attempt + 1);
+  });
+}
+
+void ReliableEndpoint::OnWire(int src, const std::vector<uint8_t>& bytes) {
+  Frame frame;
+  if (!DecodeFrame(bytes.data(), bytes.size(), &frame)) {
+    // SimNet never corrupts, but a real backend could; count and drop —
+    // the sender's retry makes the loss equivalent to a dropped frame.
+    corrupt_frames_ += 1;
+    return;
+  }
+  if (frame.kind == MsgKind::kAck) {
+    pending_.erase({src, frame.seq});
+    return;
+  }
+  // Ack every copy, even duplicates: the sender may be retrying because the
+  // first ack was lost.
+  const std::vector<uint8_t> ack = EncodeFrame(MsgKind::kAck, frame.seq, {});
+  bytes_sent_ += ack.size();
+  frames_sent_ += 1;
+  net_->Send(id_, src, ack);
+  if (!MarkSeen(src, frame.seq)) {
+    dedup_discards_ += 1;
+    return;
+  }
+  handler_(src, std::move(frame));
+}
+
+bool ReliableEndpoint::MarkSeen(int src, uint64_t seq) {
+  SeenWindow& window = seen_[src];
+  if (seq <= window.contiguous) return false;
+  if (!window.ahead.insert(seq).second) return false;
+  // Advance the contiguous frontier; keeps `ahead` tiny (out-of-order
+  // arrivals only happen within one jitter window).
+  while (!window.ahead.empty() &&
+         *window.ahead.begin() == window.contiguous + 1) {
+    window.ahead.erase(window.ahead.begin());
+    window.contiguous += 1;
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace proxdet

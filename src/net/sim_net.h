@@ -1,0 +1,189 @@
+#ifndef PROXDET_NET_SIM_NET_H_
+#define PROXDET_NET_SIM_NET_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/wire.h"
+
+namespace proxdet {
+namespace net {
+
+/// Per-direction link impairment model. All randomness (jitter draw, drop
+/// coin, duplicate coin) comes from SimNet's single seeded Rng, drawn in
+/// Send-call order — so a given seed yields one exact delivery schedule.
+struct LinkModel {
+  double latency_s = 0.0;  // Fixed one-way propagation delay.
+  double jitter_s = 0.0;   // Additional uniform [0, jitter_s) per copy.
+  double drop_rate = 0.0;  // P(copy never arrives).
+  double dup_rate = 0.0;   // P(a second, independently-jittered copy).
+};
+
+/// One transmission outcome, for the determinism log (optional; the running
+/// schedule_hash() covers the same information without the memory).
+struct DeliveryRecord {
+  double send_time = 0.0;
+  double deliver_time = 0.0;  // Meaningless when dropped.
+  int src = -1;
+  int dst = -1;
+  uint32_t frame_hash = 0;  // FNV-1a of the frame bytes.
+  bool dropped = false;
+  bool duplicate = false;  // This copy was spawned by the dup model.
+};
+
+/// Deterministic event-driven network simulator. Endpoints are small
+/// integers; frames are opaque byte vectors; time is virtual seconds,
+/// advanced only by the event queue. Events are ordered by
+/// (time, insertion id), so ties break deterministically and two runs with
+/// the same seed and the same Send/Schedule call sequence produce
+/// byte-identical delivery schedules (verified via schedule_hash()).
+///
+/// Single-threaded by design: the epoch-synchronous engines drive it from
+/// their serial commit sections, so it needs no locks even when the
+/// surrounding detector scans fan out over the thread pool.
+class SimNet {
+ public:
+  using Handler = std::function<void(int src, const std::vector<uint8_t>&)>;
+
+  explicit SimNet(uint64_t seed) : rng_(seed) {}
+
+  /// Registers an endpoint; returns its id (dense, starting at 0).
+  int AddEndpoint(Handler handler);
+
+  /// Link model lookup by (src, dst); defaults to a perfect link. The
+  /// transport installs a classifier that maps client->server to the "up"
+  /// model and server->client to the "down" model.
+  void SetLinkModelFn(std::function<LinkModel(int src, int dst)> fn) {
+    link_model_ = std::move(fn);
+  }
+
+  /// Transmits `frame` from src to dst through the (src, dst) link model:
+  /// possibly dropped, possibly duplicated, delivered at
+  /// now + latency + jitter. Safe to call from inside a handler.
+  void Send(int src, int dst, std::vector<uint8_t> frame);
+
+  /// Schedules `fn` to run at now + delay_s (retry timers).
+  void Schedule(double delay_s, std::function<void()> fn);
+
+  /// Runs events in timestamp order until the queue is empty. Handlers and
+  /// timers may enqueue more work; the loop drains it all.
+  void RunUntilIdle();
+
+  double now() const { return now_; }
+
+  // Wire counters (all copies that physically entered a link).
+  uint64_t frames_offered() const { return frames_offered_; }
+  uint64_t frames_dropped() const { return frames_dropped_; }
+  uint64_t frames_duplicated() const { return frames_duplicated_; }
+
+  /// Running FNV-1a hash over every transmission outcome (send time,
+  /// deliver time, endpoints, frame bytes, drop/dup flags). Two runs with
+  /// identical hashes experienced byte-identical delivery schedules.
+  uint64_t schedule_hash() const { return schedule_hash_; }
+
+  /// When enabled, every transmission outcome is appended to log().
+  void set_record_log(bool on) { record_log_ = on; }
+  const std::vector<DeliveryRecord>& log() const { return log_; }
+
+ private:
+  struct Event {
+    double time = 0.0;
+    uint64_t id = 0;  // Insertion order; the deterministic tie-break.
+    int src = -1;
+    int dst = -1;
+    std::vector<uint8_t> frame;        // Delivery events.
+    std::function<void()> timer;       // Timer events (frame empty).
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.id > b.id;
+    }
+  };
+
+  void PushEvent(Event e);
+  Event PopEvent();
+  void MixHash(uint64_t v);
+  void RecordOutcome(const DeliveryRecord& r);
+
+  Rng rng_;
+  std::vector<Handler> handlers_;
+  std::function<LinkModel(int, int)> link_model_;
+  std::vector<Event> heap_;  // Binary min-heap under EventAfter.
+  uint64_t next_event_id_ = 0;
+  double now_ = 0.0;
+  uint64_t frames_offered_ = 0;
+  uint64_t frames_dropped_ = 0;
+  uint64_t frames_duplicated_ = 0;
+  uint64_t schedule_hash_ = 14695981039346656037ULL;  // FNV-1a 64 offset.
+  bool record_log_ = false;
+  std::vector<DeliveryRecord> log_;
+};
+
+/// At-least-once reliability on top of SimNet: every data frame carries a
+/// per-destination sequence number, is acked by the receiver, and is
+/// retransmitted on a timer until the ack lands (linear backoff, capped at
+/// max_retries). The receiver acks every copy — including duplicates, whose
+/// data is then discarded by the per-source seen-window — so alert
+/// semantics survive loss and duplication exactly.
+class ReliableEndpoint {
+ public:
+  using FrameHandler = std::function<void(int src, Frame&& frame)>;
+
+  /// Registers a fresh SimNet endpoint. `rto_s` is the base retransmission
+  /// timeout; attempt k waits k * rto_s.
+  ReliableEndpoint(SimNet* net, double rto_s, int max_retries,
+                   FrameHandler handler);
+
+  int id() const { return id_; }
+
+  /// Sends `payload` as a `kind` frame to `dst`, tracked until acked.
+  void Send(int dst, MsgKind kind, const std::vector<uint8_t>& payload);
+
+  // Wire accounting for this endpoint's *transmissions* (data frames,
+  // retransmissions and acks it sends; not what it receives).
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t frames_sent() const { return frames_sent_; }
+  uint64_t retransmits() const { return retransmits_; }
+  uint64_t dedup_discards() const { return dedup_discards_; }
+  uint64_t corrupt_frames() const { return corrupt_frames_; }
+
+  /// True when some frame exhausted max_retries (only reachable with
+  /// drop_rate pinned near 1); the transport surfaces it as a run failure.
+  bool delivery_failed() const { return delivery_failed_; }
+  bool all_acked() const { return pending_.empty(); }
+
+ private:
+  struct SeenWindow {
+    uint64_t contiguous = 0;       // All seqs <= contiguous delivered.
+    std::set<uint64_t> ahead;      // Delivered seqs > contiguous.
+  };
+
+  void Transmit(int dst, uint64_t seq, int attempt);
+  void OnWire(int src, const std::vector<uint8_t>& bytes);
+  bool MarkSeen(int src, uint64_t seq);
+
+  SimNet* net_;
+  double rto_s_;
+  int max_retries_;
+  FrameHandler handler_;
+  int id_ = -1;
+  std::map<int, uint64_t> next_seq_;
+  std::map<std::pair<int, uint64_t>, std::vector<uint8_t>> pending_;
+  std::map<int, SeenWindow> seen_;
+  uint64_t bytes_sent_ = 0;
+  uint64_t frames_sent_ = 0;
+  uint64_t retransmits_ = 0;
+  uint64_t dedup_discards_ = 0;
+  uint64_t corrupt_frames_ = 0;
+  bool delivery_failed_ = false;
+};
+
+}  // namespace net
+}  // namespace proxdet
+
+#endif  // PROXDET_NET_SIM_NET_H_

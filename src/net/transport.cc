@@ -1,0 +1,303 @@
+#include "net/transport.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace proxdet {
+namespace net {
+
+// ---------------------------------------------------------------------------
+// ClientRuntime
+
+ClientRuntime::ClientRuntime(SimNet* net, const World* world, UserId id,
+                             int server_id, const NetConfig& config)
+    : world_(world),
+      id_(id),
+      server_id_(server_id),
+      endpoint_(net, config.retry_timeout_s, config.max_retries,
+                [this](int /*src*/, Frame&& frame) {
+                  HandleFrame(std::move(frame));
+                }) {}
+
+void ClientRuntime::SendReport(int epoch, size_t window_len) {
+  LocationReportMsg msg;
+  msg.user = id_;
+  msg.epoch = epoch;
+  msg.position = world_->Position(id_, epoch);
+  if (window_len > 0) {
+    msg.window = world_->RecentWindow(id_, epoch, window_len);
+  }
+  endpoint_.Send(server_id_, MsgKind::kLocationReport, Encode(msg));
+}
+
+void ClientRuntime::HandleFrame(Frame&& frame) {
+  switch (frame.kind) {
+    case MsgKind::kProbe: {
+      ProbeMsg msg;
+      if (!Decode(frame.payload, &msg)) break;
+      probes_received_ += 1;
+      return;
+    }
+    case MsgKind::kAlert: {
+      AlertMsg msg;
+      if (!Decode(frame.payload, &msg)) break;
+      alerts_.push_back(AlertEvent{msg.epoch, msg.u, msg.w});
+      return;
+    }
+    case MsgKind::kRegionInstall: {
+      RegionInstallMsg msg;
+      if (!Decode(frame.payload, &msg)) break;
+      installed_region_ = std::move(msg.region);
+      regions_installed_ += 1;
+      return;
+    }
+    case MsgKind::kMatchInstall: {
+      MatchInstallMsg msg;
+      if (!Decode(frame.payload, &msg)) break;
+      if (msg.op == static_cast<uint8_t>(MatchOp::kDelete)) {
+        match_region_.reset();
+      } else {
+        match_region_ = msg.region;
+      }
+      match_notices_ += 1;
+      return;
+    }
+    default:
+      break;
+  }
+  protocol_error_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// ProtocolServer
+
+ProtocolServer::ProtocolServer(SimNet* net, size_t user_count,
+                               const NetConfig& config)
+    : inbox_(user_count),
+      endpoint_(net, config.retry_timeout_s, config.max_retries,
+                [this](int src, Frame&& frame) {
+                  HandleFrame(src, std::move(frame));
+                }) {}
+
+void ProtocolServer::HandleFrame(int src, Frame&& frame) {
+  if (frame.kind != MsgKind::kLocationReport) {
+    protocol_error_ = true;
+    return;
+  }
+  LocationReportMsg msg;
+  if (!Decode(frame.payload, &msg)) {
+    protocol_error_ = true;
+    return;
+  }
+  // Endpoint ids coincide with user ids by construction; a report claiming
+  // another identity is a protocol violation.
+  if (msg.user != static_cast<UserId>(src) || msg.user < 0 ||
+      static_cast<size_t>(msg.user) >= inbox_.size()) {
+    protocol_error_ = true;
+    return;
+  }
+  inbox_[msg.user] = std::move(msg);
+}
+
+bool ProtocolServer::TakeReport(UserId u, LocationReportMsg* out) {
+  if (u < 0 || static_cast<size_t>(u) >= inbox_.size() ||
+      !inbox_[u].has_value()) {
+    return false;
+  }
+  *out = std::move(*inbox_[u]);
+  inbox_[u].reset();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// TransportLink
+
+TransportLink::TransportLink(const World& world, const NetConfig& config)
+    : world_(world), config_(config), net_(config.seed) {
+  net_.set_record_log(config.record_log);
+  // Clients register first so endpoint id == UserId; the server takes the
+  // next id. The link classifier then keys purely on the server side.
+  const int server_id = static_cast<int>(world.user_count());
+  clients_.reserve(world.user_count());
+  for (UserId u = 0; u < static_cast<UserId>(world.user_count()); ++u) {
+    clients_.push_back(
+        std::make_unique<ClientRuntime>(&net_, &world_, u, server_id, config));
+  }
+  server_ = std::make_unique<ProtocolServer>(&net_, world.user_count(), config);
+  server_id_ = server_->endpoint().id();
+  const LinkModel up = config.up;
+  const LinkModel down = config.down;
+  const int sid = server_id_;
+  net_.SetLinkModelFn([up, down, sid](int src, int /*dst*/) {
+    return src == sid ? down : up;
+  });
+}
+
+void TransportLink::Report(UserId u, int epoch, size_t window_len,
+                           Vec2* position, std::vector<Vec2>* window) {
+  clients_[u]->SendReport(epoch, window_len);
+  net_.RunUntilIdle();
+  LocationReportMsg msg;
+  if (!server_->TakeReport(u, &msg)) {
+    // Only reachable when the reliability layer gave up (drop_rate ~ 1).
+    // Fall back to the direct read so the engine stays well-defined; the
+    // run is still flagged failed.
+    failed_ = true;
+    *position = world_.Position(u, epoch);
+    world_.RecentWindow(u, epoch, window_len, window);
+    if (window_len == 0) window->clear();
+    return;
+  }
+  // Hand the engine the payload *as the server decoded it* — the codec's
+  // exactness, not a shortcut, is what makes the transported run
+  // bit-identical to the in-process one.
+  *position = msg.position;
+  *window = std::move(msg.window);
+}
+
+void TransportLink::Probe(UserId u, int epoch) {
+  ProbeMsg msg;
+  msg.user = u;
+  msg.epoch = epoch;
+  server_->endpoint().Send(static_cast<int>(u), MsgKind::kProbe, Encode(msg));
+  net_.RunUntilIdle();
+}
+
+void TransportLink::Alert(UserId u, UserId a, UserId b, int epoch) {
+  AlertMsg msg;
+  msg.user = u;
+  msg.u = a;
+  msg.w = b;
+  msg.epoch = epoch;
+  server_->endpoint().Send(static_cast<int>(u), MsgKind::kAlert, Encode(msg));
+  net_.RunUntilIdle();
+}
+
+void TransportLink::InstallRegion(UserId u, int epoch,
+                                  const SafeRegionShape& region) {
+  RegionInstallMsg msg;
+  msg.user = u;
+  msg.epoch = epoch;
+  msg.region = region;
+  server_->endpoint().Send(static_cast<int>(u), MsgKind::kRegionInstall,
+                           Encode(msg));
+  net_.RunUntilIdle();
+  // Live codec-exactness check: what the client decoded must equal what the
+  // server built, bit for bit (variant operator== is structural/bitwise).
+  const auto& installed = clients_[u]->installed_region();
+  if (!installed.has_value() || !(*installed == region)) {
+    codec_exact_ = false;
+  }
+}
+
+void TransportLink::InstallMatch(UserId u, int epoch, MatchOp op, UserId a,
+                                 UserId b, const Circle& region) {
+  MatchInstallMsg msg;
+  msg.user = u;
+  msg.epoch = epoch;
+  msg.op = static_cast<uint8_t>(op);
+  msg.u = a;
+  msg.w = b;
+  msg.region = region;
+  server_->endpoint().Send(static_cast<int>(u), MsgKind::kMatchInstall,
+                           Encode(msg));
+  net_.RunUntilIdle();
+  const auto& match = clients_[u]->match_region();
+  if (op == MatchOp::kDelete) {
+    if (match.has_value()) codec_exact_ = false;
+  } else if (!match.has_value() || !(*match == region)) {
+    codec_exact_ = false;
+  }
+}
+
+NetRunStats TransportLink::Stats() const {
+  NetRunStats s;
+  for (const auto& client : clients_) {
+    const ReliableEndpoint& e = client->endpoint();
+    s.frames_up += e.frames_sent();
+    s.bytes_up += e.bytes_sent();
+    s.retransmits += e.retransmits();
+    s.dedup_discards += e.dedup_discards();
+    if (e.delivery_failed()) s.failed = true;
+    if (client->protocol_error()) s.failed = true;
+  }
+  const ReliableEndpoint& se = server_->endpoint();
+  s.frames_down = se.frames_sent();
+  s.bytes_down = se.bytes_sent();
+  s.retransmits += se.retransmits();
+  s.dedup_discards += se.dedup_discards();
+  if (se.delivery_failed() || server_->protocol_error()) s.failed = true;
+  if (failed_) s.failed = true;
+  s.drops = net_.frames_dropped();
+  s.duplicates = net_.frames_duplicated();
+  s.virtual_seconds = net_.now();
+  s.schedule_hash = net_.schedule_hash();
+  s.codec_exact = codec_exact_;
+  return s;
+}
+
+std::vector<AlertEvent> TransportLink::ClientAlerts() const {
+  std::vector<AlertEvent> out;
+  for (const auto& client : clients_) {
+    const auto& alerts = client->alerts();
+    out.insert(out.end(), alerts.begin(), alerts.end());
+  }
+  // Each logical alert is delivered to both endpoints of the pair; the
+  // client-observed *stream* is the deduplicated union.
+  SortAlerts(&out);
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TransportedDetector
+
+TransportedDetector::TransportedDetector(std::unique_ptr<Detector> inner,
+                                         NetConfig config)
+    : inner_(std::move(inner)), config_(config) {}
+
+std::string TransportedDetector::name() const {
+  return "Transported(" + inner_->name() + ")";
+}
+
+void TransportedDetector::Run(const World& world) {
+  TransportLink link(world, config_);
+  inner_->set_link(&link);
+  inner_->Run(world);
+  inner_->set_link(nullptr);
+  net_stats_ = link.Stats();
+  // The engine owns the message counts; the transport contributes the
+  // byte-level totals it actually put on the wire (frames, retransmits,
+  // acks — both directions).
+  stats_ = inner_->stats();
+  stats_.bytes_up = net_stats_.bytes_up;
+  stats_.bytes_down = net_stats_.bytes_down;
+  // The detector's alert stream is what the *clients* received over the
+  // wire — the end-to-end correctness claim, not the server's intent.
+  alerts_ = link.ClientAlerts();
+}
+
+// ---------------------------------------------------------------------------
+
+TransportedRunResult RunTransportedMethod(Method method,
+                                          const Workload& workload,
+                                          const NetConfig& config,
+                                          RegionDetector::Options options) {
+  TransportedDetector detector(MakeDetector(method, workload, options), config);
+  detector.Run(workload.world);
+  TransportedRunResult result;
+  result.run.method = method;
+  result.run.stats = detector.stats();
+  if (const auto* rd =
+          dynamic_cast<const RegionDetector*>(&detector.inner())) {
+    result.run.rebuild_count = rd->rebuild_count();
+  }
+  const std::vector<AlertEvent> alerts = detector.SortedAlerts();
+  result.run.alert_count = alerts.size();
+  result.run.alerts_exact = alerts == workload.GroundTruth();
+  result.net = detector.net_stats();
+  return result;
+}
+
+}  // namespace net
+}  // namespace proxdet

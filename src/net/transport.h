@@ -1,0 +1,193 @@
+#ifndef PROXDET_NET_TRANSPORT_H_
+#define PROXDET_NET_TRANSPORT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/client_link.h"
+#include "core/simulation.h"
+#include "net/sim_net.h"
+#include "net/wire.h"
+
+namespace proxdet {
+namespace net {
+
+/// Configuration of one transported run: the two link directions, the
+/// transport seed (independent of the workload seed) and the reliability
+/// knobs.
+struct NetConfig {
+  LinkModel up;    // client -> server
+  LinkModel down;  // server -> client
+  uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  double retry_timeout_s = 0.05;
+  int max_retries = 64;
+  bool record_log = false;  // Keep the full DeliveryRecord log (tests).
+};
+
+/// Wire-level outcome of a transported run, alongside the CommStats the
+/// engine accumulates.
+struct NetRunStats {
+  uint64_t frames_up = 0;    // Client -> server transmissions (incl. acks).
+  uint64_t bytes_up = 0;
+  uint64_t frames_down = 0;  // Server -> client transmissions (incl. acks).
+  uint64_t bytes_down = 0;
+  uint64_t retransmits = 0;
+  uint64_t drops = 0;
+  uint64_t duplicates = 0;
+  uint64_t dedup_discards = 0;
+  double virtual_seconds = 0.0;  // Final SimNet clock.
+  uint64_t schedule_hash = 0;    // Determinism fingerprint (SimNet).
+  /// Every decoded install compared equal (operator==, bitwise) to the
+  /// shape the server sent — the codec exactness contract, checked live on
+  /// every region/match install of the run.
+  bool codec_exact = true;
+  /// A frame exhausted max_retries or a payload failed to decode; only
+  /// reachable with a pathological config (drop_rate ~ 1).
+  bool failed = false;
+};
+
+/// Client-side runtime of one user: reads its own trajectory from the
+/// World (that is the client's private knowledge), uploads reports on
+/// request, and records everything the server pushes down — probes,
+/// alerts, safe-region installs, match notices.
+class ClientRuntime {
+ public:
+  ClientRuntime(SimNet* net, const World* world, UserId id, int server_id,
+                const NetConfig& config);
+
+  /// Encodes and sends this client's location report for `epoch`;
+  /// `window_len` == 0 sends a position-only report.
+  void SendReport(int epoch, size_t window_len);
+
+  const ReliableEndpoint& endpoint() const { return endpoint_; }
+  const std::vector<AlertEvent>& alerts() const { return alerts_; }
+  uint64_t probes_received() const { return probes_received_; }
+  uint64_t regions_installed() const { return regions_installed_; }
+  uint64_t match_notices() const { return match_notices_; }
+  const std::optional<SafeRegionShape>& installed_region() const {
+    return installed_region_;
+  }
+  const std::optional<Circle>& match_region() const { return match_region_; }
+  bool protocol_error() const { return protocol_error_; }
+
+ private:
+  void HandleFrame(Frame&& frame);
+
+  const World* world_;
+  UserId id_;
+  int server_id_;
+  std::vector<AlertEvent> alerts_;
+  uint64_t probes_received_ = 0;
+  uint64_t regions_installed_ = 0;
+  uint64_t match_notices_ = 0;
+  std::optional<SafeRegionShape> installed_region_;
+  std::optional<Circle> match_region_;
+  bool protocol_error_ = false;
+  ReliableEndpoint endpoint_;  // Last: its handler captures `this`.
+};
+
+/// Server-side frame sink: decodes uplink location reports into a per-user
+/// inbox the engine link drains synchronously.
+class ProtocolServer {
+ public:
+  ProtocolServer(SimNet* net, size_t user_count, const NetConfig& config);
+
+  bool TakeReport(UserId u, LocationReportMsg* out);
+
+  ReliableEndpoint& endpoint() { return endpoint_; }
+  const ReliableEndpoint& endpoint() const { return endpoint_; }
+  bool protocol_error() const { return protocol_error_; }
+
+ private:
+  void HandleFrame(int src, Frame&& frame);
+
+  std::vector<std::optional<LocationReportMsg>> inbox_;
+  bool protocol_error_ = false;
+  ReliableEndpoint endpoint_;
+};
+
+/// ClientLink implementation over the simulated network: every engine
+/// message becomes a framed, sequence-numbered, acked wire exchange, run to
+/// quiescence before the engine continues (stop-and-wait, matching the
+/// paper's synchronous epoch model — latency and loss shape virtual time
+/// and wire counters, never alert semantics, because delivery is
+/// at-least-once with dedup).
+class TransportLink : public ClientLink {
+ public:
+  TransportLink(const World& world, const NetConfig& config);
+
+  void Report(UserId u, int epoch, size_t window_len, Vec2* position,
+              std::vector<Vec2>* window) override;
+  void Probe(UserId u, int epoch) override;
+  void Alert(UserId u, UserId a, UserId b, int epoch) override;
+  void InstallRegion(UserId u, int epoch,
+                     const SafeRegionShape& region) override;
+  void InstallMatch(UserId u, int epoch, MatchOp op, UserId a, UserId b,
+                    const Circle& region) override;
+
+  /// Wire accounting and determinism fingerprint for the run so far.
+  NetRunStats Stats() const;
+
+  /// Union of the alert events delivered to the clients, deduplicated
+  /// (each pair alert reaches both endpoints) and sorted — the
+  /// client-observed alert stream the keystone test compares to ground
+  /// truth.
+  std::vector<AlertEvent> ClientAlerts() const;
+
+  const ClientRuntime& client(UserId u) const { return *clients_[u]; }
+  const SimNet& sim_net() const { return net_; }
+
+ private:
+  const World& world_;
+  NetConfig config_;
+  SimNet net_;
+  std::vector<std::unique_ptr<ClientRuntime>> clients_;
+  int server_id_ = -1;
+  std::unique_ptr<ProtocolServer> server_;
+  bool failed_ = false;
+  bool codec_exact_ = true;
+};
+
+/// Detector decorator: runs the wrapped engine with a TransportLink
+/// installed, then exposes the *client-observed* alert stream as its own
+/// and merges wire bytes into stats(). With a zero-impairment NetConfig the
+/// result is bit-exact (alerts, message counts, rebuild counts) with the
+/// wrapped engine run in-process — the keystone contract of the network
+/// layer.
+class TransportedDetector : public Detector {
+ public:
+  TransportedDetector(std::unique_ptr<Detector> inner, NetConfig config);
+
+  std::string name() const override;
+  void Run(const World& world) override;
+
+  const NetRunStats& net_stats() const { return net_stats_; }
+  Detector& inner() { return *inner_; }
+  const Detector& inner() const { return *inner_; }
+
+ private:
+  std::unique_ptr<Detector> inner_;
+  NetConfig config_;
+  NetRunStats net_stats_;
+};
+
+/// Transported analogue of RunMethod: builds the method's detector, runs it
+/// through the simulated network, and reports both the engine-side RunResult
+/// (stats carry bytes_up/bytes_down; alerts_exact is judged on the
+/// *client-observed* stream) and the wire-level stats.
+struct TransportedRunResult {
+  RunResult run;
+  NetRunStats net;
+};
+
+TransportedRunResult RunTransportedMethod(Method method,
+                                          const Workload& workload,
+                                          const NetConfig& config,
+                                          RegionDetector::Options options = {});
+
+}  // namespace net
+}  // namespace proxdet
+
+#endif  // PROXDET_NET_TRANSPORT_H_

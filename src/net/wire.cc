@@ -1,0 +1,422 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace proxdet {
+namespace net {
+
+namespace {
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void WireWriter::PutU16(uint16_t v) {
+  bytes_.push_back(static_cast<uint8_t>(v));
+  bytes_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void WireWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    bytes_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  bytes_.push_back(static_cast<uint8_t>(v));
+}
+
+void WireWriter::PutZigzag(int64_t v) {
+  PutVarint((static_cast<uint64_t>(v) << 1) ^
+            static_cast<uint64_t>(v >> 63));
+}
+
+void WireWriter::PutDouble(double v) { PutU64(DoubleBits(v)); }
+
+void WireWriter::PutVec2(const Vec2& v) {
+  PutDouble(v.x);
+  PutDouble(v.y);
+}
+
+void WireWriter::PutPoints(const std::vector<Vec2>& points) {
+  PutVarint(points.size());
+  uint64_t prev_x = 0;
+  uint64_t prev_y = 0;
+  for (const Vec2& p : points) {
+    const uint64_t bx = DoubleBits(p.x);
+    const uint64_t by = DoubleBits(p.y);
+    PutVarint(bx ^ prev_x);
+    PutVarint(by ^ prev_y);
+    prev_x = bx;
+    prev_y = by;
+  }
+}
+
+uint8_t WireReader::GetU8() {
+  if (!ok_ || remaining() < 1) {
+    ok_ = false;
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+uint16_t WireReader::GetU16() {
+  if (!ok_ || remaining() < 2) {
+    ok_ = false;
+    return 0;
+  }
+  uint16_t v = static_cast<uint16_t>(data_[pos_]) |
+               static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+uint32_t WireReader::GetU32() {
+  if (!ok_ || remaining() < 4) {
+    ok_ = false;
+    return 0;
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+uint64_t WireReader::GetU64() {
+  if (!ok_ || remaining() < 8) {
+    ok_ = false;
+    return 0;
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+uint64_t WireReader::GetVarint() {
+  uint64_t v = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (!ok_ || remaining() < 1) {
+      ok_ = false;
+      return 0;
+    }
+    const uint8_t b = data_[pos_++];
+    // Byte 10 may only contribute the top value bit; anything else is an
+    // overlong / overflowing encoding our writer never produces.
+    if (i == 9 && b > 1) {
+      ok_ = false;
+      return 0;
+    }
+    v |= static_cast<uint64_t>(b & 0x7f) << (7 * i);
+    if ((b & 0x80) == 0) return v;
+  }
+  ok_ = false;  // Continuation bit set on the 10th byte.
+  return 0;
+}
+
+int64_t WireReader::GetZigzag() {
+  const uint64_t v = GetVarint();
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+double WireReader::GetDouble() { return BitsDouble(GetU64()); }
+
+Vec2 WireReader::GetVec2() {
+  Vec2 v;
+  v.x = GetDouble();
+  v.y = GetDouble();
+  return v;
+}
+
+bool WireReader::GetPoints(std::vector<Vec2>* out) {
+  out->clear();
+  const uint64_t count = GetVarint();
+  // Each point costs at least 2 bytes (one varint byte per coordinate), so
+  // an honest count never exceeds remaining()/2 — reject length bombs
+  // before reserving.
+  if (!ok_ || count > kMaxWirePoints || count * 2 > remaining()) {
+    ok_ = false;
+    return false;
+  }
+  out->reserve(count);
+  uint64_t bx = 0;
+  uint64_t by = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    bx ^= GetVarint();
+    by ^= GetVarint();
+    if (!ok_) return false;
+    out->push_back({BitsDouble(bx), BitsDouble(by)});
+  }
+  return ok_;
+}
+
+uint32_t Fnv1a32(const uint8_t* data, size_t size) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Message payload codecs.
+
+namespace {
+
+/// UserIds are dense non-negative indices; encode as varint, reject
+/// anything that does not fit back into the id type.
+void PutUser(WireWriter* w, UserId u) {
+  w->PutVarint(static_cast<uint64_t>(u));
+}
+
+UserId GetUser(WireReader* r, bool* valid) {
+  const uint64_t v = r->GetVarint();
+  if (v > 0x7fffffffULL) *valid = false;
+  return static_cast<UserId>(v);
+}
+
+bool Done(const WireReader& r) { return r.ok() && r.remaining() == 0; }
+
+}  // namespace
+
+std::vector<uint8_t> Encode(const LocationReportMsg& msg) {
+  WireWriter w;
+  PutUser(&w, msg.user);
+  w.PutZigzag(msg.epoch);
+  w.PutVec2(msg.position);
+  w.PutPoints(msg.window);
+  return w.Take();
+}
+
+bool Decode(const std::vector<uint8_t>& payload, LocationReportMsg* out) {
+  WireReader r(payload.data(), payload.size());
+  bool valid = true;
+  out->user = GetUser(&r, &valid);
+  out->epoch = static_cast<int32_t>(r.GetZigzag());
+  out->position = r.GetVec2();
+  if (!r.GetPoints(&out->window)) return false;
+  return valid && Done(r);
+}
+
+std::vector<uint8_t> Encode(const ProbeMsg& msg) {
+  WireWriter w;
+  PutUser(&w, msg.user);
+  w.PutZigzag(msg.epoch);
+  return w.Take();
+}
+
+bool Decode(const std::vector<uint8_t>& payload, ProbeMsg* out) {
+  WireReader r(payload.data(), payload.size());
+  bool valid = true;
+  out->user = GetUser(&r, &valid);
+  out->epoch = static_cast<int32_t>(r.GetZigzag());
+  return valid && Done(r);
+}
+
+std::vector<uint8_t> Encode(const AlertMsg& msg) {
+  WireWriter w;
+  PutUser(&w, msg.user);
+  PutUser(&w, msg.u);
+  PutUser(&w, msg.w);
+  w.PutZigzag(msg.epoch);
+  return w.Take();
+}
+
+bool Decode(const std::vector<uint8_t>& payload, AlertMsg* out) {
+  WireReader r(payload.data(), payload.size());
+  bool valid = true;
+  out->user = GetUser(&r, &valid);
+  out->u = GetUser(&r, &valid);
+  out->w = GetUser(&r, &valid);
+  out->epoch = static_cast<int32_t>(r.GetZigzag());
+  return valid && Done(r);
+}
+
+namespace {
+
+// Shape tags are part of the wire format; new shapes append, never renumber.
+enum ShapeTag : uint8_t {
+  kTagCircle = 1,
+  kTagMovingCircle = 2,
+  kTagPolygon = 3,
+  kTagStripe = 4,
+};
+
+struct ShapeEncoder {
+  WireWriter* w;
+  void operator()(const Circle& c) const {
+    w->PutU8(kTagCircle);
+    w->PutVec2(c.center);
+    w->PutDouble(c.radius);
+  }
+  void operator()(const MovingCircle& m) const {
+    w->PutU8(kTagMovingCircle);
+    w->PutVec2(m.center_at_build);
+    w->PutVec2(m.velocity_per_epoch);
+    w->PutDouble(m.radius);
+    w->PutZigzag(m.built_epoch);
+  }
+  void operator()(const ConvexPolygon& p) const {
+    w->PutU8(kTagPolygon);
+    w->PutPoints(p.vertices());
+  }
+  void operator()(const Stripe& s) const {
+    w->PutU8(kTagStripe);
+    w->PutDouble(s.radius());
+    w->PutPoints(s.path().points());
+  }
+};
+
+}  // namespace
+
+void PutShape(WireWriter* w, const SafeRegionShape& shape) {
+  std::visit(ShapeEncoder{w}, shape);
+}
+
+bool GetShape(WireReader* r, SafeRegionShape* out) {
+  // Reconstruction goes through the public constructors, which re-derive
+  // every cached field (polygon bounds, stripe reject box) from the decoded
+  // data — and the shapes already held by the engine were built the same
+  // way, so decoded == sent under the shapes' structural operator==.
+  switch (r->GetU8()) {
+    case kTagCircle: {
+      Circle c;
+      c.center = r->GetVec2();
+      c.radius = r->GetDouble();
+      *out = c;
+      break;
+    }
+    case kTagMovingCircle: {
+      MovingCircle m;
+      m.center_at_build = r->GetVec2();
+      m.velocity_per_epoch = r->GetVec2();
+      m.radius = r->GetDouble();
+      m.built_epoch = static_cast<int>(r->GetZigzag());
+      *out = m;
+      break;
+    }
+    case kTagPolygon: {
+      std::vector<Vec2> vertices;
+      if (!r->GetPoints(&vertices)) return false;
+      *out = ConvexPolygon(std::move(vertices));
+      break;
+    }
+    case kTagStripe: {
+      const double radius = r->GetDouble();
+      std::vector<Vec2> points;
+      if (!r->GetPoints(&points)) return false;
+      *out = Stripe(Polyline(std::move(points)), radius);
+      break;
+    }
+    default:
+      return false;
+  }
+  return r->ok();
+}
+
+std::vector<uint8_t> Encode(const RegionInstallMsg& msg) {
+  WireWriter w;
+  PutUser(&w, msg.user);
+  w.PutZigzag(msg.epoch);
+  PutShape(&w, msg.region);
+  return w.Take();
+}
+
+bool Decode(const std::vector<uint8_t>& payload, RegionInstallMsg* out) {
+  WireReader r(payload.data(), payload.size());
+  bool valid = true;
+  out->user = GetUser(&r, &valid);
+  out->epoch = static_cast<int32_t>(r.GetZigzag());
+  if (!GetShape(&r, &out->region)) return false;
+  return valid && Done(r);
+}
+
+std::vector<uint8_t> Encode(const MatchInstallMsg& msg) {
+  WireWriter w;
+  PutUser(&w, msg.user);
+  w.PutZigzag(msg.epoch);
+  w.PutU8(msg.op);
+  PutUser(&w, msg.u);
+  PutUser(&w, msg.w);
+  w.PutVec2(msg.region.center);
+  w.PutDouble(msg.region.radius);
+  return w.Take();
+}
+
+bool Decode(const std::vector<uint8_t>& payload, MatchInstallMsg* out) {
+  WireReader r(payload.data(), payload.size());
+  bool valid = true;
+  out->user = GetUser(&r, &valid);
+  out->epoch = static_cast<int32_t>(r.GetZigzag());
+  out->op = r.GetU8();
+  if (out->op > 2) return false;  // MatchOp range.
+  out->u = GetUser(&r, &valid);
+  out->w = GetUser(&r, &valid);
+  out->region.center = r.GetVec2();
+  out->region.radius = r.GetDouble();
+  return valid && Done(r);
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+std::vector<uint8_t> EncodeFrame(MsgKind kind, uint64_t seq,
+                                 const std::vector<uint8_t>& payload) {
+  WireWriter w;
+  w.PutU16(kWireMagic);
+  w.PutU8(kWireVersion);
+  w.PutU8(static_cast<uint8_t>(kind));
+  w.PutVarint(seq);
+  w.PutVarint(payload.size());
+  std::vector<uint8_t> bytes = w.Take();
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  const uint32_t checksum = Fnv1a32(bytes.data(), bytes.size());
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<uint8_t>(checksum >> (8 * i)));
+  }
+  return bytes;
+}
+
+bool DecodeFrame(const uint8_t* data, size_t size, Frame* out) {
+  // Smallest legal frame: magic(2) + version(1) + kind(1) + seq(1) +
+  // len(1) + checksum(4).
+  if (size < 10) return false;
+  uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<uint32_t>(data[size - 4 + i]) << (8 * i);
+  }
+  if (Fnv1a32(data, size - 4) != stored) return false;
+  WireReader r(data, size - 4);
+  if (r.GetU16() != kWireMagic) return false;
+  out->version = r.GetU8();
+  if (out->version != kWireVersion) return false;
+  const uint8_t kind = r.GetU8();
+  if (kind < 1 || kind > 6) return false;
+  out->kind = static_cast<MsgKind>(kind);
+  out->seq = r.GetVarint();
+  const uint64_t length = r.GetVarint();
+  if (!r.ok() || length != r.remaining()) return false;
+  out->payload.assign(data + (size - 4 - length), data + (size - 4));
+  return true;
+}
+
+}  // namespace net
+}  // namespace proxdet

@@ -1,0 +1,219 @@
+#ifndef PROXDET_NET_WIRE_H_
+#define PROXDET_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geom/circle.h"
+#include "geom/vec2.h"
+#include "graph/interest_graph.h"
+#include "region/region.h"
+
+namespace proxdet {
+namespace net {
+
+/// Binary wire protocol for the client<->server detection traffic: the five
+/// message kinds CommStats counts, plus the transport-level ack. All
+/// encodings are fixed little-endian; lengths and small integers are LEB128
+/// varints; point lists (recent windows, stripe paths, polygon rings) are
+/// varint-packed with an XOR-delta scheme that is *exactly* invertible —
+/// every double round-trips bit-for-bit, so a decoded safe region compares
+/// equal (operator==, structural/bitwise) to the one the server built.
+///
+/// Frame layout (DecodeFrame rejects anything malformed):
+///   u16  magic 0x5044 ("PD", little-endian)
+///   u8   version (kWireVersion)
+///   u8   kind (MsgKind)
+///   var  sequence number (per src->dst stream; acks echo the acked seq)
+///   var  payload byte length
+///   ...  payload
+///   u32  FNV-1a checksum of everything above
+constexpr uint16_t kWireMagic = 0x5044;
+constexpr uint8_t kWireVersion = 1;
+
+/// Hard cap on decoded point-list lengths: rejects length-bomb frames
+/// before any allocation. Far above any real payload (windows are ~10
+/// points, stripes tens).
+constexpr uint64_t kMaxWirePoints = 1u << 20;
+
+enum class MsgKind : uint8_t {
+  kLocationReport = 1,  // client -> server
+  kProbe = 2,           // server -> client
+  kAlert = 3,           // server -> client
+  kRegionInstall = 4,   // server -> client
+  kMatchInstall = 5,    // server -> client
+  kAck = 6,             // transport-level acknowledgement, either direction
+};
+
+/// Little-endian byte sink with the protocol's primitive encoders.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { bytes_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// LEB128: 7 value bits per byte, high bit = continuation.
+  void PutVarint(uint64_t v);
+  /// Zigzag-mapped varint for signed values (epochs, built_epoch).
+  void PutZigzag(int64_t v);
+  /// IEEE-754 bit pattern, fixed 8 bytes little-endian. Exact.
+  void PutDouble(double v);
+  void PutVec2(const Vec2& v);
+  /// Varint-packed point list: varint count, then per point the XOR of the
+  /// coordinate's bit pattern with the previous point's, as a varint.
+  /// Bijective (hence exact); nearby/repeated coordinates shrink to a few
+  /// bytes, a stationary window costs 1 byte per coordinate.
+  void PutPoints(const std::vector<Vec2>& points);
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Bounds-checked reader over a byte span. Any over-read, overlong varint
+/// or oversized point count latches ok() to false and yields zeros; codecs
+/// check ok() once at the end instead of after every field.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  uint8_t GetU8();
+  uint16_t GetU16();
+  uint32_t GetU32();
+  uint64_t GetU64();
+  uint64_t GetVarint();
+  int64_t GetZigzag();
+  double GetDouble();
+  Vec2 GetVec2();
+  bool GetPoints(std::vector<Vec2>* out);
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// FNV-1a 32-bit hash; the frame checksum and the delivery-schedule hash.
+uint32_t Fnv1a32(const uint8_t* data, size_t size);
+
+// ---------------------------------------------------------------------------
+// Message bodies (one struct per CommStats message kind).
+
+/// Client -> server location upload. `window` is the recent epoch-spaced
+/// location window the server-side predictor consumes; empty for
+/// position-only reports (Naive).
+struct LocationReportMsg {
+  UserId user = -1;
+  int32_t epoch = 0;
+  Vec2 position;
+  std::vector<Vec2> window;
+
+  friend bool operator==(const LocationReportMsg& a,
+                         const LocationReportMsg& b) {
+    return a.user == b.user && a.epoch == b.epoch &&
+           a.position == b.position && a.window == b.window;
+  }
+};
+
+/// Server -> client exact-location request (cost model case 2).
+struct ProbeMsg {
+  UserId user = -1;
+  int32_t epoch = 0;
+
+  friend bool operator==(const ProbeMsg& a, const ProbeMsg& b) {
+    return a.user == b.user && a.epoch == b.epoch;
+  }
+};
+
+/// Server -> client alert notification for pair (u, w), u < w, delivered to
+/// endpoint `user`.
+struct AlertMsg {
+  UserId user = -1;
+  UserId u = -1;
+  UserId w = -1;
+  int32_t epoch = 0;
+
+  friend bool operator==(const AlertMsg& a, const AlertMsg& b) {
+    return a.user == b.user && a.u == b.u && a.w == b.w && a.epoch == b.epoch;
+  }
+};
+
+/// Server -> client safe-region install: any shape in the taxonomy
+/// (circle / moving circle / convex polygon / stripe).
+struct RegionInstallMsg {
+  UserId user = -1;
+  int32_t epoch = 0;
+  SafeRegionShape region;
+
+  friend bool operator==(const RegionInstallMsg& a,
+                         const RegionInstallMsg& b) {
+    return a.user == b.user && a.epoch == b.epoch && a.region == b.region;
+  }
+};
+
+/// Server -> client match-region lifecycle notice for pair (u, w).
+/// `region` carries the Def. 3 circle for create/update; delete sends a
+/// default circle.
+struct MatchInstallMsg {
+  UserId user = -1;
+  int32_t epoch = 0;
+  uint8_t op = 0;  // MatchOp
+  UserId u = -1;
+  UserId w = -1;
+  Circle region;
+
+  friend bool operator==(const MatchInstallMsg& a, const MatchInstallMsg& b) {
+    return a.user == b.user && a.epoch == b.epoch && a.op == b.op &&
+           a.u == b.u && a.w == b.w && a.region == b.region;
+  }
+};
+
+// Payload codecs. Every Decode* rejects (returns false) truncated input,
+// trailing garbage, unknown tags and oversized point counts; on success the
+// decoded message equals the encoded one exactly.
+std::vector<uint8_t> Encode(const LocationReportMsg& msg);
+std::vector<uint8_t> Encode(const ProbeMsg& msg);
+std::vector<uint8_t> Encode(const AlertMsg& msg);
+std::vector<uint8_t> Encode(const RegionInstallMsg& msg);
+std::vector<uint8_t> Encode(const MatchInstallMsg& msg);
+bool Decode(const std::vector<uint8_t>& payload, LocationReportMsg* out);
+bool Decode(const std::vector<uint8_t>& payload, ProbeMsg* out);
+bool Decode(const std::vector<uint8_t>& payload, AlertMsg* out);
+bool Decode(const std::vector<uint8_t>& payload, RegionInstallMsg* out);
+bool Decode(const std::vector<uint8_t>& payload, MatchInstallMsg* out);
+
+/// Shape sub-codec (tag byte + per-type body), shared by RegionInstallMsg
+/// and usable on its own.
+void PutShape(WireWriter* w, const SafeRegionShape& shape);
+bool GetShape(WireReader* r, SafeRegionShape* out);
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+struct Frame {
+  uint8_t version = 0;
+  MsgKind kind = MsgKind::kAck;
+  uint64_t seq = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Wraps a payload in the versioned, checksummed header described above.
+std::vector<uint8_t> EncodeFrame(MsgKind kind, uint64_t seq,
+                                 const std::vector<uint8_t>& payload);
+
+/// Parses one frame. Returns false — never throws, never reads past
+/// `size` — on truncation, bad magic/version/kind, length mismatch or
+/// checksum failure.
+bool DecodeFrame(const uint8_t* data, size_t size, Frame* out);
+
+}  // namespace net
+}  // namespace proxdet
+
+#endif  // PROXDET_NET_WIRE_H_

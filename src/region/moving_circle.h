@@ -25,6 +25,14 @@ struct MovingCircle {
   bool Contains(const Vec2& p, int epoch) const {
     return AtEpoch(epoch).Contains(p);
   }
+
+  /// Exact (bitwise) structural equality; the wire codec's round-trip
+  /// guarantee is stated in terms of it.
+  friend bool operator==(const MovingCircle& a, const MovingCircle& b) {
+    return a.center_at_build == b.center_at_build &&
+           a.velocity_per_epoch == b.velocity_per_epoch &&
+           a.radius == b.radius && a.built_epoch == b.built_epoch;
+  }
 };
 
 }  // namespace proxdet
