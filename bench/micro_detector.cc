@@ -21,10 +21,12 @@
 
 #include "bench/bench_common.h"
 #include "bench_support/bench_json.h"
+#include "bench_support/obs_artifacts.h"
 #include "common/timer.h"
 #include "core/events.h"
 #include "core/simulation.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace proxdet {
 namespace {
@@ -114,6 +116,7 @@ int Main() {
     const Workload workload = BuildWorkload(DetectorConfig(users, epochs));
     for (const Method method : methods) {
       Row baseline;
+      std::string baseline_digest;
       for (const unsigned threads : thread_sweep) {
         ThreadPool::SetGlobalThreads(threads);
         // Fresh detector per cell: CMD's self-tuning multipliers persist
@@ -122,8 +125,11 @@ int Main() {
         // engine contract, so cells differ only in wall-clock).
         const std::unique_ptr<Detector> detector =
             MakeDetector(method, workload);
+        obs::Metrics().Reset();  // Scope the registry to this cell.
         WallTimer timer;
         detector->Run(workload.world);
+        const std::string metrics_digest =
+            obs::Metrics().Snapshot().DeterministicDigest();
         Row row;
         row.method = method;
         row.users = users;
@@ -150,9 +156,19 @@ int Main() {
         }
         if (threads == 1) {
           baseline = row;
+          baseline_digest = metrics_digest;
         } else {
           // Bit-exact determinism across thread counts: everything except
-          // wall-clock must match the 1-thread run.
+          // wall-clock must match the 1-thread run — including the
+          // observability layer's deterministic metrics.
+          if (metrics_digest != baseline_digest) {
+            std::fprintf(stderr,
+                         "FATAL: %s at %u threads produced a different "
+                         "deterministic-metrics digest than the 1-thread run "
+                         "(%zu users) — observability broke determinism.\n",
+                         MethodName(method).c_str(), threads, users);
+            return 1;
+          }
           const bool identical = row.total_io == baseline.total_io &&
                                  row.alert_count == baseline.alert_count &&
                                  row.rebuild_count == baseline.rebuild_count;

@@ -23,11 +23,14 @@
 
 #include "bench/bench_common.h"
 #include "bench_support/bench_json.h"
+#include "bench_support/obs_artifacts.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "core/simulation.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace proxdet {
 namespace {
@@ -296,6 +299,48 @@ std::string WriteJson(const std::vector<CodecRow>& codec,
   return path;
 }
 
+// One fully-observed transported run: tracer on, metrics scoped to exactly
+// this run, then TRACE_net.json (Chrome trace_event spans for the epoch
+// phases, the wire codec and SimNet delivery) and REPORT_net.json (metrics
+// snapshot joined with CommStats). The registry counters must reconcile
+// with CommStats to the unit — messages and bytes — or the bench aborts:
+// an observability layer that disagrees with the accounting it mirrors is
+// worse than none.
+void EmitObsArtifacts(const Workload& workload) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Clear();
+  tracer.Enable();
+  obs::Metrics().Reset();
+  const net::TransportedRunResult observed = net::RunTransportedMethod(
+      Method::kStripeKf, workload, MakeNetConfig(0.05));
+  tracer.Disable();
+
+  obs::RunReport report =
+      MakeRunReport("micro_net:transported_stripe_kf", observed.run.stats);
+  report.AddInfo("method", MethodName(Method::kStripeKf));
+  report.AddInfo("drop_rate", "0.05");
+  report.AddCount("net", "retransmits", observed.net.retransmits);
+  report.AddCount("net", "drops", observed.net.drops);
+  report.AddCount("net", "duplicates", observed.net.duplicates);
+  std::string mismatch;
+  if (!ReconcileWithCommStats(report.metrics(), observed.run.stats,
+                              &mismatch)) {
+    std::fprintf(stderr,
+                 "FATAL: metrics registry disagrees with CommStats:\n%s",
+                 mismatch.c_str());
+    std::exit(1);
+  }
+  report.AddInfo("counters_reconcile", "exact");
+
+  const std::string trace = WriteTraceArtifact("TRACE_net.json");
+  if (!trace.empty()) {
+    std::printf("wrote %s (%llu spans)\n", trace.c_str(),
+                static_cast<unsigned long long>(tracer.span_count()));
+  }
+  const std::string path = WriteReportArtifact(report, "REPORT_net.json");
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+}
+
 int Main() {
   const bool quick = QuickMode();
   const size_t codec_iters = quick ? 20000 : 500000;
@@ -318,6 +363,8 @@ int Main() {
 
   const std::string json = WriteJson(codec, transport);
   if (!json.empty()) std::printf("wrote %s\n", json.c_str());
+
+  EmitObsArtifacts(workload);
   return 0;
 }
 

@@ -8,6 +8,11 @@
 //                         stripe-hmm|stripe-r2d2|stripe-linear]
 //               [--users N] [--epochs S] [--friends F] [--radius-km R]
 //               [--speed V] [--seed SEED] [--csv]
+//               [--trace FILE] [--report FILE]
+//
+// --trace writes the run's epoch-phase spans as Chrome trace_event JSON
+// (load in chrome://tracing or ui.perfetto.dev); --report writes a
+// RunReport joining the metrics snapshot with the aggregate CommStats.
 
 #include <cstdio>
 #include <cstdlib>
@@ -15,8 +20,11 @@
 #include <optional>
 #include <string>
 
+#include "bench_support/obs_artifacts.h"
 #include "common/table.h"
 #include "core/simulation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace proxdet;
 
@@ -47,7 +55,8 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--dataset D] [--method M|all] [--users N]\n"
                "          [--epochs S] [--friends F] [--radius-km R]\n"
-               "          [--speed V] [--seed X] [--csv]\n",
+               "          [--speed V] [--seed X] [--csv]\n"
+               "          [--trace FILE] [--report FILE]\n",
                argv0);
 }
 
@@ -62,6 +71,8 @@ int main(int argc, char** argv) {
   config.alert_radius_m = 5000.0;
   std::string method_arg = "all";
   bool csv = false;
+  std::string trace_path;
+  std::string report_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -95,6 +106,10 @@ int main(int argc, char** argv) {
       config.seed = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--report") {
+      report_path = next();
     } else {
       Usage(argv[0]);
       return 2;
@@ -121,11 +136,22 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "%zu ground-truth alerts\n",
                workload.ground_truth.size());
 
+  // Scope the metrics (and optionally the tracer) to exactly the runs
+  // below so a --report snapshot reconciles with the summed CommStats.
+  obs::Metrics().Reset();
+  obs::Tracer& tracer = obs::Tracer::Global();
+  if (!trace_path.empty()) {
+    tracer.Clear();
+    tracer.Enable();
+  }
+
   Table table("proxdet " + DatasetName(config.dataset));
   table.SetHeader({"method", "total", "reports", "probes", "alerts",
                    "region", "match", "server_cpu_s", "exact"});
+  CommStats total;
   for (const Method method : methods) {
     const RunResult r = RunMethod(method, workload);
+    total += r.stats;
     table.AddRow({MethodName(method), std::to_string(r.stats.TotalMessages()),
                   std::to_string(r.stats.reports),
                   std::to_string(r.stats.probes),
@@ -136,5 +162,32 @@ int main(int argc, char** argv) {
                   r.alerts_exact ? "yes" : "NO"});
   }
   std::printf("%s", csv ? table.ToCsv().c_str() : table.ToString().c_str());
+
+  if (!trace_path.empty()) {
+    tracer.Disable();
+    if (tracer.WriteChromeTrace(trace_path)) {
+      std::fprintf(stderr, "wrote %s (%llu spans)\n", trace_path.c_str(),
+                   static_cast<unsigned long long>(tracer.span_count()));
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n", trace_path.c_str());
+    }
+  }
+  if (!report_path.empty()) {
+    obs::RunReport report =
+        MakeRunReport("cli:" + DatasetName(config.dataset), total);
+    report.AddInfo("method", method_arg);
+    report.AddInfo("users", std::to_string(config.num_users));
+    report.AddInfo("epochs", std::to_string(config.epochs));
+    report.AddInfo("seed", std::to_string(config.seed));
+    std::string mismatch;
+    const bool reconciled =
+        ReconcileWithCommStats(report.metrics(), total, &mismatch);
+    report.AddInfo("counters_reconcile", reconciled ? "exact" : mismatch);
+    if (report.WriteFile(report_path)) {
+      std::fprintf(stderr, "wrote %s\n", report_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n", report_path.c_str());
+    }
+  }
   return 0;
 }

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Observability smoke test for the bench binaries: runs a quick-mode bench
+# subset with JSON emission pointed at a scratch directory, then checks
+# that every artifact — BENCH_* snapshots, REPORT_* run reports and the
+# TRACE_* Chrome trace — parses as valid JSON, that the net bench's
+# counter-vs-CommStats reconciliation verdict is "exact" (the bench aborts
+# on mismatch, but assert it here too), and that the trace actually holds
+# spans. This is the cheap end-to-end proof that the observability layer
+# stays wired up; scripts/check.sh is the race check, ctest -L obs the
+# unit/integration suite.
+#
+#   scripts/bench_smoke.sh [build-dir]    (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "error: $BUILD_DIR/bench not found — build the tree first" >&2
+  exit 1
+fi
+
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+# Quick-mode sweeps, artifacts into the scratch dir. micro_detector also
+# enforces the deterministic-metrics digest across its thread sweep;
+# micro_net emits TRACE_net.json + REPORT_net.json and exits non-zero if
+# its counters fail to reconcile with CommStats.
+for bench in fig9_friends micro_detector micro_net; do
+  echo "== $bench (quick) =="
+  PROXDET_QUICK=1 PROXDET_BENCH_JSON="$OUT" "$BUILD_DIR/bench/$bench" \
+    > /dev/null
+done
+
+shopt -s nullglob
+artifacts=("$OUT"/*.json)
+if [[ ${#artifacts[@]} -eq 0 ]]; then
+  echo "FAIL: no JSON artifacts emitted" >&2
+  exit 1
+fi
+for artifact in "${artifacts[@]}"; do
+  if ! python3 -m json.tool "$artifact" > /dev/null; then
+    echo "FAIL: $artifact is not valid JSON" >&2
+    exit 1
+  fi
+  echo "ok: $(basename "$artifact")"
+done
+
+for required in TRACE_net.json REPORT_net.json; do
+  if [[ ! -f "$OUT/$required" ]]; then
+    echo "FAIL: expected artifact $required was not emitted" >&2
+    exit 1
+  fi
+done
+
+if ! grep -q '"counters_reconcile": "exact"' "$OUT/REPORT_net.json"; then
+  echo "FAIL: REPORT_net.json reconciliation verdict is not \"exact\"" >&2
+  exit 1
+fi
+if ! grep -q '"ph": "X"' "$OUT/TRACE_net.json"; then
+  echo "FAIL: TRACE_net.json holds no complete spans" >&2
+  exit 1
+fi
+
+echo "bench smoke OK: ${#artifacts[@]} artifacts valid in $OUT"

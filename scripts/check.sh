@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # TSan gate for the in-epoch parallelism: configures a separate build tree
-# with -DPROXDET_SANITIZE=thread, builds it, and runs the `sanitize`- and
-# `net`-labelled suites (thread-pool + determinism tests, plus the
+# with -DPROXDET_SANITIZE=thread, builds it, and runs the `sanitize`-,
+# `net`- and `obs`-labelled suites (thread-pool + determinism tests, the
 # wire/transport suite whose transported runs drive the network link while
-# the engine scans fan out) under a multi-thread global pool. The
+# the engine scans fan out, and the observability suite whose
+# relaxed-atomic counters and mutex-guarded sketches are written from
+# those same scans) under a multi-thread global pool. The
 # parallel-scan/serial-commit pattern is only safe if the scans are
 # genuinely read-only and the link is only touched from commit sections —
 # TSan is the check that they are.
@@ -21,4 +23,4 @@ JOBS="$(nproc)"
 cmake -B "$BUILD_DIR" -S . -DPROXDET_SANITIZE=thread "$@"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 PROXDET_THREADS="${PROXDET_THREADS:-4}" \
-  ctest --test-dir "$BUILD_DIR" -L 'sanitize|net' --output-on-failure -j "$JOBS"
+  ctest --test-dir "$BUILD_DIR" -L 'sanitize|net|obs' --output-on-failure -j "$JOBS"

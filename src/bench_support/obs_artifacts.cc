@@ -1,0 +1,87 @@
+#include "bench_support/obs_artifacts.h"
+
+#include <cstdio>
+
+#include "bench_support/bench_json.h"
+#include "obs/trace.h"
+
+namespace proxdet {
+
+namespace {
+
+uint64_t CounterOr0(const obs::MetricsSnapshot& snapshot,
+                    const std::string& name) {
+  const auto it = snapshot.counters.find(name);
+  return it == snapshot.counters.end() ? 0 : it->second.second;
+}
+
+void CheckField(const obs::MetricsSnapshot& snapshot, const std::string& name,
+                uint64_t expected, bool* ok, std::string* error) {
+  const uint64_t got = CounterOr0(snapshot, name);
+  if (got == expected) return;
+  *ok = false;
+  if (error != nullptr) {
+    *error += name + " = " + std::to_string(got) + ", CommStats says " +
+              std::to_string(expected) + "\n";
+  }
+}
+
+}  // namespace
+
+obs::RunReport MakeRunReport(const std::string& run_name,
+                             const CommStats& stats) {
+  obs::RunReport report(run_name);
+  report.AddCount("comm_stats", "reports", stats.reports);
+  report.AddCount("comm_stats", "probes", stats.probes);
+  report.AddCount("comm_stats", "alerts", stats.alerts);
+  report.AddCount("comm_stats", "region_installs", stats.region_installs);
+  report.AddCount("comm_stats", "match_installs", stats.match_installs);
+  report.AddCount("comm_stats", "total_messages", stats.TotalMessages());
+  report.AddCount("comm_stats", "bytes_up", stats.bytes_up);
+  report.AddCount("comm_stats", "bytes_down", stats.bytes_down);
+  report.AddCount("comm_stats", "total_bytes", stats.TotalBytes());
+  report.AddScalar("timing", "server_seconds", stats.server_seconds);
+  report.CaptureMetrics(obs::Metrics().Snapshot());
+  return report;
+}
+
+bool ReconcileWithCommStats(const obs::MetricsSnapshot& snapshot,
+                            const CommStats& stats, std::string* error) {
+  if (snapshot.counters.empty()) return true;  // Observability compiled out.
+  bool ok = true;
+  CheckField(snapshot, "engine.reports", stats.reports, &ok, error);
+  CheckField(snapshot, "engine.probes", stats.probes, &ok, error);
+  CheckField(snapshot, "engine.alerts", stats.alerts, &ok, error);
+  CheckField(snapshot, "engine.region_installs", stats.region_installs, &ok,
+             error);
+  CheckField(snapshot, "engine.match_installs", stats.match_installs, &ok,
+             error);
+  CheckField(snapshot, "net.bytes_up", stats.bytes_up, &ok, error);
+  CheckField(snapshot, "net.bytes_down", stats.bytes_down, &ok, error);
+  return ok;
+}
+
+std::string WriteTraceArtifact(const std::string& filename) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  if (tracer.span_count() == 0) return "";
+  const std::string path = BenchJsonPath(filename);
+  if (path.empty()) return "";
+  if (!tracer.WriteChromeTrace(path)) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return "";
+  }
+  return path;
+}
+
+std::string WriteReportArtifact(const obs::RunReport& report,
+                                const std::string& filename) {
+  const std::string path = BenchJsonPath(filename);
+  if (path.empty()) return "";
+  if (!report.WriteFile(path)) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return "";
+  }
+  return path;
+}
+
+}  // namespace proxdet

@@ -1,0 +1,41 @@
+#ifndef PROXDET_BENCH_SUPPORT_OBS_ARTIFACTS_H_
+#define PROXDET_BENCH_SUPPORT_OBS_ARTIFACTS_H_
+
+#include <string>
+
+#include "core/comm_stats.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace proxdet {
+
+/// Builds a RunReport for one finished run: the current global metrics
+/// snapshot plus the run's CommStats as a report section (deterministic
+/// message/byte fields under "comm_stats"; wall-clock server_seconds
+/// segregated under "timing"). Pair with obs::Metrics().Reset() before the
+/// run so the snapshot covers exactly this run.
+obs::RunReport MakeRunReport(const std::string& run_name,
+                             const CommStats& stats);
+
+/// Checks that the registry's engine/net counters reconcile with CommStats
+/// to the unit: every message-count field matches its engine.* counter and
+/// the byte totals match net.bytes_up/down. Trivially true when the
+/// snapshot carries no counters (observability compiled out). On failure
+/// returns false and appends a description per mismatch to *error.
+bool ReconcileWithCommStats(const obs::MetricsSnapshot& snapshot,
+                            const CommStats& stats, std::string* error);
+
+/// Writes the global tracer's buffered spans as Chrome trace JSON, the
+/// path resolved by the PROXDET_BENCH_JSON convention (see BenchJsonPath).
+/// Returns the path written, or "" when emission is disabled or the
+/// tracer holds no spans.
+std::string WriteTraceArtifact(const std::string& filename);
+
+/// Writes `report` as JSON under the PROXDET_BENCH_JSON convention.
+/// Returns the path written, or "" when disabled.
+std::string WriteReportArtifact(const obs::RunReport& report,
+                                const std::string& filename);
+
+}  // namespace proxdet
+
+#endif  // PROXDET_BENCH_SUPPORT_OBS_ARTIFACTS_H_

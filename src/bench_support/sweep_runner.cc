@@ -4,8 +4,10 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "bench_support/obs_artifacts.h"
 #include "common/timer.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace proxdet {
 
@@ -38,6 +40,9 @@ void SweepRunner::AddPoint(std::string group, std::string x_value,
 const std::vector<std::vector<RunResult>>& SweepRunner::Run() {
   if (ran_) return results_;
   WallTimer timer;
+  // Scope the metrics to this sweep: the post-run snapshot then reconciles
+  // against the sum of the cells' CommStats (see WriteRunReport).
+  obs::Metrics().Reset();
   results_.assign(points_.size(), std::vector<RunResult>(columns_.size()));
 
   // Outer fan-out over points, inner over columns: a point's workload is
@@ -169,7 +174,24 @@ std::string SweepRunner::WriteJson() const {
   }
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
+  WriteRunReport();
   return path;
+}
+
+std::string SweepRunner::WriteRunReport() const {
+  CommStats total;
+  for (const auto& row : results_) {
+    for (const RunResult& r : row) total += r.stats;
+  }
+  obs::RunReport report = MakeRunReport("sweep:" + figure_, total);
+  report.AddInfo("figure", figure_);
+  report.AddInfo("threads", std::to_string(ThreadPool::Global().thread_count()));
+  report.AddScalar("timing", "wall_seconds", wall_seconds_);
+  std::string mismatch;
+  const bool reconciled =
+      ReconcileWithCommStats(report.metrics(), total, &mismatch);
+  report.AddInfo("counters_reconcile", reconciled ? "exact" : mismatch);
+  return WriteReportArtifact(report, "REPORT_" + figure_ + ".json");
 }
 
 }  // namespace proxdet

@@ -81,8 +81,16 @@ class SweepRunner {
   /// parameters, per-cell I/O, wall seconds, thread count) next to the
   /// ASCII tables. Honors PROXDET_BENCH_JSON: unset or "1" writes to the
   /// current directory, "0" disables, any other value is the target
-  /// directory. Returns the path written, or "" when disabled.
+  /// directory. Returns the path written, or "" when disabled. Also emits
+  /// REPORT_<figure>.json (see WriteRunReport).
   std::string WriteJson() const;
+
+  /// Writes REPORT_<figure>.json: the sweep's aggregate CommStats joined
+  /// with the global metrics snapshot (Run() resets the registry before the
+  /// first cell, so the snapshot covers exactly this sweep) and the
+  /// counter-vs-CommStats reconciliation verdict. Same PROXDET_BENCH_JSON
+  /// conventions; returns the path written, or "" when disabled.
+  std::string WriteRunReport() const;
 
  private:
   struct Point {

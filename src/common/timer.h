@@ -24,6 +24,23 @@ class WallTimer {
   Clock::time_point start_;
 };
 
+/// RAII stopwatch: accumulates the scope's elapsed wall-clock seconds into
+/// the bound accumulator on destruction. Replaces the manual
+/// Restart()/ElapsedSeconds() pairing around server-side bookkeeping —
+/// early returns and exceptions can no longer skip the accumulation.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& accumulator) : accumulator_(accumulator) {}
+  ~ScopedTimer() { accumulator_ += timer_.ElapsedSeconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double& accumulator_;
+  WallTimer timer_;
+};
+
 }  // namespace proxdet
 
 #endif  // PROXDET_COMMON_TIMER_H_

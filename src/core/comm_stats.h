@@ -2,6 +2,8 @@
 #define PROXDET_CORE_COMM_STATS_H_
 
 #include <cstdint>
+#include <ostream>
+#include <string>
 
 namespace proxdet {
 
@@ -73,6 +75,23 @@ struct CommStats {
     return reports == o.reports && probes == o.probes && alerts == o.alerts &&
            region_installs == o.region_installs &&
            match_installs == o.match_installs;
+  }
+
+  /// One-line rendering of every deterministic field, for test failure
+  /// messages and reports. server_seconds is omitted on purpose: two stats
+  /// that compare equal print identically.
+  std::string ToString() const {
+    return "{reports=" + std::to_string(reports) +
+           " probes=" + std::to_string(probes) +
+           " alerts=" + std::to_string(alerts) +
+           " region_installs=" + std::to_string(region_installs) +
+           " match_installs=" + std::to_string(match_installs) +
+           " bytes_up=" + std::to_string(bytes_up) +
+           " bytes_down=" + std::to_string(bytes_down) + "}";
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const CommStats& s) {
+    return os << s.ToString();
   }
 };
 

@@ -6,10 +6,29 @@
 #include "core/client_link.h"
 #include "core/detector.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace proxdet {
 
 namespace {
+
+/// Same names as the region engine's handles: both engines account into the
+/// engine.* counters, so one reconciliation path serves every method.
+struct NaiveMetrics {
+  obs::Counter& reports;
+  obs::Counter& alerts;
+  obs::Counter& epochs;
+
+  static const NaiveMetrics& Get() {
+    static const NaiveMetrics m{
+        obs::Metrics().GetCounter("engine.reports"),
+        obs::Metrics().GetCounter("engine.alerts"),
+        obs::Metrics().GetCounter("engine.epochs"),
+    };
+    return m;
+  }
+};
 
 uint64_t PairKey(UserId u, UserId w) {
   const uint64_t a = static_cast<uint64_t>(std::min(u, w));
@@ -71,7 +90,10 @@ void NaiveDetector::Run(const World& world) {
     }
     // Every client uploads its position.
     stats_.reports += world.user_count();
-    WallTimer server_timer;
+    NaiveMetrics::Get().reports.Inc(world.user_count());
+    NaiveMetrics::Get().epochs.Inc();
+    ScopedTimer server_timer(stats_.server_seconds);
+    obs::TraceScope span("pair_check", "engine");
     ParallelForChunked(pos.size(), kEdgeGrain, [&](size_t lo, size_t hi) {
       for (size_t u = lo; u < hi; ++u) {
         pos[u] = world.Position(static_cast<UserId>(u), epoch);
@@ -112,6 +134,7 @@ void NaiveDetector::Run(const World& world) {
           const UserId b = std::max(e.u, e.w);
           alerts_.push_back({epoch, a, b});
           stats_.alerts += 2;  // One notification per endpoint.
+          NaiveMetrics::Get().alerts.Inc(2);
           if (link_ != nullptr) {
             link_->Alert(e.u, a, b, epoch);
             link_->Alert(e.w, a, b, epoch);
@@ -119,7 +142,6 @@ void NaiveDetector::Run(const World& world) {
         }
       }
     }
-    stats_.server_seconds += server_timer.ElapsedSeconds();
   }
 }
 

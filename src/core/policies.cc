@@ -3,9 +3,39 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace proxdet {
 
 namespace {
+
+/// Cost-model internals per rebuild, all deterministic: the chosen
+/// prediction horizon m, the unit stripe half-width s^u (via the chosen
+/// radius), and the expected message costs E_m / E_p the optimizer settled
+/// on (Sec. V-B). Distributions, not totals — the report surfaces p50/p90.
+struct StripeMetrics {
+  obs::Counter& builds;
+  obs::HistogramMetric& m;
+  obs::QuantileMetric& radius;
+  obs::QuantileMetric& e_m;
+  obs::QuantileMetric& e_p;
+
+  static const StripeMetrics& Get() {
+    static const StripeMetrics metrics{
+        obs::Metrics().GetCounter("stripe.builds"),
+        obs::Metrics().GetHistogram(
+            "stripe.m",
+            {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0},
+            obs::Kind::kDeterministic),
+        obs::Metrics().GetQuantile("stripe.radius",
+                                   obs::Kind::kDeterministic),
+        obs::Metrics().GetQuantile("stripe.e_m", obs::Kind::kDeterministic),
+        obs::Metrics().GetQuantile("stripe.e_p", obs::Kind::kDeterministic),
+    };
+    return metrics;
+  }
+};
 
 /// A representative interior point of a shape, used only to orient
 /// half-plane boundaries; soundness never depends on it (the verify-and-
@@ -126,15 +156,26 @@ SafeRegionShape StripePolicy::BuildRegion(
     UserId u, const Vec2& location, const std::vector<Vec2>& recent_window,
     double speed, const std::vector<FriendView>& friends, int epoch) {
   (void)u;
-  const std::vector<Vec2> predicted = predictor_->Predict(
-      recent_window, static_cast<size_t>(options_.build.max_horizon));
+  std::vector<Vec2> predicted;
+  {
+    obs::TraceScope span("predict", "engine");
+    predicted = predictor_->Predict(
+        recent_window, static_cast<size_t>(options_.build.max_horizon));
+  }
   std::vector<StripeFriendConstraint> constraints;
   constraints.reserve(friends.size());
   for (const FriendView& f : friends) {
     constraints.push_back({f.region, f.alert_radius, f.speed});
   }
+  obs::TraceScope span("stripe_build", "engine");
   const StripeBuildResult result = BuildPredictiveStripe(
       location, predicted, constraints, speed, options_.build, epoch);
+  const StripeMetrics& sm = StripeMetrics::Get();
+  sm.builds.Inc();
+  sm.m.Record(static_cast<double>(result.m));
+  sm.radius.Record(result.solution.radius);
+  sm.e_m.Record(result.solution.e_m);
+  sm.e_p.Record(result.solution.e_p);
   return result.stripe;
 }
 

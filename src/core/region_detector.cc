@@ -10,11 +10,44 @@
 #include "core/client_link.h"
 #include "core/cost_model.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "region/match_region.h"
 
 namespace proxdet {
 
 namespace {
+
+/// Handles into the global registry, resolved once. Every counter mirrors a
+/// CommStats field (incremented at the same serial-commit sites, so the
+/// RunReport reconciliation holds to the unit) or a deterministic engine
+/// total; all are pure functions of the workload seed.
+struct EngineMetrics {
+  obs::Counter& reports;
+  obs::Counter& probes;
+  obs::Counter& alerts;
+  obs::Counter& region_installs;
+  obs::Counter& match_installs;
+  obs::Counter& rebuilds;
+  obs::Counter& epochs;
+  obs::Counter& exits;
+  obs::Counter& pair_check_probed_edges;
+
+  static const EngineMetrics& Get() {
+    static const EngineMetrics m{
+        obs::Metrics().GetCounter("engine.reports"),
+        obs::Metrics().GetCounter("engine.probes"),
+        obs::Metrics().GetCounter("engine.alerts"),
+        obs::Metrics().GetCounter("engine.region_installs"),
+        obs::Metrics().GetCounter("engine.match_installs"),
+        obs::Metrics().GetCounter("engine.rebuilds"),
+        obs::Metrics().GetCounter("engine.epochs"),
+        obs::Metrics().GetCounter("engine.safe_region_exits"),
+        obs::Metrics().GetCounter("engine.pair_check_probed_edges"),
+    };
+    return m;
+  }
+};
 
 uint64_t PairKey(UserId u, UserId w) {
   const uint64_t a = static_cast<uint64_t>(std::min(u, w));
@@ -95,6 +128,7 @@ struct RegionDetector::Impl {
     if (users[u].reported) return;
     users[u].reported = true;
     self.stats_.reports += 1;
+    EngineMetrics::Get().reports.Inc();
     // The report carries the recent window; refresh the speed estimate.
     if (self.link_ != nullptr) {
       // Transported run: the client uploads through the wire and the engine
@@ -132,6 +166,7 @@ struct RegionDetector::Impl {
       return;
     }
     self.stats_.probes += 1;
+    EngineMetrics::Get().probes.Inc();
     if (self.link_ != nullptr) self.link_->Probe(u, epoch);
     Report(u);
     EnqueueRebuild(u);
@@ -147,12 +182,14 @@ struct RegionDetector::Impl {
     const UserId b = std::max(u, w);
     self.alerts_.push_back({epoch, a, b});
     self.stats_.alerts += 2;
+    EngineMetrics::Get().alerts.Inc(2);
     if (self.link_ != nullptr) {
       self.link_->Alert(u, a, b, epoch);
       self.link_->Alert(w, a, b, epoch);
     }
     if (self.options_.use_match_regions) {
       self.stats_.match_installs += 2;
+      EngineMetrics::Get().match_installs.Inc(2);
       if (self.link_ != nullptr) {
         self.link_->InstallMatch(u, epoch, MatchOp::kCreate, a, b,
                                  region.circle());
@@ -166,6 +203,7 @@ struct RegionDetector::Impl {
     matched.erase(PairKey(u, w));
     if (self.options_.use_match_regions) {
       self.stats_.match_installs += 2;  // Deletion notices.
+      EngineMetrics::Get().match_installs.Inc(2);
       if (self.link_ != nullptr) {
         const UserId a = std::min(u, w);
         const UserId b = std::max(u, w);
@@ -244,6 +282,7 @@ struct RegionDetector::Impl {
         if (self.options_.use_match_regions) {
           it->second = MatchRegion::Make(users[u].pos, users[w].pos, r);
           self.stats_.match_installs += 2;
+          EngineMetrics::Get().match_installs.Inc(2);
           if (self.link_ != nullptr) {
             self.link_->InstallMatch(u, epoch, MatchOp::kUpdate, u, w,
                                      it->second.circle());
@@ -282,7 +321,10 @@ struct RegionDetector::Impl {
       if (exit_flags[u] == kInside) continue;
       Report(u);
       EnqueueRebuild(u);
-      if (exit_flags[u] == kExited) self.policy_->OnExit(u);
+      if (exit_flags[u] == kExited) {
+        EngineMetrics::Get().exits.Inc();
+        self.policy_->OnExit(u);
+      }
     }
   }
 
@@ -323,6 +365,7 @@ struct RegionDetector::Impl {
       // would have.
       if (IsMatched(e.u, e.w)) continue;
       if (users[e.u].needs_region || users[e.w].needs_region) continue;
+      EngineMetrics::Get().pair_check_probed_edges.Inc();
       Probe(e.u);
       Probe(e.w);
     }
@@ -403,6 +446,8 @@ struct RegionDetector::Impl {
       users[u].needs_region = false;
       self.stats_.region_installs += 1;
       self.rebuild_count_ += 1;
+      EngineMetrics::Get().region_installs.Inc();
+      EngineMetrics::Get().rebuilds.Inc();
     }
   }
 
@@ -421,13 +466,34 @@ struct RegionDetector::Impl {
         }
       });
       queue.clear();
-      WallTimer server_timer;
-      ApplyGraphUpdates(&next_update);
-      MatchRegionPhase();
-      SafeRegionExitPhase();
-      if (per_epoch_check) PerEpochPairCheck();
-      ResolvePhase();
-      self.stats_.server_seconds += server_timer.ElapsedSeconds();
+      EngineMetrics::Get().epochs.Inc();
+      {
+        // Server-side bookkeeping time (Figure 8's CPU axis) now accumulates
+        // via RAII: no phase reordering or early exit can skip it. The phase
+        // spans only observe — recording happens outside the traced scopes'
+        // bodies and never feeds back into the computation.
+        ScopedTimer server_timer(self.stats_.server_seconds);
+        {
+          obs::TraceScope span("graph_updates", "engine");
+          ApplyGraphUpdates(&next_update);
+        }
+        {
+          obs::TraceScope span("match_region", "engine");
+          MatchRegionPhase();
+        }
+        {
+          obs::TraceScope span("exit_scan", "engine");
+          SafeRegionExitPhase();
+        }
+        if (per_epoch_check) {
+          obs::TraceScope span("pair_check", "engine");
+          PerEpochPairCheck();
+        }
+        {
+          obs::TraceScope span("resolve", "engine");
+          ResolvePhase();
+        }
+      }
     }
   }
 };

@@ -7,12 +7,48 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/timer.h"
+#include "obs/metrics.h"
+
 namespace proxdet {
+
+namespace {
+
+/// Pool throughput and scheduling-delay metrics. All wall-clock: task
+/// counts depend on the pool size (helpers fan out per loop), queue wait
+/// and busy time on machine scheduling. None participate in the
+/// determinism digest.
+struct PoolMetrics {
+  obs::Counter& tasks_submitted;
+  obs::Counter& tasks_executed;
+  obs::QuantileMetric& queue_wait_seconds;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics m{
+        obs::Metrics().GetCounter("exec.tasks_submitted",
+                                  obs::Kind::kWallClock),
+        obs::Metrics().GetCounter("exec.tasks_executed",
+                                  obs::Kind::kWallClock),
+        obs::Metrics().GetQuantile("exec.queue_wait_seconds"),
+    };
+    return m;
+  }
+};
+
+/// Per-worker busy-time gauge, indexed by the worker's slot in its pool.
+/// Workers of successive global pools share names — Reset() zeroes them
+/// between runs, so a run report shows that run's accumulation only.
+obs::Gauge& WorkerBusyGauge(unsigned worker_index) {
+  return obs::Metrics().GetGauge(
+      "exec.worker." + std::to_string(worker_index) + ".busy_seconds");
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) : threads_(threads == 0 ? 1 : threads) {
   workers_.reserve(threads_ - 1);
   for (unsigned i = 0; i + 1 < threads_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -26,14 +62,24 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  PoolMetrics::Get().tasks_submitted.Inc();
+  // Wrap to stamp the enqueue time; the wait is recorded when a worker
+  // picks the task up. One extra clock read per task — tasks are coarse
+  // (one helper per loop), so this never shows up in profiles.
+  WallTimer queued;
+  auto timed = [queued, task = std::move(task)] {
+    PoolMetrics::Get().queue_wait_seconds.Record(queued.ElapsedSeconds());
+    task();
+  };
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(timed));
   }
   cv_.notify_one();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(unsigned worker_index) {
+  obs::Gauge& busy = WorkerBusyGauge(worker_index);
   for (;;) {
     std::function<void()> task;
     {
@@ -43,7 +89,10 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const WallTimer task_timer;
     task();
+    busy.Add(task_timer.ElapsedSeconds());
+    PoolMetrics::Get().tasks_executed.Inc();
   }
 }
 

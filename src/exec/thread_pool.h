@@ -51,7 +51,7 @@ class ThreadPool {
   static void SetGlobalThreads(unsigned threads);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(unsigned worker_index);
 
   unsigned threads_;
   std::vector<std::thread> workers_;

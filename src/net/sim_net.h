@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 
 namespace proxdet {
 namespace net {
@@ -141,6 +142,15 @@ class ReliableEndpoint {
 
   int id() const { return id_; }
 
+  /// Attributes this endpoint's wire bytes (data frames, retransmissions
+  /// and acks it sends) to a registry counter — the transport installs
+  /// net.bytes_up on client endpoints and net.bytes_down on the server, so
+  /// the counters reconcile with CommStats byte accounting to the unit.
+  /// Optional; pass nullptr to detach.
+  void set_wire_bytes_counter(obs::Counter* counter) {
+    wire_bytes_counter_ = counter;
+  }
+
   /// Sends `payload` as a `kind` frame to `dst`, tracked until acked.
   void Send(int dst, MsgKind kind, const std::vector<uint8_t>& payload);
 
@@ -171,6 +181,7 @@ class ReliableEndpoint {
   double rto_s_;
   int max_retries_;
   FrameHandler handler_;
+  obs::Counter* wire_bytes_counter_ = nullptr;
   int id_ = -1;
   std::map<int, uint64_t> next_seq_;
   std::map<std::pair<int, uint64_t>, std::vector<uint8_t>> pending_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace proxdet {
 namespace net {
 
@@ -125,6 +127,16 @@ TransportLink::TransportLink(const World& world, const NetConfig& config)
   }
   server_ = std::make_unique<ProtocolServer>(&net_, world.user_count(), config);
   server_id_ = server_->endpoint().id();
+  // Direction-attributed wire counters, matching Stats(): everything a
+  // client endpoint transmits (frames, retransmits, its acks) is uplink;
+  // everything the server transmits is downlink. This is what lets the
+  // RunReport reconcile registry counters against CommStats byte totals.
+  obs::Counter& bytes_up = obs::Metrics().GetCounter("net.bytes_up");
+  obs::Counter& bytes_down = obs::Metrics().GetCounter("net.bytes_down");
+  for (auto& client : clients_) {
+    client->endpoint().set_wire_bytes_counter(&bytes_up);
+  }
+  server_->endpoint().set_wire_bytes_counter(&bytes_down);
   const LinkModel up = config.up;
   const LinkModel down = config.down;
   const int sid = server_id_;

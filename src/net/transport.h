@@ -61,6 +61,7 @@ class ClientRuntime {
   /// `window_len` == 0 sends a position-only report.
   void SendReport(int epoch, size_t window_len);
 
+  ReliableEndpoint& endpoint() { return endpoint_; }
   const ReliableEndpoint& endpoint() const { return endpoint_; }
   const std::vector<AlertEvent>& alerts() const { return alerts_; }
   uint64_t probes_received() const { return probes_received_; }

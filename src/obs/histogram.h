@@ -1,0 +1,114 @@
+#ifndef PROXDET_OBS_HISTOGRAM_H_
+#define PROXDET_OBS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace proxdet {
+namespace obs {
+
+/// Fixed-bucket histogram: explicit, sorted upper bounds plus an implicit
+/// +inf overflow bucket (Prometheus "le" semantics: a sample lands in the
+/// first bucket whose upper bound is >= the value). Counts, sum, min and
+/// max are exact; Quantile() interpolates linearly inside the bucket.
+///
+/// Merge discipline: two histograms with identical bounds merge by adding
+/// bucket counts, so Merge(a, b) equals the histogram of the concatenated
+/// sample streams exactly (the property the obs test suite enforces).
+class Histogram {
+ public:
+  Histogram() : Histogram(std::vector<double>{}) {}
+  /// `upper_bounds` must be strictly increasing; may be empty (single
+  /// overflow bucket, degenerate but legal).
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// Evenly spaced bounds: `buckets` buckets covering [lo, hi], i.e. bounds
+  /// lo + i*(hi-lo)/buckets for i = 1..buckets.
+  static Histogram Linear(double lo, double hi, int buckets);
+
+  void Record(double x);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }  // 0 when empty.
+  double max() const { return max_; }  // 0 when empty.
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the +inf overflow bucket.
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+
+  /// q in [0, 1]. Linear interpolation inside the containing bucket (the
+  /// overflow bucket yields max()). 0 for an empty histogram.
+  double Quantile(double q) const;
+
+  /// Adds `other`'s counts into this histogram. Bounds must be identical.
+  /// Returns false (and leaves *this untouched) otherwise.
+  bool Merge(const Histogram& other);
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Streaming quantile sketch over non-negative samples with bounded
+/// *relative* error, HDR-histogram style: a sample lands in a log-spaced
+/// bucket (each power-of-two span split into kSubbuckets equal slices), so
+/// memory is O(distinct scales), not O(samples). Quantile() returns the
+/// containing bucket's midpoint — within 1/(2*kSubbuckets) ~ 1.6% relative
+/// error of the true order statistic.
+///
+/// The sketch is a pure function of the sample *multiset*: buckets are
+/// keyed counts, so recording order never matters and Merge() equals the
+/// sketch of the concatenated streams exactly. That also makes it safe for
+/// the determinism contract: identical sample multisets (bit-exact values)
+/// yield identical sketches regardless of thread interleaving.
+class StreamingQuantile {
+ public:
+  static constexpr int kSubbuckets = 32;  // Relative error <= 1/64.
+
+  void Record(double x);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }  // 0 when empty.
+  double max() const { return max_; }  // 0 when empty.
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  /// q in [0, 1]; 0 for an empty sketch. Exact for the 0- and 1-quantile
+  /// (min/max are tracked exactly).
+  double Quantile(double q) const;
+
+  void Merge(const StreamingQuantile& other);
+
+  void Reset();
+
+  /// Bucket index for `x` (implementation detail, exposed for the golden
+  /// tests): values <= 0 share the index of the smallest representable
+  /// bucket.
+  static int32_t BucketIndex(double x);
+  /// [lower, upper) value range of bucket `index`.
+  static double BucketLower(int32_t index);
+  static double BucketUpper(int32_t index);
+
+  const std::map<int32_t, uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::map<int32_t, uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace obs
+}  // namespace proxdet
+
+#endif  // PROXDET_OBS_HISTOGRAM_H_

@@ -1,0 +1,160 @@
+#ifndef PROXDET_OBS_TRACE_H_
+#define PROXDET_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace proxdet {
+namespace obs {
+
+/// One completed span. `name` and `category` must be string literals (or
+/// otherwise outlive the tracer) — spans never copy them.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  uint64_t start_us = 0;  // Microseconds since tracer construction.
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;  // Dense per-tracer thread index, 0 = first seen.
+};
+
+#ifndef PROXDET_OBS_DISABLED
+
+inline namespace enabled {
+
+/// Scoped-span tracer. Disabled by default: a disarmed TraceScope costs one
+/// relaxed atomic load and no clock read, so instrumentation can stay in
+/// hot paths permanently. When enabled, completed spans are appended to a
+/// mutex-guarded buffer (bounded by set_capacity; overflow increments
+/// dropped() instead of growing without bound) and exported as Chrome
+/// trace_event JSON — loadable in chrome://tracing or Perfetto.
+///
+/// Span *durations* are wall-clock and therefore non-deterministic; span
+/// *counts per name* are deterministic for deterministic workloads. The
+/// exporter never feeds back into the traced computation (read-only
+/// observability).
+class Tracer {
+ public:
+  Tracer() : origin_(std::chrono::steady_clock::now()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  /// Drops all recorded spans (and the dropped-count); keeps enablement.
+  void Clear();
+
+  /// Maximum buffered spans; further records are counted in dropped().
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+
+  uint64_t NowMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - origin_)
+            .count());
+  }
+
+  /// Appends a completed span (thread-safe).
+  void Record(const char* name, const char* category, uint64_t start_us,
+              uint64_t end_us);
+
+  std::vector<TraceEvent> snapshot() const;
+  uint64_t span_count() const;
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Chrome trace_event format: {"traceEvents": [...], ...} with complete
+  /// ("ph":"X") events. Load via chrome://tracing or ui.perfetto.dev.
+  std::string ToChromeTraceJson() const;
+
+  /// Writes ToChromeTraceJson() to `path`; false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+  /// The process-wide tracer every built-in span uses.
+  static Tracer& Global();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> dropped_{0};
+  std::chrono::steady_clock::time_point origin_;
+  size_t capacity_ = 1u << 20;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::map<std::thread::id, uint32_t> thread_index_;
+};
+
+/// RAII span: arms on construction when the global tracer is enabled,
+/// records on destruction. Name/category must be string literals.
+class TraceScope {
+ public:
+  TraceScope(const char* name, const char* category) {
+    Tracer& tracer = Tracer::Global();
+    if (tracer.enabled()) {
+      tracer_ = &tracer;
+      name_ = name;
+      category_ = category;
+      start_us_ = tracer.NowMicros();
+    }
+  }
+  ~TraceScope() {
+    if (tracer_ != nullptr) {
+      tracer_->Record(name_, category_, start_us_, tracer_->NowMicros());
+    }
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  uint64_t start_us_ = 0;
+};
+
+}  // namespace enabled
+
+#else  // PROXDET_OBS_DISABLED
+
+inline namespace noop {
+
+class Tracer {
+ public:
+  bool enabled() const { return false; }
+  void Enable() {}
+  void Disable() {}
+  void Clear() {}
+  void set_capacity(size_t) {}
+  uint64_t NowMicros() const { return 0; }
+  void Record(const char*, const char*, uint64_t, uint64_t) {}
+  std::vector<TraceEvent> snapshot() const { return {}; }
+  uint64_t span_count() const { return 0; }
+  uint64_t dropped() const { return 0; }
+  std::string ToChromeTraceJson() const {
+    return "{\"traceEvents\": []}\n";
+  }
+  bool WriteChromeTrace(const std::string&) const { return false; }
+  static Tracer& Global() {
+    static Tracer tracer;
+    return tracer;
+  }
+};
+
+class TraceScope {
+ public:
+  TraceScope(const char*, const char*) {}
+};
+
+}  // namespace noop
+
+#endif  // PROXDET_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace proxdet
+
+#endif  // PROXDET_OBS_TRACE_H_

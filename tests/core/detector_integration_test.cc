@@ -109,7 +109,8 @@ TEST(DetectorIntegrationTest, StatsAreInternallyConsistent) {
   const RunResult r = RunMethod(Method::kStripeKf, workload);
   const CommStats& s = r.stats;
   EXPECT_EQ(s.TotalMessages(), s.reports + s.probes + s.alerts +
-                                   s.region_installs + s.match_installs);
+                                   s.region_installs + s.match_installs)
+      << s;
   // Every alert notifies both endpoints.
   EXPECT_EQ(s.alerts % 2, 0u);
   EXPECT_EQ(s.alerts / 2, r.alert_count);

@@ -117,6 +117,9 @@ TEST(DeterminismTest, DetectorEpochLoopIdenticalAcrossThreadCounts) {
     const RunResult parallel = RunMethod(method, workload);
 
     const std::string name = MethodName(method);
+    EXPECT_TRUE(serial.stats.SameMessageCounts(parallel.stats))
+        << name << ": serial " << serial.stats << " vs parallel "
+        << parallel.stats;
     EXPECT_EQ(serial.stats.reports, parallel.stats.reports) << name;
     EXPECT_EQ(serial.stats.probes, parallel.stats.probes) << name;
     EXPECT_EQ(serial.stats.alerts, parallel.stats.alerts) << name;
@@ -155,6 +158,9 @@ TEST(DeterminismTest, SweepResultsIdenticalAcrossThreadCounts) {
       const RunResult& a = serial[p][c];
       const RunResult& b = parallel[p][c];
       EXPECT_EQ(a.method, b.method);
+      EXPECT_TRUE(a.stats.SameMessageCounts(b.stats))
+          << p << "," << c << ": serial " << a.stats << " vs parallel "
+          << b.stats;
       EXPECT_EQ(a.stats.reports, b.stats.reports) << p << "," << c;
       EXPECT_EQ(a.stats.probes, b.stats.probes) << p << "," << c;
       EXPECT_EQ(a.stats.alerts, b.stats.alerts) << p << "," << c;

@@ -70,7 +70,8 @@ TEST_P(TransportedMethodTest, PerfectLinkIsBitExactWithInProcess) {
 
   // Message counts and rebuild counts: bit-exact with the in-process run.
   EXPECT_TRUE(transported.run.stats.SameMessageCounts(direct.stats))
-      << MethodName(method) << ": transported counts diverged";
+      << MethodName(method) << ": transported " << transported.run.stats
+      << " diverged from direct " << direct.stats;
   EXPECT_EQ(transported.run.rebuild_count, direct.rebuild_count);
 
   // The transported run actually used the wire.
@@ -137,7 +138,8 @@ TEST(TransportTest, LossInjectionIsDeterministicPerSeed) {
   const TransportedRunResult other =
       RunTransportedMethod(Method::kFmd, workload, Lossy(0.20, 912));
   EXPECT_NE(other.net.schedule_hash, first.net.schedule_hash);
-  EXPECT_TRUE(other.run.stats.SameMessageCounts(first.run.stats));
+  EXPECT_TRUE(other.run.stats.SameMessageCounts(first.run.stats))
+      << "seed 912 " << other.run.stats << " vs seed 911 " << first.run.stats;
   EXPECT_TRUE(other.run.alerts_exact);
 }
 
@@ -152,7 +154,8 @@ TEST(TransportTest, LatencyShapesVirtualTimeNotSemantics) {
       RunTransportedMethod(Method::kStatic, workload, slow);
   EXPECT_GT(lagged.net.virtual_seconds, fast.net.virtual_seconds);
   EXPECT_TRUE(lagged.run.alerts_exact);
-  EXPECT_TRUE(lagged.run.stats.SameMessageCounts(fast.run.stats));
+  EXPECT_TRUE(lagged.run.stats.SameMessageCounts(fast.run.stats))
+      << "lagged " << lagged.run.stats << " vs fast " << fast.run.stats;
 }
 
 TEST(TransportTest, DeliveryFailureIsSurfacedNotSilent) {
@@ -181,7 +184,9 @@ TEST(TransportTest, TransportedDetectorReportsMergedStats) {
   std::unique_ptr<Detector> direct = MakeDetector(Method::kCmd, workload);
   direct->Run(workload.world);
   EXPECT_TRUE(detector.stats() != direct->stats());
-  EXPECT_TRUE(detector.stats().SameMessageCounts(direct->stats()));
+  EXPECT_TRUE(detector.stats().SameMessageCounts(direct->stats()))
+      << "transported " << detector.stats() << " vs direct "
+      << direct->stats();
 }
 
 }  // namespace

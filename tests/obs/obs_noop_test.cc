@@ -1,0 +1,74 @@
+// Compiled with PROXDET_OBS_DISABLED (see tests/CMakeLists.txt): the
+// no-op observability surface must accept every call site unchanged and
+// observe nothing. This translation unit picks up the obs::noop inline
+// namespace while linking against libraries built with the layer enabled —
+// the distinct mangled names keep the two from colliding; the plain-data
+// types (MetricsSnapshot, RunReport) are shared.
+
+#ifndef PROXDET_OBS_DISABLED
+#error "this test must be compiled with PROXDET_OBS_DISABLED"
+#endif
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench_support/obs_artifacts.h"
+#include "core/comm_stats.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace proxdet {
+namespace {
+
+TEST(ObsNoopTest, RegistryAcceptsCallsAndObservesNothing) {
+  obs::MetricsRegistry& registry = obs::Metrics();
+  registry.GetCounter("c", obs::Kind::kDeterministic).Inc(42);
+  registry.GetGauge("g").Set(3.0);
+  registry.GetHistogram("h", {1.0, 2.0}).Record(0.5);
+  registry.GetQuantile("q").Record(1.0);
+  EXPECT_EQ(registry.GetCounter("c").value(), 0u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("g").value(), 0.0);
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+  EXPECT_TRUE(snap.quantiles.empty());
+  EXPECT_EQ(snap.DeterministicDigest(), "");
+  EXPECT_EQ(registry.PrometheusDump(), "");
+  registry.Reset();  // Still callable.
+}
+
+TEST(ObsNoopTest, TracerIsInert) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Enable();  // Ignored.
+  EXPECT_FALSE(tracer.enabled());
+  { obs::TraceScope scope("span", "test"); }
+  EXPECT_EQ(tracer.span_count(), 0u);
+  EXPECT_TRUE(tracer.snapshot().empty());
+  // The export is still a well-formed (empty) trace document.
+  EXPECT_EQ(tracer.ToChromeTraceJson(), "{\"traceEvents\": []}\n");
+  EXPECT_FALSE(tracer.WriteChromeTrace("/tmp/never_written.json"));
+}
+
+TEST(ObsNoopTest, ReportsStillWorkWithEmptyMetrics) {
+  // RunReport is plain data, compiled unconditionally: the report pipeline
+  // keeps functioning, just with an empty metrics subtree.
+  CommStats stats;
+  stats.reports = 10;
+  stats.bytes_up = 100;
+  obs::RunReport report = MakeRunReport("noop_run", stats);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"run\": \"noop_run\""), std::string::npos);
+  EXPECT_NE(json.find("\"reports\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"deterministic\""), std::string::npos);
+
+  // Reconciliation is trivially satisfied: no counters to contradict.
+  std::string error;
+  EXPECT_TRUE(ReconcileWithCommStats(report.metrics(), stats, &error));
+  EXPECT_TRUE(error.empty());
+}
+
+}  // namespace
+}  // namespace proxdet

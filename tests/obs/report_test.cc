@@ -1,0 +1,92 @@
+// RunReport serialization: info/section ordering, JSON escaping, the
+// deterministic vs wall-clock metric segregation, non-finite scalars, and
+// the file round trip.
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace proxdet {
+namespace obs {
+namespace {
+
+TEST(RunReportTest, JsonStructureGolden) {
+  RunReport report("unit_run");
+  report.AddInfo("method", "Stripe+KF");
+  report.AddCount("comm_stats", "reports", 42);
+  report.AddScalar("timing", "wall_seconds", 1.5);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"run\": \"unit_run\""), std::string::npos);
+  EXPECT_NE(json.find("\"method\": \"Stripe+KF\""), std::string::npos);
+  EXPECT_NE(json.find("\"comm_stats\""), std::string::npos);
+  EXPECT_NE(json.find("\"reports\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds\": 1.5"), std::string::npos);
+  // The metrics subtree is present even without a captured snapshot.
+  EXPECT_NE(json.find("\"deterministic\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_clock\""), std::string::npos);
+}
+
+TEST(RunReportTest, EscapesQuotesAndBackslashes) {
+  RunReport report("quoted \"run\"");
+  report.AddInfo("path", "C:\\tmp");
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"quoted \\\"run\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("C:\\\\tmp"), std::string::npos);
+}
+
+TEST(RunReportTest, NonFiniteScalarsSerializeAsStrings) {
+  RunReport report("inf_run");
+  report.AddScalar("edge", "pos_inf", std::numeric_limits<double>::infinity());
+  report.AddScalar("edge", "not_a_number",
+                   std::numeric_limits<double>::quiet_NaN());
+  const std::string json = report.ToJson();
+  // Bare inf/nan are not valid JSON numbers; they must become strings.
+  EXPECT_NE(json.find("\"pos_inf\": \"inf\""), std::string::npos);
+  EXPECT_NE(json.find("\"not_a_number\": \"nan\""), std::string::npos);
+}
+
+TEST(RunReportTest, CapturedMetricsAreSegregatedByKind) {
+  MetricsRegistry registry;
+  registry.GetCounter("det.count", Kind::kDeterministic).Inc(3);
+  registry.GetCounter("wall.count", Kind::kWallClock).Inc(9);
+  registry.GetQuantile("det.dist", Kind::kDeterministic).Record(2.0);
+
+  RunReport report("segregated");
+  report.CaptureMetrics(registry.Snapshot());
+  const std::string json = report.ToJson();
+
+  const size_t det = json.find("\"deterministic\"");
+  const size_t wall = json.find("\"wall_clock\"");
+  ASSERT_NE(det, std::string::npos);
+  ASSERT_NE(wall, std::string::npos);
+  ASSERT_LT(det, wall);
+  // det.count and det.dist live in the deterministic subtree (before the
+  // wall_clock key); wall.count lives after it.
+  EXPECT_LT(json.find("\"det.count\": 3"), wall);
+  EXPECT_LT(json.find("\"det.dist\""), wall);
+  EXPECT_GT(json.find("\"wall.count\": 9"), wall);
+}
+
+TEST(RunReportTest, WriteFileRoundTrips) {
+  RunReport report("disk_run");
+  report.AddInfo("k", "v");
+  const std::string path = ::testing::TempDir() + "report_roundtrip.json";
+  ASSERT_TRUE(report.WriteFile(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), report.ToJson());
+  std::remove(path.c_str());
+  EXPECT_FALSE(report.WriteFile("/nonexistent_dir/x/y.json"));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace proxdet

@@ -1,0 +1,92 @@
+// Tracer contract: disarmed scopes record nothing, armed scopes append
+// complete spans with dense thread ids, the capacity bound converts
+// overflow into a dropped-count, and the export is loadable Chrome
+// trace_event JSON.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+namespace proxdet {
+namespace obs {
+namespace {
+
+TEST(TracerTest, DisabledScopeRecordsNothing) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Disable();
+  tracer.Clear();
+  { TraceScope scope("noop", "test"); }
+  EXPECT_EQ(tracer.span_count(), 0u);
+}
+
+TEST(TracerTest, EnabledScopeRecordsACompleteSpan) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Clear();
+  tracer.Enable();
+  { TraceScope scope("unit_span", "test"); }
+  tracer.Disable();
+  ASSERT_EQ(tracer.span_count(), 1u);
+  const TraceEvent event = tracer.snapshot()[0];
+  EXPECT_STREQ(event.name, "unit_span");
+  EXPECT_STREQ(event.category, "test");
+  EXPECT_EQ(event.tid, 0u);  // First (and only) thread seen.
+  tracer.Clear();
+}
+
+TEST(TracerTest, CapacityBoundsTheBufferAndCountsDrops) {
+  Tracer tracer;
+  tracer.set_capacity(2);
+  tracer.Enable();
+  tracer.Record("a", "test", 0, 1);
+  tracer.Record("b", "test", 1, 2);
+  tracer.Record("c", "test", 2, 3);
+  EXPECT_EQ(tracer.span_count(), 2u);
+  EXPECT_EQ(tracer.dropped(), 1u);
+  tracer.Clear();
+  EXPECT_EQ(tracer.span_count(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TracerTest, NegativeDurationClampsToZero) {
+  Tracer tracer;
+  tracer.Record("backwards", "test", 10, 5);
+  EXPECT_EQ(tracer.snapshot()[0].dur_us, 0u);
+}
+
+TEST(TracerTest, ChromeTraceJsonShape) {
+  Tracer tracer;
+  tracer.Record("phase_a", "engine", 0, 100);
+  tracer.Record("phase_b", "net", 100, 250);
+  const std::string json = tracer.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"phase_a\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"net\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 100, \"dur\": 150"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+  // Empty tracer still produces a well-formed document.
+  Tracer empty;
+  EXPECT_NE(empty.ToChromeTraceJson().find("\"traceEvents\": ["),
+            std::string::npos);
+}
+
+TEST(TracerTest, WriteChromeTraceRoundTrips) {
+  Tracer tracer;
+  tracer.Record("disk_span", "test", 0, 42);
+  const std::string path = ::testing::TempDir() + "tracer_roundtrip.json";
+  ASSERT_TRUE(tracer.WriteChromeTrace(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), tracer.ToChromeTraceJson());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace proxdet
