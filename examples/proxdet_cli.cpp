@@ -8,11 +8,19 @@
 //                         stripe-hmm|stripe-r2d2|stripe-linear]
 //               [--users N] [--epochs S] [--friends F] [--radius-km R]
 //               [--speed V] [--seed SEED] [--csv]
+//               [--shards N] [--batch]
 //               [--trace FILE] [--report FILE]
 //
 // --trace writes the run's epoch-phase spans as Chrome trace_event JSON
 // (load in chrome://tracing or ui.perfetto.dev); --report writes a
 // RunReport joining the metrics snapshot with the aggregate CommStats.
+//
+// --shards N runs every method through the simulated serving plane with N
+// consistent-hash ProtocolServer partitions (wire columns appear in the
+// table); --batch additionally coalesces each epoch's downlink per client
+// into one frame and ships grid-snapped installs delta-compressed. Alerts
+// stay bit-exact with the in-process engine either way — the `exact`
+// column proves it on every run.
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +31,7 @@
 #include "bench_support/obs_artifacts.h"
 #include "common/table.h"
 #include "core/simulation.h"
+#include "net/transport.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -56,6 +65,7 @@ void Usage(const char* argv0) {
                "usage: %s [--dataset D] [--method M|all] [--users N]\n"
                "          [--epochs S] [--friends F] [--radius-km R]\n"
                "          [--speed V] [--seed X] [--csv]\n"
+               "          [--shards N] [--batch]\n"
                "          [--trace FILE] [--report FILE]\n",
                argv0);
 }
@@ -71,6 +81,8 @@ int main(int argc, char** argv) {
   config.alert_radius_m = 5000.0;
   std::string method_arg = "all";
   bool csv = false;
+  int shards = 0;  // 0 = in-process (no transport); >= 1 = transported.
+  bool batch = false;
   std::string trace_path;
   std::string report_path;
 
@@ -106,6 +118,14 @@ int main(int argc, char** argv) {
       config.seed = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--shards") {
+      shards = std::atoi(next());
+      if (shards < 1) {
+        Usage(argv[0]);
+        return 2;
+      }
+    } else if (arg == "--batch") {
+      batch = true;
     } else if (arg == "--trace") {
       trace_path = next();
     } else if (arg == "--report") {
@@ -145,21 +165,55 @@ int main(int argc, char** argv) {
     tracer.Enable();
   }
 
+  // --batch without --shards still runs the serving plane (one partition).
+  const bool transported = shards >= 1 || batch;
+  net::NetConfig net_config;
+  net_config.shards = shards >= 1 ? shards : 1;
+  net_config.batch_downlink = batch;
+  net_config.compress_installs = batch;
+
   Table table("proxdet " + DatasetName(config.dataset));
-  table.SetHeader({"method", "total", "reports", "probes", "alerts",
-                   "region", "match", "server_cpu_s", "exact"});
+  if (transported) {
+    table.SetHeader({"method", "total", "reports", "probes", "alerts",
+                     "region", "match", "bytes_up", "bytes_down", "bytes_x",
+                     "saved", "exact"});
+  } else {
+    table.SetHeader({"method", "total", "reports", "probes", "alerts",
+                     "region", "match", "server_cpu_s", "exact"});
+  }
   CommStats total;
+  net::NetRunStats last_net;
   for (const Method method : methods) {
-    const RunResult r = RunMethod(method, workload);
-    total += r.stats;
-    table.AddRow({MethodName(method), std::to_string(r.stats.TotalMessages()),
-                  std::to_string(r.stats.reports),
-                  std::to_string(r.stats.probes),
-                  std::to_string(r.stats.alerts),
-                  std::to_string(r.stats.region_installs),
-                  std::to_string(r.stats.match_installs),
-                  FormatDouble(r.stats.server_seconds, 3),
-                  r.alerts_exact ? "yes" : "NO"});
+    if (transported) {
+      const net::TransportedRunResult t =
+          net::RunTransportedMethod(method, workload, net_config);
+      total += t.run.stats;
+      last_net = t.net;
+      const uint64_t saved =
+          t.net.batch_saved_bytes + t.net.compress_saved_bytes;
+      table.AddRow(
+          {MethodName(method), std::to_string(t.run.stats.TotalMessages()),
+           std::to_string(t.run.stats.reports),
+           std::to_string(t.run.stats.probes),
+           std::to_string(t.run.stats.alerts),
+           std::to_string(t.run.stats.region_installs),
+           std::to_string(t.run.stats.match_installs),
+           std::to_string(t.net.bytes_up), std::to_string(t.net.bytes_down),
+           std::to_string(t.net.bytes_xshard), std::to_string(saved),
+           t.run.alerts_exact && t.net.codec_exact && !t.net.failed ? "yes"
+                                                                    : "NO"});
+    } else {
+      const RunResult r = RunMethod(method, workload);
+      total += r.stats;
+      table.AddRow({MethodName(method), std::to_string(r.stats.TotalMessages()),
+                    std::to_string(r.stats.reports),
+                    std::to_string(r.stats.probes),
+                    std::to_string(r.stats.alerts),
+                    std::to_string(r.stats.region_installs),
+                    std::to_string(r.stats.match_installs),
+                    FormatDouble(r.stats.server_seconds, 3),
+                    r.alerts_exact ? "yes" : "NO"});
+    }
   }
   std::printf("%s", csv ? table.ToCsv().c_str() : table.ToString().c_str());
 
@@ -179,6 +233,13 @@ int main(int argc, char** argv) {
     report.AddInfo("users", std::to_string(config.num_users));
     report.AddInfo("epochs", std::to_string(config.epochs));
     report.AddInfo("seed", std::to_string(config.seed));
+    if (transported) {
+      report.AddInfo("shards", std::to_string(net_config.shards));
+      report.AddInfo("batch", batch ? "on" : "off");
+      // Per-shard wire sections describe a single run; with several methods
+      // the registry still reconciles but a breakdown would be ambiguous.
+      if (methods.size() == 1) AddShardNetSections(&report, last_net);
+    }
     std::string mismatch;
     const bool reconciled =
         ReconcileWithCommStats(report.metrics(), total, &mismatch);

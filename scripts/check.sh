@@ -1,26 +1,40 @@
 #!/usr/bin/env bash
 # TSan gate for the in-epoch parallelism: configures a separate build tree
 # with -DPROXDET_SANITIZE=thread, builds it, and runs the `sanitize`-,
-# `net`- and `obs`-labelled suites (thread-pool + determinism tests, the
-# wire/transport suite whose transported runs drive the network link while
-# the engine scans fan out, and the observability suite whose
+# `net`-, `obs`- and `shard`-labelled suites (thread-pool + determinism
+# tests, the wire/transport suite whose transported runs drive the network
+# link while the engine scans fan out, the observability suite whose
 # relaxed-atomic counters and mutex-guarded sketches are written from
-# those same scans) under a multi-thread global pool. The
-# parallel-scan/serial-commit pattern is only safe if the scans are
+# those same scans, and the sharded serving plane whose frontend is only
+# driven from serial commit sections) under a multi-thread global pool.
+# The parallel-scan/serial-commit pattern is only safe if the scans are
 # genuinely read-only and the link is only touched from commit sections —
 # TSan is the check that they are.
 #
+# A second leg configures a tree with -DPROXDET_OBS=OFF and runs the same
+# labelled suites there: every counter/histogram/trace call site must
+# compile and behave identically against the noop observability surface
+# (the shard frontend's per-shard counters and batch-fill histogram
+# included).
+#
 #   scripts/check.sh [extra cmake args...]
 #
-# BUILD_DIR overrides the build tree (default: build-tsan, kept separate
-# from the plain `build` tree so the two configurations never fight).
+# BUILD_DIR / OBS_OFF_BUILD_DIR override the build trees (defaults:
+# build-tsan and build-obs-off, kept separate from the plain `build` tree
+# so the configurations never fight).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-tsan}"
+OBS_OFF_BUILD_DIR="${OBS_OFF_BUILD_DIR:-build-obs-off}"
 JOBS="$(nproc)"
+LABELS='sanitize|net|obs|shard'
 
 cmake -B "$BUILD_DIR" -S . -DPROXDET_SANITIZE=thread "$@"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 PROXDET_THREADS="${PROXDET_THREADS:-4}" \
-  ctest --test-dir "$BUILD_DIR" -L 'sanitize|net|obs' --output-on-failure -j "$JOBS"
+  ctest --test-dir "$BUILD_DIR" -L "$LABELS" --output-on-failure -j "$JOBS"
+
+cmake -B "$OBS_OFF_BUILD_DIR" -S . -DPROXDET_OBS=OFF "$@"
+cmake --build "$OBS_OFF_BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$OBS_OFF_BUILD_DIR" -L "$LABELS" --output-on-failure -j "$JOBS"

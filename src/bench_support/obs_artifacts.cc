@@ -39,10 +39,35 @@ obs::RunReport MakeRunReport(const std::string& run_name,
   report.AddCount("comm_stats", "total_messages", stats.TotalMessages());
   report.AddCount("comm_stats", "bytes_up", stats.bytes_up);
   report.AddCount("comm_stats", "bytes_down", stats.bytes_down);
+  report.AddCount("comm_stats", "bytes_xshard", stats.bytes_xshard);
+  report.AddCount("comm_stats", "batch_saved_bytes", stats.batch_saved_bytes);
   report.AddCount("comm_stats", "total_bytes", stats.TotalBytes());
   report.AddScalar("timing", "server_seconds", stats.server_seconds);
   report.CaptureMetrics(obs::Metrics().Snapshot());
   return report;
+}
+
+void AddShardNetSections(obs::RunReport* report,
+                         const net::NetRunStats& net) {
+  for (size_t i = 0; i < net.shards.size(); ++i) {
+    const net::ShardNetStats& s = net.shards[i];
+    const std::string section = "shard" + std::to_string(i);
+    report->AddCount(section, "users", s.users);
+    report->AddCount(section, "frames_up", s.frames_up);
+    report->AddCount(section, "bytes_up", s.bytes_up);
+    report->AddCount(section, "frames_down", s.frames_down);
+    report->AddCount(section, "bytes_down", s.bytes_down);
+    report->AddCount(section, "frames_xshard", s.frames_xshard);
+    report->AddCount(section, "bytes_xshard", s.bytes_xshard);
+  }
+  report->AddCount("batching", "batch_frames", net.batch_frames);
+  report->AddCount("batching", "batch_messages", net.batch_messages);
+  report->AddCount("batching", "batch_saved_bytes", net.batch_saved_bytes);
+  report->AddCount("batching", "compressed_installs", net.compressed_installs);
+  report->AddCount("batching", "compress_skipped", net.compress_skipped);
+  report->AddCount("batching", "compress_saved_bytes",
+                   net.compress_saved_bytes);
+  report->AddCount("batching", "compress_mismatch", net.compress_mismatch);
 }
 
 bool ReconcileWithCommStats(const obs::MetricsSnapshot& snapshot,
@@ -58,6 +83,31 @@ bool ReconcileWithCommStats(const obs::MetricsSnapshot& snapshot,
              error);
   CheckField(snapshot, "net.bytes_up", stats.bytes_up, &ok, error);
   CheckField(snapshot, "net.bytes_down", stats.bytes_down, &ok, error);
+  CheckField(snapshot, "net.bytes_xshard", stats.bytes_xshard, &ok, error);
+  // Per-shard direction counters, when present, must sum to the globals —
+  // a byte attributed to a shard is the same byte the global counter saw.
+  uint64_t shard_up = 0;
+  uint64_t shard_down = 0;
+  uint64_t shard_xshard = 0;
+  bool any_shard = false;
+  for (const auto& [name, entry] : snapshot.counters) {
+    if (name.rfind("net.shard", 0) != 0) continue;
+    any_shard = true;
+    if (name.size() >= 9 && name.compare(name.size() - 9, 9, ".bytes_up") == 0) {
+      shard_up += entry.second;
+    } else if (name.size() >= 11 &&
+               name.compare(name.size() - 11, 11, ".bytes_down") == 0) {
+      shard_down += entry.second;
+    } else if (name.size() >= 13 &&
+               name.compare(name.size() - 13, 13, ".bytes_xshard") == 0) {
+      shard_xshard += entry.second;
+    }
+  }
+  if (any_shard) {
+    CheckField(snapshot, "net.bytes_up", shard_up, &ok, error);
+    CheckField(snapshot, "net.bytes_down", shard_down, &ok, error);
+    CheckField(snapshot, "net.bytes_xshard", shard_xshard, &ok, error);
+  }
   return ok;
 }
 

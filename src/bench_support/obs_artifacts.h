@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/comm_stats.h"
+#include "net/transport.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 
@@ -17,11 +18,18 @@ namespace proxdet {
 obs::RunReport MakeRunReport(const std::string& run_name,
                              const CommStats& stats);
 
+/// Adds the sharded serving plane's wire breakdown to a RunReport: one
+/// "shard<i>" section per partition (users, frames/bytes by direction) plus
+/// a "batching" section with the coalescing and compression counters.
+void AddShardNetSections(obs::RunReport* report, const net::NetRunStats& net);
+
 /// Checks that the registry's engine/net counters reconcile with CommStats
-/// to the unit: every message-count field matches its engine.* counter and
-/// the byte totals match net.bytes_up/down. Trivially true when the
-/// snapshot carries no counters (observability compiled out). On failure
-/// returns false and appends a description per mismatch to *error.
+/// to the unit: every message-count field matches its engine.* counter, the
+/// byte totals match net.bytes_up/down/xshard, and — when per-shard
+/// counters are registered — the net.shard<i>.bytes_* sums equal the global
+/// direction totals. Trivially true when the snapshot carries no counters
+/// (observability compiled out). On failure returns false and appends a
+/// description per mismatch to *error.
 bool ReconcileWithCommStats(const obs::MetricsSnapshot& snapshot,
                             const CommStats& stats, std::string* error);
 

@@ -59,6 +59,15 @@ class ClientLink {
   /// create/update; delete sends a default circle.
   virtual void InstallMatch(UserId u, int epoch, MatchOp op, UserId a,
                             UserId b, const Circle& region) = 0;
+
+  /// End-of-epoch barrier, called once per epoch after the last message of
+  /// that epoch (still from the serial section). The epoch-synchronous
+  /// protocol guarantees nothing else happens until this returns, so a
+  /// transported link may defer deliverable-at-epoch-granularity downlink
+  /// (installs, alerts) and flush it here as one batched datagram per
+  /// client. The in-process default does nothing. Message *counting* is
+  /// unaffected: the engines already counted each call individually.
+  virtual void EndEpoch(int epoch) { (void)epoch; }
 };
 
 }  // namespace proxdet

@@ -32,6 +32,13 @@ struct CommStats {
   uint64_t bytes_up = 0;
   /// Wire bytes server -> client (downlink frames + downlink acks).
   uint64_t bytes_down = 0;
+  /// Wire bytes shard -> shard (location digests, relayed notices, mesh
+  /// acks) in a sharded transported run. Server-internal traffic: not part
+  /// of the paper's client I/O objective, so excluded from TotalBytes().
+  uint64_t bytes_xshard = 0;
+  /// Downlink bytes the batched-frame coalescing saved versus shipping each
+  /// message as its own frame + ack (estimate; see net::ShardedFrontend).
+  uint64_t batch_saved_bytes = 0;
   /// Server-side wall-clock seconds spent in proximity bookkeeping
   /// (pair checks, cost model, region construction) — Figure 8's CPU axis.
   double server_seconds = 0.0;
@@ -51,6 +58,8 @@ struct CommStats {
     match_installs += o.match_installs;
     bytes_up += o.bytes_up;
     bytes_down += o.bytes_down;
+    bytes_xshard += o.bytes_xshard;
+    batch_saved_bytes += o.batch_saved_bytes;
     server_seconds += o.server_seconds;
     return *this;
   }
@@ -62,7 +71,8 @@ struct CommStats {
     return a.reports == b.reports && a.probes == b.probes &&
            a.alerts == b.alerts && a.region_installs == b.region_installs &&
            a.match_installs == b.match_installs && a.bytes_up == b.bytes_up &&
-           a.bytes_down == b.bytes_down;
+           a.bytes_down == b.bytes_down && a.bytes_xshard == b.bytes_xshard &&
+           a.batch_saved_bytes == b.batch_saved_bytes;
   }
   friend bool operator!=(const CommStats& a, const CommStats& b) {
     return !(a == b);
@@ -87,7 +97,9 @@ struct CommStats {
            " region_installs=" + std::to_string(region_installs) +
            " match_installs=" + std::to_string(match_installs) +
            " bytes_up=" + std::to_string(bytes_up) +
-           " bytes_down=" + std::to_string(bytes_down) + "}";
+           " bytes_down=" + std::to_string(bytes_down) +
+           " bytes_xshard=" + std::to_string(bytes_xshard) +
+           " batch_saved=" + std::to_string(batch_saved_bytes) + "}";
   }
 
   friend std::ostream& operator<<(std::ostream& os, const CommStats& s) {

@@ -142,6 +142,8 @@ void NaiveDetector::Run(const World& world) {
         }
       }
     }
+    // Epoch barrier for batched transported links (no-op in-process).
+    if (link_ != nullptr) link_->EndEpoch(epoch);
   }
 }
 

@@ -494,6 +494,10 @@ struct RegionDetector::Impl {
           ResolvePhase();
         }
       }
+      // Epoch barrier: lets a transported link flush its per-client batch
+      // queues. Outside the server timer — it is wire time, not proximity
+      // bookkeeping.
+      if (self.link_ != nullptr) self.link_->EndEpoch(epoch);
     }
   }
 };

@@ -14,13 +14,34 @@ double SegmentToShape(const Vec2& a, const Vec2& b,
   return ShapeMinDistance(SafeRegionShape(segment_as_stripe), shape, epoch);
 }
 
+/// Snap one coordinate onto the quantization grid. Coordinates too large
+/// for an exact grid index (beyond ~2^52 grid cells) pass through unsnapped
+/// — the codec's own exactness check will then ship them uncompressed.
+double SnapToGrid(double v, double grid) {
+  if (!std::isfinite(v) || std::abs(v) * grid > 4.5e15) return v;
+  return static_cast<double>(std::llround(v * grid)) / grid;
+}
+
+Vec2 SnapToGrid(const Vec2& p, double grid) {
+  return {SnapToGrid(p.x, grid), SnapToGrid(p.y, grid)};
+}
+
 }  // namespace
 
 StripeBuildResult BuildPredictiveStripe(
-    const Vec2& current, const std::vector<Vec2>& predicted,
+    const Vec2& current, const std::vector<Vec2>& predicted_in,
     const std::vector<StripeFriendConstraint>& friends, double user_speed,
     const StripeBuildConfig& config, int epoch) {
   user_speed = std::max(user_speed, 1e-6);
+  // Quantize the anchors up front: all clearance and radius math below then
+  // sees the snapped coordinates, so the safety guarantee is established for
+  // the stripe the client will actually receive (wire-compressible as-is).
+  Vec2 current_q = current;
+  std::vector<Vec2> predicted = predicted_in;
+  if (config.quantize_grid > 0.0) {
+    current_q = SnapToGrid(current, config.quantize_grid);
+    for (Vec2& p : predicted) p = SnapToGrid(p, config.quantize_grid);
+  }
   const auto radius_cap_for = [&config](int m) {
     return std::max(config.sigma_cap_mult * config.SigmaForStep(m),
                     config.min_radius);
@@ -49,7 +70,7 @@ StripeBuildResult BuildPredictiveStripe(
     gaps[i].speed =
         std::max(friends[i].speed * config.approach_factor, 1e-6);
     gaps[i].y0 =
-        ShapeDistanceToPoint(friends[i].region, current, epoch);
+        ShapeDistanceToPoint(friends[i].region, current_q, epoch);
   }
 
   // m = 0: the degenerate single-anchor stripe (fresh users with no
@@ -59,14 +80,14 @@ StripeBuildResult BuildPredictiveStripe(
   best.solution = SolveStripeRadius(gaps, 0, config.SigmaForStep(1),
                                     user_speed, radius_cap_for(1),
                                     config.epsilon);
-  best.stripe = Stripe(Polyline({current}), best.solution.radius);
+  best.stripe = Stripe(Polyline({current_q}), best.solution.radius);
 
   // When the Eq. (8) approximation drives the optimization, exact prefix
   // minima are still tracked so the chosen radius can be clamped to the
   // sound bound.
   std::vector<FriendGap> exact_gaps = gaps;
-  Vec2 prev_anchor = current;
-  std::vector<Vec2> anchors{current};
+  Vec2 prev_anchor = current_q;
+  std::vector<Vec2> anchors{current_q};
   for (int m = 1; m <= max_m; ++m) {
     const Vec2& next_anchor = predicted[m - 1];
     for (size_t i = 0; i < friends.size(); ++i) {

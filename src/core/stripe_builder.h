@@ -62,6 +62,14 @@ struct StripeBuildConfig {
   /// The approximation can only overestimate clearance, so the final radius
   /// is still clamped against the exact bound (safety is never traded).
   bool use_eq8_distance = false;
+  /// Anchor quantization grid (cells per meter; 0 disables). Stripe anchors
+  /// are snapped to this grid *before* any clearance or radius math, so the
+  /// built stripe is already exactly representable by the wire codec's
+  /// quantized-delta polyline encoding (net/wire.h, kWireQuantScale) — the
+  /// server ships the compressed form and the guarantee still holds, because
+  /// every gap and radius was derived from the snapped anchors. Sub-4mm
+  /// displacement at the default 1/256 m grid, far below sigma.
+  double quantize_grid = 256.0;
 };
 
 struct StripeBuildResult {

@@ -1,0 +1,633 @@
+#include "net/shard.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace proxdet {
+namespace net {
+
+namespace {
+
+/// SplitMix64 finalizer: the ring's only hash function. Statistically
+/// uniform, trivially portable, and (unlike std::hash) pinned — the ring
+/// assignment is part of the deterministic wire schedule.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Key-domain separator: user keys and vnode labels must never collide on
+/// the ring even in principle.
+constexpr uint64_t kUserKeySalt = 0x517cc1b727220a95ULL;
+
+/// Batch-fill histogram: how many messages each downlink flush carried.
+obs::HistogramMetric& BatchFillHistogram() {
+  static obs::HistogramMetric& h = obs::Metrics().GetHistogram(
+      "net.batch.fill", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0},
+      obs::Kind::kDeterministic);
+  return h;
+}
+
+/// Bytes a message would cost shipped alone: its own frame (seq varint
+/// estimated at the common 1-byte width) plus the receiver's minimal ack.
+size_t SoloCost(size_t payload_len) {
+  return payload_len + FrameOverheadBytes(1, payload_len) + kMinFrameBytes;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HashRing
+
+HashRing::HashRing(int shards, int vnodes) : shards_(std::max(1, shards)) {
+  vnodes = std::max(1, vnodes);
+  ring_.reserve(static_cast<size_t>(shards_) * vnodes);
+  for (int s = 0; s < shards_; ++s) {
+    for (int v = 0; v < vnodes; ++v) {
+      const uint64_t label =
+          (static_cast<uint64_t>(static_cast<uint32_t>(s)) << 32) |
+          static_cast<uint32_t>(v);
+      ring_.emplace_back(Mix64(label), s);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+int HashRing::ShardOf(UserId u) const {
+  if (shards_ == 1) return 0;
+  const uint64_t h =
+      Mix64(kUserKeySalt ^ static_cast<uint64_t>(static_cast<uint32_t>(u)));
+  // First vnode clockwise of the key; wrap to the ring's start.
+  auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(h, -1));
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedFrontend
+
+ShardedFrontend::ShardedFrontend(const World& world, const NetConfig& config)
+    : world_(world),
+      config_(config),
+      ring_(config.shards, config.ring_vnodes),
+      net_(config.seed),
+      graph_(world.graph()) {
+  net_.set_record_log(config.record_log);
+  const int user_count = static_cast<int>(world.user_count());
+  const int shard_count = ring_.shard_count();
+  home_.resize(user_count);
+  for (UserId u = 0; u < user_count; ++u) home_[u] = ring_.ShardOf(u);
+
+  // Clients register first so endpoint id == UserId (the identity the
+  // protocol checks); shard endpoints follow in shard order, two per shard:
+  // client-facing at user_count + 2s, mesh at user_count + 2s + 1. With
+  // shards == 1 the client-facing endpoint lands on id user_count — exactly
+  // the historical single-server id, so the whole wire schedule (frames,
+  // Rng draws, schedule hash) is reproduced bit-for-bit.
+  clients_.reserve(user_count);
+  for (UserId u = 0; u < user_count; ++u) {
+    const int server_id = user_count + 2 * home_[u];
+    clients_.push_back(
+        std::make_unique<ClientRuntime>(&net_, &world_, u, server_id, config));
+  }
+  obs::Counter& bytes_up = obs::Metrics().GetCounter("net.bytes_up");
+  obs::Counter& bytes_down = obs::Metrics().GetCounter("net.bytes_down");
+  obs::Counter& bytes_xshard = obs::Metrics().GetCounter("net.bytes_xshard");
+  shards_.resize(shard_count);
+  for (int s = 0; s < shard_count; ++s) {
+    Shard& shard = shards_[s];
+    shard.server =
+        std::make_unique<ProtocolServer>(&net_, world.user_count(), config);
+    shard.server->set_served_filter(
+        [this, s](UserId u) { return home_[u] == s; });
+    shard.mesh = std::make_unique<ReliableEndpoint>(
+        &net_, config.retry_timeout_s, config.max_retries,
+        [this, s](int src, Frame&& frame) {
+          OnMeshFrame(s, src, std::move(frame));
+        });
+    shard.mesh_id = shard.mesh->id();
+    // The id layout above is load-bearing (clients were already pointed at
+    // user_count + 2s); fail loudly if endpoint registration ever drifts.
+    if (shard.server->endpoint().id() != user_count + 2 * s ||
+        shard.mesh_id != user_count + 2 * s + 1) {
+      failed_ = true;
+    }
+    const std::string prefix = "net.shard" + std::to_string(s);
+    obs::Counter& shard_down =
+        obs::Metrics().GetCounter(prefix + ".bytes_down");
+    obs::Counter& shard_xshard =
+        obs::Metrics().GetCounter(prefix + ".bytes_xshard");
+    shard.server->endpoint().add_wire_bytes_counter(&bytes_down);
+    shard.server->endpoint().add_wire_bytes_counter(&shard_down);
+    shard.mesh->add_wire_bytes_counter(&bytes_xshard);
+    shard.mesh->add_wire_bytes_counter(&shard_xshard);
+  }
+  for (UserId u = 0; u < user_count; ++u) {
+    shards_[home_[u]].users.push_back(u);
+    obs::Counter& shard_up = obs::Metrics().GetCounter(
+        "net.shard" + std::to_string(home_[u]) + ".bytes_up");
+    clients_[u]->endpoint().add_wire_bytes_counter(&bytes_up);
+    clients_[u]->endpoint().add_wire_bytes_counter(&shard_up);
+  }
+
+  // Direction classification by endpoint id range: clients occupy
+  // [0, user_count), shard endpoints everything above. Shard -> shard is
+  // the mesh; shard -> client the downlink; client -> anything the uplink.
+  const LinkModel up = config.up;
+  const LinkModel down = config.down;
+  const LinkModel mesh = config.mesh;
+  const int n = user_count;
+  net_.SetLinkModelFn([up, down, mesh, n](int src, int dst) {
+    if (src < n) return up;
+    return dst < n ? down : mesh;
+  });
+
+  client_queue_.resize(user_count);
+  mesh_queue_.assign(shard_count,
+                     std::vector<std::vector<ShardForwardMsg>>(shard_count));
+  expect_.resize(user_count);
+}
+
+void ShardedFrontend::ApplyGraphUpdates(int epoch) {
+  const auto& updates = world_.scheduled_updates();
+  while (next_update_ < updates.size() &&
+         updates[next_update_].epoch <= epoch) {
+    const GraphUpdate& up = updates[next_update_];
+    if (up.insert) {
+      graph_.AddEdge(up.u, up.w, up.alert_radius);
+    } else {
+      graph_.RemoveEdge(up.u, up.w);
+    }
+    ++next_update_;
+  }
+}
+
+void ShardedFrontend::ForwardDigests(const LocationReportMsg& msg) {
+  if (ring_.shard_count() == 1) return;
+  const UserId u = msg.user;
+  // Owners of u's cross-shard pairs: the home shard of every *smaller*
+  // friend living elsewhere (OwnerOf picks the smaller endpoint's home; for
+  // friends above u this shard is the owner and already has the report).
+  std::vector<int> targets;
+  for (const FriendEdge& e : graph_.FriendsOf(u)) {
+    if (e.other < u && home_[e.other] != home_[u]) {
+      targets.push_back(home_[e.other]);
+    }
+  }
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  if (targets.empty()) return;
+
+  LocationReportMsg digest;
+  digest.user = msg.user;
+  digest.epoch = msg.epoch;
+  digest.position = msg.position;  // Window stays empty: digests are cheap.
+  ShardForwardMsg fwd;
+  fwd.inner_kind = static_cast<uint8_t>(MsgKind::kLocationReport);
+  fwd.inner = Encode(digest);
+  for (const int t : targets) {
+    expected_digests_[{t, u}] = digest;
+    digests_outstanding_ += 1;
+    if (config_.batch_downlink) {
+      mesh_queue_[home_[u]][t].push_back(fwd);
+    } else {
+      SendMesh(home_[u], t, fwd);
+    }
+  }
+  if (!config_.batch_downlink) {
+    net_.RunUntilIdle();
+    if (digests_outstanding_ != 0) failed_ = true;
+  }
+}
+
+void ShardedFrontend::Report(UserId u, int epoch, size_t window_len,
+                             Vec2* position, std::vector<Vec2>* window) {
+  ApplyGraphUpdates(epoch);
+  clients_[u]->SendReport(epoch, window_len);
+  net_.RunUntilIdle();
+  LocationReportMsg msg;
+  if (!shards_[home_[u]].server->TakeReport(u, &msg)) {
+    // Only reachable when the reliability layer gave up (drop_rate ~ 1).
+    // Fall back to the direct read so the engine stays well-defined; the
+    // run is still flagged failed.
+    failed_ = true;
+    *position = world_.Position(u, epoch);
+    world_.RecentWindow(u, epoch, window_len, window);
+    if (window_len == 0) window->clear();
+    return;
+  }
+  // Keep the owner shards of u's cross-shard pairs current before the
+  // engine acts on the report.
+  ForwardDigests(msg);
+  // Hand the engine the payload *as the server decoded it* — the codec's
+  // exactness, not a shortcut, is what makes the transported run
+  // bit-identical to the in-process one.
+  *position = msg.position;
+  *window = std::move(msg.window);
+}
+
+void ShardedFrontend::Downlink(UserId u, MsgKind kind,
+                               std::vector<uint8_t> payload) {
+  if (config_.batch_downlink) {
+    client_queue_[u].push_back(PendingItem{kind, std::move(payload)});
+    touched_.insert(u);
+    return;
+  }
+  shards_[home_[u]].server->endpoint().Send(static_cast<int>(u), kind,
+                                            payload);
+  net_.RunUntilIdle();
+  VerifyClient(u);
+}
+
+void ShardedFrontend::PairDownlink(UserId u, UserId a, UserId b, MsgKind kind,
+                                   std::vector<uint8_t> payload) {
+  const int owner = ring_.OwnerOf(a, b);
+  const int home = home_[u];
+  if (owner == home) {
+    Downlink(u, kind, std::move(payload));
+    return;
+  }
+  // Cross-shard: the owner decided the message, the home shard delivers it.
+  ShardForwardMsg fwd;
+  fwd.inner_kind = static_cast<uint8_t>(kind);
+  fwd.inner = std::move(payload);
+  expected_relays_[{owner, home}].insert(Encode(fwd));
+  if (config_.batch_downlink) {
+    // Direct-append to the home queue at engine-call time so the client's
+    // delivery order equals the engine's call order for every shard count;
+    // the mesh copy still crosses the simulated wire and is verified (and
+    // consumed) on receipt instead of delivered twice.
+    client_queue_[u].push_back(PendingItem{kind, fwd.inner});
+    touched_.insert(u);
+    mesh_queue_[owner][home].push_back(std::move(fwd));
+    return;
+  }
+  SendMesh(owner, home, fwd);
+  // The relay's delivery to the client happens inside the same drain: the
+  // mesh handler's Send enqueues onto the running event loop.
+  net_.RunUntilIdle();
+  if (!expected_relays_[{owner, home}].empty()) failed_ = true;
+  VerifyClient(u);
+}
+
+void ShardedFrontend::SendMesh(int from_shard, int to_shard,
+                               const ShardForwardMsg& fwd) {
+  shards_[from_shard].mesh->Send(shards_[to_shard].mesh_id,
+                                 MsgKind::kShardForward, Encode(fwd));
+}
+
+void ShardedFrontend::OnMeshFrame(int shard, int src, Frame&& frame) {
+  if (frame.kind == MsgKind::kShardForward) {
+    ShardForwardMsg fwd;
+    if (!Decode(frame.payload, &fwd)) {
+      failed_ = true;
+      return;
+    }
+    HandleMeshMessage(shard, src, fwd);
+    return;
+  }
+  if (frame.kind == MsgKind::kBatch) {
+    std::vector<BatchItem> items;
+    if (!DecodeBatch(frame.payload, &items)) {
+      failed_ = true;
+      return;
+    }
+    for (const BatchItem& item : items) {
+      ShardForwardMsg fwd;
+      if (item.kind != MsgKind::kShardForward ||
+          !Decode(item.payload, &fwd)) {
+        failed_ = true;
+        return;
+      }
+      HandleMeshMessage(shard, src, fwd);
+    }
+    return;
+  }
+  failed_ = true;  // Nothing else belongs on the mesh.
+}
+
+void ShardedFrontend::HandleMeshMessage(int shard, int src,
+                                        const ShardForwardMsg& fwd) {
+  // Mesh endpoint ids are user_count + 2s + 1; recover the sending shard.
+  const int from_shard =
+      (src - static_cast<int>(world_.user_count()) - 1) / 2;
+  if (fwd.inner_kind == static_cast<uint8_t>(MsgKind::kLocationReport)) {
+    LocationReportMsg digest;
+    if (!Decode(fwd.inner, &digest)) {
+      failed_ = true;
+      return;
+    }
+    const auto key = std::make_pair(shard, digest.user);
+    const auto it = expected_digests_.find(key);
+    // The digest on the wire must be the digest the serving plane meant to
+    // send — same reporter, epoch and bit-exact position.
+    if (it == expected_digests_.end() || !(it->second == digest) ||
+        digests_outstanding_ == 0) {
+      failed_ = true;
+      return;
+    }
+    digests_outstanding_ -= 1;
+    digests_[key] = digest;
+    return;
+  }
+  if (fwd.inner_kind != static_cast<uint8_t>(MsgKind::kAlert) &&
+      fwd.inner_kind != static_cast<uint8_t>(MsgKind::kMatchInstall)) {
+    failed_ = true;
+    return;
+  }
+  // Relayed notice: verify against (and consume) the owner's expectation.
+  auto& pending = expected_relays_[{from_shard, shard}];
+  const auto it = pending.find(Encode(fwd));
+  if (it == pending.end()) {
+    failed_ = true;
+    return;
+  }
+  pending.erase(it);
+  if (config_.batch_downlink) return;  // Already direct-appended.
+  // Store-and-forward: extract the target user and deliver from this shard.
+  UserId target = -1;
+  if (fwd.inner_kind == static_cast<uint8_t>(MsgKind::kAlert)) {
+    AlertMsg msg;
+    if (!Decode(fwd.inner, &msg)) {
+      failed_ = true;
+      return;
+    }
+    target = msg.user;
+  } else {
+    MatchInstallMsg msg;
+    if (!Decode(fwd.inner, &msg)) {
+      failed_ = true;
+      return;
+    }
+    target = msg.user;
+  }
+  if (target < 0 || static_cast<size_t>(target) >= clients_.size() ||
+      home_[target] != shard) {
+    failed_ = true;
+    return;
+  }
+  shards_[shard].server->endpoint().Send(
+      static_cast<int>(target), static_cast<MsgKind>(fwd.inner_kind),
+      fwd.inner);
+}
+
+void ShardedFrontend::Probe(UserId u, int epoch) {
+  ProbeMsg msg;
+  msg.user = u;
+  msg.epoch = epoch;
+  expect_[u].probes += 1;
+  if (config_.batch_downlink) {
+    // A probe cannot wait for the epoch barrier — the engine blocks on the
+    // probed report next. Enqueue (coalescing any earlier same-epoch items
+    // for u into the same frame) and flush immediately.
+    client_queue_[u].push_back(
+        PendingItem{MsgKind::kProbe, Encode(msg)});
+    touched_.insert(u);
+    FlushClient(u);
+    net_.RunUntilIdle();
+    VerifyClient(u);
+    return;
+  }
+  Downlink(u, MsgKind::kProbe, Encode(msg));
+}
+
+void ShardedFrontend::Alert(UserId u, UserId a, UserId b, int epoch) {
+  AlertMsg msg;
+  msg.user = u;
+  msg.u = a;
+  msg.w = b;
+  msg.epoch = epoch;
+  expect_[u].alerts += 1;
+  PairDownlink(u, a, b, MsgKind::kAlert, Encode(msg));
+}
+
+void ShardedFrontend::InstallRegion(UserId u, int epoch,
+                                    const SafeRegionShape& region) {
+  RegionInstallMsg msg;
+  msg.user = u;
+  msg.epoch = epoch;
+  msg.region = region;
+  std::vector<uint8_t> payload = Encode(msg);
+  if (config_.compress_installs) {
+    std::vector<uint8_t> compressed = EncodeCompressed(msg);
+    if (compressed.size() < payload.size()) {
+      // The guard: the server decodes its own compressed encoding and ships
+      // it only when the result is the *identical* shape. Quantized coding
+      // is lossy in general; it goes on the wire only when proven lossless
+      // for this payload (grid-snapped stripe anchors make that the common
+      // case by construction).
+      RegionInstallMsg decoded;
+      if (Decode(compressed, &decoded) && decoded == msg) {
+        compressed_installs_ += 1;
+        compress_saved_bytes_ += payload.size() - compressed.size();
+        payload = std::move(compressed);
+      } else {
+        compress_mismatch_ += 1;
+      }
+    } else {
+      compress_skipped_ += 1;
+    }
+  }
+  expect_[u].regions += 1;
+  expect_[u].region = region;
+  Downlink(u, MsgKind::kRegionInstall, std::move(payload));
+}
+
+void ShardedFrontend::InstallMatch(UserId u, int epoch, MatchOp op, UserId a,
+                                   UserId b, const Circle& region) {
+  MatchInstallMsg msg;
+  msg.user = u;
+  msg.epoch = epoch;
+  msg.op = static_cast<uint8_t>(op);
+  msg.u = a;
+  msg.w = b;
+  msg.region = region;
+  expect_[u].matches += 1;
+  expect_[u].match_known = true;
+  if (op == MatchOp::kDelete) {
+    expect_[u].match.reset();
+  } else {
+    expect_[u].match = region;
+  }
+  PairDownlink(u, a, b, MsgKind::kMatchInstall, Encode(msg));
+}
+
+void ShardedFrontend::FlushClient(UserId u) {
+  std::vector<PendingItem>& queue = client_queue_[u];
+  if (queue.empty()) return;
+  ReliableEndpoint& endpoint = shards_[home_[u]].server->endpoint();
+  BatchFillHistogram().Record(static_cast<double>(queue.size()));
+  if (queue.size() == 1) {
+    endpoint.Send(static_cast<int>(u), queue.front().kind,
+                  queue.front().payload);
+    queue.clear();
+    return;
+  }
+  std::vector<BatchItem> items;
+  items.reserve(queue.size());
+  size_t solo_bytes = 0;
+  for (PendingItem& item : queue) {
+    solo_bytes += SoloCost(item.payload.size());
+    items.push_back(BatchItem{item.kind, std::move(item.payload)});
+  }
+  const std::vector<uint8_t> payload = EncodeBatch(items);
+  batch_frames_ += 1;
+  batch_messages_ += items.size();
+  const size_t batched_bytes = SoloCost(payload.size());
+  if (solo_bytes > batched_bytes) {
+    batch_saved_bytes_ += solo_bytes - batched_bytes;
+  }
+  endpoint.Send(static_cast<int>(u), MsgKind::kBatch, payload);
+  queue.clear();
+}
+
+void ShardedFrontend::FlushMesh(int from_shard) {
+  for (int to = 0; to < ring_.shard_count(); ++to) {
+    std::vector<ShardForwardMsg>& queue = mesh_queue_[from_shard][to];
+    if (queue.empty()) continue;
+    if (queue.size() == 1) {
+      SendMesh(from_shard, to, queue.front());
+      queue.clear();
+      continue;
+    }
+    std::vector<BatchItem> items;
+    items.reserve(queue.size());
+    size_t solo_bytes = 0;
+    for (const ShardForwardMsg& fwd : queue) {
+      std::vector<uint8_t> bytes = Encode(fwd);
+      solo_bytes += SoloCost(bytes.size());
+      items.push_back(BatchItem{MsgKind::kShardForward, std::move(bytes)});
+    }
+    const std::vector<uint8_t> payload = EncodeBatch(items);
+    batch_frames_ += 1;
+    batch_messages_ += items.size();
+    const size_t batched_bytes = SoloCost(payload.size());
+    if (solo_bytes > batched_bytes) {
+      batch_saved_bytes_ += solo_bytes - batched_bytes;
+    }
+    shards_[from_shard].mesh->Send(shards_[to].mesh_id, MsgKind::kBatch,
+                                   payload);
+    queue.clear();
+  }
+}
+
+void ShardedFrontend::VerifyClient(UserId u) {
+  const ClientRuntime& c = *clients_[u];
+  const ClientExpect& e = expect_[u];
+  if (c.probes_received() != e.probes || c.alerts().size() != e.alerts ||
+      c.regions_installed() != e.regions ||
+      c.match_notices() != e.matches || c.protocol_error()) {
+    failed_ = true;
+  }
+  if (e.region.has_value()) {
+    const auto& installed = c.installed_region();
+    if (!installed.has_value() || !(*installed == *e.region)) {
+      codec_exact_ = false;
+    }
+  }
+  if (e.match_known) {
+    const auto& match = c.match_region();
+    if (e.match.has_value()) {
+      if (!match.has_value() || !(*match == *e.match)) codec_exact_ = false;
+    } else if (match.has_value()) {
+      codec_exact_ = false;
+    }
+  }
+}
+
+void ShardedFrontend::EndEpoch(int /*epoch*/) {
+  if (!config_.batch_downlink) {
+    // Stop-and-wait already drained everything; just assert nothing is
+    // still owed on the mesh.
+    if (digests_outstanding_ != 0) failed_ = true;
+    for (const auto& [key, pending] : expected_relays_) {
+      if (!pending.empty()) failed_ = true;
+    }
+    return;
+  }
+  // Mesh first: owners' digests and relay mirrors land (and are verified)
+  // before any client sees its batch.
+  for (int s = 0; s < ring_.shard_count(); ++s) FlushMesh(s);
+  net_.RunUntilIdle();
+  if (digests_outstanding_ != 0) failed_ = true;
+  for (const auto& [key, pending] : expected_relays_) {
+    if (!pending.empty()) failed_ = true;
+  }
+  // Then one coalesced frame per touched client.
+  for (const UserId u : touched_) FlushClient(u);
+  net_.RunUntilIdle();
+  for (const UserId u : touched_) VerifyClient(u);
+  touched_.clear();
+}
+
+NetRunStats ShardedFrontend::Stats() const {
+  NetRunStats s;
+  s.shards.resize(ring_.shard_count());
+  for (int i = 0; i < ring_.shard_count(); ++i) {
+    const Shard& shard = shards_[i];
+    ShardNetStats& out = s.shards[i];
+    out.users = shard.users.size();
+    const ReliableEndpoint& se = shard.server->endpoint();
+    out.frames_down = se.frames_sent();
+    out.bytes_down = se.bytes_sent();
+    out.frames_xshard = shard.mesh->frames_sent();
+    out.bytes_xshard = shard.mesh->bytes_sent();
+    s.frames_down += out.frames_down;
+    s.bytes_down += out.bytes_down;
+    s.frames_xshard += out.frames_xshard;
+    s.bytes_xshard += out.bytes_xshard;
+    s.retransmits += se.retransmits() + shard.mesh->retransmits();
+    s.dedup_discards += se.dedup_discards() + shard.mesh->dedup_discards();
+    if (se.delivery_failed() || shard.mesh->delivery_failed() ||
+        shard.server->protocol_error()) {
+      s.failed = true;
+    }
+  }
+  for (UserId u = 0; u < static_cast<UserId>(clients_.size()); ++u) {
+    const ReliableEndpoint& e = clients_[u]->endpoint();
+    s.frames_up += e.frames_sent();
+    s.bytes_up += e.bytes_sent();
+    s.shards[home_[u]].frames_up += e.frames_sent();
+    s.shards[home_[u]].bytes_up += e.bytes_sent();
+    s.retransmits += e.retransmits();
+    s.dedup_discards += e.dedup_discards();
+    if (e.delivery_failed()) s.failed = true;
+    if (clients_[u]->protocol_error()) s.failed = true;
+  }
+  s.batch_frames = batch_frames_;
+  s.batch_messages = batch_messages_;
+  s.batch_saved_bytes = batch_saved_bytes_;
+  s.compressed_installs = compressed_installs_;
+  s.compress_skipped = compress_skipped_;
+  s.compress_saved_bytes = compress_saved_bytes_;
+  s.compress_mismatch = compress_mismatch_;
+  if (failed_) s.failed = true;
+  s.drops = net_.frames_dropped();
+  s.duplicates = net_.frames_duplicated();
+  s.virtual_seconds = net_.now();
+  s.schedule_hash = net_.schedule_hash();
+  s.codec_exact = codec_exact_;
+  return s;
+}
+
+std::vector<AlertEvent> ShardedFrontend::ClientAlerts() const {
+  std::vector<AlertEvent> out;
+  for (const auto& client : clients_) {
+    const auto& alerts = client->alerts();
+    out.insert(out.end(), alerts.begin(), alerts.end());
+  }
+  // Each logical alert is delivered to both endpoints of the pair; the
+  // client-observed *stream* is the deduplicated union.
+  SortAlerts(&out);
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace net
+}  // namespace proxdet

@@ -1,0 +1,195 @@
+#ifndef PROXDET_NET_SHARD_H_
+#define PROXDET_NET_SHARD_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "graph/interest_graph.h"
+#include "net/transport.h"
+
+namespace proxdet {
+namespace net {
+
+/// Consistent-hash ring mapping UserId -> shard. Each shard contributes
+/// `vnodes` virtual nodes at deterministic hash positions; a user lands on
+/// the first vnode clockwise of its own hash. Fully deterministic (no
+/// ambient randomness): the assignment is a pure function of
+/// (shards, vnodes), identical across runs and platforms. Adding a shard
+/// moves only the keys that fall into the new shard's vnode arcs — the
+/// consistent-hashing property the serving plane relies on for smooth
+/// repartitioning.
+class HashRing {
+ public:
+  HashRing(int shards, int vnodes);
+
+  int ShardOf(UserId u) const;
+
+  /// Deterministic owner of pair (a, b): the home shard of the smaller
+  /// endpoint. Pair-scoped messages (alerts, match notices) originate at the
+  /// owner and are relayed over the mesh when the target user lives
+  /// elsewhere.
+  int OwnerOf(UserId a, UserId b) const { return ShardOf(a < b ? a : b); }
+
+  int shard_count() const { return shards_; }
+
+ private:
+  int shards_;
+  /// Sorted (vnode hash, shard) points; ties broken by shard index at
+  /// construction (hash collisions across vnode labels are possible in
+  /// principle, never ambiguous in effect).
+  std::vector<std::pair<uint64_t, int>> ring_;
+};
+
+/// The sharded serving plane: `config.shards` ProtocolServer partitions on
+/// one SimNet, each with a client-facing endpoint and a mesh endpoint, plus
+/// every ClientRuntime. Users are assigned to shards by the HashRing; all
+/// uplink and downlink for a user flows through its home shard.
+///
+/// Cross-shard pairs follow the owner rule (HashRing::OwnerOf): the owner
+/// shard originates pair-scoped downlink and needs the non-resident
+/// endpoint's location, so every report fans out as a windowless location
+/// digest (ShardForwardMsg) to each shard owning one of the reporter's
+/// cross-shard pairs. Alerts/match notices for a user homed away from the
+/// owner are relayed over the mesh to the home shard, which delivers them.
+///
+/// Two delivery disciplines, bit-exact in everything the engines observe:
+///  - unbatched: every message is its own framed, acked, stop-and-wait
+///    exchange (the historical schedule; shards == 1 reproduces the
+///    single-server byte stream exactly).
+///  - batched (config.batch_downlink): per-client downlink of one epoch is
+///    coalesced into a single kBatch frame flushed at the EndEpoch barrier
+///    (probes flush immediately — the engine blocks on the probed report).
+///    Mesh traffic batches per shard pair the same way.
+///
+/// Everything the wire carries is verified against the engine's intent:
+/// digests are checked at the owner against the position the server
+/// decoded, relayed notices against the bytes the owner queued, and each
+/// touched client's decoded state (install counts, final region, final
+/// match) against per-user expectation trackers at every flush point. Any
+/// mismatch marks the run failed / codec-inexact — the sharded plane has no
+/// silent divergence mode.
+class ShardedFrontend {
+ public:
+  ShardedFrontend(const World& world, const NetConfig& config);
+
+  // ClientLink-shaped surface (TransportLink delegates 1:1).
+  void Report(UserId u, int epoch, size_t window_len, Vec2* position,
+              std::vector<Vec2>* window);
+  void Probe(UserId u, int epoch);
+  void Alert(UserId u, UserId a, UserId b, int epoch);
+  void InstallRegion(UserId u, int epoch, const SafeRegionShape& region);
+  void InstallMatch(UserId u, int epoch, MatchOp op, UserId a, UserId b,
+                    const Circle& region);
+  void EndEpoch(int epoch);
+
+  NetRunStats Stats() const;
+  std::vector<AlertEvent> ClientAlerts() const;
+
+  const ClientRuntime& client(UserId u) const { return *clients_[u]; }
+  const SimNet& sim_net() const { return net_; }
+  const HashRing& ring() const { return ring_; }
+  int home_shard(UserId u) const { return home_[u]; }
+
+ private:
+  /// One serving partition: the client-facing ProtocolServer plus the mesh
+  /// endpoint for shard-to-shard digests and relays.
+  struct Shard {
+    std::unique_ptr<ProtocolServer> server;
+    std::unique_ptr<ReliableEndpoint> mesh;
+    int mesh_id = -1;
+    std::vector<UserId> users;  // Sorted; the ring partition.
+  };
+
+  /// What the engine has told this client so far — updated at engine-call
+  /// time, compared against the client's decoded state at flush points.
+  struct ClientExpect {
+    uint64_t probes = 0;
+    uint64_t alerts = 0;
+    uint64_t regions = 0;
+    uint64_t matches = 0;
+    std::optional<SafeRegionShape> region;
+    std::optional<Circle> match;
+    bool match_known = false;  // InstallMatch seen at least once.
+  };
+
+  /// One queued downlink message for a client (batch mode).
+  struct PendingItem {
+    MsgKind kind;
+    std::vector<uint8_t> payload;
+  };
+
+  void ApplyGraphUpdates(int epoch);
+  /// Fan the freshly decoded report out as location digests to every shard
+  /// owning one of u's cross-shard pairs.
+  void ForwardDigests(const LocationReportMsg& msg);
+  /// Queue (batched) or immediately deliver (unbatched) one downlink
+  /// message for user u from its home shard.
+  void Downlink(UserId u, MsgKind kind, std::vector<uint8_t> payload);
+  /// Route one pair-scoped message: owner delivers directly when it homes
+  /// u, otherwise relays over the mesh (and, batched, direct-appends to the
+  /// home queue so per-client order matches the engine for every shard
+  /// count, with the mesh copy verified on receipt).
+  void PairDownlink(UserId u, UserId a, UserId b, MsgKind kind,
+                    std::vector<uint8_t> payload);
+  void SendMesh(int from_shard, int to_shard, const ShardForwardMsg& fwd);
+  void OnMeshFrame(int shard, int src, Frame&& frame);
+  void HandleMeshMessage(int shard, int src, const ShardForwardMsg& fwd);
+  /// Flush u's queued downlink: one plain frame for a single item, one
+  /// kBatch frame otherwise. No-op when the queue is empty.
+  void FlushClient(UserId u);
+  void FlushMesh(int from_shard);
+  /// Compare u's decoded client state against its expectation tracker.
+  void VerifyClient(UserId u);
+
+  const World& world_;
+  NetConfig config_;
+  HashRing ring_;
+  SimNet net_;
+  std::vector<std::unique_ptr<ClientRuntime>> clients_;
+  std::vector<Shard> shards_;
+  std::vector<int> home_;  // UserId -> shard.
+
+  /// Current interest graph (initial graph + scheduled updates applied
+  /// through the current epoch) — the digest fan-out's adjacency source.
+  InterestGraph graph_;
+  size_t next_update_ = 0;
+
+  /// Owner-side digest store and its expectation: (shard, user) -> last
+  /// digest received / last digest the system should have sent.
+  std::map<std::pair<int, UserId>, LocationReportMsg> digests_;
+  std::map<std::pair<int, UserId>, LocationReportMsg> expected_digests_;
+  uint64_t digests_outstanding_ = 0;
+
+  /// Relayed-notice verification: per (owner, home) multiset of encoded
+  /// ShardForwardMsg payloads in flight (jitter may reorder mesh frames, so
+  /// matching is by content, not position).
+  std::map<std::pair<int, int>, std::multiset<std::vector<uint8_t>>>
+      expected_relays_;
+
+  // Batch mode queues.
+  std::vector<std::vector<PendingItem>> client_queue_;        // By UserId.
+  std::vector<std::vector<std::vector<ShardForwardMsg>>> mesh_queue_;
+  std::vector<ClientExpect> expect_;
+  std::set<UserId> touched_;  // Clients with traffic this epoch.
+
+  // Accounting (see NetRunStats).
+  uint64_t batch_frames_ = 0;
+  uint64_t batch_messages_ = 0;
+  uint64_t batch_saved_bytes_ = 0;
+  uint64_t compressed_installs_ = 0;
+  uint64_t compress_skipped_ = 0;
+  uint64_t compress_saved_bytes_ = 0;
+  uint64_t compress_mismatch_ = 0;
+  bool failed_ = false;
+  bool codec_exact_ = true;
+};
+
+}  // namespace net
+}  // namespace proxdet
+
+#endif  // PROXDET_NET_SHARD_H_

@@ -61,6 +61,10 @@ const KindMetrics& MetricsForKind(MsgKind kind) {
        obs::Metrics().GetCounter("net.bytes.match_install")},
       {obs::Metrics().GetCounter("net.frames.ack"),
        obs::Metrics().GetCounter("net.bytes.ack")},
+      {obs::Metrics().GetCounter("net.frames.batch"),
+       obs::Metrics().GetCounter("net.bytes.batch")},
+      {obs::Metrics().GetCounter("net.frames.shard_forward"),
+       obs::Metrics().GetCounter("net.bytes.shard_forward")},
   };
   const size_t idx =
       std::min<size_t>(static_cast<size_t>(kind) - 1, std::size(by_kind) - 1);
@@ -207,8 +211,8 @@ void ReliableEndpoint::Transmit(int dst, uint64_t seq, int attempt) {
   }
   bytes_sent_ += it->second.size();
   frames_sent_ += 1;
-  if (wire_bytes_counter_ != nullptr) {
-    wire_bytes_counter_->Inc(it->second.size());
+  for (obs::Counter* counter : wire_bytes_counters_) {
+    counter->Inc(it->second.size());
   }
   // Frame layout puts the MsgKind at byte 3 (after magic + version).
   const KindMetrics& km = MetricsForKind(static_cast<MsgKind>(it->second[3]));
@@ -253,7 +257,7 @@ void ReliableEndpoint::OnWire(int src, const std::vector<uint8_t>& bytes) {
   const std::vector<uint8_t> ack = EncodeFrame(MsgKind::kAck, frame.seq, {});
   bytes_sent_ += ack.size();
   frames_sent_ += 1;
-  if (wire_bytes_counter_ != nullptr) wire_bytes_counter_->Inc(ack.size());
+  for (obs::Counter* counter : wire_bytes_counters_) counter->Inc(ack.size());
   const KindMetrics& km = MetricsForKind(MsgKind::kAck);
   km.frames.Inc();
   km.bytes.Inc(ack.size());

@@ -143,12 +143,13 @@ class ReliableEndpoint {
   int id() const { return id_; }
 
   /// Attributes this endpoint's wire bytes (data frames, retransmissions
-  /// and acks it sends) to a registry counter — the transport installs
-  /// net.bytes_up on client endpoints and net.bytes_down on the server, so
-  /// the counters reconcile with CommStats byte accounting to the unit.
-  /// Optional; pass nullptr to detach.
-  void set_wire_bytes_counter(obs::Counter* counter) {
-    wire_bytes_counter_ = counter;
+  /// and acks it sends) to registry counters — the transport installs
+  /// net.bytes_up on client endpoints and net.bytes_down on server
+  /// endpoints, plus a per-shard counter each, so both the global and the
+  /// summed per-shard counters reconcile with CommStats byte accounting to
+  /// the unit. Every added counter receives every byte; nullptr is ignored.
+  void add_wire_bytes_counter(obs::Counter* counter) {
+    if (counter != nullptr) wire_bytes_counters_.push_back(counter);
   }
 
   /// Sends `payload` as a `kind` frame to `dst`, tracked until acked.
@@ -181,7 +182,7 @@ class ReliableEndpoint {
   double rto_s_;
   int max_retries_;
   FrameHandler handler_;
-  obs::Counter* wire_bytes_counter_ = nullptr;
+  std::vector<obs::Counter*> wire_bytes_counters_;
   int id_ = -1;
   std::map<int, uint64_t> next_seq_;
   std::map<std::pair<int, uint64_t>, std::vector<uint8_t>> pending_;

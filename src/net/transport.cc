@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "net/shard.h"
 #include "obs/metrics.h"
 
 namespace proxdet {
@@ -32,42 +33,62 @@ void ClientRuntime::SendReport(int epoch, size_t window_len) {
   endpoint_.Send(server_id_, MsgKind::kLocationReport, Encode(msg));
 }
 
-void ClientRuntime::HandleFrame(Frame&& frame) {
-  switch (frame.kind) {
+bool ClientRuntime::HandleMessage(MsgKind kind,
+                                  const std::vector<uint8_t>& payload) {
+  switch (kind) {
     case MsgKind::kProbe: {
       ProbeMsg msg;
-      if (!Decode(frame.payload, &msg)) break;
+      if (!Decode(payload, &msg)) return false;
       probes_received_ += 1;
-      return;
+      return true;
     }
     case MsgKind::kAlert: {
       AlertMsg msg;
-      if (!Decode(frame.payload, &msg)) break;
+      if (!Decode(payload, &msg)) return false;
       alerts_.push_back(AlertEvent{msg.epoch, msg.u, msg.w});
-      return;
+      return true;
     }
     case MsgKind::kRegionInstall: {
       RegionInstallMsg msg;
-      if (!Decode(frame.payload, &msg)) break;
+      if (!Decode(payload, &msg)) return false;
       installed_region_ = std::move(msg.region);
       regions_installed_ += 1;
-      return;
+      return true;
     }
     case MsgKind::kMatchInstall: {
       MatchInstallMsg msg;
-      if (!Decode(frame.payload, &msg)) break;
+      if (!Decode(payload, &msg)) return false;
       if (msg.op == static_cast<uint8_t>(MatchOp::kDelete)) {
         match_region_.reset();
       } else {
         match_region_ = msg.region;
       }
       match_notices_ += 1;
-      return;
+      return true;
     }
     default:
-      break;
+      return false;
   }
-  protocol_error_ = true;
+}
+
+void ClientRuntime::HandleFrame(Frame&& frame) {
+  if (frame.kind == MsgKind::kBatch) {
+    // One coalesced epoch's downlink: unpack and apply the items in order —
+    // exactly the per-message path, amortizing frame + ack overhead.
+    std::vector<BatchItem> items;
+    if (!DecodeBatch(frame.payload, &items)) {
+      protocol_error_ = true;
+      return;
+    }
+    for (const BatchItem& item : items) {
+      if (!HandleMessage(item.kind, item.payload)) {
+        protocol_error_ = true;
+        return;
+      }
+    }
+    return;
+  }
+  if (!HandleMessage(frame.kind, frame.payload)) protocol_error_ = true;
 }
 
 // ---------------------------------------------------------------------------
@@ -98,6 +119,12 @@ void ProtocolServer::HandleFrame(int src, Frame&& frame) {
     protocol_error_ = true;
     return;
   }
+  // A sharded server serves only its ring partition; anyone else's report
+  // landing here means the ring routing broke.
+  if (served_ && !served_(msg.user)) {
+    protocol_error_ = true;
+    return;
+  }
   inbox_[msg.user] = std::move(msg);
 }
 
@@ -115,151 +142,44 @@ bool ProtocolServer::TakeReport(UserId u, LocationReportMsg* out) {
 // TransportLink
 
 TransportLink::TransportLink(const World& world, const NetConfig& config)
-    : world_(world), config_(config), net_(config.seed) {
-  net_.set_record_log(config.record_log);
-  // Clients register first so endpoint id == UserId; the server takes the
-  // next id. The link classifier then keys purely on the server side.
-  const int server_id = static_cast<int>(world.user_count());
-  clients_.reserve(world.user_count());
-  for (UserId u = 0; u < static_cast<UserId>(world.user_count()); ++u) {
-    clients_.push_back(
-        std::make_unique<ClientRuntime>(&net_, &world_, u, server_id, config));
-  }
-  server_ = std::make_unique<ProtocolServer>(&net_, world.user_count(), config);
-  server_id_ = server_->endpoint().id();
-  // Direction-attributed wire counters, matching Stats(): everything a
-  // client endpoint transmits (frames, retransmits, its acks) is uplink;
-  // everything the server transmits is downlink. This is what lets the
-  // RunReport reconcile registry counters against CommStats byte totals.
-  obs::Counter& bytes_up = obs::Metrics().GetCounter("net.bytes_up");
-  obs::Counter& bytes_down = obs::Metrics().GetCounter("net.bytes_down");
-  for (auto& client : clients_) {
-    client->endpoint().set_wire_bytes_counter(&bytes_up);
-  }
-  server_->endpoint().set_wire_bytes_counter(&bytes_down);
-  const LinkModel up = config.up;
-  const LinkModel down = config.down;
-  const int sid = server_id_;
-  net_.SetLinkModelFn([up, down, sid](int src, int /*dst*/) {
-    return src == sid ? down : up;
-  });
-}
+    : frontend_(std::make_unique<ShardedFrontend>(world, config)) {}
+
+TransportLink::~TransportLink() = default;
 
 void TransportLink::Report(UserId u, int epoch, size_t window_len,
                            Vec2* position, std::vector<Vec2>* window) {
-  clients_[u]->SendReport(epoch, window_len);
-  net_.RunUntilIdle();
-  LocationReportMsg msg;
-  if (!server_->TakeReport(u, &msg)) {
-    // Only reachable when the reliability layer gave up (drop_rate ~ 1).
-    // Fall back to the direct read so the engine stays well-defined; the
-    // run is still flagged failed.
-    failed_ = true;
-    *position = world_.Position(u, epoch);
-    world_.RecentWindow(u, epoch, window_len, window);
-    if (window_len == 0) window->clear();
-    return;
-  }
-  // Hand the engine the payload *as the server decoded it* — the codec's
-  // exactness, not a shortcut, is what makes the transported run
-  // bit-identical to the in-process one.
-  *position = msg.position;
-  *window = std::move(msg.window);
+  frontend_->Report(u, epoch, window_len, position, window);
 }
 
-void TransportLink::Probe(UserId u, int epoch) {
-  ProbeMsg msg;
-  msg.user = u;
-  msg.epoch = epoch;
-  server_->endpoint().Send(static_cast<int>(u), MsgKind::kProbe, Encode(msg));
-  net_.RunUntilIdle();
-}
+void TransportLink::Probe(UserId u, int epoch) { frontend_->Probe(u, epoch); }
 
 void TransportLink::Alert(UserId u, UserId a, UserId b, int epoch) {
-  AlertMsg msg;
-  msg.user = u;
-  msg.u = a;
-  msg.w = b;
-  msg.epoch = epoch;
-  server_->endpoint().Send(static_cast<int>(u), MsgKind::kAlert, Encode(msg));
-  net_.RunUntilIdle();
+  frontend_->Alert(u, a, b, epoch);
 }
 
 void TransportLink::InstallRegion(UserId u, int epoch,
                                   const SafeRegionShape& region) {
-  RegionInstallMsg msg;
-  msg.user = u;
-  msg.epoch = epoch;
-  msg.region = region;
-  server_->endpoint().Send(static_cast<int>(u), MsgKind::kRegionInstall,
-                           Encode(msg));
-  net_.RunUntilIdle();
-  // Live codec-exactness check: what the client decoded must equal what the
-  // server built, bit for bit (variant operator== is structural/bitwise).
-  const auto& installed = clients_[u]->installed_region();
-  if (!installed.has_value() || !(*installed == region)) {
-    codec_exact_ = false;
-  }
+  frontend_->InstallRegion(u, epoch, region);
 }
 
 void TransportLink::InstallMatch(UserId u, int epoch, MatchOp op, UserId a,
                                  UserId b, const Circle& region) {
-  MatchInstallMsg msg;
-  msg.user = u;
-  msg.epoch = epoch;
-  msg.op = static_cast<uint8_t>(op);
-  msg.u = a;
-  msg.w = b;
-  msg.region = region;
-  server_->endpoint().Send(static_cast<int>(u), MsgKind::kMatchInstall,
-                           Encode(msg));
-  net_.RunUntilIdle();
-  const auto& match = clients_[u]->match_region();
-  if (op == MatchOp::kDelete) {
-    if (match.has_value()) codec_exact_ = false;
-  } else if (!match.has_value() || !(*match == region)) {
-    codec_exact_ = false;
-  }
+  frontend_->InstallMatch(u, epoch, op, a, b, region);
 }
 
-NetRunStats TransportLink::Stats() const {
-  NetRunStats s;
-  for (const auto& client : clients_) {
-    const ReliableEndpoint& e = client->endpoint();
-    s.frames_up += e.frames_sent();
-    s.bytes_up += e.bytes_sent();
-    s.retransmits += e.retransmits();
-    s.dedup_discards += e.dedup_discards();
-    if (e.delivery_failed()) s.failed = true;
-    if (client->protocol_error()) s.failed = true;
-  }
-  const ReliableEndpoint& se = server_->endpoint();
-  s.frames_down = se.frames_sent();
-  s.bytes_down = se.bytes_sent();
-  s.retransmits += se.retransmits();
-  s.dedup_discards += se.dedup_discards();
-  if (se.delivery_failed() || server_->protocol_error()) s.failed = true;
-  if (failed_) s.failed = true;
-  s.drops = net_.frames_dropped();
-  s.duplicates = net_.frames_duplicated();
-  s.virtual_seconds = net_.now();
-  s.schedule_hash = net_.schedule_hash();
-  s.codec_exact = codec_exact_;
-  return s;
-}
+void TransportLink::EndEpoch(int epoch) { frontend_->EndEpoch(epoch); }
+
+NetRunStats TransportLink::Stats() const { return frontend_->Stats(); }
 
 std::vector<AlertEvent> TransportLink::ClientAlerts() const {
-  std::vector<AlertEvent> out;
-  for (const auto& client : clients_) {
-    const auto& alerts = client->alerts();
-    out.insert(out.end(), alerts.begin(), alerts.end());
-  }
-  // Each logical alert is delivered to both endpoints of the pair; the
-  // client-observed *stream* is the deduplicated union.
-  SortAlerts(&out);
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  return frontend_->ClientAlerts();
 }
+
+const ClientRuntime& TransportLink::client(UserId u) const {
+  return frontend_->client(u);
+}
+
+const SimNet& TransportLink::sim_net() const { return frontend_->sim_net(); }
 
 // ---------------------------------------------------------------------------
 // TransportedDetector
@@ -280,10 +200,12 @@ void TransportedDetector::Run(const World& world) {
   net_stats_ = link.Stats();
   // The engine owns the message counts; the transport contributes the
   // byte-level totals it actually put on the wire (frames, retransmits,
-  // acks — both directions).
+  // acks — both directions, plus the shard mesh).
   stats_ = inner_->stats();
   stats_.bytes_up = net_stats_.bytes_up;
   stats_.bytes_down = net_stats_.bytes_down;
+  stats_.bytes_xshard = net_stats_.bytes_xshard;
+  stats_.batch_saved_bytes = net_stats_.batch_saved_bytes;
   // The detector's alert stream is what the *clients* received over the
   // wire — the end-to-end correctness claim, not the server's intent.
   alerts_ = link.ClientAlerts();

@@ -1,6 +1,7 @@
 #ifndef PROXDET_NET_TRANSPORT_H_
 #define PROXDET_NET_TRANSPORT_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -20,10 +21,41 @@ namespace net {
 struct NetConfig {
   LinkModel up;    // client -> server
   LinkModel down;  // server -> client
+  LinkModel mesh;  // shard <-> shard (only used when shards > 1)
   uint64_t seed = 0x9e3779b97f4a7c15ULL;
   double retry_timeout_s = 0.05;
   int max_retries = 64;
   bool record_log = false;  // Keep the full DeliveryRecord log (tests).
+  /// Serving-plane partition count. Users map to shards by consistent
+  /// hashing on UserId (net::HashRing); each shard runs its own
+  /// ProtocolServer plus a mesh endpoint for shard-to-shard traffic.
+  /// shards == 1 reproduces the historical single-server wire schedule
+  /// bit-for-bit (same endpoint ids, same frames, same Rng draws).
+  int shards = 1;
+  /// Virtual nodes per shard on the consistent-hash ring.
+  int ring_vnodes = 16;
+  /// Coalesce all deliverable-at-epoch-granularity downlink for one client
+  /// (installs, alerts, non-blocking probes) into a single kBatch frame per
+  /// epoch instead of one frame + ack per message.
+  bool batch_downlink = false;
+  /// Ship region installs in the quantized-delta polyline encoding when the
+  /// guard proves it decodes to the *identical* shape (see
+  /// EncodeCompressed); falls back to the exact encoding otherwise.
+  bool compress_installs = false;
+};
+
+/// Per-shard wire accounting inside a sharded transported run. Uplink is
+/// attributed to the user's home shard; downlink is what the shard's
+/// client-facing endpoint transmitted; xshard is what its mesh endpoint
+/// transmitted (digests, relays, mesh acks).
+struct ShardNetStats {
+  uint64_t users = 0;  // Users homed on this shard (ring assignment).
+  uint64_t frames_up = 0;
+  uint64_t bytes_up = 0;
+  uint64_t frames_down = 0;
+  uint64_t bytes_down = 0;
+  uint64_t frames_xshard = 0;
+  uint64_t bytes_xshard = 0;
 };
 
 /// Wire-level outcome of a transported run, alongside the CommStats the
@@ -33,12 +65,30 @@ struct NetRunStats {
   uint64_t bytes_up = 0;
   uint64_t frames_down = 0;  // Server -> client transmissions (incl. acks).
   uint64_t bytes_down = 0;
+  uint64_t frames_xshard = 0;  // Shard mesh transmissions (incl. acks).
+  uint64_t bytes_xshard = 0;
   uint64_t retransmits = 0;
   uint64_t drops = 0;
   uint64_t duplicates = 0;
   uint64_t dedup_discards = 0;
   double virtual_seconds = 0.0;  // Final SimNet clock.
   uint64_t schedule_hash = 0;    // Determinism fingerprint (SimNet).
+  /// Per-shard breakdown; size == NetConfig::shards. Sums of the per-shard
+  /// direction totals equal the global totals above (asserted by
+  /// ReconcileWithCommStats).
+  std::vector<ShardNetStats> shards;
+  /// Downlink batching: kBatch frames sent, messages they carried, and the
+  /// bytes saved versus one frame + ack per message.
+  uint64_t batch_frames = 0;
+  uint64_t batch_messages = 0;
+  uint64_t batch_saved_bytes = 0;
+  /// Install compression: installs shipped quantized, installs where
+  /// quantization did not shrink the payload, bytes saved, and guard
+  /// failures (shipped exact instead; always 0 for grid-snapped stripes).
+  uint64_t compressed_installs = 0;
+  uint64_t compress_skipped = 0;
+  uint64_t compress_saved_bytes = 0;
+  uint64_t compress_mismatch = 0;
   /// Every decoded install compared equal (operator==, bitwise) to the
   /// shape the server sent — the codec exactness contract, checked live on
   /// every region/match install of the run.
@@ -75,6 +125,9 @@ class ClientRuntime {
 
  private:
   void HandleFrame(Frame&& frame);
+  /// One logical downlink message (either a whole frame's payload or one
+  /// batch envelope item). Returns false on a decode/protocol violation.
+  bool HandleMessage(MsgKind kind, const std::vector<uint8_t>& payload);
 
   const World* world_;
   UserId id_;
@@ -97,6 +150,13 @@ class ProtocolServer {
 
   bool TakeReport(UserId u, LocationReportMsg* out);
 
+  /// Restricts the users this server accepts reports from (a sharded
+  /// frontend serves only its ring partition); a report from any other user
+  /// is a protocol violation. Unset accepts every user (single-server).
+  void set_served_filter(std::function<bool(UserId)> served) {
+    served_ = std::move(served);
+  }
+
   ReliableEndpoint& endpoint() { return endpoint_; }
   const ReliableEndpoint& endpoint() const { return endpoint_; }
   bool protocol_error() const { return protocol_error_; }
@@ -105,6 +165,7 @@ class ProtocolServer {
   void HandleFrame(int src, Frame&& frame);
 
   std::vector<std::optional<LocationReportMsg>> inbox_;
+  std::function<bool(UserId)> served_;
   bool protocol_error_ = false;
   ReliableEndpoint endpoint_;
 };
@@ -115,9 +176,12 @@ class ProtocolServer {
 /// paper's synchronous epoch model — latency and loss shape virtual time
 /// and wire counters, never alert semantics, because delivery is
 /// at-least-once with dedup).
+class ShardedFrontend;
+
 class TransportLink : public ClientLink {
  public:
   TransportLink(const World& world, const NetConfig& config);
+  ~TransportLink() override;
 
   void Report(UserId u, int epoch, size_t window_len, Vec2* position,
               std::vector<Vec2>* window) override;
@@ -127,6 +191,7 @@ class TransportLink : public ClientLink {
                      const SafeRegionShape& region) override;
   void InstallMatch(UserId u, int epoch, MatchOp op, UserId a, UserId b,
                     const Circle& region) override;
+  void EndEpoch(int epoch) override;
 
   /// Wire accounting and determinism fingerprint for the run so far.
   NetRunStats Stats() const;
@@ -137,18 +202,16 @@ class TransportLink : public ClientLink {
   /// truth.
   std::vector<AlertEvent> ClientAlerts() const;
 
-  const ClientRuntime& client(UserId u) const { return *clients_[u]; }
-  const SimNet& sim_net() const { return net_; }
+  const ClientRuntime& client(UserId u) const;
+  const SimNet& sim_net() const;
+  const ShardedFrontend& frontend() const { return *frontend_; }
 
  private:
-  const World& world_;
-  NetConfig config_;
-  SimNet net_;
-  std::vector<std::unique_ptr<ClientRuntime>> clients_;
-  int server_id_ = -1;
-  std::unique_ptr<ProtocolServer> server_;
-  bool failed_ = false;
-  bool codec_exact_ = true;
+  /// All serving-plane state (SimNet, clients, shards, ring, batch queues)
+  /// lives in the frontend; shards == 1 is just the one-partition case of
+  /// the same machinery and reproduces the historical single-server wire
+  /// schedule bit-for-bit.
+  std::unique_ptr<ShardedFrontend> frontend_;
 };
 
 /// Detector decorator: runs the wrapped engine with a TransportLink

@@ -1,5 +1,7 @@
 #include "net/wire.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
 
 namespace proxdet {
@@ -18,6 +20,24 @@ double BitsDouble(uint64_t bits) {
   double v;
   std::memcpy(&v, &bits, sizeof(v));
   return v;
+}
+
+/// Grid-index bound of the quantized codec. Indices this small are exact in
+/// a double (|q| << 2^53), so double(q) / kWireQuantScale loses nothing,
+/// and llround below never overflows.
+constexpr int64_t kMaxQuantIndex = int64_t{1} << 45;
+
+/// Grid index of an on-grid coordinate; sets *exact to false when the
+/// coordinate is off-grid or out of range.
+int64_t QuantIndex(double v, bool* exact) {
+  if (!std::isfinite(v) || std::abs(v) * kWireQuantScale >
+                               static_cast<double>(kMaxQuantIndex)) {
+    *exact = false;
+    return 0;
+  }
+  const int64_t q = std::llround(v * kWireQuantScale);
+  if (static_cast<double>(q) / kWireQuantScale != v) *exact = false;
+  return q;
 }
 
 }  // namespace
@@ -66,6 +86,31 @@ void WireWriter::PutPoints(const std::vector<Vec2>& points) {
     PutVarint(by ^ prev_y);
     prev_x = bx;
     prev_y = by;
+  }
+}
+
+bool PointsQuantizable(const std::vector<Vec2>& points) {
+  bool exact = true;
+  for (const Vec2& p : points) {
+    QuantIndex(p.x, &exact);
+    QuantIndex(p.y, &exact);
+    if (!exact) return false;
+  }
+  return true;
+}
+
+void WireWriter::PutPointsQuantized(const std::vector<Vec2>& points) {
+  PutVarint(points.size());
+  int64_t prev_x = 0;
+  int64_t prev_y = 0;
+  bool exact = true;  // Callers guarantee PointsQuantizable().
+  for (const Vec2& p : points) {
+    const int64_t qx = QuantIndex(p.x, &exact);
+    const int64_t qy = QuantIndex(p.y, &exact);
+    PutZigzag(qx - prev_x);
+    PutZigzag(qy - prev_y);
+    prev_x = qx;
+    prev_y = qy;
   }
 }
 
@@ -167,6 +212,31 @@ bool WireReader::GetPoints(std::vector<Vec2>* out) {
   return ok_;
 }
 
+bool WireReader::GetPointsQuantized(std::vector<Vec2>* out) {
+  out->clear();
+  const uint64_t count = GetVarint();
+  if (!ok_ || count > kMaxWirePoints || count * 2 > remaining()) {
+    ok_ = false;
+    return false;
+  }
+  out->reserve(count);
+  int64_t qx = 0;
+  int64_t qy = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    qx += GetZigzag();
+    qy += GetZigzag();
+    if (!ok_ || std::abs(qx) > kMaxQuantIndex || std::abs(qy) > kMaxQuantIndex) {
+      ok_ = false;
+      return false;
+    }
+    // Exact: the grid index is exact in a double and the scale is a power
+    // of two, so this reproduces the encoder's input bit-for-bit.
+    out->push_back({static_cast<double>(qx) / kWireQuantScale,
+                    static_cast<double>(qy) / kWireQuantScale});
+  }
+  return ok_;
+}
+
 uint32_t Fnv1a32(const uint8_t* data, size_t size) {
   uint32_t h = 2166136261u;
   for (size_t i = 0; i < size; ++i) {
@@ -253,15 +323,20 @@ bool Decode(const std::vector<uint8_t>& payload, AlertMsg* out) {
 namespace {
 
 // Shape tags are part of the wire format; new shapes append, never renumber.
+// The *Q tags are the quantized-delta codings of the same shapes — a
+// decoder treats them as alternate encodings, not new geometry.
 enum ShapeTag : uint8_t {
   kTagCircle = 1,
   kTagMovingCircle = 2,
   kTagPolygon = 3,
   kTagStripe = 4,
+  kTagPolygonQ = 5,
+  kTagStripeQ = 6,
 };
 
 struct ShapeEncoder {
   WireWriter* w;
+  bool allow_quantized = false;
   void operator()(const Circle& c) const {
     w->PutU8(kTagCircle);
     w->PutVec2(c.center);
@@ -275,10 +350,23 @@ struct ShapeEncoder {
     w->PutZigzag(m.built_epoch);
   }
   void operator()(const ConvexPolygon& p) const {
+    if (allow_quantized && PointsQuantizable(p.vertices())) {
+      w->PutU8(kTagPolygonQ);
+      w->PutPointsQuantized(p.vertices());
+      return;
+    }
     w->PutU8(kTagPolygon);
     w->PutPoints(p.vertices());
   }
   void operator()(const Stripe& s) const {
+    // Only the path is quantized; the radius is a solver output off any
+    // grid, and at 8 bytes per install it is not worth approximating.
+    if (allow_quantized && PointsQuantizable(s.path().points())) {
+      w->PutU8(kTagStripeQ);
+      w->PutDouble(s.radius());
+      w->PutPointsQuantized(s.path().points());
+      return;
+    }
     w->PutU8(kTagStripe);
     w->PutDouble(s.radius());
     w->PutPoints(s.path().points());
@@ -287,8 +375,9 @@ struct ShapeEncoder {
 
 }  // namespace
 
-void PutShape(WireWriter* w, const SafeRegionShape& shape) {
-  std::visit(ShapeEncoder{w}, shape);
+void PutShape(WireWriter* w, const SafeRegionShape& shape,
+              bool allow_quantized) {
+  std::visit(ShapeEncoder{w, allow_quantized}, shape);
 }
 
 bool GetShape(WireReader* r, SafeRegionShape* out) {
@@ -326,6 +415,19 @@ bool GetShape(WireReader* r, SafeRegionShape* out) {
       *out = Stripe(Polyline(std::move(points)), radius);
       break;
     }
+    case kTagPolygonQ: {
+      std::vector<Vec2> vertices;
+      if (!r->GetPointsQuantized(&vertices)) return false;
+      *out = ConvexPolygon(std::move(vertices));
+      break;
+    }
+    case kTagStripeQ: {
+      const double radius = r->GetDouble();
+      std::vector<Vec2> points;
+      if (!r->GetPointsQuantized(&points)) return false;
+      *out = Stripe(Polyline(std::move(points)), radius);
+      break;
+    }
     default:
       return false;
   }
@@ -337,6 +439,14 @@ std::vector<uint8_t> Encode(const RegionInstallMsg& msg) {
   PutUser(&w, msg.user);
   w.PutZigzag(msg.epoch);
   PutShape(&w, msg.region);
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeCompressed(const RegionInstallMsg& msg) {
+  WireWriter w;
+  PutUser(&w, msg.user);
+  w.PutZigzag(msg.epoch);
+  PutShape(&w, msg.region, /*allow_quantized=*/true);
   return w.Take();
 }
 
@@ -375,6 +485,100 @@ bool Decode(const std::vector<uint8_t>& payload, MatchInstallMsg* out) {
   return valid && Done(r);
 }
 
+namespace {
+
+/// Kinds allowed inside envelopes: the downlink notices a client batch can
+/// carry plus the shard-to-shard forward. Location reports stay unbatched
+/// (the uplink is a single report per epoch already), acks are
+/// transport-level, and batches never nest.
+bool EnvelopeKindOk(uint8_t kind) {
+  switch (static_cast<MsgKind>(kind)) {
+    case MsgKind::kProbe:
+    case MsgKind::kAlert:
+    case MsgKind::kRegionInstall:
+    case MsgKind::kMatchInstall:
+      return true;
+    case MsgKind::kShardForward:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Inner kinds a shard forward can wrap: location digests and the two
+/// pair-owned downlink notices.
+bool ForwardInnerKindOk(uint8_t kind) {
+  switch (static_cast<MsgKind>(kind)) {
+    case MsgKind::kLocationReport:
+    case MsgKind::kAlert:
+    case MsgKind::kMatchInstall:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Length-prefixed byte blob, sliced straight out of `payload` (the reader
+/// exposes no span getter; its remaining() pins the slice's offset).
+bool GetBlob(WireReader* r, const std::vector<uint8_t>& payload,
+             std::vector<uint8_t>* out) {
+  const uint64_t len = r->GetVarint();
+  if (!r->ok() || len > r->remaining()) return false;
+  const size_t start = payload.size() - r->remaining();
+  out->assign(payload.begin() + start, payload.begin() + start + len);
+  for (uint64_t i = 0; i < len; ++i) r->GetU8();  // Advance the reader.
+  return r->ok();
+}
+
+}  // namespace
+
+std::vector<uint8_t> Encode(const ShardForwardMsg& msg) {
+  WireWriter w;
+  w.PutU8(msg.inner_kind);
+  w.PutVarint(msg.inner.size());
+  for (const uint8_t b : msg.inner) w.PutU8(b);
+  return w.Take();
+}
+
+bool Decode(const std::vector<uint8_t>& payload, ShardForwardMsg* out) {
+  WireReader r(payload.data(), payload.size());
+  out->inner_kind = r.GetU8();
+  if (!ForwardInnerKindOk(out->inner_kind)) return false;
+  if (!GetBlob(&r, payload, &out->inner)) return false;
+  return Done(r);
+}
+
+std::vector<uint8_t> EncodeBatch(const std::vector<BatchItem>& items) {
+  WireWriter w;
+  w.PutVarint(items.size());
+  for (const BatchItem& item : items) {
+    w.PutU8(static_cast<uint8_t>(item.kind));
+    w.PutVarint(item.payload.size());
+    for (const uint8_t b : item.payload) w.PutU8(b);
+  }
+  return w.Take();
+}
+
+bool DecodeBatch(const std::vector<uint8_t>& payload,
+                 std::vector<BatchItem>* out) {
+  out->clear();
+  WireReader r(payload.data(), payload.size());
+  const uint64_t count = r.GetVarint();
+  // Each item costs at least 2 bytes (kind + length); an empty batch is a
+  // framing bug, not a message.
+  if (!r.ok() || count == 0 || count * 2 > r.remaining()) return false;
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    BatchItem item;
+    const uint8_t kind = r.GetU8();
+    if (!EnvelopeKindOk(kind)) return false;
+    item.kind = static_cast<MsgKind>(kind);
+    if (!GetBlob(&r, payload, &item.payload)) return false;
+    out->push_back(std::move(item));
+  }
+  return Done(r);
+}
+
 // ---------------------------------------------------------------------------
 // Framing.
 
@@ -398,7 +602,7 @@ std::vector<uint8_t> EncodeFrame(MsgKind kind, uint64_t seq,
 bool DecodeFrame(const uint8_t* data, size_t size, Frame* out) {
   // Smallest legal frame: magic(2) + version(1) + kind(1) + seq(1) +
   // len(1) + checksum(4).
-  if (size < 10) return false;
+  if (size < kMinFrameBytes) return false;
   uint32_t stored = 0;
   for (int i = 0; i < 4; ++i) {
     stored |= static_cast<uint32_t>(data[size - 4 + i]) << (8 * i);
@@ -409,7 +613,7 @@ bool DecodeFrame(const uint8_t* data, size_t size, Frame* out) {
   out->version = r.GetU8();
   if (out->version != kWireVersion) return false;
   const uint8_t kind = r.GetU8();
-  if (kind < 1 || kind > 6) return false;
+  if (kind < 1 || kind > kMaxMsgKind) return false;
   out->kind = static_cast<MsgKind>(kind);
   out->seq = r.GetVarint();
   const uint64_t length = r.GetVarint();

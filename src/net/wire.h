@@ -37,6 +37,39 @@ constexpr uint8_t kWireVersion = 1;
 /// points, stripes tens).
 constexpr uint64_t kMaxWirePoints = 1u << 20;
 
+/// Encoded size of a LEB128 varint — the batching math in the sharded
+/// frontend and the frame-overhead accounting below share this with the
+/// codec, so the two can never drift.
+constexpr size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Fixed parts of the frame header/trailer: magic(2) + version(1) +
+/// kind(1), and the FNV-1a checksum.
+constexpr size_t kFrameFixedHeaderBytes = 4;
+constexpr size_t kFrameChecksumBytes = 4;
+
+/// Exact per-frame overhead (everything except the payload bytes) for a
+/// frame carrying sequence number `seq` and `payload_len` payload bytes.
+constexpr size_t FrameOverheadBytes(uint64_t seq, size_t payload_len) {
+  return kFrameFixedHeaderBytes + VarintSize(seq) + VarintSize(payload_len) +
+         kFrameChecksumBytes;
+}
+
+/// Smallest legal frame: single-byte seq and length varints, no payload.
+/// This is the amortizable cost the batched downlink exists to save.
+constexpr size_t kMinFrameBytes = FrameOverheadBytes(0, 0);
+static_assert(kMinFrameBytes == 10,
+              "frame overhead drifted from the documented layout");
+static_assert(VarintSize(0x7f) == 1 && VarintSize(0x80) == 2 &&
+                  VarintSize(~0ULL) == 10,
+              "LEB128 size accounting is wrong");
+
 enum class MsgKind : uint8_t {
   kLocationReport = 1,  // client -> server
   kProbe = 2,           // server -> client
@@ -44,7 +77,12 @@ enum class MsgKind : uint8_t {
   kRegionInstall = 4,   // server -> client
   kMatchInstall = 5,    // server -> client
   kAck = 6,             // transport-level acknowledgement, either direction
+  kBatch = 7,           // envelope: several same-epoch messages, one frame
+  kShardForward = 8,    // shard -> shard: digest or relayed downlink notice
 };
+
+/// Highest MsgKind DecodeFrame accepts; new kinds append, never renumber.
+constexpr uint8_t kMaxMsgKind = static_cast<uint8_t>(MsgKind::kShardForward);
 
 /// Little-endian byte sink with the protocol's primitive encoders.
 class WireWriter {
@@ -65,6 +103,13 @@ class WireWriter {
   /// Bijective (hence exact); nearby/repeated coordinates shrink to a few
   /// bytes, a stationary window costs 1 byte per coordinate.
   void PutPoints(const std::vector<Vec2>& points);
+  /// Quantized-delta point list: varint count, then per point the zigzag
+  /// delta of each coordinate's 1/kWireQuantScale-grid index against the
+  /// previous point's. Roughly half the bytes of PutPoints on real paths —
+  /// but only exact for on-grid coordinates, so callers must check
+  /// PointsQuantizable() first (the region-install codec falls back to the
+  /// exact XOR-delta coding otherwise).
+  void PutPointsQuantized(const std::vector<Vec2>& points);
 
   const std::vector<uint8_t>& bytes() const { return bytes_; }
   std::vector<uint8_t> Take() { return std::move(bytes_); }
@@ -92,6 +137,7 @@ class WireReader {
   double GetDouble();
   Vec2 GetVec2();
   bool GetPoints(std::vector<Vec2>* out);
+  bool GetPointsQuantized(std::vector<Vec2>* out);
 
  private:
   const uint8_t* data_;
@@ -102,6 +148,23 @@ class WireReader {
 
 /// FNV-1a 32-bit hash; the frame checksum and the delivery-schedule hash.
 uint32_t Fnv1a32(const uint8_t* data, size_t size);
+
+// ---------------------------------------------------------------------------
+// Quantized coordinate grid.
+
+/// Grid pitch of the quantized-delta point codec: 1/256 m (~4 mm). A power
+/// of two, so every on-grid coordinate is exactly representable as a double
+/// and the quantized codec round-trips bit-for-bit. The stripe builder
+/// snaps its path anchors to this grid at build time (see
+/// StripeBuildConfig::quantize_grid), which is what makes stripe installs
+/// compressible without any loss the server could not prove away.
+constexpr double kWireQuantScale = 256.0;
+
+/// True when every coordinate sits exactly on the 1/kWireQuantScale grid
+/// (and its grid index fits the codec's integer range), i.e. when
+/// PutPointsQuantized followed by GetPointsQuantized reproduces the input
+/// bit-for-bit.
+bool PointsQuantizable(const std::vector<Vec2>& points);
 
 // ---------------------------------------------------------------------------
 // Message bodies (one struct per CommStats message kind).
@@ -175,6 +238,19 @@ struct MatchInstallMsg {
   }
 };
 
+/// Shard -> shard envelope: either a forwarded location digest (inner kind
+/// kLocationReport, window-less) keeping a pair's owner shard current about
+/// a remote endpoint, or a relayed downlink notice (kAlert / kMatchInstall)
+/// the pair's owner decided but the target's home shard must deliver.
+struct ShardForwardMsg {
+  uint8_t inner_kind = 0;  // MsgKind of `inner`.
+  std::vector<uint8_t> inner;
+
+  friend bool operator==(const ShardForwardMsg& a, const ShardForwardMsg& b) {
+    return a.inner_kind == b.inner_kind && a.inner == b.inner;
+  }
+};
+
 // Payload codecs. Every Decode* rejects (returns false) truncated input,
 // trailing garbage, unknown tags and oversized point counts; on success the
 // decoded message equals the encoded one exactly.
@@ -183,16 +259,50 @@ std::vector<uint8_t> Encode(const ProbeMsg& msg);
 std::vector<uint8_t> Encode(const AlertMsg& msg);
 std::vector<uint8_t> Encode(const RegionInstallMsg& msg);
 std::vector<uint8_t> Encode(const MatchInstallMsg& msg);
+std::vector<uint8_t> Encode(const ShardForwardMsg& msg);
 bool Decode(const std::vector<uint8_t>& payload, LocationReportMsg* out);
 bool Decode(const std::vector<uint8_t>& payload, ProbeMsg* out);
 bool Decode(const std::vector<uint8_t>& payload, AlertMsg* out);
 bool Decode(const std::vector<uint8_t>& payload, RegionInstallMsg* out);
 bool Decode(const std::vector<uint8_t>& payload, MatchInstallMsg* out);
+bool Decode(const std::vector<uint8_t>& payload, ShardForwardMsg* out);
+
+/// Region install with the quantized-delta polyline coding allowed for
+/// stripe paths and polygon rings whose vertices sit on the wire grid.
+/// Falls back to the exact coding otherwise, so the result always decodes
+/// equal to `msg` — callers wanting the guard anyway (the serving plane
+/// does, per validate-builds semantics) decode and compare before shipping.
+std::vector<uint8_t> EncodeCompressed(const RegionInstallMsg& msg);
 
 /// Shape sub-codec (tag byte + per-type body), shared by RegionInstallMsg
-/// and usable on its own.
-void PutShape(WireWriter* w, const SafeRegionShape& shape);
+/// and usable on its own. With `allow_quantized`, polygon/stripe point
+/// lists on the wire grid use the quantized-delta tags.
+void PutShape(WireWriter* w, const SafeRegionShape& shape,
+              bool allow_quantized = false);
 bool GetShape(WireReader* r, SafeRegionShape* out);
+
+// ---------------------------------------------------------------------------
+// Batched downlink envelope.
+
+/// One message inside a kBatch frame.
+struct BatchItem {
+  MsgKind kind = MsgKind::kAck;
+  std::vector<uint8_t> payload;
+
+  friend bool operator==(const BatchItem& a, const BatchItem& b) {
+    return a.kind == b.kind && a.payload == b.payload;
+  }
+};
+
+/// Coalesces several same-epoch messages into one payload (varint count,
+/// then per item: kind byte + varint length + bytes) — one frame, one
+/// checksum, one sequence number, one ack for the whole epoch's downlink
+/// to a client. Only downlink notice kinds and shard forwards may ride in a
+/// batch; DecodeBatch rejects empty batches, nested batches, acks and
+/// location reports.
+std::vector<uint8_t> EncodeBatch(const std::vector<BatchItem>& items);
+bool DecodeBatch(const std::vector<uint8_t>& payload,
+                 std::vector<BatchItem>* out);
 
 // ---------------------------------------------------------------------------
 // Framing.

@@ -361,9 +361,192 @@ TEST(WireTest, BadMagicVersionKindRejectedEvenWithValidChecksum) {
   bad_kind[3] = 0;
   bad_kind = Resealed(bad_kind);
   EXPECT_FALSE(DecodeFrame(bad_kind.data(), bad_kind.size(), &frame));
-  bad_kind[3] = 7;
+  bad_kind[3] = kMaxMsgKind + 1;
   bad_kind = Resealed(bad_kind);
   EXPECT_FALSE(DecodeFrame(bad_kind.data(), bad_kind.size(), &frame));
+  // Every kind through kMaxMsgKind (incl. the batch and shard-forward
+  // envelopes) is frame-legal; payload validation happens a layer up.
+  for (uint8_t kind = 1; kind <= kMaxMsgKind; ++kind) {
+    std::vector<uint8_t> ok_kind = good;
+    ok_kind[3] = kind;
+    ok_kind = Resealed(ok_kind);
+    EXPECT_TRUE(DecodeFrame(ok_kind.data(), ok_kind.size(), &frame)) << kind;
+  }
+}
+
+TEST(WireTest, FrameOverheadBytesMatchesEncodeFrameExactly) {
+  // The sharded frontend's batch-savings accounting uses this constant
+  // instead of re-encoding frames; it must never drift from the codec.
+  const uint64_t seqs[] = {0, 1, 127, 128, 16383, 16384, (1ULL << 32),
+                           std::numeric_limits<uint64_t>::max()};
+  const size_t lens[] = {0, 1, 64, 127, 128, 300};
+  for (const uint64_t seq : seqs) {
+    for (const size_t len : lens) {
+      const std::vector<uint8_t> payload(len, 0xa5);
+      const std::vector<uint8_t> bytes =
+          EncodeFrame(MsgKind::kAlert, seq, payload);
+      EXPECT_EQ(bytes.size(), len + FrameOverheadBytes(seq, len))
+          << "seq=" << seq << " len=" << len;
+    }
+  }
+  EXPECT_EQ(EncodeFrame(MsgKind::kAck, 0, {}).size(), kMinFrameBytes);
+}
+
+// ---------------------------------------------------------------------------
+// Batch envelope.
+
+std::vector<BatchItem> SampleBatch() {
+  std::vector<BatchItem> items;
+  items.push_back({MsgKind::kProbe, Encode(ProbeMsg{4, 17})});
+  items.push_back({MsgKind::kAlert, Encode(AlertMsg{4, 4, 9, 17})});
+  RegionInstallMsg install;
+  install.user = 4;
+  install.epoch = 17;
+  install.region = Circle{{10.0, 20.0}, 300.0};
+  items.push_back({MsgKind::kRegionInstall, Encode(install)});
+  MatchInstallMsg match;
+  match.user = 4;
+  match.epoch = 17;
+  match.op = 0;
+  match.u = 4;
+  match.w = 9;
+  match.region = Circle{{15.0, 25.0}, 100.0};
+  items.push_back({MsgKind::kMatchInstall, Encode(match)});
+  return items;
+}
+
+TEST(WireTest, BatchRoundTripAndStrictPrefixRejection) {
+  const std::vector<BatchItem> items = SampleBatch();
+  const std::vector<uint8_t> payload = EncodeBatch(items);
+  std::vector<BatchItem> back;
+  ASSERT_TRUE(DecodeBatch(payload, &back));
+  EXPECT_EQ(back, items);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    std::vector<BatchItem> scratch;
+    EXPECT_FALSE(DecodeBatch(
+        std::vector<uint8_t>(payload.begin(), payload.begin() + cut),
+        &scratch))
+        << "prefix of length " << cut << " decoded";
+  }
+  std::vector<uint8_t> padded = payload;
+  padded.push_back(0);
+  EXPECT_FALSE(DecodeBatch(padded, &back));
+}
+
+TEST(WireTest, BatchRejectsEmptyNestedAckAndReport) {
+  std::vector<BatchItem> out;
+  // Empty batch: a framing bug, not a message.
+  EXPECT_FALSE(DecodeBatch(EncodeBatch({}), &out));
+  // Nested batch, transport ack, and uplink report are all envelope-illegal.
+  for (const MsgKind kind :
+       {MsgKind::kBatch, MsgKind::kAck, MsgKind::kLocationReport}) {
+    EXPECT_FALSE(DecodeBatch(EncodeBatch({{kind, {1, 2, 3}}}), &out))
+        << static_cast<int>(kind);
+  }
+  // A shard forward, by contrast, may ride in a (mesh) batch.
+  ShardForwardMsg fwd;
+  fwd.inner_kind = static_cast<uint8_t>(MsgKind::kAlert);
+  fwd.inner = Encode(AlertMsg{1, 1, 2, 5});
+  EXPECT_TRUE(DecodeBatch(EncodeBatch({{MsgKind::kShardForward, Encode(fwd)}}),
+                          &out));
+  ASSERT_EQ(out.size(), 1u);
+  ShardForwardMsg back;
+  ASSERT_TRUE(Decode(out[0].payload, &back));
+  EXPECT_TRUE(back == fwd);
+}
+
+TEST(WireTest, ShardForwardRoundTripAndInnerKindValidation) {
+  ShardForwardMsg digest;
+  digest.inner_kind = static_cast<uint8_t>(MsgKind::kLocationReport);
+  LocationReportMsg report;
+  report.user = 7;
+  report.epoch = 33;
+  report.position = {1234.5, -678.9};
+  digest.inner = Encode(report);
+  ExpectRoundTripAndPrefixRejection(digest);
+
+  // Only digests and the two pair-owned notices may be forwarded.
+  for (const MsgKind kind : {MsgKind::kProbe, MsgKind::kRegionInstall,
+                             MsgKind::kAck, MsgKind::kBatch,
+                             MsgKind::kShardForward}) {
+    ShardForwardMsg bad = digest;
+    bad.inner_kind = static_cast<uint8_t>(kind);
+    ShardForwardMsg scratch;
+    EXPECT_FALSE(Decode(Encode(bad), &scratch)) << static_cast<int>(kind);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantized point codec and the compressed-install guard.
+
+std::vector<Vec2> OnGridPath(size_t n) {
+  std::vector<Vec2> points;
+  for (size_t i = 0; i < n; ++i) {
+    // Multiples of 1/256 by construction: 0.5 = 128/256, 0.25 = 64/256.
+    points.push_back({1000.0 + 0.5 * static_cast<double>(i),
+                      2000.0 - 0.25 * static_cast<double>(i)});
+  }
+  return points;
+}
+
+TEST(WireTest, QuantizedPointsRoundTripOnGridAndShrink) {
+  const std::vector<Vec2> path = OnGridPath(24);
+  ASSERT_TRUE(PointsQuantizable(path));
+  WireWriter wq;
+  wq.PutPointsQuantized(path);
+  WireReader r(wq.bytes().data(), wq.bytes().size());
+  std::vector<Vec2> back;
+  ASSERT_TRUE(r.GetPointsQuantized(&back));
+  EXPECT_EQ(back, path);  // Bit-exact: the grid is a power of two.
+  EXPECT_EQ(r.remaining(), 0u);
+
+  // Small grid-index deltas beat the XOR-of-bit-patterns coding by a wide
+  // margin on a smooth path — the whole point of the stripe compression.
+  WireWriter wx;
+  wx.PutPoints(path);
+  EXPECT_LT(wq.bytes().size(), wx.bytes().size() / 2);
+}
+
+TEST(WireTest, PointsQuantizableRejectsOffGridAndHuge) {
+  EXPECT_FALSE(PointsQuantizable({{0.1, 0.0}}));  // 0.1 is off-grid.
+  EXPECT_FALSE(PointsQuantizable({{1e12, 0.0}}));  // Grid index overflows.
+  EXPECT_FALSE(PointsQuantizable(
+      {{std::numeric_limits<double>::quiet_NaN(), 0.0}}));
+  EXPECT_TRUE(PointsQuantizable({{-0.00390625, 42.0}}));  // -1/256.
+  EXPECT_TRUE(PointsQuantizable({}));
+}
+
+TEST(WireTest, EncodeCompressedShrinksOnGridStripesAndDecodesEqual) {
+  RegionInstallMsg msg;
+  msg.user = 3;
+  msg.epoch = 12;
+  msg.region = Stripe(Polyline(OnGridPath(24)), 750.0);
+
+  const std::vector<uint8_t> exact = Encode(msg);
+  const std::vector<uint8_t> compressed = EncodeCompressed(msg);
+  EXPECT_LT(compressed.size(), exact.size());
+  RegionInstallMsg back;
+  ASSERT_TRUE(Decode(compressed, &back));
+  EXPECT_TRUE(back == msg);  // The guard's contract: identical geometry.
+  // The exact coding still decodes too (old frames stay readable).
+  ASSERT_TRUE(Decode(exact, &back));
+  EXPECT_TRUE(back == msg);
+}
+
+TEST(WireTest, EncodeCompressedFallsBackOffGrid) {
+  RegionInstallMsg msg;
+  msg.user = 3;
+  msg.epoch = 12;
+  std::vector<Vec2> path = OnGridPath(10);
+  path[4].x += 1e-5;  // Knock one vertex off the grid.
+  msg.region = Stripe(Polyline(std::move(path)), 750.0);
+  EXPECT_EQ(EncodeCompressed(msg), Encode(msg));
+
+  // Non-polyline shapes have nothing to quantize: identical bytes.
+  msg.region = Circle{{5.0, 6.0}, 70.0};
+  EXPECT_EQ(EncodeCompressed(msg), Encode(msg));
+  msg.region = MovingCircle{{5.0, 6.0}, {1.0, 2.0}, 70.0, 4};
+  EXPECT_EQ(EncodeCompressed(msg), Encode(msg));
 }
 
 TEST(WireTest, LengthMismatchRejectedEvenWithValidChecksum) {
