@@ -1,0 +1,488 @@
+// Spatial-index win and oracle parity, in one gate. Three parts:
+//
+// 1. Superlinear sweep: a constant-density synthetic world (area grows
+//    with N, so the grid's per-user candidate count stays flat) whose
+//    friend count also grows with N (F = N/16, so the exhaustive edge
+//    scan grows as N^2). What the index changes is the epoch loop, so the
+//    timed quantity is the steady-state per-epoch cost: each (N, path)
+//    cell is run at two epoch horizons over the same trajectories and the
+//    difference, divided by the extra epochs, cancels the shared O(E log E)
+//    per-Run setup (graph copy + edge-list sort) that would otherwise
+//    drown the signal. The run ABORTS unless (a) grid and scan are
+//    bit-exact (alerts + CommStats) at every N and (b) the grid's
+//    per-epoch speedup at the largest N is at least 3x its speedup at the
+//    smallest N — the superlinear signature that separates an index from
+//    a constant-factor tweak.
+//
+// 2. Oracle parity matrix: every paper method, grid vs exhaustive scan,
+//    at 1/2/4/8 threads in-process and under 1/2/4-shard transported runs
+//    (batched + delta-compressed downlink). Alert streams, CommStats and
+//    rebuild counts must be bit-exact pairwise; the run ABORTS otherwise.
+//
+// 3. Allocation probe: a counting global operator new measures allocations
+//    inside Run() at two epoch horizons; the difference, divided by the
+//    extra epochs, is the steady-state per-epoch allocation count the
+//    scratch arenas are supposed to hold near zero (EXPERIMENTS.md cites
+//    these numbers).
+//
+// Emits BENCH_index.json (PROXDET_BENCH_JSON: "0" disables, unset/"1"
+// writes to the current directory, anything else is the target directory).
+// PROXDET_QUICK=1 shrinks to smoke-test size.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench_support/bench_json.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/detector.h"
+#include "core/simulation.h"
+#include "exec/thread_pool.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+
+// ---------------------------------------------------------------------------
+// Allocation probe: count every global operator new. The counter is always
+// live (worker threads allocate too); callers read deltas around the region
+// of interest.
+static std::atomic<uint64_t> g_alloc_count{0};
+
+static void* CountedAlloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+// ---------------------------------------------------------------------------
+
+namespace proxdet {
+namespace {
+
+// --- Part 1: constant-density synthetic world -----------------------------
+
+// Density is fixed at one user per 500m x 500m; alert radii in [150, 250]m
+// keep the per-query candidate count a small constant at every N, while
+// F = N/16 makes the exhaustive scan's edge count grow as N^2.
+World BuildConstantDensityWorld(size_t users, int epochs, uint64_t seed) {
+  Rng rng(seed);
+  const double side = std::sqrt(static_cast<double>(users)) * 500.0;
+  std::vector<Trajectory> trajectories;
+  trajectories.reserve(users);
+  for (size_t u = 0; u < users; ++u) {
+    std::vector<Vec2> points;
+    points.reserve(static_cast<size_t>(epochs) + 1);
+    Vec2 p(rng.Uniform(0.0, side), rng.Uniform(0.0, side));
+    points.push_back(p);
+    for (int t = 0; t < epochs; ++t) {
+      p.x = std::clamp(p.x + rng.Uniform(-60.0, 60.0), 0.0, side);
+      p.y = std::clamp(p.y + rng.Uniform(-60.0, 60.0), 0.0, side);
+      points.push_back(p);
+    }
+    trajectories.emplace_back(std::move(points), 30.0);
+  }
+  InterestGraph graph = InterestGraph::Random(
+      users, static_cast<double>(users) / 16.0, 150.0, 250.0, &rng);
+  return World(std::move(trajectories), std::move(graph), /*speed_steps=*/1,
+               epochs);
+}
+
+struct SweepRow {
+  size_t users = 0;
+  size_t edges = 0;
+  int epochs_short = 0;
+  int epochs_long = 0;
+  double scan_epoch_seconds = 0.0;
+  double grid_epoch_seconds = 0.0;
+  double speedup = 0.0;
+  size_t alert_count = 0;
+  bool bit_exact = false;
+  uint64_t grid_cells_probed = 0;
+  uint64_t grid_candidates = 0;
+};
+
+// One timed Run on `world` with the given index setting; best of `reps`
+// wall-clocks on fresh detectors (outputs are deterministic, so only the
+// first rep's results are kept).
+struct NaiveRun {
+  double seconds = 0.0;
+  std::vector<AlertEvent> alerts;
+  CommStats stats;
+  SpatialIndexStats index;
+};
+
+NaiveRun TimeNaive(const World& world, bool use_index, int reps) {
+  NaiveRun out;
+  for (int rep = 0; rep < reps; ++rep) {
+    NaiveDetector::Options options;
+    options.use_spatial_index = use_index;
+    NaiveDetector detector(options);
+    obs::Metrics().Reset();
+    WallTimer timer;
+    detector.Run(world);
+    const double seconds = timer.ElapsedSeconds();
+    if (rep == 0) {
+      out.seconds = seconds;
+      out.alerts = detector.SortedAlerts();
+      out.stats = detector.stats();
+      out.index = detector.index_stats();
+    } else {
+      out.seconds = std::min(out.seconds, seconds);
+    }
+  }
+  return out;
+}
+
+// --- Part 2: oracle parity matrix -----------------------------------------
+
+struct ParityRow {
+  Method method = Method::kNaive;
+  std::string mode;  // "threads" or "shards"
+  int value = 0;
+  bool oracle_exact = false;
+};
+
+WorkloadConfig ParityConfig(bool quick) {
+  WorkloadConfig config;
+  config.dataset = DatasetKind::kTruck;
+  config.num_users = quick ? 24 : 40;
+  config.epochs = quick ? 24 : 40;
+  config.speed_steps = 8;
+  config.avg_friends = 6.0;
+  config.alert_radius_m = 6000.0;
+  config.seed = 77;
+  config.training_users = 16;
+  config.training_epochs = 60;
+  return config;
+}
+
+net::NetConfig ShardedConfig(int shards) {
+  net::NetConfig config;
+  config.shards = shards;
+  config.batch_downlink = true;
+  config.compress_installs = true;
+  return config;
+}
+
+bool SameRun(const RunResult& grid, const RunResult& scan) {
+  return grid.alerts_exact && scan.alerts_exact &&
+         grid.alert_count == scan.alert_count && grid.stats == scan.stats &&
+         grid.rebuild_count == scan.rebuild_count;
+}
+
+// --- Part 3: allocation probe ---------------------------------------------
+
+struct AllocRow {
+  std::string detector;
+  int epochs_short = 0;
+  int epochs_long = 0;
+  uint64_t allocs_short = 0;
+  uint64_t allocs_long = 0;
+  double allocs_per_epoch_steady = 0.0;
+};
+
+uint64_t CountRunAllocs(Detector* detector, const World& world) {
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  detector->Run(world);
+  return g_alloc_count.load(std::memory_order_relaxed) - before;
+}
+
+// --- JSON -----------------------------------------------------------------
+
+std::string WriteJson(const std::vector<SweepRow>& sweep,
+                      const std::vector<ParityRow>& parity,
+                      const std::vector<AllocRow>& allocs, bool oracle_exact,
+                      double speedup_ratio) {
+  const std::string path = BenchJsonPath("BENCH_index.json");
+  if (path.empty()) return "";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return "";
+  }
+  std::fprintf(f, "{\n  \"figure\": \"index\",\n");
+  std::fprintf(f, "  \"oracle_exact\": %s,\n", oracle_exact ? "true" : "false");
+  std::fprintf(f, "  \"speedup_ratio_largest_vs_smallest\": %.3f,\n",
+               speedup_ratio);
+  std::fprintf(f, "  \"sweep\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepRow& r = sweep[i];
+    std::fprintf(
+        f,
+        "    {\"users\": %zu, \"edges\": %zu, \"epochs_short\": %d, "
+        "\"epochs_long\": %d, \"scan_epoch_seconds\": %.8f, "
+        "\"grid_epoch_seconds\": %.8f, \"speedup\": %.3f, "
+        "\"alert_count\": %zu, \"bit_exact\": %s, "
+        "\"grid_cells_probed\": %llu, \"grid_candidates\": %llu}%s\n",
+        r.users, r.edges, r.epochs_short, r.epochs_long, r.scan_epoch_seconds,
+        r.grid_epoch_seconds, r.speedup, r.alert_count,
+        r.bit_exact ? "true" : "false",
+        static_cast<unsigned long long>(r.grid_cells_probed),
+        static_cast<unsigned long long>(r.grid_candidates),
+        i + 1 == sweep.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n  \"parity\": [\n");
+  for (size_t i = 0; i < parity.size(); ++i) {
+    const ParityRow& r = parity[i];
+    std::fprintf(f,
+                 "    {\"method\": \"%s\", \"mode\": \"%s\", \"value\": %d, "
+                 "\"oracle_exact\": %s}%s\n",
+                 MethodName(r.method).c_str(), r.mode.c_str(), r.value,
+                 r.oracle_exact ? "true" : "false",
+                 i + 1 == parity.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n  \"alloc\": [\n");
+  for (size_t i = 0; i < allocs.size(); ++i) {
+    const AllocRow& r = allocs[i];
+    std::fprintf(f,
+                 "    {\"detector\": \"%s\", \"epochs_short\": %d, "
+                 "\"epochs_long\": %d, \"allocs_short\": %llu, "
+                 "\"allocs_long\": %llu, \"allocs_per_epoch_steady\": %.2f}%s\n",
+                 r.detector.c_str(), r.epochs_short, r.epochs_long,
+                 static_cast<unsigned long long>(r.allocs_short),
+                 static_cast<unsigned long long>(r.allocs_long),
+                 r.allocs_per_epoch_steady, i + 1 == allocs.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return path;
+}
+
+int Main() {
+  const bool quick = QuickMode();
+
+  // -- Part 1: superlinear sweep -------------------------------------------
+  const std::vector<size_t> user_sweep =
+      quick ? std::vector<size_t>{250, 500, 2000}
+            : std::vector<size_t>{1000, 2000, 4000, 8000};
+  const int epochs_short = quick ? 4 : 6;
+  const int epochs_long = quick ? 16 : 26;
+  const int reps = 3;
+  ThreadPool::SetGlobalThreads(4);
+
+  std::vector<SweepRow> sweep;
+  std::printf("== superlinear sweep (constant density, F = N/16) ==\n");
+  for (const size_t users : user_sweep) {
+    // Short and long horizons share trajectories and graph, so their
+    // wall-clock difference is exactly (epochs_long - epochs_short) more
+    // iterations of the epoch loop under test.
+    const World world_long =
+        BuildConstantDensityWorld(users, epochs_long, 0xB0B0 + users);
+    const World world_short(world_long.trajectories(), world_long.graph(),
+                            /*speed_steps=*/1, epochs_short);
+    const NaiveRun scan_short = TimeNaive(world_short, false, reps);
+    const NaiveRun scan_long = TimeNaive(world_long, false, reps);
+    const NaiveRun grid_short = TimeNaive(world_short, true, reps);
+    const NaiveRun grid_long = TimeNaive(world_long, true, reps);
+    const double denom = epochs_long - epochs_short;
+    SweepRow row;
+    row.users = users;
+    row.edges = world_long.graph().edge_count();
+    row.epochs_short = epochs_short;
+    row.epochs_long = epochs_long;
+    row.scan_epoch_seconds =
+        std::max((scan_long.seconds - scan_short.seconds) / denom, 1e-9);
+    row.grid_epoch_seconds =
+        std::max((grid_long.seconds - grid_short.seconds) / denom, 1e-9);
+    row.speedup = row.scan_epoch_seconds / row.grid_epoch_seconds;
+    row.alert_count = grid_long.alerts.size();
+    row.bit_exact = grid_long.alerts == scan_long.alerts &&
+                    grid_long.stats == scan_long.stats &&
+                    grid_short.alerts == scan_short.alerts &&
+                    grid_short.stats == scan_short.stats;
+    row.grid_cells_probed = grid_long.index.cells_probed;
+    row.grid_candidates = grid_long.index.candidates;
+    sweep.push_back(row);
+    std::printf(
+        "  N=%6zu  edges=%8zu  scan %8.3f ms/epoch  grid %8.3f ms/epoch  "
+        "speedup %7.2fx  alerts %zu  %s\n",
+        users, row.edges, row.scan_epoch_seconds * 1e3,
+        row.grid_epoch_seconds * 1e3, row.speedup, row.alert_count,
+        row.bit_exact ? "bit-exact" : "MISMATCH");
+    std::fflush(stdout);
+    if (!row.bit_exact) {
+      std::fprintf(stderr,
+                   "FATAL: grid and exhaustive scan disagree at N=%zu — the "
+                   "index broke the bit-exactness contract.\n",
+                   users);
+      return 1;
+    }
+  }
+  const double speedup_ratio =
+      sweep.front().speedup > 0.0 ? sweep.back().speedup / sweep.front().speedup
+                                  : 0.0;
+  std::printf("  speedup(largest N) / speedup(smallest N) = %.2f\n",
+              speedup_ratio);
+  if (speedup_ratio < 3.0) {
+    std::fprintf(stderr,
+                 "FATAL: speedup ratio %.2f < 3.0 — the grid is not winning "
+                 "superlinearly; it is a constant-factor tweak, not an "
+                 "index.\n",
+                 speedup_ratio);
+    return 1;
+  }
+
+  // -- Part 2: oracle parity matrix ----------------------------------------
+  std::printf("== oracle parity: method x threads x shards ==\n");
+  const Workload workload = BuildWorkload(ParityConfig(quick));
+  const std::vector<Method> methods = PaperMethodSet();
+  const std::vector<unsigned> thread_sweep = {1, 2, 4, 8};
+  const std::vector<int> shard_sweep = {1, 2, 4};
+  RegionDetector::Options grid_opts;
+  grid_opts.use_spatial_index = true;
+  RegionDetector::Options scan_opts;
+  scan_opts.use_spatial_index = false;
+
+  std::vector<ParityRow> parity;
+  bool oracle_exact = true;
+  for (const Method method : methods) {
+    for (const unsigned threads : thread_sweep) {
+      ThreadPool::SetGlobalThreads(threads);
+      const RunResult grid = RunMethod(method, workload, grid_opts);
+      const RunResult scan = RunMethod(method, workload, scan_opts);
+      ParityRow row;
+      row.method = method;
+      row.mode = "threads";
+      row.value = static_cast<int>(threads);
+      row.oracle_exact = SameRun(grid, scan);
+      parity.push_back(row);
+      if (!row.oracle_exact) oracle_exact = false;
+    }
+    ThreadPool::SetGlobalThreads(4);
+    for (const int shards : shard_sweep) {
+      const net::TransportedRunResult grid = net::RunTransportedMethod(
+          method, workload, ShardedConfig(shards), grid_opts);
+      const net::TransportedRunResult scan = net::RunTransportedMethod(
+          method, workload, ShardedConfig(shards), scan_opts);
+      ParityRow row;
+      row.method = method;
+      row.mode = "shards";
+      row.value = shards;
+      row.oracle_exact = SameRun(grid.run, scan.run);
+      parity.push_back(row);
+      if (!row.oracle_exact) oracle_exact = false;
+    }
+    std::printf("  %-11s %s\n", MethodName(method).c_str(),
+                oracle_exact ? "ok" : "MISMATCH");
+    std::fflush(stdout);
+  }
+  if (!oracle_exact) {
+    for (const ParityRow& row : parity) {
+      if (!row.oracle_exact) {
+        std::fprintf(stderr, "FATAL: %s grid != scan at %s=%d\n",
+                     MethodName(row.method).c_str(), row.mode.c_str(),
+                     row.value);
+      }
+    }
+    return 1;
+  }
+
+  // -- Part 3: allocation probe --------------------------------------------
+  std::printf("== allocation probe (steady-state per-epoch allocations) ==\n");
+  ThreadPool::SetGlobalThreads(4);
+  const int alloc_short = quick ? 8 : 15;
+  const int alloc_long = quick ? 32 : 60;
+  const size_t alloc_users = quick ? 500 : 2000;
+  const World world_short =
+      BuildConstantDensityWorld(alloc_users, alloc_short, 0xA110C);
+  const World world_long =
+      BuildConstantDensityWorld(alloc_users, alloc_long, 0xA110C);
+  std::vector<AllocRow> allocs;
+  for (const bool use_index : {true, false}) {
+    NaiveDetector::Options options;
+    options.use_spatial_index = use_index;
+    AllocRow row;
+    row.detector = use_index ? "Naive-grid" : "Naive-scan";
+    row.epochs_short = alloc_short;
+    row.epochs_long = alloc_long;
+    {
+      NaiveDetector detector(options);
+      row.allocs_short = CountRunAllocs(&detector, world_short);
+    }
+    {
+      NaiveDetector detector(options);
+      row.allocs_long = CountRunAllocs(&detector, world_long);
+    }
+    row.allocs_per_epoch_steady =
+        static_cast<double>(row.allocs_long - row.allocs_short) /
+        (alloc_long - alloc_short);
+    allocs.push_back(row);
+  }
+  {
+    // CMD exercises the region detector's arenas (scan phases, resolve,
+    // per-epoch pair check). The workload carries its own epoch horizon,
+    // so build two.
+    WorkloadConfig short_cfg = ParityConfig(quick);
+    short_cfg.epochs = alloc_short;
+    WorkloadConfig long_cfg = ParityConfig(quick);
+    long_cfg.epochs = alloc_long;
+    const Workload wl_short = BuildWorkload(short_cfg);
+    const Workload wl_long = BuildWorkload(long_cfg);
+    AllocRow row;
+    row.detector = "CMD-grid";
+    row.epochs_short = alloc_short;
+    row.epochs_long = alloc_long;
+    {
+      const std::unique_ptr<Detector> detector =
+          MakeDetector(Method::kCmd, wl_short, grid_opts);
+      row.allocs_short = CountRunAllocs(detector.get(), wl_short.world);
+    }
+    {
+      const std::unique_ptr<Detector> detector =
+          MakeDetector(Method::kCmd, wl_long, grid_opts);
+      row.allocs_long = CountRunAllocs(detector.get(), wl_long.world);
+    }
+    row.allocs_per_epoch_steady =
+        static_cast<double>(row.allocs_long - row.allocs_short) /
+        (alloc_long - alloc_short);
+    allocs.push_back(row);
+  }
+  for (const AllocRow& row : allocs) {
+    std::printf("  %-10s  %4d epochs: %8llu allocs   %4d epochs: %8llu "
+                "allocs   steady %.1f allocs/epoch\n",
+                row.detector.c_str(), row.epochs_short,
+                static_cast<unsigned long long>(row.allocs_short),
+                row.epochs_long,
+                static_cast<unsigned long long>(row.allocs_long),
+                row.allocs_per_epoch_steady);
+  }
+
+  ThreadPool::SetGlobalThreads(ThreadPool::DefaultThreadCount());
+  const std::string json = WriteJson(sweep, parity, allocs, oracle_exact,
+                                     speedup_ratio);
+  if (!json.empty()) std::printf("wrote %s\n", json.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace proxdet
+
+int main() { return proxdet::Main(); }

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # TSan gate for the in-epoch parallelism: configures a separate build tree
 # with -DPROXDET_SANITIZE=thread, builds it, and runs the `sanitize`-,
-# `net`-, `obs`- and `shard`-labelled suites (thread-pool + determinism
-# tests, the wire/transport suite whose transported runs drive the network
-# link while the engine scans fan out, the observability suite whose
-# relaxed-atomic counters and mutex-guarded sketches are written from
-# those same scans, and the sharded serving plane whose frontend is only
-# driven from serial commit sections) under a multi-thread global pool.
+# `net`-, `obs`-, `shard`- and `index`-labelled suites (thread-pool +
+# determinism tests, the wire/transport suite whose transported runs drive
+# the network link while the engine scans fan out, the observability suite
+# whose relaxed-atomic counters and mutex-guarded sketches are written
+# from those same scans, the sharded serving plane whose frontend is only
+# driven from serial commit sections, and the spatial-index suite whose
+# grid buckets are read by the parallel candidate scans while all
+# maintenance stays serial) under a multi-thread global pool.
 # The parallel-scan/serial-commit pattern is only safe if the scans are
 # genuinely read-only and the link is only touched from commit sections —
 # TSan is the check that they are.
@@ -28,7 +30,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build-tsan}"
 OBS_OFF_BUILD_DIR="${OBS_OFF_BUILD_DIR:-build-obs-off}"
 JOBS="$(nproc)"
-LABELS='sanitize|net|obs|shard'
+LABELS='sanitize|net|obs|shard|index'
 
 cmake -B "$BUILD_DIR" -S . -DPROXDET_SANITIZE=thread "$@"
 cmake --build "$BUILD_DIR" -j "$JOBS"

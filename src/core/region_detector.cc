@@ -9,6 +9,7 @@
 #include "common/timer.h"
 #include "core/client_link.h"
 #include "core/cost_model.h"
+#include "core/spatial_index.h"
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -49,11 +50,32 @@ struct EngineMetrics {
   }
 };
 
-uint64_t PairKey(UserId u, UserId w) {
-  const uint64_t a = static_cast<uint64_t>(std::min(u, w));
-  const uint64_t b = static_cast<uint64_t>(std::max(u, w));
-  return (a << 32) | b;
-}
+/// Spatial-index work counters (same registry names as the naive engine's
+/// grid path); reconciled against index_stats() to the unit.
+struct IndexMetrics {
+  obs::Counter& upserts;
+  obs::Counter& moves;
+  obs::Counter& rebuilds;
+  obs::Counter& queries;
+  obs::Counter& cells_probed;
+  obs::Counter& candidates;
+  obs::Counter& match_classified;
+  obs::Counter& match_exact;
+
+  static const IndexMetrics& Get() {
+    static const IndexMetrics m{
+        obs::Metrics().GetCounter("engine.index.upserts"),
+        obs::Metrics().GetCounter("engine.index.moves"),
+        obs::Metrics().GetCounter("engine.index.rebuilds"),
+        obs::Metrics().GetCounter("engine.index.queries"),
+        obs::Metrics().GetCounter("engine.index.cells_probed"),
+        obs::Metrics().GetCounter("engine.index.candidates"),
+        obs::Metrics().GetCounter("engine.index.match_classified"),
+        obs::Metrics().GetCounter("engine.index.match_exact"),
+    };
+    return m;
+  }
+};
 
 constexpr double kMinSpeed = 1e-3;  // m/epoch floor for estimates.
 
@@ -64,6 +86,19 @@ constexpr double kMinSpeed = 1e-3;  // m/epoch floor for estimates.
 constexpr size_t kUserGrain = 512;   // ShapeContains per user.
 constexpr size_t kEdgeGrain = 256;   // ShapeMinDistance per edge.
 constexpr size_t kPairGrain = 128;   // MatchRegion::Contains per pair.
+constexpr size_t kQueryGrain = 256;  // Region-grid query per user.
+
+bool EdgesEqual(const std::vector<InterestGraph::Edge>& a,
+                const std::vector<InterestGraph::Edge>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].u != b[i].u || a[i].w != b[i].w ||
+        a[i].alert_radius != b[i].alert_radius) {
+      return false;
+    }
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -102,24 +137,82 @@ struct RegionDetector::Impl {
   std::deque<UserId> queue;
   int epoch = 0;
 
-  // Reused scratch, kept allocation-free across epochs. The scan buffers
-  // are written by parallel read-only scans (distinct slots per index) and
-  // consumed by the serial in-order commits below; window_buf is only ever
-  // touched from serial code (Report / ResolvePhase).
+  // Which acceleration structures this run maintains. The flags only change
+  // *how* candidates are enumerated — the outputs are bit-exact either way.
+  const bool per_epoch_check;  // Policy has moving regions (FMD/CMD).
+  const bool use_grid;         // Region grid drives the pair check.
+  const bool use_match_cls;    // Cell classifiers drive the match scan.
+
+  // Reused scratch, kept allocation-free across epochs (clear, don't
+  // free). The scan buffers are written by parallel read-only scans
+  // (distinct slots per index / per chunk) and consumed by the serial
+  // in-order commits below; window_buf, match_keys, friend_views, flagged
+  // and unindexed are only ever touched from serial code.
   std::vector<Vec2> window_buf;
   std::vector<uint8_t> exit_flags;    // Per user: see ExitFlag.
   std::vector<uint8_t> pair_inside;   // Per sorted matched-pair key.
   std::vector<uint8_t> edge_probe;    // Per cached edge: scan said d < r.
+  std::vector<uint64_t> match_keys;   // Sorted matched-pair keys.
+  std::vector<FriendView> friend_views;
+  struct ChunkWork {
+    uint64_t queries = 0;
+    uint64_t cells = 0;
+    uint64_t candidates = 0;
+  };
+  std::vector<std::vector<uint64_t>> flag_chunks;  // Per-chunk PairKeys.
+  std::vector<std::vector<int32_t>> cand_bufs;     // Per-chunk query scratch.
+  std::vector<ChunkWork> chunk_work;
+  std::vector<uint64_t> flagged;   // Merged + sorted flagged pairs.
+  std::vector<UserId> unindexed;   // Regions with degenerate bounds.
+
+  // The edge snapshot, kept sorted by (u, w) and maintained *incrementally*
+  // under graph updates (a delete/insert epoch used to re-snapshot and
+  // re-sort the whole list via graph.Edges()). validate_builds asserts the
+  // delta path equals a from-scratch snapshot after every update batch.
   std::vector<InterestGraph::Edge> edge_cache;
-  bool edges_dirty = true;  // Edge list must be re-snapshotted from graph.
+
+  // Grid-path state (maintained only when the flags above say so).
+  RegionGridIndex region_grid;
+  std::unordered_map<uint64_t, double> edge_radius;  // PairKey -> r_{u,w}.
+  std::unordered_map<uint64_t, MatchCellClassifier> match_cls;
+  std::vector<double> max_incident;  // Per-user largest incident radius.
+  double max_alert_radius = 0.0;     // Cell-size anchor.
+  SpatialIndexStats match_stats;     // Classifier work (serial folds).
 
   enum ExitFlag : uint8_t { kInside = 0, kExited = 1, kNeedsInit = 2 };
 
   Impl(const World& w, RegionDetector& s)
-      : world(w), self(s), graph(w.graph()), users(w.user_count()) {}
+      : world(w),
+        self(s),
+        graph(w.graph()),
+        users(w.user_count()),
+        per_epoch_check(s.policy_->NeedsPerEpochPairCheck()),
+        use_grid(per_epoch_check && s.options_.use_spatial_index),
+        use_match_cls(s.options_.use_match_regions &&
+                      s.options_.use_spatial_index) {
+    if (per_epoch_check) {
+      edge_cache = graph.Edges();
+      if (use_grid) {
+        max_incident.assign(users.size(), 0.0);
+        for (const auto& e : edge_cache) {
+          edge_radius.emplace(PairKey(e.u, e.w), e.alert_radius);
+          max_incident[e.u] = std::max(max_incident[e.u], e.alert_radius);
+          max_incident[e.w] = std::max(max_incident[e.w], e.alert_radius);
+          max_alert_radius = std::max(max_alert_radius, e.alert_radius);
+        }
+      }
+    }
+  }
 
   bool IsMatched(UserId u, UserId w) const {
     return matched.count(PairKey(u, w)) > 0;
+  }
+
+  /// Classifier cell size: a quarter radius keeps the provably-inside core
+  /// non-empty (the inscribed square spans ~5.6 cells) while classification
+  /// itself is O(1) integer compares regardless of the range sizes.
+  static MatchCellClassifier MakeClassifier(const Circle& c) {
+    return MatchCellClassifier(c, std::max(c.radius, 1e-9) / 4.0);
   }
 
   /// Client -> server location upload (at most one per user per epoch).
@@ -177,7 +270,11 @@ struct RegionDetector::Impl {
   /// match region (Def. 3), and drop the pair from safe-region duty.
   void CreateMatch(UserId u, UserId w, double r) {
     const MatchRegion region = MatchRegion::Make(users[u].pos, users[w].pos, r);
-    matched.emplace(PairKey(u, w), region);
+    const uint64_t key = PairKey(u, w);
+    matched.emplace(key, region);
+    if (use_match_cls) {
+      match_cls.insert_or_assign(key, MakeClassifier(region.circle()));
+    }
     const UserId a = std::min(u, w);
     const UserId b = std::max(u, w);
     self.alerts_.push_back({epoch, a, b});
@@ -200,7 +297,9 @@ struct RegionDetector::Impl {
   }
 
   void DissolveMatch(UserId u, UserId w) {
-    matched.erase(PairKey(u, w));
+    const uint64_t key = PairKey(u, w);
+    matched.erase(key);
+    match_cls.erase(key);
     if (self.options_.use_match_regions) {
       self.stats_.match_installs += 2;  // Deletion notices.
       EngineMetrics::Get().match_installs.Inc(2);
@@ -213,16 +312,73 @@ struct RegionDetector::Impl {
     }
   }
 
+  /// Applies one inserted edge to the incremental structures.
+  void OnEdgeInserted(UserId u, UserId w, double r) {
+    if (per_epoch_check) {
+      const UserId a = std::min(u, w);
+      const UserId b = std::max(u, w);
+      const InterestGraph::Edge edge{a, b, r};
+      const auto it = std::lower_bound(
+          edge_cache.begin(), edge_cache.end(), edge,
+          [](const InterestGraph::Edge& x, const InterestGraph::Edge& y) {
+            return x.u != y.u ? x.u < y.u : x.w < y.w;
+          });
+      edge_cache.insert(it, edge);
+    }
+    if (use_grid) {
+      edge_radius.insert_or_assign(PairKey(u, w), r);
+      max_incident[u] = std::max(max_incident[u], r);
+      max_incident[w] = std::max(max_incident[w], r);
+      max_alert_radius = std::max(max_alert_radius, r);
+    }
+  }
+
+  /// Applies one deleted edge to the incremental structures.
+  void OnEdgeRemoved(UserId u, UserId w) {
+    if (per_epoch_check) {
+      const UserId a = std::min(u, w);
+      const UserId b = std::max(u, w);
+      const auto it = std::lower_bound(
+          edge_cache.begin(), edge_cache.end(), InterestGraph::Edge{a, b, 0.0},
+          [](const InterestGraph::Edge& x, const InterestGraph::Edge& y) {
+            return x.u != y.u ? x.u < y.u : x.w < y.w;
+          });
+      if (it != edge_cache.end() && it->u == a && it->w == b) {
+        edge_cache.erase(it);
+      }
+    }
+    if (use_grid) {
+      const auto rit = edge_radius.find(PairKey(u, w));
+      const double removed = rit != edge_radius.end() ? rit->second : 0.0;
+      if (rit != edge_radius.end()) edge_radius.erase(rit);
+      // The per-user maxima only shrink on deletion; recompute the two
+      // touched users (O(degree)). The global anchor shrinks at most —
+      // recompute only when the deleted edge carried it (rare); a stale
+      // high anchor would still be sound, just coarser cells.
+      max_incident[u] = graph.MaxIncidentRadius(u);
+      max_incident[w] = graph.MaxIncidentRadius(w);
+      if (removed >= max_alert_radius) {
+        max_alert_radius = 0.0;
+        for (const auto& [key, r] : edge_radius) {
+          (void)key;
+          max_alert_radius = std::max(max_alert_radius, r);
+        }
+      }
+    }
+  }
+
   /// Applies scheduled interest-graph changes at epoch start (Sec. VI-E).
   void ApplyGraphUpdates(size_t* next_update) {
     const auto& updates = world.scheduled_updates();
+    bool changed = false;
     while (*next_update < updates.size() &&
            updates[*next_update].epoch <= epoch) {
       const GraphUpdate& up = updates[*next_update];
       ++*next_update;
-      edges_dirty = true;
       if (up.insert) {
         if (!graph.AddEdge(up.u, up.w, up.alert_radius)) continue;
+        changed = true;
+        OnEdgeInserted(up.u, up.w, up.alert_radius);
         // New pair: probe only when their current regions may violate the
         // radius (the paper's insertion rule).
         if (users[up.u].region && users[up.w].region &&
@@ -234,10 +390,19 @@ struct RegionDetector::Impl {
         }
       } else {
         if (IsMatched(up.u, up.w)) DissolveMatch(up.u, up.w);
-        graph.RemoveEdge(up.u, up.w);
+        if (!graph.RemoveEdge(up.u, up.w)) continue;
+        changed = true;
+        OnEdgeRemoved(up.u, up.w);
         // Safe regions are retained; they were conservative for the
         // deleted edge, which is always sound.
       }
+    }
+    if (changed && per_epoch_check && self.options_.validate_builds) {
+      // The dynamic-graph tests run with validation on: the incremental
+      // snapshot must equal a from-scratch re-sort after every batch.
+      const bool snapshot_ok = EdgesEqual(edge_cache, graph.Edges());
+      assert(snapshot_ok);
+      (void)snapshot_ok;
     }
   }
 
@@ -247,30 +412,75 @@ struct RegionDetector::Impl {
   /// commit). Serial commit: reports, re-centers and dissolutions apply in
   /// sorted-key order, so stats and dissolution side effects are identical
   /// to the historical serial loop for any thread count.
+  ///
+  /// With the index enabled, each match region carries a cell classifier:
+  /// most containment verdicts settle with integer cell compares, and only
+  /// boundary cells run the exact circle predicate. The classifier's
+  /// contract (kInside/kOutside verdicts provably agree with the computed
+  /// Circle::ContainsStrict — DESIGN.md §10) makes pair_inside, and hence
+  /// everything downstream, bit-identical to the exact scan.
   void MatchRegionPhase() {
     // Collect keys first: dissolution mutates the map.
-    std::vector<uint64_t> keys;
-    keys.reserve(matched.size());
-    for (const auto& [key, region] : matched) keys.push_back(key);
-    std::sort(keys.begin(), keys.end());  // Deterministic accounting.
+    match_keys.clear();
+    for (const auto& [key, region] : matched) {
+      (void)region;
+      match_keys.push_back(key);
+    }
+    std::sort(match_keys.begin(), match_keys.end());  // Deterministic.
     if (self.options_.use_match_regions) {
-      pair_inside.assign(keys.size(), 0);
-      ParallelForChunked(keys.size(), kPairGrain, [&](size_t lo, size_t hi) {
+      const size_t n = match_keys.size();
+      pair_inside.assign(n, 0);
+      const size_t chunks = n == 0 ? 0 : (n + kPairGrain - 1) / kPairGrain;
+      if (chunk_work.size() < chunks) chunk_work.resize(chunks);
+      for (size_t c = 0; c < chunks; ++c) chunk_work[c] = ChunkWork{};
+      ParallelForChunked(n, kPairGrain, [&](size_t lo, size_t hi) {
+        ChunkWork& work = chunk_work[lo / kPairGrain];
         for (size_t k = lo; k < hi; ++k) {
-          const UserId u = static_cast<UserId>(keys[k] >> 32);
-          const UserId w = static_cast<UserId>(keys[k] & 0xffffffffULL);
-          const MatchRegion& m = matched.find(keys[k])->second;
-          pair_inside[k] =
-              m.Contains(users[u].pos) && m.Contains(users[w].pos);
+          const uint64_t key = match_keys[k];
+          const UserId u = PairKeyMin(key);
+          const UserId w = PairKeyMax(key);
+          const Vec2& pu = users[u].pos;
+          const Vec2& pw = users[w].pos;
+          bool inside;
+          if (use_match_cls) {
+            work.queries += 1;  // One classified pair.
+            const MatchCellClassifier& cls = match_cls.find(key)->second;
+            const auto vu = cls.Classify(pu);
+            if (vu == MatchCellClassifier::kOutside) {
+              inside = false;
+            } else {
+              const auto vw = cls.Classify(pw);
+              if (vw == MatchCellClassifier::kOutside) {
+                inside = false;
+              } else if (vu == MatchCellClassifier::kInside &&
+                         vw == MatchCellClassifier::kInside) {
+                inside = true;
+              } else {
+                work.candidates += 1;  // Boundary: exact fallback.
+                const MatchRegion& m = matched.find(key)->second;
+                inside = m.Contains(pu) && m.Contains(pw);
+              }
+            }
+          } else {
+            const MatchRegion& m = matched.find(key)->second;
+            inside = m.Contains(pu) && m.Contains(pw);
+          }
+          pair_inside[k] = inside;
         }
       });
+      if (use_match_cls) {
+        for (size_t c = 0; c < chunks; ++c) {
+          match_stats.match_classified += chunk_work[c].queries;
+          match_stats.match_exact += chunk_work[c].candidates;
+        }
+      }
     }
-    for (size_t k = 0; k < keys.size(); ++k) {
-      const uint64_t key = keys[k];
+    for (size_t k = 0; k < match_keys.size(); ++k) {
+      const uint64_t key = match_keys[k];
       const auto it = matched.find(key);
       if (it == matched.end()) continue;
-      const UserId u = static_cast<UserId>(key >> 32);
-      const UserId w = static_cast<UserId>(key & 0xffffffffULL);
+      const UserId u = PairKeyMin(key);
+      const UserId w = PairKeyMax(key);
       if (self.options_.use_match_regions && pair_inside[k]) {
         continue;
       }
@@ -281,6 +491,10 @@ struct RegionDetector::Impl {
       if (d < r) {
         if (self.options_.use_match_regions) {
           it->second = MatchRegion::Make(users[u].pos, users[w].pos, r);
+          if (use_match_cls) {
+            match_cls.insert_or_assign(key,
+                                       MakeClassifier(it->second.circle()));
+          }
           self.stats_.match_installs += 2;
           EngineMetrics::Get().match_installs.Inc(2);
           if (self.link_ != nullptr) {
@@ -331,44 +545,155 @@ struct RegionDetector::Impl {
   /// Moving regions (FMD/CMD) drift toward each other between rebuilds;
   /// the server probes pairs whose regions may now violate the radius.
   ///
-  /// Parallel scan: each edge's (AABB-pruned) region-pair comparison runs
-  /// on the pool into a per-edge slot, filtered on the phase-*start* state
-  /// (matched set and regions cannot change during this phase; needs_region
-  /// only grows). Serial commit: edges are revisited in edge order and the
-  /// skip conditions re-evaluated against the *current* state, so a probe
-  /// issued for an earlier edge suppresses later edges of the same user
-  /// exactly as the historical serial loop did. The edge snapshot is cached
-  /// across epochs and refreshed only after graph updates (Edges() sorts
-  /// the whole list on every call).
+  /// Parallel scan: pair decisions run on the pool, filtered on the
+  /// phase-*start* state (matched set and regions cannot change during this
+  /// phase; needs_region only grows). Serial commit: flagged pairs are
+  /// walked in ascending edge order with the skip conditions re-evaluated
+  /// against the *current* state, so a probe issued for an earlier edge
+  /// suppresses later edges of the same user exactly as the historical
+  /// serial loop did.
+  ///
+  /// Two scans produce the flagged set (DESIGN.md §10 argues equality):
+  ///  - exhaustive (the oracle, use_spatial_index = false): every cached
+  ///    edge's (AABB-pruned) region-pair comparison into a per-edge slot,
+  ///    committed in slot order.
+  ///  - grid (default): every user's epoch-resolved region AABB lives in a
+  ///    RegionGridIndex; each user queries the cells its own box inflated
+  ///    by its largest incident alert radius overlaps, and only the u < w
+  ///    side of each candidate pair runs the exact region-pair predicate.
+  ///    Cell-level pruning is sound (box distance never exceeds shape
+  ///    distance; the pad absorbs rounding), so the flagged *set* matches
+  ///    the oracle's; sorting it by pair key — ascending (u, w), the edge
+  ///    snapshot's order — makes the commit *sequence* identical too.
   void PerEpochPairCheck() {
-    if (edges_dirty) {
-      edge_cache = graph.Edges();
-      edges_dirty = false;
-    }
-    const size_t n = edge_cache.size();
-    edge_probe.assign(n, 0);
-    ParallelForChunked(n, kEdgeGrain, [&](size_t lo, size_t hi) {
-      for (size_t i = lo; i < hi; ++i) {
+    if (!use_grid) {
+      const size_t n = edge_cache.size();
+      edge_probe.assign(n, 0);
+      ParallelForChunked(n, kEdgeGrain, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          const auto& e = edge_cache[i];
+          if (IsMatched(e.u, e.w)) continue;
+          if (users[e.u].needs_region || users[e.w].needs_region) continue;
+          if (!users[e.u].region || !users[e.w].region) continue;
+          edge_probe[i] = ShapeMinDistanceBelow(
+              *users[e.u].region, *users[e.w].region, epoch, e.alert_radius);
+        }
+      });
+      for (size_t i = 0; i < n; ++i) {
+        if (!edge_probe[i]) continue;
         const auto& e = edge_cache[i];
+        // Re-check with commit-time state: earlier probes may have flagged
+        // an endpoint for rebuild, which skips the pair just as the serial
+        // loop would have.
         if (IsMatched(e.u, e.w)) continue;
         if (users[e.u].needs_region || users[e.w].needs_region) continue;
-        if (!users[e.u].region || !users[e.w].region) continue;
-        edge_probe[i] = ShapeMinDistanceBelow(
-            *users[e.u].region, *users[e.w].region, epoch, e.alert_radius);
+        EngineMetrics::Get().pair_check_probed_edges.Inc();
+        Probe(e.u);
+        Probe(e.w);
+      }
+      return;
+    }
+
+    // --- Grid path ---
+    // Cell size tracks the radius regime; SetCellSize is a no-op when
+    // unchanged, so this only rebuckets after a regime-shifting graph
+    // update.
+    region_grid.SetCellSize(max_alert_radius > 0.0 ? max_alert_radius : 1.0);
+    // Maintenance (serial — the parallel scan below reads the grid): move
+    // every installed region to the cells its AABB covers *this epoch*
+    // (moving circles drift). Regions without usable bounds fall back to an
+    // adjacency scan; absent regions simply leave the grid.
+    unindexed.clear();
+    for (UserId u = 0; u < static_cast<UserId>(users.size()); ++u) {
+      BBox box;
+      if (users[u].region && ShapeBoundsAt(*users[u].region, epoch, &box)) {
+        region_grid.Upsert(u, box);
+      } else {
+        region_grid.Remove(u);
+        if (users[u].region) unindexed.push_back(u);
+      }
+    }
+    const size_t n = users.size();
+    const size_t chunks = n == 0 ? 0 : (n + kQueryGrain - 1) / kQueryGrain;
+    if (flag_chunks.size() < chunks) flag_chunks.resize(chunks);
+    if (cand_bufs.size() < chunks) cand_bufs.resize(chunks);
+    if (chunk_work.size() < chunks) chunk_work.resize(chunks);
+    for (size_t c = 0; c < chunks; ++c) chunk_work[c] = ChunkWork{};
+    ParallelForChunked(n, kQueryGrain, [&](size_t lo, size_t hi) {
+      const size_t chunk = lo / kQueryGrain;
+      std::vector<uint64_t>& out = flag_chunks[chunk];
+      std::vector<int32_t>& cand = cand_bufs[chunk];
+      ChunkWork& work = chunk_work[chunk];
+      out.clear();
+      for (size_t ui = lo; ui < hi; ++ui) {
+        const UserId u = static_cast<UserId>(ui);
+        if (!users[u].region || users[u].needs_region) continue;
+        if (!region_grid.Contains(u)) continue;  // Degenerate bounds.
+        const double slack = max_incident[u];
+        if (slack <= 0.0) continue;  // Isolated user: no edges to check.
+        cand.clear();
+        work.queries += 1;
+        work.cells += region_grid.Query(region_grid.BoxOf(u), slack, &cand);
+        // Multi-cell boxes repeat in the candidate list; dedupe before the
+        // exact predicates.
+        std::sort(cand.begin(), cand.end());
+        cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+        work.candidates += cand.size();
+        for (const int32_t w : cand) {
+          if (w <= static_cast<int32_t>(u)) continue;
+          const auto it = edge_radius.find(PairKey(u, w));
+          if (it == edge_radius.end()) continue;  // Near, but no edge.
+          if (users[w].needs_region || !users[w].region) continue;
+          if (IsMatched(u, w)) continue;
+          if (ShapeMinDistanceBelow(*users[u].region, *users[w].region,
+                                    epoch, it->second)) {
+            out.push_back(PairKey(u, w));
+          }
+        }
       }
     });
-    for (size_t i = 0; i < n; ++i) {
-      if (!edge_probe[i]) continue;
-      const auto& e = edge_cache[i];
-      // Re-check with commit-time state: earlier probes may have flagged an
-      // endpoint for rebuild, which skips the pair just as the serial loop
-      // would have.
-      if (IsMatched(e.u, e.w)) continue;
-      if (users[e.u].needs_region || users[e.w].needs_region) continue;
-      EngineMetrics::Get().pair_check_probed_edges.Inc();
-      Probe(e.u);
-      Probe(e.w);
+    // Fallback for unindexable regions (degenerate bounds — impossible for
+    // the moving circles that reach this phase, but soundness must not rest
+    // on that): their pairs are scanned by adjacency. Covers the indexed
+    // side of mixed pairs too, since the grid never saw this user.
+    flagged.clear();
+    for (const UserId u : unindexed) {
+      if (users[u].needs_region) continue;
+      for (const FriendEdge& fe : graph.FriendsOf(u)) {
+        const UserId w = fe.other;
+        if (!users[w].region || users[w].needs_region) continue;
+        if (IsMatched(u, w)) continue;
+        if (ShapeMinDistanceBelow(*users[u].region, *users[w].region, epoch,
+                                  fe.alert_radius)) {
+          flagged.push_back(PairKey(u, w));
+        }
+      }
     }
+    for (size_t c = 0; c < chunks; ++c) {
+      flagged.insert(flagged.end(), flag_chunks[c].begin(),
+                     flag_chunks[c].end());
+    }
+    // Normalize: bucket enumeration order is maintenance-dependent (and
+    // both-degenerate pairs flag twice), so sort + unique onto the edge
+    // snapshot's ascending-(u, w) order before committing.
+    std::sort(flagged.begin(), flagged.end());
+    flagged.erase(std::unique(flagged.begin(), flagged.end()), flagged.end());
+    for (const uint64_t key : flagged) {
+      const UserId u = PairKeyMin(key);
+      const UserId w = PairKeyMax(key);
+      if (IsMatched(u, w)) continue;
+      if (users[u].needs_region || users[w].needs_region) continue;
+      EngineMetrics::Get().pair_check_probed_edges.Inc();
+      Probe(u);
+      Probe(w);
+    }
+    ChunkWork total;
+    for (size_t c = 0; c < chunks; ++c) {
+      total.queries += chunk_work[c].queries;
+      total.cells += chunk_work[c].cells;
+      total.candidates += chunk_work[c].candidates;
+    }
+    region_grid.RecordQuery(total.queries, total.cells, total.candidates);
   }
 
   /// Serialized rebuild loop: pops users needing a region, probes friends
@@ -406,7 +731,7 @@ struct RegionDetector::Impl {
       }
 
       // Pass 2: collect effective constraint regions for unmatched friends.
-      std::vector<FriendView> views;
+      friend_views.clear();
       for (const FriendEdge& fe : graph.FriendsOf(u)) {
         const UserId w = fe.other;
         if (IsMatched(u, w)) continue;
@@ -426,15 +751,16 @@ struct RegionDetector::Impl {
         } else {
           view.region = *users[w].region;
         }
-        views.push_back(std::move(view));
+        friend_views.push_back(std::move(view));
       }
 
       world.RecentWindow(u, epoch, self.options_.window, &window_buf);
       SafeRegionShape shape =
-          self.policy_->BuildRegion(u, l_u, window_buf, v_u, views, epoch);
+          self.policy_->BuildRegion(u, l_u, window_buf, v_u, friend_views,
+                                    epoch);
       if (self.options_.validate_builds) {
         assert(ShapeContains(shape, l_u, epoch));
-        for (const FriendView& view : views) {
+        for (const FriendView& view : friend_views) {
           const double d = ShapeMinDistance(shape, view.region, epoch);
           assert(d >= view.alert_radius - 1e-6);
           (void)d;
@@ -453,7 +779,6 @@ struct RegionDetector::Impl {
 
   void Run() {
     size_t next_update = 0;
-    const bool per_epoch_check = self.policy_->NeedsPerEpochPairCheck();
     for (epoch = 0; epoch < world.epochs(); ++epoch) {
       // Per-user reset + position fetch: independent slots, fanned out.
       ParallelForChunked(users.size(), kUserGrain, [&](size_t lo, size_t hi) {
@@ -506,8 +831,22 @@ void RegionDetector::Run(const World& world) {
   stats_ = CommStats();
   alerts_.clear();
   rebuild_count_ = 0;
+  index_stats_ = SpatialIndexStats();
   Impl impl(world, *this);
   impl.Run();
+  index_stats_ = impl.region_grid.stats();
+  index_stats_ += impl.match_stats;
+  if (options_.use_spatial_index) {
+    const IndexMetrics& m = IndexMetrics::Get();
+    m.upserts.Inc(index_stats_.upserts);
+    m.moves.Inc(index_stats_.moves);
+    m.rebuilds.Inc(index_stats_.rebuilds);
+    m.queries.Inc(index_stats_.queries);
+    m.cells_probed.Inc(index_stats_.cells_probed);
+    m.candidates.Inc(index_stats_.candidates);
+    m.match_classified.Inc(index_stats_.match_classified);
+    m.match_exact.Inc(index_stats_.match_exact);
+  }
 }
 
 }  // namespace proxdet

@@ -169,8 +169,13 @@ const std::vector<AlertEvent>& Workload::GroundTruth() const {
 std::unique_ptr<Detector> MakeDetector(Method method, const Workload& workload,
                                        RegionDetector::Options options) {
   switch (method) {
-    case Method::kNaive:
-      return std::make_unique<NaiveDetector>();
+    case Method::kNaive: {
+      // The engine-wide index switch applies to the baseline too, so one
+      // flag flips a whole run (any method) onto the exhaustive oracles.
+      NaiveDetector::Options nopts;
+      nopts.use_spatial_index = options.use_spatial_index;
+      return std::make_unique<NaiveDetector>(nopts);
+    }
     case Method::kStatic:
       return std::make_unique<RegionDetector>(
           std::make_unique<StaticPolygonPolicy>(), options);

@@ -1,0 +1,402 @@
+#include "core/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace proxdet {
+
+namespace {
+
+// Query-side padding, relative to the cell size: absorbs the one-ulp
+// rounding of the range arithmetic (coordinates are meters, so a
+// cell-size-relative 1e-9 is many orders of magnitude above the ulp of any
+// realistic coordinate while staying far below any alert radius). Padding
+// only ever *adds* candidate cells — the exact predicates downstream filter
+// them — so it is always sound.
+constexpr double kQueryPadRel = 1e-9;
+
+// SplitMix64 finalizer: the same deterministic integer mix the hash ring
+// uses; cheap and platform-independent.
+uint64_t MixKey(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+int32_t FloorCell(double coord, double inv_cell_size) {
+  const double f = std::floor(coord * inv_cell_size);
+  // Clamp to a safe integer band; worlds are meters-scale, so saturation
+  // only triggers on garbage input and still yields a consistent cell.
+  constexpr double kLim = 1e9;
+  if (f >= kLim) return static_cast<int32_t>(kLim);
+  if (f <= -kLim) return static_cast<int32_t>(-kLim);
+  return static_cast<int32_t>(f);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// UniformGridIndex
+
+UniformGridIndex::UniformGridIndex(double cell_size) {
+  cell_size_ = cell_size > 0.0 ? cell_size : 1.0;
+  inv_cell_size_ = 1.0 / cell_size_;
+  table_.resize(64);
+}
+
+CellCoord UniformGridIndex::CellOf(const Vec2& p) const {
+  return {FloorCell(p.x, inv_cell_size_), FloorCell(p.y, inv_cell_size_)};
+}
+
+void UniformGridIndex::SetCellSize(double cell_size) {
+  const double next = cell_size > 0.0 ? cell_size : 1.0;
+  if (next == cell_size_) return;
+  cell_size_ = next;
+  inv_cell_size_ = 1.0 / next;
+  stats_.rebuilds += 1;
+  // Rebucket every live id under the new tiling. Bucket storage and the
+  // cell table restart empty (old cells are meaningless now).
+  buckets_.clear();
+  table_.assign(64, TableSlot{});
+  table_used_ = 0;
+  for (size_t id = 0; id < entries_.size(); ++id) {
+    Entry& e = entries_[id];
+    if (!e.live) continue;
+    e.cell = CellOf(e.pos);
+    e.bucket = BucketFor(e.cell);
+    e.bucket_slot = static_cast<uint32_t>(buckets_[e.bucket].size());
+    buckets_[e.bucket].push_back(static_cast<int32_t>(id));
+  }
+}
+
+uint32_t UniformGridIndex::FindBucket(const CellCoord& cell) const {
+  const uint64_t key = PackCell(cell);
+  const size_t mask = table_.size() - 1;
+  size_t i = MixKey(key) & mask;
+  while (table_[i].used) {
+    if (table_[i].key == key) return table_[i].bucket;
+    i = (i + 1) & mask;
+  }
+  return std::numeric_limits<uint32_t>::max();
+}
+
+void UniformGridIndex::TableInsert(uint64_t key, uint32_t bucket) {
+  const size_t mask = table_.size() - 1;
+  size_t i = MixKey(key) & mask;
+  while (table_[i].used) i = (i + 1) & mask;
+  table_[i] = {key, bucket, true};
+  ++table_used_;
+}
+
+void UniformGridIndex::GrowTable() {
+  std::vector<TableSlot> old = std::move(table_);
+  table_.assign(old.size() * 2, TableSlot{});
+  table_used_ = 0;
+  for (const TableSlot& slot : old) {
+    if (slot.used) TableInsert(slot.key, slot.bucket);
+  }
+}
+
+uint32_t UniformGridIndex::BucketFor(const CellCoord& cell) {
+  const uint32_t found = FindBucket(cell);
+  if (found != std::numeric_limits<uint32_t>::max()) return found;
+  if ((table_used_ + 1) * 2 > table_.size()) GrowTable();
+  const uint32_t bucket = static_cast<uint32_t>(buckets_.size());
+  buckets_.emplace_back();
+  TableInsert(PackCell(cell), bucket);
+  return bucket;
+}
+
+void UniformGridIndex::RemoveFromBucket(Entry& e) {
+  std::vector<int32_t>& bucket = buckets_[e.bucket];
+  const int32_t moved = bucket.back();
+  bucket[e.bucket_slot] = moved;
+  bucket.pop_back();
+  if (moved >= 0 && static_cast<size_t>(moved) < entries_.size() &&
+      entries_[moved].live && entries_[moved].bucket == e.bucket) {
+    entries_[moved].bucket_slot = e.bucket_slot;
+  }
+}
+
+void UniformGridIndex::Upsert(int32_t id, const Vec2& p) {
+  if (id < 0) return;
+  if (static_cast<size_t>(id) >= entries_.size()) {
+    entries_.resize(static_cast<size_t>(id) + 1);
+  }
+  stats_.upserts += 1;
+  Entry& e = entries_[id];
+  const CellCoord cell = CellOf(p);
+  if (e.live) {
+    e.pos = p;
+    if (cell == e.cell) return;  // Same cell: position refresh only.
+    RemoveFromBucket(e);
+    stats_.moves += 1;
+  } else {
+    e.live = true;
+    e.pos = p;
+    ++live_count_;
+  }
+  e.cell = cell;
+  e.bucket = BucketFor(cell);
+  e.bucket_slot = static_cast<uint32_t>(buckets_[e.bucket].size());
+  buckets_[e.bucket].push_back(id);
+}
+
+void UniformGridIndex::Remove(int32_t id) {
+  if (id < 0 || static_cast<size_t>(id) >= entries_.size()) return;
+  Entry& e = entries_[id];
+  if (!e.live) return;
+  RemoveFromBucket(e);
+  e.live = false;
+  --live_count_;
+  stats_.removes += 1;
+}
+
+bool UniformGridIndex::Contains(int32_t id) const {
+  return id >= 0 && static_cast<size_t>(id) < entries_.size() &&
+         entries_[id].live;
+}
+
+uint64_t UniformGridIndex::Query(const Vec2& center, double radius,
+                                 std::vector<int32_t>* out) const {
+  const double r = radius + cell_size_ * kQueryPadRel;
+  const CellCoord lo = CellOf({center.x - r, center.y - r});
+  const CellCoord hi = CellOf({center.x + r, center.y + r});
+  uint64_t cells = 0;
+  for (int32_t cy = lo.y; cy <= hi.y; ++cy) {
+    for (int32_t cx = lo.x; cx <= hi.x; ++cx) {
+      ++cells;
+      const uint32_t bucket = FindBucket({cx, cy});
+      if (bucket == std::numeric_limits<uint32_t>::max()) continue;
+      const std::vector<int32_t>& ids = buckets_[bucket];
+      out->insert(out->end(), ids.begin(), ids.end());
+    }
+  }
+  return cells;
+}
+
+std::vector<std::pair<int32_t, Vec2>> UniformGridIndex::SortedEntries() const {
+  std::vector<std::pair<int32_t, Vec2>> out;
+  out.reserve(live_count_);
+  for (size_t id = 0; id < entries_.size(); ++id) {
+    if (entries_[id].live) {
+      out.emplace_back(static_cast<int32_t>(id), entries_[id].pos);
+    }
+  }
+  return out;  // Dense scan by id: already sorted.
+}
+
+// ---------------------------------------------------------------------------
+// RegionGridIndex
+
+RegionGridIndex::RegionGridIndex(double cell_size) {
+  cell_size_ = cell_size > 0.0 ? cell_size : 1.0;
+  inv_cell_size_ = 1.0 / cell_size_;
+  table_.resize(64);
+}
+
+CellRange RegionGridIndex::RangeOf(const BBox& box) const {
+  CellRange range;
+  range.lo = {FloorCell(box.lo.x, inv_cell_size_),
+              FloorCell(box.lo.y, inv_cell_size_)};
+  range.hi = {FloorCell(box.hi.x, inv_cell_size_),
+              FloorCell(box.hi.y, inv_cell_size_)};
+  return range;
+}
+
+void RegionGridIndex::SetCellSize(double cell_size) {
+  const double next = cell_size > 0.0 ? cell_size : 1.0;
+  if (next == cell_size_) return;
+  cell_size_ = next;
+  inv_cell_size_ = 1.0 / next;
+  stats_.rebuilds += 1;
+  buckets_.clear();
+  table_.assign(64, TableSlot{});
+  table_used_ = 0;
+  for (size_t h = 0; h < entries_.size(); ++h) {
+    Entry& e = entries_[h];
+    if (!e.live) continue;
+    e.range = RangeOf(e.box);
+    InsertIntoCells(static_cast<int32_t>(h), e.range);
+  }
+}
+
+uint32_t RegionGridIndex::FindBucket(const CellCoord& cell) const {
+  const uint64_t key = PackCell(cell);
+  const size_t mask = table_.size() - 1;
+  size_t i = MixKey(key) & mask;
+  while (table_[i].used) {
+    if (table_[i].key == key) return table_[i].bucket;
+    i = (i + 1) & mask;
+  }
+  return std::numeric_limits<uint32_t>::max();
+}
+
+void RegionGridIndex::TableInsert(uint64_t key, uint32_t bucket) {
+  const size_t mask = table_.size() - 1;
+  size_t i = MixKey(key) & mask;
+  while (table_[i].used) i = (i + 1) & mask;
+  table_[i] = {key, bucket, true};
+  ++table_used_;
+}
+
+void RegionGridIndex::GrowTable() {
+  std::vector<TableSlot> old = std::move(table_);
+  table_.assign(old.size() * 2, TableSlot{});
+  table_used_ = 0;
+  for (const TableSlot& slot : old) {
+    if (slot.used) TableInsert(slot.key, slot.bucket);
+  }
+}
+
+uint32_t RegionGridIndex::BucketFor(const CellCoord& cell) {
+  const uint32_t found = FindBucket(cell);
+  if (found != std::numeric_limits<uint32_t>::max()) return found;
+  if ((table_used_ + 1) * 2 > table_.size()) GrowTable();
+  const uint32_t bucket = static_cast<uint32_t>(buckets_.size());
+  buckets_.emplace_back();
+  TableInsert(PackCell(cell), bucket);
+  return bucket;
+}
+
+void RegionGridIndex::InsertIntoCells(int32_t handle, const CellRange& range) {
+  for (int32_t cy = range.lo.y; cy <= range.hi.y; ++cy) {
+    for (int32_t cx = range.lo.x; cx <= range.hi.x; ++cx) {
+      buckets_[BucketFor({cx, cy})].push_back(handle);
+    }
+  }
+}
+
+void RegionGridIndex::RemoveFromCells(int32_t handle, const CellRange& range) {
+  for (int32_t cy = range.lo.y; cy <= range.hi.y; ++cy) {
+    for (int32_t cx = range.lo.x; cx <= range.hi.x; ++cx) {
+      const uint32_t b = FindBucket({cx, cy});
+      if (b == std::numeric_limits<uint32_t>::max()) continue;
+      std::vector<int32_t>& bucket = buckets_[b];
+      for (size_t i = 0; i < bucket.size(); ++i) {
+        if (bucket[i] == handle) {
+          bucket[i] = bucket.back();
+          bucket.pop_back();
+          break;
+        }
+      }
+    }
+  }
+}
+
+void RegionGridIndex::Upsert(int32_t handle, const BBox& box) {
+  if (handle < 0) return;
+  if (static_cast<size_t>(handle) >= entries_.size()) {
+    entries_.resize(static_cast<size_t>(handle) + 1);
+  }
+  stats_.upserts += 1;
+  Entry& e = entries_[handle];
+  const CellRange range = RangeOf(box);
+  if (e.live) {
+    e.box = box;
+    if (range == e.range) return;  // Same cells: bounds refresh only.
+    RemoveFromCells(handle, e.range);
+    stats_.moves += 1;
+  } else {
+    e.live = true;
+    e.box = box;
+    ++live_count_;
+  }
+  e.range = range;
+  InsertIntoCells(handle, range);
+}
+
+void RegionGridIndex::Remove(int32_t handle) {
+  if (handle < 0 || static_cast<size_t>(handle) >= entries_.size()) return;
+  Entry& e = entries_[handle];
+  if (!e.live) return;
+  RemoveFromCells(handle, e.range);
+  e.live = false;
+  --live_count_;
+  stats_.removes += 1;
+}
+
+bool RegionGridIndex::Contains(int32_t handle) const {
+  return handle >= 0 && static_cast<size_t>(handle) < entries_.size() &&
+         entries_[handle].live;
+}
+
+uint64_t RegionGridIndex::Query(const BBox& box, double slack,
+                                std::vector<int32_t>* out) const {
+  const double s = slack + cell_size_ * kQueryPadRel;
+  BBox probe = box;
+  probe.Inflate(s);
+  const CellRange range = RangeOf(probe);
+  uint64_t cells = 0;
+  for (int32_t cy = range.lo.y; cy <= range.hi.y; ++cy) {
+    for (int32_t cx = range.lo.x; cx <= range.hi.x; ++cx) {
+      ++cells;
+      const uint32_t bucket = FindBucket({cx, cy});
+      if (bucket == std::numeric_limits<uint32_t>::max()) continue;
+      const std::vector<int32_t>& handles = buckets_[bucket];
+      out->insert(out->end(), handles.begin(), handles.end());
+    }
+  }
+  return cells;
+}
+
+std::vector<std::pair<int32_t, CellRange>> RegionGridIndex::SortedEntries()
+    const {
+  std::vector<std::pair<int32_t, CellRange>> out;
+  out.reserve(live_count_);
+  for (size_t h = 0; h < entries_.size(); ++h) {
+    if (entries_[h].live) {
+      out.emplace_back(static_cast<int32_t>(h), entries_[h].range);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MatchCellClassifier
+
+MatchCellClassifier::MatchCellClassifier(const Circle& circle,
+                                         double cell_size) {
+  cell_size_ = cell_size > 0.0 ? cell_size : 1.0;
+  inv_cell_size_ = 1.0 / cell_size_;
+  circle_ = circle;
+  const double pad =
+      kMargin * (std::abs(circle.center.x) + std::abs(circle.center.y) +
+                 circle.radius + cell_size_);
+  // Outer: every cell overlapping the padded AABB. A point outside these
+  // cells is > radius away on at least one axis, so the exact strict
+  // predicate is certainly false for it.
+  const double ro = circle.radius + pad;
+  outer_.lo = {FloorCell(circle.center.x - ro, inv_cell_size_),
+               FloorCell(circle.center.y - ro, inv_cell_size_)};
+  outer_.hi = {FloorCell(circle.center.x + ro, inv_cell_size_),
+               FloorCell(circle.center.y + ro, inv_cell_size_)};
+  // Inner: cells strictly interior to the axis-aligned square inscribed in
+  // the circle deflated by the margin. Every point of such a cell is at
+  // distance <= r * (1 - kMargin) from the center, which clears the exact
+  // predicate's worst-case rounding by ~15 decimal orders.
+  const double ri = circle.radius * (1.0 - kMargin);
+  const double half = ri / std::sqrt(2.0) - pad;
+  if (half > 0.0) {
+    inner_.lo = {FloorCell(circle.center.x - half, inv_cell_size_) + 1,
+                 FloorCell(circle.center.y - half, inv_cell_size_) + 1};
+    inner_.hi = {FloorCell(circle.center.x + half, inv_cell_size_) - 1,
+                 FloorCell(circle.center.y + half, inv_cell_size_) - 1};
+  } else {
+    inner_ = CellRange{{0, 0}, {-1, -1}};  // Empty.
+  }
+}
+
+MatchCellClassifier::Verdict MatchCellClassifier::Classify(
+    const Vec2& p) const {
+  const CellCoord cell = {FloorCell(p.x, inv_cell_size_),
+                          FloorCell(p.y, inv_cell_size_)};
+  if (!outer_.ContainsCell(cell)) return kOutside;
+  if (inner_.ContainsCell(cell)) return kInside;
+  return kBoundary;
+}
+
+}  // namespace proxdet

@@ -1,0 +1,307 @@
+#ifndef PROXDET_CORE_SPATIAL_INDEX_H_
+#define PROXDET_CORE_SPATIAL_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/bbox.h"
+#include "geom/circle.h"
+#include "geom/vec2.h"
+
+namespace proxdet {
+
+/// Integer cell coordinates of the uniform grids below. Cells tile the
+/// plane from the origin: cell (cx, cy) covers [cx*s, (cx+1)*s) x
+/// [cy*s, (cy+1)*s) for cell size s. Points exactly on a cell edge belong
+/// to the higher cell (floor semantics) — the boundary property test pins
+/// this down, and every range computation below is inclusive of both end
+/// cells so an on-edge point can never fall between two ranges.
+struct CellCoord {
+  int32_t x = 0;
+  int32_t y = 0;
+
+  friend bool operator==(const CellCoord& a, const CellCoord& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend bool operator!=(const CellCoord& a, const CellCoord& b) {
+    return !(a == b);
+  }
+};
+
+/// Inclusive rectangle of cells [lo.x..hi.x] x [lo.y..hi.y]. Empty when
+/// hi < lo on either axis (used for "no cells" sentinels).
+struct CellRange {
+  CellCoord lo;
+  CellCoord hi;
+
+  bool Empty() const { return hi.x < lo.x || hi.y < lo.y; }
+  int64_t CellCount() const {
+    if (Empty()) return 0;
+    return (static_cast<int64_t>(hi.x) - lo.x + 1) *
+           (static_cast<int64_t>(hi.y) - lo.y + 1);
+  }
+  bool ContainsCell(const CellCoord& c) const {
+    return c.x >= lo.x && c.x <= hi.x && c.y >= lo.y && c.y <= hi.y;
+  }
+
+  friend bool operator==(const CellRange& a, const CellRange& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const CellRange& a, const CellRange& b) {
+    return !(a == b);
+  }
+};
+
+/// Deterministic per-run work counters of one index instance. All values
+/// are pure functions of the query/maintenance sequence (independent of
+/// thread count and hash-table layout), so they participate in the
+/// deterministic-metrics digest and reconcile against the obs counters to
+/// the unit (see bench_support/obs_artifacts.h).
+struct SpatialIndexStats {
+  uint64_t upserts = 0;        // Upsert calls (moved or not).
+  uint64_t moves = 0;          // Upserts that changed the cell.
+  uint64_t removes = 0;        // Remove calls that found the id.
+  uint64_t rebuilds = 0;       // Full rebuilds (cell-size changes).
+  uint64_t queries = 0;        // Query calls.
+  uint64_t cells_probed = 0;   // Cells enumerated across all queries.
+  uint64_t candidates = 0;     // Ids appended across all queries.
+  uint64_t match_classified = 0;  // MatchCellClassifier pair verdicts.
+  uint64_t match_exact = 0;       // ...that fell through to exact math.
+
+  SpatialIndexStats& operator+=(const SpatialIndexStats& o) {
+    upserts += o.upserts;
+    moves += o.moves;
+    removes += o.removes;
+    rebuilds += o.rebuilds;
+    queries += o.queries;
+    cells_probed += o.cells_probed;
+    candidates += o.candidates;
+    match_classified += o.match_classified;
+    match_exact += o.match_exact;
+    return *this;
+  }
+};
+
+/// Uniform-grid point index: id -> position, bucketed by cell. The cell
+/// table is open-addressed (power-of-two capacity, linear probing over
+/// packed 64-bit cell keys) and buckets are swap-remove vectors, so the
+/// steady-state epoch loop — upsert every tracked id, then a query per id —
+/// allocates nothing once the table has grown to its working size.
+///
+/// Maintenance is incremental: an upsert whose cell did not change touches
+/// only the stored position; a move swap-removes from the old bucket and
+/// appends to the new one. There is no full rebuild per epoch — only
+/// SetCellSize (radius regime change) rebuckets everything.
+///
+/// Determinism: bucket contents depend on the upsert/remove sequence, so
+/// Query appends candidates in a sequence-dependent order. Callers that
+/// feed serial commits MUST normalize (sort) the candidate set first —
+/// both detectors sort by edge key before committing (DESIGN.md §10).
+/// Query is const and safe to call concurrently from parallel scans;
+/// mutation must stay serial, like every other engine structure.
+class UniformGridIndex {
+ public:
+  /// `cell_size` <= 0 is treated as 1 (degenerate worlds with no edges
+  /// never query, so the size is irrelevant there).
+  explicit UniformGridIndex(double cell_size = 1.0);
+
+  double cell_size() const { return cell_size_; }
+  size_t size() const { return live_count_; }
+
+  CellCoord CellOf(const Vec2& p) const;
+
+  /// Changes the cell size and rebuckets every live id. No-op when the
+  /// size is unchanged.
+  void SetCellSize(double cell_size);
+
+  /// Inserts or moves id to `p`. Ids are dense non-negative integers
+  /// (UserId, edge slots); the id table grows to the max id seen.
+  void Upsert(int32_t id, const Vec2& p);
+
+  /// Removes id; no-op when absent.
+  void Remove(int32_t id);
+
+  bool Contains(int32_t id) const;
+  /// Stored position of a live id (undefined for absent ids).
+  const Vec2& PositionOf(int32_t id) const { return entries_[id].pos; }
+
+  /// Appends to *out every live id whose stored position may lie within
+  /// `radius` of `center`: all ids in cells intersecting the circle's
+  /// (slightly padded) bounding square. A superset of the exact
+  /// within-radius set — closed, and padded so points at exactly `radius`
+  /// (including on cell edges) are always returned; the boundary property
+  /// test pins this. Does not clear *out. Returns the cells probed.
+  uint64_t Query(const Vec2& center, double radius,
+                 std::vector<int32_t>* out) const;
+
+  /// Accumulated work counters. Query-side counters are mutated under a
+  /// relaxed atomic-free discipline: Query is const and only *returns* its
+  /// cell count — callers running parallel scans accumulate per-chunk and
+  /// add the totals serially via RecordQuery.
+  const SpatialIndexStats& stats() const { return stats_; }
+  /// Serially folds parallel-scan query work into the counters.
+  void RecordQuery(uint64_t queries, uint64_t cells, uint64_t candidates) {
+    stats_.queries += queries;
+    stats_.cells_probed += cells;
+    stats_.candidates += candidates;
+  }
+
+  /// Every live (id, position) pair, sorted by id — the canonical form the
+  /// maintenance property tests compare against a from-scratch build.
+  std::vector<std::pair<int32_t, Vec2>> SortedEntries() const;
+
+ private:
+  struct Entry {
+    bool live = false;
+    Vec2 pos;
+    CellCoord cell;
+    uint32_t bucket = 0;       // Index into buckets_.
+    uint32_t bucket_slot = 0;  // Position inside the bucket.
+  };
+
+  // Open-addressed cell table slot: a packed cell key plus its bucket.
+  struct TableSlot {
+    uint64_t key = 0;
+    uint32_t bucket = 0;
+    bool used = false;
+  };
+
+  static uint64_t PackCell(const CellCoord& c) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(c.x)) << 32) |
+           static_cast<uint64_t>(static_cast<uint32_t>(c.y));
+  }
+
+  /// Bucket for `cell`, creating it if needed.
+  uint32_t BucketFor(const CellCoord& cell);
+  /// Bucket for `cell`, or UINT32_MAX when the cell is empty.
+  uint32_t FindBucket(const CellCoord& cell) const;
+  void TableInsert(uint64_t key, uint32_t bucket);
+  void GrowTable();
+  void RemoveFromBucket(Entry& e);
+
+  double cell_size_ = 1.0;
+  double inv_cell_size_ = 1.0;
+  std::vector<Entry> entries_;                  // Dense by id.
+  std::vector<std::vector<int32_t>> buckets_;   // Bucket storage (stable).
+  std::vector<TableSlot> table_;                // Open-addressed cell table.
+  size_t table_used_ = 0;
+  size_t live_count_ = 0;
+  SpatialIndexStats stats_;
+};
+
+/// Uniform-grid index over axis-aligned boxes (safe-region bounds): each
+/// handle is stored in every cell its AABB overlaps, so a box query only
+/// enumerates the cells it overlaps (inflated by the query slack) and
+/// reads those buckets. Handles are dense non-negative integers (UserId
+/// for safe regions). Incremental like the point grid: an update whose
+/// covered cell range is unchanged is free; otherwise the handle moves
+/// buckets. Candidates repeat when a box spans several probed cells —
+/// callers dedupe (both engines sort + unique the normalized keys anyway).
+class RegionGridIndex {
+ public:
+  explicit RegionGridIndex(double cell_size = 1.0);
+
+  double cell_size() const { return cell_size_; }
+  size_t size() const { return live_count_; }
+
+  /// Cells covered by `box` (inclusive of edge-touching cells).
+  CellRange RangeOf(const BBox& box) const;
+
+  void SetCellSize(double cell_size);
+  void Upsert(int32_t handle, const BBox& box);
+  void Remove(int32_t handle);
+  bool Contains(int32_t handle) const;
+  const BBox& BoxOf(int32_t handle) const { return entries_[handle].box; }
+
+  /// Appends to *out every handle whose stored AABB may lie within
+  /// `slack` of `box` (cell-level test: all handles bucketed in cells
+  /// overlapping `box` inflated by `slack`). Superset semantics and
+  /// duplicate caveat as documented on the class. Returns cells probed.
+  uint64_t Query(const BBox& box, double slack,
+                 std::vector<int32_t>* out) const;
+
+  const SpatialIndexStats& stats() const { return stats_; }
+  void RecordQuery(uint64_t queries, uint64_t cells, uint64_t candidates) {
+    stats_.queries += queries;
+    stats_.cells_probed += cells;
+    stats_.candidates += candidates;
+  }
+
+  /// Every live (handle, covered-cell-range) pair, sorted by handle.
+  std::vector<std::pair<int32_t, CellRange>> SortedEntries() const;
+
+ private:
+  struct Entry {
+    bool live = false;
+    BBox box;
+    CellRange range;
+  };
+
+  uint32_t BucketFor(const CellCoord& cell);
+  uint32_t FindBucket(const CellCoord& cell) const;
+  void TableInsert(uint64_t key, uint32_t bucket);
+  void GrowTable();
+  void InsertIntoCells(int32_t handle, const CellRange& range);
+  void RemoveFromCells(int32_t handle, const CellRange& range);
+
+  static uint64_t PackCell(const CellCoord& c) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(c.x)) << 32) |
+           static_cast<uint64_t>(static_cast<uint32_t>(c.y));
+  }
+
+  struct TableSlot {
+    uint64_t key = 0;
+    uint32_t bucket = 0;
+    bool used = false;
+  };
+
+  double cell_size_ = 1.0;
+  double inv_cell_size_ = 1.0;
+  std::vector<Entry> entries_;                 // Dense by handle.
+  std::vector<std::vector<int32_t>> buckets_;
+  std::vector<TableSlot> table_;
+  size_t table_used_ = 0;
+  size_t live_count_ = 0;
+  SpatialIndexStats stats_;
+};
+
+/// Cell-level containment classifier for a circle (the match-region fast
+/// path): precomputes, in the grid's cell coordinates, the cells that are
+/// *provably* strictly inside the circle and the cells overlapping its
+/// AABB. Classify() then settles most points with integer compares; only
+/// boundary cells fall through to the exact predicate.
+///
+/// Bit-exactness contract: kInside is returned only when every point of
+/// the cell satisfies Circle::ContainsStrict as *computed* (a relative
+/// margin of kMargin on the radius absorbs the floating-point rounding of
+/// the exact predicate's d^2 < r^2 evaluation — see DESIGN.md §10), and
+/// kOutside only when no point of the cell can satisfy it. kBoundary means
+/// "ask the exact predicate"; the caller's answer is then by definition
+/// identical to the scan path's.
+class MatchCellClassifier {
+ public:
+  enum Verdict { kInside, kOutside, kBoundary };
+
+  MatchCellClassifier() = default;
+  MatchCellClassifier(const Circle& circle, double cell_size);
+
+  Verdict Classify(const Vec2& p) const;
+  const CellRange& outer() const { return outer_; }
+  const CellRange& inner() const { return inner_; }
+
+ private:
+  /// Relative radius margin absorbing the worst-case rounding of the
+  /// exact d^2 < r^2 evaluation (a handful of ulps; 1e-9 is ~2^24 ulps —
+  /// vastly conservative, and boundary cells cost one exact check).
+  static constexpr double kMargin = 1e-9;
+
+  double cell_size_ = 1.0;
+  double inv_cell_size_ = 1.0;
+  Circle circle_;
+  CellRange outer_;  // Cells overlapping the (slightly inflated) AABB.
+  CellRange inner_;  // Cells provably strictly inside (may be Empty).
+};
+
+}  // namespace proxdet
+
+#endif  // PROXDET_CORE_SPATIAL_INDEX_H_

@@ -7,16 +7,6 @@
 
 namespace proxdet {
 
-namespace {
-
-uint64_t PairKey(UserId u, UserId w) {
-  const uint64_t a = static_cast<uint64_t>(std::min(u, w));
-  const uint64_t b = static_cast<uint64_t>(std::max(u, w));
-  return (a << 32) | b;
-}
-
-}  // namespace
-
 void SortAlerts(std::vector<AlertEvent>* alerts) {
   std::sort(alerts->begin(), alerts->end());
 }

@@ -82,8 +82,12 @@ TEST(DetectorIntegrationTest, DynamicInsertionsStayExact) {
           {epoch, true, u, w, workload.config.alert_radius_m});
     }
   }
+  // validate_builds also asserts the incremental edge snapshot equals a
+  // from-scratch graph.Edges() after every update batch.
+  RegionDetector::Options options;
+  options.validate_builds = true;
   for (const Method m : {Method::kNaive, Method::kCmd, Method::kStripeKf}) {
-    const RunResult r = RunMethod(m, workload);
+    const RunResult r = RunMethod(m, workload, options);
     EXPECT_TRUE(r.alerts_exact) << MethodName(m);
   }
 }
@@ -97,8 +101,12 @@ TEST(DetectorIntegrationTest, DynamicDeletionsStayExact) {
     workload.world.ScheduleUpdate(
         {30, false, edges[i].u, edges[i].w, 0.0});
   }
+  // validate_builds also asserts the incremental edge snapshot equals a
+  // from-scratch graph.Edges() after every update batch.
+  RegionDetector::Options options;
+  options.validate_builds = true;
   for (const Method m : {Method::kNaive, Method::kFmd, Method::kStripeKf}) {
-    const RunResult r = RunMethod(m, workload);
+    const RunResult r = RunMethod(m, workload, options);
     EXPECT_TRUE(r.alerts_exact) << MethodName(m);
   }
 }

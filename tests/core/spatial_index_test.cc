@@ -1,0 +1,371 @@
+// The spatial-index subsystem's contracts, labelled `index` in ctest (and
+// run in the TSan and OBS-OFF trees by scripts/check.sh):
+//  - maintenance: any upsert/remove/churn sequence leaves a grid equal to a
+//    from-scratch build of the surviving entries;
+//  - enumeration soundness: a radius query never drops a candidate the
+//    brute-force scan finds — including points exactly on cell edges and at
+//    exactly the query radius;
+//  - classifier: cell verdicts provably agree with Circle::ContainsStrict;
+//  - detectors: grid and exhaustive-scan paths are bit-exact (alerts,
+//    CommStats, rebuild counts) under random motion, churn and the dynamic
+//    interest-graph workload, across thread counts.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/simulation.h"
+#include "core/spatial_index.h"
+#include "exec/thread_pool.h"
+#include "geom/vec2.h"
+
+namespace proxdet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// UniformGridIndex maintenance: churn == from-scratch.
+
+TEST(UniformGridIndexTest, ChurnEqualsFromScratchBuild) {
+  Rng rng(2024);
+  for (const double cell : {0.5, 3.0, 1000.0}) {
+    UniformGridIndex incremental(cell);
+    std::vector<std::pair<int32_t, Vec2>> live(64, {-1, Vec2{}});
+    std::vector<bool> present(64, false);
+    for (int step = 0; step < 4000; ++step) {
+      const int32_t id = static_cast<int32_t>(rng.NextIndex(64));
+      const double op = rng.Uniform(0.0, 1.0);
+      if (op < 0.7) {
+        // Mostly moves: some within the same cell, some across cells.
+        const Vec2 p{rng.Uniform(-5000.0, 5000.0),
+                     rng.Uniform(-5000.0, 5000.0)};
+        incremental.Upsert(id, p);
+        live[id] = {id, p};
+        present[id] = true;
+      } else {
+        incremental.Remove(id);
+        present[id] = false;
+      }
+    }
+    UniformGridIndex scratch(cell);
+    size_t expected = 0;
+    for (int32_t id = 0; id < 64; ++id) {
+      if (!present[id]) continue;
+      scratch.Upsert(id, live[id].second);
+      ++expected;
+    }
+    EXPECT_EQ(incremental.size(), expected) << "cell=" << cell;
+    EXPECT_EQ(incremental.SortedEntries(), scratch.SortedEntries())
+        << "cell=" << cell;
+  }
+}
+
+TEST(UniformGridIndexTest, SetCellSizeRebucketsWithoutLosingAnyone) {
+  Rng rng(7);
+  UniformGridIndex grid(10.0);
+  for (int32_t id = 0; id < 200; ++id) {
+    grid.Upsert(id, {rng.Uniform(-300.0, 300.0), rng.Uniform(-300.0, 300.0)});
+  }
+  const auto before = grid.SortedEntries();
+  grid.SetCellSize(3.7);
+  EXPECT_EQ(grid.SortedEntries(), before);
+  EXPECT_EQ(grid.stats().rebuilds, 1u);
+  // Queries still find everyone after the rebucket.
+  std::vector<int32_t> cand;
+  grid.Query({0.0, 0.0}, 1000.0, &cand);
+  EXPECT_EQ(cand.size(), before.size());
+}
+
+// ---------------------------------------------------------------------------
+// Enumeration soundness at the boundary: points exactly on cell edges and
+// at exactly the query radius must always be returned (superset of the
+// closed brute-force disk).
+
+TEST(UniformGridIndexTest, BoundaryPointsAreNeverDropped) {
+  const double cell = 2.0;
+  UniformGridIndex grid(cell);
+  // Points exactly on cell corners/edges around the origin, including
+  // negative coordinates (floor semantics, not truncation).
+  std::vector<Vec2> pts;
+  for (int i = -4; i <= 4; ++i) {
+    for (int j = -4; j <= 4; ++j) {
+      pts.push_back({i * cell, j * cell});            // Corner.
+      pts.push_back({i * cell, j * cell + cell / 2}); // Vertical edge.
+      pts.push_back({i * cell + cell / 2, j * cell}); // Horizontal edge.
+    }
+  }
+  for (size_t i = 0; i < pts.size(); ++i) {
+    grid.Upsert(static_cast<int32_t>(i), pts[i]);
+  }
+  Rng rng(99);
+  std::vector<int32_t> cand;
+  for (int trial = 0; trial < 300; ++trial) {
+    // Mix arbitrary centers with centers exactly on grid lines, and radii
+    // that land candidates exactly on the circle.
+    Vec2 c{rng.Uniform(-8.0, 8.0), rng.Uniform(-8.0, 8.0)};
+    if (trial % 3 == 0) {
+      c = {std::floor(c.x / cell) * cell, std::floor(c.y / cell) * cell};
+    }
+    const size_t target = rng.NextIndex(pts.size());
+    const double r = Distance(c, pts[target]);  // Exactly-on-radius case.
+    cand.clear();
+    grid.Query(c, r, &cand);
+    std::sort(cand.begin(), cand.end());
+    for (size_t i = 0; i < pts.size(); ++i) {
+      if (Distance(c, pts[i]) <= r) {  // Closed brute-force disk.
+        EXPECT_TRUE(std::binary_search(cand.begin(), cand.end(),
+                                       static_cast<int32_t>(i)))
+            << "dropped point " << i << " at exactly d<=r, trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(UniformGridIndexTest, RandomQueriesAreSupersetsOfBruteForce) {
+  Rng rng(4242);
+  for (const double cell : {0.8, 5.0, 40.0}) {
+    UniformGridIndex grid(cell);
+    std::vector<Vec2> pts;
+    for (int32_t id = 0; id < 400; ++id) {
+      pts.push_back({rng.Uniform(-100.0, 100.0), rng.Uniform(-100.0, 100.0)});
+      grid.Upsert(id, pts.back());
+    }
+    std::vector<int32_t> cand;
+    for (int trial = 0; trial < 200; ++trial) {
+      const Vec2 c{rng.Uniform(-120.0, 120.0), rng.Uniform(-120.0, 120.0)};
+      const double r = rng.Uniform(0.0, 60.0);
+      cand.clear();
+      grid.Query(c, r, &cand);
+      std::sort(cand.begin(), cand.end());
+      for (size_t i = 0; i < pts.size(); ++i) {
+        if (Distance(c, pts[i]) <= r) {
+          EXPECT_TRUE(std::binary_search(cand.begin(), cand.end(),
+                                         static_cast<int32_t>(i)))
+              << "cell=" << cell << " trial=" << trial << " id=" << i;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RegionGridIndex: churn == from-scratch, and box queries are supersets.
+
+TEST(RegionGridIndexTest, ChurnEqualsFromScratchBuild) {
+  Rng rng(31337);
+  RegionGridIndex incremental(5.0);
+  std::vector<BBox> live(48);
+  std::vector<bool> present(48, false);
+  for (int step = 0; step < 3000; ++step) {
+    const int32_t h = static_cast<int32_t>(rng.NextIndex(48));
+    if (rng.Uniform(0.0, 1.0) < 0.75) {
+      const Vec2 lo{rng.Uniform(-200.0, 200.0), rng.Uniform(-200.0, 200.0)};
+      const Vec2 hi{lo.x + rng.Uniform(0.0, 30.0),
+                    lo.y + rng.Uniform(0.0, 30.0)};
+      const BBox box{lo, hi};
+      incremental.Upsert(h, box);
+      live[h] = box;
+      present[h] = true;
+    } else {
+      incremental.Remove(h);
+      present[h] = false;
+    }
+  }
+  RegionGridIndex scratch(5.0);
+  size_t expected = 0;
+  for (int32_t h = 0; h < 48; ++h) {
+    if (!present[h]) continue;
+    scratch.Upsert(h, live[h]);
+    ++expected;
+  }
+  EXPECT_EQ(incremental.size(), expected);
+  EXPECT_EQ(incremental.SortedEntries(), scratch.SortedEntries());
+  // And the surviving boxes answer queries identically.
+  std::vector<int32_t> a;
+  std::vector<int32_t> b;
+  for (int trial = 0; trial < 100; ++trial) {
+    const Vec2 lo{rng.Uniform(-220.0, 220.0), rng.Uniform(-220.0, 220.0)};
+    const BBox q{lo, {lo.x + 15.0, lo.y + 15.0}};
+    const double slack = rng.Uniform(0.0, 25.0);
+    a.clear();
+    b.clear();
+    incremental.Query(q, slack, &a);
+    scratch.Query(q, slack, &b);
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+    std::sort(b.begin(), b.end());
+    b.erase(std::unique(b.begin(), b.end()), b.end());
+    EXPECT_EQ(a, b) << "trial " << trial;
+  }
+}
+
+TEST(RegionGridIndexTest, QueriesAreSupersetsOfBruteForceBoxDistance) {
+  Rng rng(555);
+  RegionGridIndex grid(4.0);
+  std::vector<BBox> boxes;
+  for (int32_t h = 0; h < 120; ++h) {
+    const Vec2 lo{rng.Uniform(-80.0, 80.0), rng.Uniform(-80.0, 80.0)};
+    boxes.push_back({lo, {lo.x + rng.Uniform(0.0, 12.0),
+                          lo.y + rng.Uniform(0.0, 12.0)}});
+    grid.Upsert(h, boxes.back());
+  }
+  std::vector<int32_t> cand;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec2 lo{rng.Uniform(-90.0, 90.0), rng.Uniform(-90.0, 90.0)};
+    const BBox q{lo, {lo.x + rng.Uniform(0.0, 10.0),
+                      lo.y + rng.Uniform(0.0, 10.0)}};
+    const double slack = rng.Uniform(0.0, 20.0);
+    cand.clear();
+    grid.Query(q, slack, &cand);
+    std::sort(cand.begin(), cand.end());
+    cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+    for (size_t h = 0; h < boxes.size(); ++h) {
+      if (q.DistanceToBox(boxes[h]) <= slack) {
+        EXPECT_TRUE(std::binary_search(cand.begin(), cand.end(),
+                                       static_cast<int32_t>(h)))
+            << "dropped box " << h << " trial " << trial;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MatchCellClassifier: fast verdicts provably agree with the exact strict
+// predicate; boundary is allowed (and falls through to exact math).
+
+TEST(MatchCellClassifierTest, VerdictsAgreeWithContainsStrict) {
+  Rng rng(808);
+  for (int c = 0; c < 50; ++c) {
+    const Circle circle{{rng.Uniform(-1000.0, 1000.0),
+                         rng.Uniform(-1000.0, 1000.0)},
+                        rng.Uniform(0.1, 500.0)};
+    const MatchCellClassifier cls(circle, circle.radius / 4.0);
+    int inside_hits = 0;
+    int outside_hits = 0;
+    for (int t = 0; t < 400; ++t) {
+      // Concentrate samples around the circle, including exact-boundary
+      // points.
+      Vec2 p;
+      const double pick = rng.Uniform(0.0, 1.0);
+      if (pick < 0.8) {
+        const double ang = rng.Uniform(0.0, 6.283185307179586);
+        const double rad = circle.radius * rng.Uniform(0.0, 2.0);
+        p = {circle.center.x + rad * std::cos(ang),
+             circle.center.y + rad * std::sin(ang)};
+      } else {
+        p = {rng.Uniform(-1500.0, 1500.0), rng.Uniform(-1500.0, 1500.0)};
+      }
+      const bool exact = circle.ContainsStrict(p);
+      switch (cls.Classify(p)) {
+        case MatchCellClassifier::kInside:
+          EXPECT_TRUE(exact) << "circle " << c << " trial " << t;
+          ++inside_hits;
+          break;
+        case MatchCellClassifier::kOutside:
+          EXPECT_FALSE(exact) << "circle " << c << " trial " << t;
+          ++outside_hits;
+          break;
+        case MatchCellClassifier::kBoundary:
+          break;  // Exact predicate decides; nothing to check.
+      }
+    }
+    // The classifier must actually settle most samples (it would be
+    // vacuously correct if everything were kBoundary).
+    EXPECT_GT(inside_hits, 0) << "circle " << c;
+    EXPECT_GT(outside_hits, 0) << "circle " << c;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Detector-level bit-exactness: grid vs exhaustive oracle under random
+// motion, across thread counts, including the dynamic-graph workload
+// (edge churn while users move).
+
+WorkloadConfig PropertyConfig(DatasetKind kind, uint64_t seed) {
+  WorkloadConfig config;
+  config.dataset = kind;
+  config.num_users = 60;
+  config.epochs = 50;
+  config.speed_steps = 8;
+  config.avg_friends = 7.0;
+  config.alert_radius_m = 6000.0;
+  config.seed = seed;
+  config.training_users = 12;
+  config.training_epochs = 60;
+  return config;
+}
+
+void ExpectGridMatchesScan(const Workload& workload, Method method) {
+  RegionDetector::Options grid;
+  grid.use_spatial_index = true;
+  RegionDetector::Options scan;
+  scan.use_spatial_index = false;
+  for (const unsigned threads : {1u, 4u}) {
+    ThreadPool::SetGlobalThreads(threads);
+    const RunResult g = RunMethod(method, workload, grid);
+    const RunResult s = RunMethod(method, workload, scan);
+    EXPECT_TRUE(g.alerts_exact) << MethodName(method) << " t=" << threads;
+    EXPECT_TRUE(s.alerts_exact) << MethodName(method) << " t=" << threads;
+    EXPECT_EQ(g.alert_count, s.alert_count)
+        << MethodName(method) << " t=" << threads;
+    EXPECT_EQ(g.rebuild_count, s.rebuild_count)
+        << MethodName(method) << " t=" << threads;
+    EXPECT_TRUE(g.stats == s.stats)
+        << MethodName(method) << " t=" << threads << "\ngrid: " << g.stats
+        << "\nscan: " << s.stats;
+  }
+  ThreadPool::SetGlobalThreads(ThreadPool::DefaultThreadCount());
+}
+
+TEST(GridVsScanPropertyTest, RandomMotionBitExact) {
+  const Workload workload =
+      BuildWorkload(PropertyConfig(DatasetKind::kGeoLife, 91));
+  for (const Method m :
+       {Method::kNaive, Method::kFmd, Method::kCmd, Method::kStripeKf}) {
+    ExpectGridMatchesScan(workload, m);
+  }
+}
+
+TEST(GridVsScanPropertyTest, DynamicGraphChurnBitExact) {
+  // Fig. 13's dynamic workload shape: edges inserted and deleted while the
+  // run is in flight, exercising the incremental index maintenance (edge
+  // radius map, per-user maxima, cell-size anchor) on both paths.
+  Workload workload =
+      BuildWorkload(PropertyConfig(DatasetKind::kSingaporeTaxi, 17));
+  Rng rng(5);
+  const auto initial = workload.world.graph().Edges();
+  for (int epoch = 4; epoch < 48; epoch += 4) {
+    for (int k = 0; k < 3; ++k) {
+      const UserId u = static_cast<UserId>(rng.NextIndex(60));
+      const UserId w = static_cast<UserId>(rng.NextIndex(60));
+      if (u == w) continue;
+      workload.world.ScheduleUpdate(
+          {epoch, true, u, w, workload.config.alert_radius_m});
+    }
+    if (!initial.empty()) {
+      const auto& e = initial[rng.NextIndex(initial.size())];
+      workload.world.ScheduleUpdate({epoch, false, e.u, e.w, 0.0});
+    }
+  }
+  for (const Method m : {Method::kNaive, Method::kFmd, Method::kCmd,
+                         Method::kStripeKf}) {
+    ExpectGridMatchesScan(workload, m);
+  }
+}
+
+TEST(GridVsScanPropertyTest, MatchHeavyWorkloadBitExact) {
+  // A tighter radius regime with more matches stresses the classifier fast
+  // path and match dissolution/re-centering on both paths.
+  WorkloadConfig config = PropertyConfig(DatasetKind::kBeijingTaxi, 23);
+  config.alert_radius_m = 12000.0;
+  config.avg_friends = 10.0;
+  const Workload workload = BuildWorkload(config);
+  for (const Method m : {Method::kCmd, Method::kStripeHmm}) {
+    ExpectGridMatchesScan(workload, m);
+  }
+}
+
+}  // namespace
+}  // namespace proxdet
