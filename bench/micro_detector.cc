@@ -25,6 +25,7 @@
 #include "common/timer.h"
 #include "core/events.h"
 #include "core/simulation.h"
+#include "geom/simd/simd.h"
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
 
@@ -38,12 +39,31 @@ struct Row {
   unsigned threads = 0;
   double run_seconds = 0.0;
   double epochs_per_second = 0.0;
+  double epochs_per_core = 0.0;  // epochs_per_second / threads.
   double speedup_vs_1t = 1.0;
+  // Per-phase wall-clock split of the run (Detector::phase_times()):
+  // match-region scan, safe-region exit scan, per-epoch pair check, and
+  // the resolve/rebuild queue (probes + region builds).
+  double match_region_seconds = 0.0;
+  double exit_check_seconds = 0.0;
+  double pair_check_seconds = 0.0;
+  double rebuild_seconds = 0.0;
   uint64_t total_io = 0;
   uint64_t rebuild_count = 0;
   size_t alert_count = 0;
   bool alerts_exact = false;
 };
+
+// Pre-SIMD single-thread throughput of the Stripe+KF engine (the PR 6
+// tree, this harness, same workload seeds). The SoA + SIMD hot path must
+// beat these by at least kSimdSpeedupFloor or the bench fails: a regression
+// back to scalar-ish throughput is a build/dispatch bug, not noise.
+struct SimdGatePoint {
+  size_t users;
+  double baseline_epochs_per_second;
+};
+constexpr SimdGatePoint kSimdGate[] = {{10000, 6.488}, {30000, 2.145}};
+constexpr double kSimdSpeedupFloor = 1.5;
 
 WorkloadConfig DetectorConfig(size_t users, int epochs) {
   WorkloadConfig config;
@@ -76,11 +96,16 @@ std::string WriteJson(const std::vector<Row>& rows) {
         f,
         "    {\"method\": \"%s\", \"users\": %zu, \"epochs\": %d, "
         "\"threads\": %u, \"run_seconds\": %.6f, "
-        "\"epochs_per_second\": %.3f, \"speedup_vs_1t\": %.3f, "
+        "\"epochs_per_second\": %.3f, \"epochs_per_core\": %.3f, "
+        "\"speedup_vs_1t\": %.3f, "
+        "\"match_region_seconds\": %.6f, \"exit_check_seconds\": %.6f, "
+        "\"pair_check_seconds\": %.6f, \"rebuild_seconds\": %.6f, "
         "\"total_io\": %llu, \"rebuild_count\": %llu, "
         "\"alert_count\": %zu, \"alerts_exact\": %s}%s\n",
         MethodName(r.method).c_str(), r.users, r.epochs, r.threads,
-        r.run_seconds, r.epochs_per_second, r.speedup_vs_1t,
+        r.run_seconds, r.epochs_per_second, r.epochs_per_core,
+        r.speedup_vs_1t, r.match_region_seconds, r.exit_check_seconds,
+        r.pair_check_seconds, r.rebuild_seconds,
         static_cast<unsigned long long>(r.total_io),
         static_cast<unsigned long long>(r.rebuild_count), r.alert_count,
         r.alerts_exact ? "true" : "false",
@@ -138,6 +163,12 @@ int Main() {
         row.run_seconds = timer.ElapsedSeconds();
         row.epochs_per_second =
             row.run_seconds > 0.0 ? epochs / row.run_seconds : 0.0;
+        row.epochs_per_core = row.epochs_per_second / threads;
+        const Detector::PhaseTimes& phases = detector->phase_times();
+        row.match_region_seconds = phases.match_region;
+        row.exit_check_seconds = phases.exit_check;
+        row.pair_check_seconds = phases.pair_check;
+        row.rebuild_seconds = phases.rebuild;
         row.total_io = detector->stats().TotalMessages();
         const std::vector<AlertEvent> alerts = detector->SortedAlerts();
         row.alert_count = alerts.size();
@@ -186,11 +217,41 @@ int Main() {
         rows.push_back(row);
         std::printf(
             "  %-11s %7zu users  %u thread%s  %8.3f s  %7.2f epochs/s  "
-            "(%.2fx)\n",
+            "(%.2fx)  [mr %.2f  exit %.2f  pair %.2f  rebuild %.2f]\n",
             MethodName(method).c_str(), users, threads,
             threads == 1 ? " " : "s", rows.back().run_seconds,
-            rows.back().epochs_per_second, rows.back().speedup_vs_1t);
+            rows.back().epochs_per_second, rows.back().speedup_vs_1t,
+            row.match_region_seconds, row.exit_check_seconds,
+            row.pair_check_seconds, row.rebuild_seconds);
         std::fflush(stdout);
+        // The tentpole's throughput gate: the SoA + SIMD hot path must hold
+        // a >= 1.5x single-thread speedup over the pre-SIMD tree on the
+        // reference points. Quick mode uses a different workload size, so
+        // the reference numbers do not apply there.
+        // Scalar-only builds (-DPROXDET_SIMD=OFF, or a self-check fallback)
+        // cannot meet a gate defined as a SIMD speedup; they are covered by
+        // the bit-exactness checks above, not the throughput floor.
+        const bool simd_active =
+            simd::ActiveBackend() != simd::Backend::kScalar;
+        if (!quick && simd_active && method == Method::kStripeKf &&
+            threads == 1) {
+          for (const SimdGatePoint& gate : kSimdGate) {
+            if (gate.users != users) continue;
+            const double floor_eps =
+                gate.baseline_epochs_per_second * kSimdSpeedupFloor;
+            if (row.epochs_per_second < floor_eps) {
+              std::fprintf(stderr,
+                           "FATAL: Stripe+KF at %zu users runs %.3f epochs/s "
+                           "single-thread — below the SIMD gate of %.3f "
+                           "(%.2fx the pre-SIMD baseline %.3f). The batched "
+                           "hot path regressed.\n",
+                           users, row.epochs_per_second, floor_eps,
+                           kSimdSpeedupFloor,
+                           gate.baseline_epochs_per_second);
+              return 1;
+            }
+          }
+        }
       }
     }
   }

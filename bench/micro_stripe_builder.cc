@@ -11,17 +11,26 @@
 namespace proxdet {
 namespace {
 
-std::vector<StripeFriendConstraint> MakeFriends(Rng* rng, int count) {
-  std::vector<StripeFriendConstraint> friends;
+/// Constraint regions plus the constraint records borrowing them (the
+/// builder takes region handles, not copies).
+struct FriendSet {
+  std::vector<SafeRegionShape> shapes;
+  std::vector<StripeFriendConstraint> constraints;
+};
+
+FriendSet MakeFriends(Rng* rng, int count) {
+  FriendSet out;
+  out.shapes.reserve(count);
   for (int i = 0; i < count; ++i) {
     const double angle = rng->Uniform(0, 6.2831853);
     const double dist = rng->Uniform(4000, 20000);
-    friends.push_back(
-        {Circle{{dist * std::cos(angle), dist * std::sin(angle)},
-                rng->Uniform(50, 400)},
-         3000.0, rng->Uniform(50, 400)});
+    out.shapes.push_back(
+        Circle{{dist * std::cos(angle), dist * std::sin(angle)},
+               rng->Uniform(50, 400)});
+    out.constraints.push_back(
+        {&out.shapes.back(), 3000.0, rng->Uniform(50, 400)});
   }
-  return friends;
+  return out;
 }
 
 void BM_BuildStripe(benchmark::State& state) {
@@ -31,8 +40,7 @@ void BM_BuildStripe(benchmark::State& state) {
   StripeBuildConfig config;
   config.sigma = 150.0;
   config.max_horizon = horizon;
-  const std::vector<StripeFriendConstraint> friends =
-      MakeFriends(&rng, num_friends);
+  const FriendSet friends = MakeFriends(&rng, num_friends);
   std::vector<Vec2> predicted;
   Vec2 p{0, 0};
   for (int i = 0; i < horizon; ++i) {
@@ -40,8 +48,8 @@ void BM_BuildStripe(benchmark::State& state) {
     predicted.push_back(p);
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(BuildPredictiveStripe({0, 0}, predicted, friends,
-                                                   400.0, config, 0));
+    benchmark::DoNotOptimize(BuildPredictiveStripe(
+        {0, 0}, predicted, friends.constraints, 400.0, config, 0));
   }
 }
 BENCHMARK(BM_BuildStripe)

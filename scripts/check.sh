@@ -19,18 +19,32 @@
 # (the shard frontend's per-shard counters and batch-fill histogram
 # included).
 #
+# A third leg configures a tree with -DPROXDET_SIMD=OFF: the scalar-only
+# build of the geometry kernels must pass the same suites (the simd suite
+# collapses to scalar-vs-scalar identity there, and the detector/index
+# properties prove the engines are backend-agnostic).
+#
+# A fourth leg runs the `simd` and `index` suites under
+# -DPROXDET_SANITIZE=undefined: the branchless lane arithmetic in the
+# vector kernels (masked selects, safe-divisor guards) must not hide UB —
+# every lane's intermediate math has to be well-defined even where a mask
+# discards it.
+#
 #   scripts/check.sh [extra cmake args...]
 #
-# BUILD_DIR / OBS_OFF_BUILD_DIR override the build trees (defaults:
-# build-tsan and build-obs-off, kept separate from the plain `build` tree
-# so the configurations never fight).
+# BUILD_DIR / OBS_OFF_BUILD_DIR / SIMD_OFF_BUILD_DIR / UBSAN_BUILD_DIR
+# override the build trees (defaults: build-tsan, build-obs-off,
+# build-simd-off and build-ubsan, kept separate from the plain `build`
+# tree so the configurations never fight).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-tsan}"
 OBS_OFF_BUILD_DIR="${OBS_OFF_BUILD_DIR:-build-obs-off}"
+SIMD_OFF_BUILD_DIR="${SIMD_OFF_BUILD_DIR:-build-simd-off}"
+UBSAN_BUILD_DIR="${UBSAN_BUILD_DIR:-build-ubsan}"
 JOBS="$(nproc)"
-LABELS='sanitize|net|obs|shard|index'
+LABELS='sanitize|net|obs|shard|index|simd'
 
 cmake -B "$BUILD_DIR" -S . -DPROXDET_SANITIZE=thread "$@"
 cmake --build "$BUILD_DIR" -j "$JOBS"
@@ -40,3 +54,11 @@ PROXDET_THREADS="${PROXDET_THREADS:-4}" \
 cmake -B "$OBS_OFF_BUILD_DIR" -S . -DPROXDET_OBS=OFF "$@"
 cmake --build "$OBS_OFF_BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$OBS_OFF_BUILD_DIR" -L "$LABELS" --output-on-failure -j "$JOBS"
+
+cmake -B "$SIMD_OFF_BUILD_DIR" -S . -DPROXDET_SIMD=OFF "$@"
+cmake --build "$SIMD_OFF_BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$SIMD_OFF_BUILD_DIR" -L "$LABELS" --output-on-failure -j "$JOBS"
+
+cmake -B "$UBSAN_BUILD_DIR" -S . -DPROXDET_SANITIZE=undefined "$@"
+cmake --build "$UBSAN_BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$UBSAN_BUILD_DIR" -L 'simd|index' --output-on-failure -j "$JOBS"

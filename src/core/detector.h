@@ -20,12 +20,25 @@ class ClientLink;
 /// communication for bookkeeping, never for missed or spurious alerts.
 class Detector {
  public:
+  /// Wall-clock seconds spent in each server-side phase of the last Run.
+  /// Pure timing — deliberately outside CommStats so the determinism
+  /// contract (CommStats equality across thread counts) never touches it.
+  /// Phases a method does not run stay zero (Naive only has pair_check;
+  /// Stripe+KF never runs pair_check).
+  struct PhaseTimes {
+    double match_region = 0.0;  // Match-region containment scan + commits.
+    double exit_check = 0.0;    // Safe-region exit scan + commits.
+    double pair_check = 0.0;    // Per-epoch pair check (Naive: full scan).
+    double rebuild = 0.0;       // Resolve/rebuild queue (probes + builds).
+  };
+
   virtual ~Detector() = default;
 
   virtual std::string name() const = 0;
   virtual void Run(const World& world) = 0;
 
   const CommStats& stats() const { return stats_; }
+  const PhaseTimes& phase_times() const { return phase_times_; }
   std::vector<AlertEvent> SortedAlerts() const {
     std::vector<AlertEvent> out = alerts_;
     SortAlerts(&out);
@@ -40,6 +53,7 @@ class Detector {
 
  protected:
   CommStats stats_;
+  PhaseTimes phase_times_;
   std::vector<AlertEvent> alerts_;
   ClientLink* link_ = nullptr;
 };

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -7,6 +8,7 @@
 #include "core/detector.h"
 #include "core/spatial_index.h"
 #include "exec/thread_pool.h"
+#include "geom/simd/simd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -54,6 +56,37 @@ struct IndexMetrics {
   }
 };
 
+/// Batched pair-scan observability. The exhaustive oracle path records one
+/// histogram sample per chunk dispatch (the SoA lane count handed to the
+/// kernel); the grid path's per-user batches are too frequent for a
+/// mutex-guarded histogram, so they are summarized by the lane counter
+/// instead (lanes staged are survivors of the integer filters — a pure
+/// function of the workload, so both stay in the deterministic digest).
+/// The dispatch counter is keyed by the runtime-selected backend, which
+/// depends on CPUID and -DPROXDET_SIMD, hence wall-clock-kinded.
+struct SimdScanMetrics {
+  obs::HistogramMetric& pair_scan_batch;
+  obs::Counter& pair_scan_lanes;
+  obs::Counter& dispatches;
+
+  static const SimdScanMetrics& Get() {
+    static const SimdScanMetrics m{
+        obs::Metrics().GetHistogram(
+            "simd.batch.pair_scan",
+            {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+             1024.0},
+            obs::Kind::kDeterministic),
+        obs::Metrics().GetCounter("simd.lanes.pair_scan",
+                                  obs::Kind::kDeterministic),
+        obs::Metrics().GetCounter(
+            std::string("simd.dispatch.") +
+                simd::BackendName(simd::ActiveBackend()),
+            obs::Kind::kWallClock),
+    };
+    return m;
+  }
+};
+
 // Edges per scan chunk: coarse enough that chunk bookkeeping is negligible
 // next to the distance math, fine enough to balance the pool at 10k users.
 constexpr size_t kEdgeGrain = 1024;
@@ -88,6 +121,7 @@ constexpr size_t kQueryGrain = 256;
 //    order the exhaustive scan produces.
 void NaiveDetector::Run(const World& world) {
   stats_ = CommStats();
+  phase_times_ = PhaseTimes();
   alerts_.clear();
   index_stats_ = SpatialIndexStats();
   InterestGraph graph = world.graph();  // Mutable copy for dynamic updates.
@@ -125,9 +159,19 @@ void NaiveDetector::Run(const World& world) {
   struct alignas(64) ChunkScratch {
     std::vector<uint32_t> out;   // Transition slots found by this chunk.
     std::vector<int32_t> cand;   // Grid-query candidate buffer.
+    // SoA staging for the batched distance predicate: candidates that
+    // survive the cheap integer filters are gathered here, then settled by
+    // one simd kernel call per batch (bit-exact with the scalar compare).
+    std::vector<uint32_t> slots;  // Edge slot per staged lane.
+    std::vector<double> ax, ay;   // First endpoint (u side).
+    std::vector<double> bx, by;   // Second endpoint (candidate side).
+    std::vector<double> rad;      // Alert radius per lane.
+    std::vector<uint8_t> within;  // Kernel verdicts.
     uint64_t queries = 0;
     uint64_t cells = 0;
     uint64_t candidates = 0;
+    uint64_t kernel_calls = 0;  // Batched-kernel dispatches this chunk.
+    uint64_t kernel_lanes = 0;  // SoA lanes staged across those calls.
   };
   std::vector<ChunkScratch> chunks_scratch;
   std::vector<uint32_t> transitions;  // Merged + sorted slots (grid path).
@@ -192,6 +236,7 @@ void NaiveDetector::Run(const World& world) {
         link_->Report(u, epoch, 0, &pos[u], &window_scratch);
       }
     }
+    WallTimer phase_timer;  // pair_check: scan + commit, not the uploads.
     transitions.clear();
     if (options_.use_spatial_index) {
       // Maintenance: move every user to its current cell (serial — the
@@ -214,6 +259,8 @@ void NaiveDetector::Run(const World& world) {
         uint64_t queries = 0;
         uint64_t cells = 0;
         uint64_t candidates = 0;
+        uint64_t kernel_calls = 0;
+        uint64_t kernel_lanes = 0;
         for (size_t u = lo; u < hi; ++u) {
           const double query_r = max_incident[u];
           if (query_r <= 0.0) continue;  // Isolated user: no edges to check.
@@ -221,20 +268,43 @@ void NaiveDetector::Run(const World& world) {
           queries += 1;
           cells += grid.Query(pos[u], query_r, &cand);
           candidates += cand.size();
+          // Stage the survivors of the integer filters into SoA lanes; the
+          // batched kernel computes Distance(pos[u], pos[w]) < r per lane
+          // bit-exactly, so the pushed slots (and their order) match the
+          // scalar loop's.
+          std::vector<uint32_t>& slots = scratch.slots;
+          slots.clear();
+          scratch.bx.clear();
+          scratch.by.clear();
+          scratch.rad.clear();
           for (const int32_t w : cand) {
             if (w <= static_cast<int32_t>(u)) continue;
             const int64_t found = find_slot(static_cast<UserId>(u), w);
             if (found < 0) continue;  // Spatially near, no edge.
             const uint32_t slot = static_cast<uint32_t>(found);
             if (matched[slot]) continue;  // Exits handled below.
-            if (Distance(pos[u], pos[w]) < edges[slot].alert_radius) {
-              out.push_back(slot);
-            }
+            slots.push_back(slot);
+            scratch.bx.push_back(pos[w].x);
+            scratch.by.push_back(pos[w].y);
+            scratch.rad.push_back(edges[slot].alert_radius);
+          }
+          const size_t m = slots.size();
+          kernel_calls += 1;
+          kernel_lanes += m;
+          scratch.within.resize(m);
+          simd::PointWithinRadiusOfPoints(pos[u].x, pos[u].y,
+                                          scratch.bx.data(), scratch.by.data(),
+                                          scratch.rad.data(), m,
+                                          scratch.within.data());
+          for (size_t k = 0; k < m; ++k) {
+            if (scratch.within[k]) out.push_back(slots[k]);
           }
         }
         scratch.queries = queries;
         scratch.cells = cells;
         scratch.candidates = candidates;
+        scratch.kernel_calls = kernel_calls;
+        scratch.kernel_lanes = kernel_lanes;
       });
       // Exit scan: matched pairs are few (output-sensitive) and their
       // membership is not a spatial property, so they are checked directly.
@@ -252,6 +322,8 @@ void NaiveDetector::Run(const World& world) {
       uint64_t queries = 0;
       uint64_t cells = 0;
       uint64_t candidates = 0;
+      uint64_t kernel_calls = 0;
+      uint64_t kernel_lanes = 0;
       for (size_t c = 0; c < chunks; ++c) {
         const ChunkScratch& scratch = chunks_scratch[c];
         transitions.insert(transitions.end(), scratch.out.begin(),
@@ -259,7 +331,11 @@ void NaiveDetector::Run(const World& world) {
         queries += scratch.queries;
         cells += scratch.cells;
         candidates += scratch.candidates;
+        kernel_calls += scratch.kernel_calls;
+        kernel_lanes += scratch.kernel_lanes;
       }
+      SimdScanMetrics::Get().dispatches.Inc(kernel_calls);
+      SimdScanMetrics::Get().pair_scan_lanes.Inc(kernel_lanes);
       // Normalize: bucket enumeration order is maintenance-dependent, so
       // sort the transition set into the exhaustive scan's slot order.
       std::sort(transitions.begin(), transitions.end());
@@ -271,11 +347,35 @@ void NaiveDetector::Run(const World& world) {
           edges.empty() ? 0 : (edges.size() + kEdgeGrain - 1) / kEdgeGrain;
       if (chunks_scratch.size() < chunks) chunks_scratch.resize(chunks);
       ParallelForChunked(edges.size(), kEdgeGrain, [&](size_t lo, size_t hi) {
-        std::vector<uint32_t>& out = chunks_scratch[lo / kEdgeGrain].out;
+        ChunkScratch& scratch = chunks_scratch[lo / kEdgeGrain];
+        std::vector<uint32_t>& out = scratch.out;
         out.clear();
+        // Gather both endpoints into SoA lanes, settle the whole chunk with
+        // one batched Distance < r kernel call (bit-exact per lane), then
+        // diff against the matched state in slot order.
+        const size_t m = hi - lo;
+        scratch.ax.resize(m);
+        scratch.ay.resize(m);
+        scratch.bx.resize(m);
+        scratch.by.resize(m);
+        scratch.rad.resize(m);
+        scratch.within.resize(m);
         for (size_t i = lo; i < hi; ++i) {
           const auto& e = edges[i];
-          const bool inside = Distance(pos[e.u], pos[e.w]) < e.alert_radius;
+          scratch.ax[i - lo] = pos[e.u].x;
+          scratch.ay[i - lo] = pos[e.u].y;
+          scratch.bx[i - lo] = pos[e.w].x;
+          scratch.by[i - lo] = pos[e.w].y;
+          scratch.rad[i - lo] = e.alert_radius;
+        }
+        SimdScanMetrics::Get().pair_scan_batch.Record(static_cast<double>(m));
+        SimdScanMetrics::Get().dispatches.Inc();
+        SimdScanMetrics::Get().pair_scan_lanes.Inc(m);
+        simd::PairsWithinRadii(scratch.ax.data(), scratch.ay.data(),
+                               scratch.bx.data(), scratch.by.data(),
+                               scratch.rad.data(), m, scratch.within.data());
+        for (size_t i = lo; i < hi; ++i) {
+          const bool inside = scratch.within[i - lo] != 0;
           if (inside != (matched[i] != 0)) {
             out.push_back(static_cast<uint32_t>(i));
           }
@@ -306,6 +406,7 @@ void NaiveDetector::Run(const World& world) {
         }
       }
     }
+    phase_times_.pair_check += phase_timer.ElapsedSeconds();
     // Epoch barrier for batched transported links (no-op in-process).
     if (link_ != nullptr) link_->EndEpoch(epoch);
   }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "geom/simd/simd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -20,6 +22,18 @@ struct StripeMetrics {
   obs::QuantileMetric& radius;
   obs::QuantileMetric& e_m;
   obs::QuantileMetric& e_p;
+  /// SoA lane counts the builder staged per rebuild (point-like constraints
+  /// vs concatenated stripe segments) — deterministic functions of the
+  /// workload, like every other stripe.* metric. Power-of-two-ish buckets:
+  /// what matters is how many lanes land in full vector blocks vs the
+  /// scalar tail.
+  obs::HistogramMetric& batch_points;
+  obs::HistogramMetric& batch_segments;
+  /// Batched-kernel dispatches, keyed by the runtime-selected backend
+  /// (simd.dispatch.scalar|w4|w8). The split is host- and build-dependent
+  /// (CPUID, -DPROXDET_SIMD), so it is wall-clock-kinded and stays out of
+  /// the deterministic digest.
+  obs::Counter& dispatches;
 
   static const StripeMetrics& Get() {
     static const StripeMetrics metrics{
@@ -32,6 +46,20 @@ struct StripeMetrics {
                                    obs::Kind::kDeterministic),
         obs::Metrics().GetQuantile("stripe.e_m", obs::Kind::kDeterministic),
         obs::Metrics().GetQuantile("stripe.e_p", obs::Kind::kDeterministic),
+        obs::Metrics().GetHistogram(
+            "simd.batch.stripe_points",
+            {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+             1024.0},
+            obs::Kind::kDeterministic),
+        obs::Metrics().GetHistogram(
+            "simd.batch.stripe_segments",
+            {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+             1024.0},
+            obs::Kind::kDeterministic),
+        obs::Metrics().GetCounter(
+            std::string("simd.dispatch.") +
+                simd::BackendName(simd::ActiveBackend()),
+            obs::Kind::kWallClock),
     };
     return metrics;
   }
@@ -74,9 +102,9 @@ SafeRegionShape StaticPolygonPolicy::BuildRegion(
   std::vector<double> offsets(friends.size());
   std::vector<Vec2> directions(friends.size());
   for (size_t i = 0; i < friends.size(); ++i) {
-    const double d = ShapeDistanceToPoint(friends[i].region, location, epoch);
+    const double d = ShapeDistanceToPoint(friends[i].region(), location, epoch);
     offsets[i] = std::max(0.0, d - friends[i].alert_radius);
-    Vec2 dir = RepresentativePoint(friends[i].region, epoch) - location;
+    Vec2 dir = RepresentativePoint(friends[i].region(), epoch) - location;
     if (dir.SquaredNorm() < 1e-12) dir = Vec2{1.0, 0.0};
     directions[i] = dir.Normalized();
   }
@@ -92,7 +120,7 @@ SafeRegionShape StaticPolygonPolicy::BuildRegion(
     bool violated = false;
     for (size_t i = 0; i < friends.size(); ++i) {
       const double d = ShapeMinDistance(SafeRegionShape(poly),
-                                        friends[i].region, epoch);
+                                        friends[i].region(), epoch);
       if (d < friends[i].alert_radius - 1e-9) {
         offsets[i] *= 0.5;
         violated = true;
@@ -122,7 +150,7 @@ SafeRegionShape MobileCirclePolicy::BuildRegion(
   }
   double radius = options_.base_radius * multiplier;
   for (const FriendView& f : friends) {
-    const double d = ShapeDistanceToPoint(f.region, location, epoch);
+    const double d = ShapeDistanceToPoint(f.region(), location, epoch);
     radius = std::min(radius, std::max(0.0, d - f.alert_radius));
   }
   MovingCircle circle;
@@ -162,20 +190,27 @@ SafeRegionShape StripePolicy::BuildRegion(
     predicted = predictor_->Predict(
         recent_window, static_cast<size_t>(options_.build.max_horizon));
   }
-  std::vector<StripeFriendConstraint> constraints;
-  constraints.reserve(friends.size());
+  // Constraints borrow the FriendView regions (alive for the whole build);
+  // the scratch vector is a member so steady-state rebuilds don't allocate.
+  // BuildRegion runs on the serial resolve queue, so reuse is race-free.
+  constraints_scratch_.clear();
+  constraints_scratch_.reserve(friends.size());
   for (const FriendView& f : friends) {
-    constraints.push_back({f.region, f.alert_radius, f.speed});
+    constraints_scratch_.push_back({&f.region(), f.alert_radius, f.speed});
   }
   obs::TraceScope span("stripe_build", "engine");
   const StripeBuildResult result = BuildPredictiveStripe(
-      location, predicted, constraints, speed, options_.build, epoch);
+      location, predicted, constraints_scratch_, speed, options_.build,
+      epoch);
   const StripeMetrics& sm = StripeMetrics::Get();
   sm.builds.Inc();
   sm.m.Record(static_cast<double>(result.m));
   sm.radius.Record(result.solution.radius);
   sm.e_m.Record(result.solution.e_m);
   sm.e_p.Record(result.solution.e_p);
+  sm.batch_points.Record(static_cast<double>(result.staged_point_lanes));
+  sm.batch_segments.Record(static_cast<double>(result.staged_segment_lanes));
+  sm.dispatches.Inc(result.kernel_dispatches);
   return result.stripe;
 }
 

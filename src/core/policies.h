@@ -100,6 +100,9 @@ class StripePolicy : public RegionPolicy {
  private:
   std::unique_ptr<Predictor> predictor_;
   Options options_;
+  // Reused across BuildRegion calls (serial resolve queue): constraint
+  // records borrowing the caller's FriendView regions.
+  std::vector<StripeFriendConstraint> constraints_scratch_;
 };
 
 }  // namespace proxdet

@@ -5,12 +5,14 @@
 #include <deque>
 #include <optional>
 #include <unordered_map>
+#include <variant>
 
 #include "common/timer.h"
 #include "core/client_link.h"
 #include "core/cost_model.h"
 #include "core/spatial_index.h"
 #include "exec/thread_pool.h"
+#include "geom/simd/simd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "region/match_region.h"
@@ -77,6 +79,40 @@ struct IndexMetrics {
   }
 };
 
+/// Batched-geometry observability for the engine's chunked scans: one
+/// histogram sample per store-kernel dispatch (the SoA lane count handed to
+/// the kernel) plus a dispatch counter keyed by the runtime-selected
+/// backend. Batch sizes are chunk-shaped — the grains below are fixed, so
+/// the histograms are pure functions of the workload and stay in the
+/// deterministic digest. The scalar-vs-w4-vs-w8 split depends on CPUID and
+/// -DPROXDET_SIMD, so the dispatch counter is wall-clock-kinded.
+/// Recording happens at most a few times per chunk, never per lane.
+struct SimdScanMetrics {
+  obs::HistogramMetric& exit_batch;
+  obs::HistogramMetric& match_batch;
+  obs::HistogramMetric& pair_check_batch;
+  obs::Counter& dispatches;
+
+  static const SimdScanMetrics& Get() {
+    static const std::vector<double> kLaneBuckets{
+        0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+        1024.0};
+    static const SimdScanMetrics m{
+        obs::Metrics().GetHistogram("simd.batch.exit_scan", kLaneBuckets,
+                                    obs::Kind::kDeterministic),
+        obs::Metrics().GetHistogram("simd.batch.match_scan", kLaneBuckets,
+                                    obs::Kind::kDeterministic),
+        obs::Metrics().GetHistogram("simd.batch.pair_check", kLaneBuckets,
+                                    obs::Kind::kDeterministic),
+        obs::Metrics().GetCounter(
+            std::string("simd.dispatch.") +
+                simd::BackendName(simd::ActiveBackend()),
+            obs::Kind::kWallClock),
+    };
+    return m;
+  }
+};
+
 constexpr double kMinSpeed = 1e-3;  // m/epoch floor for estimates.
 
 // Chunk sizes for the parallel read-only scans. Coarse enough that the
@@ -87,6 +123,22 @@ constexpr size_t kUserGrain = 512;   // ShapeContains per user.
 constexpr size_t kEdgeGrain = 256;   // ShapeMinDistance per edge.
 constexpr size_t kPairGrain = 128;   // MatchRegion::Contains per pair.
 constexpr size_t kQueryGrain = 256;  // Region-grid query per user.
+
+/// Epoch-resolved circle form of a shape, when it has one. Circle and
+/// MovingCircle predicates against these resolved circles are bit-exact
+/// with the ShapeContains / ShapeMinDistance visitors (which resolve with
+/// the same AtEpoch expression) — the batched kernels below rely on that.
+bool AsCircleAt(const SafeRegionShape& s, int epoch, Circle* out) {
+  if (const Circle* c = std::get_if<Circle>(&s)) {
+    *out = *c;
+    return true;
+  }
+  if (const MovingCircle* mc = std::get_if<MovingCircle>(&s)) {
+    *out = mc->AtEpoch(epoch);
+    return true;
+  }
+  return false;
+}
 
 bool EdgesEqual(const std::vector<InterestGraph::Edge>& a,
                 const std::vector<InterestGraph::Edge>& b) {
@@ -162,6 +214,25 @@ struct RegionDetector::Impl {
   std::vector<std::vector<uint64_t>> flag_chunks;  // Per-chunk PairKeys.
   std::vector<std::vector<int32_t>> cand_bufs;     // Per-chunk query scratch.
   std::vector<ChunkWork> chunk_work;
+  // Per-chunk SoA staging for the batched geometry kernels. One pool
+  // serves every phase (they run sequentially): the exit scan stages
+  // (circle, point) lanes, the match oracle (circle, point) lane pairs,
+  // the pair check (circle, circle, threshold) lanes. Cache-line aligned
+  // like the buffers above — the headers are written from pool threads.
+  struct alignas(64) BatchScratch {
+    std::vector<uint32_t> ids;   // User id or edge slot per lane.
+    std::vector<uint64_t> keys;  // Pair key per lane (pair check).
+    std::vector<double> ax, ay, ar;  // First circle (center, radius).
+    std::vector<double> bx, by, br;  // Point or second circle.
+    std::vector<double> thr;         // Per-lane threshold.
+    std::vector<uint8_t> flags;      // Kernel verdicts.
+  };
+  std::vector<BatchScratch> batch_chunks;
+  // Per-user circle form of the installed region, resolved once per epoch
+  // at pair-check start (grid path); parallel scans then read plain
+  // arrays instead of re-resolving the variant per candidate pair.
+  std::vector<double> circ_x, circ_y, circ_r;
+  std::vector<uint8_t> circ_ok;
   std::vector<uint64_t> flagged;   // Merged + sorted flagged pairs.
   std::vector<UserId> unindexed;   // Regions with degenerate bounds.
 
@@ -431,18 +502,18 @@ struct RegionDetector::Impl {
       const size_t n = match_keys.size();
       pair_inside.assign(n, 0);
       const size_t chunks = n == 0 ? 0 : (n + kPairGrain - 1) / kPairGrain;
-      if (chunk_work.size() < chunks) chunk_work.resize(chunks);
-      for (size_t c = 0; c < chunks; ++c) chunk_work[c] = ChunkWork{};
-      ParallelForChunked(n, kPairGrain, [&](size_t lo, size_t hi) {
-        ChunkWork& work = chunk_work[lo / kPairGrain];
-        for (size_t k = lo; k < hi; ++k) {
-          const uint64_t key = match_keys[k];
-          const UserId u = PairKeyMin(key);
-          const UserId w = PairKeyMax(key);
-          const Vec2& pu = users[u].pos;
-          const Vec2& pw = users[w].pos;
-          bool inside;
-          if (use_match_cls) {
+      if (use_match_cls) {
+        if (chunk_work.size() < chunks) chunk_work.resize(chunks);
+        for (size_t c = 0; c < chunks; ++c) chunk_work[c] = ChunkWork{};
+        ParallelForChunked(n, kPairGrain, [&](size_t lo, size_t hi) {
+          ChunkWork& work = chunk_work[lo / kPairGrain];
+          for (size_t k = lo; k < hi; ++k) {
+            const uint64_t key = match_keys[k];
+            const UserId u = PairKeyMin(key);
+            const UserId w = PairKeyMax(key);
+            const Vec2& pu = users[u].pos;
+            const Vec2& pw = users[w].pos;
+            bool inside;
             work.queries += 1;  // One classified pair.
             const MatchCellClassifier& cls = match_cls.find(key)->second;
             const auto vu = cls.Classify(pu);
@@ -461,18 +532,53 @@ struct RegionDetector::Impl {
                 inside = m.Contains(pu) && m.Contains(pw);
               }
             }
-          } else {
-            const MatchRegion& m = matched.find(key)->second;
-            inside = m.Contains(pu) && m.Contains(pw);
+            pair_inside[k] = inside;
           }
-          pair_inside[k] = inside;
-        }
-      });
-      if (use_match_cls) {
+        });
         for (size_t c = 0; c < chunks; ++c) {
           match_stats.match_classified += chunk_work[c].queries;
           match_stats.match_exact += chunk_work[c].candidates;
         }
+      } else {
+        // Oracle scan (no cell classifiers): both strict containment tests
+        // of every pair stage as two adjacent SoA lanes against the pair's
+        // match circle and settle in one batched kernel call; ANDing the
+        // lane verdicts equals the scalar `Contains(pu) && Contains(pw)`
+        // (pure predicates — short-circuiting is unobservable).
+        if (batch_chunks.size() < chunks) batch_chunks.resize(chunks);
+        ParallelForChunked(n, kPairGrain, [&](size_t lo, size_t hi) {
+          BatchScratch& sc = batch_chunks[lo / kPairGrain];
+          const size_t m = (hi - lo) * 2;
+          sc.ax.resize(m);
+          sc.ay.resize(m);
+          sc.ar.resize(m);
+          sc.bx.resize(m);
+          sc.by.resize(m);
+          sc.flags.resize(m);
+          for (size_t k = lo; k < hi; ++k) {
+            const uint64_t key = match_keys[k];
+            const Circle& c = matched.find(key)->second.circle();
+            const Vec2& pu = users[PairKeyMin(key)].pos;
+            const Vec2& pw = users[PairKeyMax(key)].pos;
+            const size_t j = (k - lo) * 2;
+            sc.ax[j] = sc.ax[j + 1] = c.center.x;
+            sc.ay[j] = sc.ay[j + 1] = c.center.y;
+            sc.ar[j] = sc.ar[j + 1] = c.radius;
+            sc.bx[j] = pu.x;
+            sc.by[j] = pu.y;
+            sc.bx[j + 1] = pw.x;
+            sc.by[j + 1] = pw.y;
+          }
+          SimdScanMetrics::Get().match_batch.Record(static_cast<double>(m));
+          SimdScanMetrics::Get().dispatches.Inc();
+          simd::CirclesContainPoints(sc.ax.data(), sc.ay.data(), sc.ar.data(),
+                                     sc.bx.data(), sc.by.data(), m,
+                                     /*strict=*/true, sc.flags.data());
+          for (size_t k = lo; k < hi; ++k) {
+            const size_t j = (k - lo) * 2;
+            pair_inside[k] = sc.flags[j] != 0 && sc.flags[j + 1] != 0;
+          }
+        });
       }
     }
     for (size_t k = 0; k < match_keys.size(); ++k) {
@@ -521,14 +627,49 @@ struct RegionDetector::Impl {
   void SafeRegionExitPhase() {
     const size_t n = users.size();
     exit_flags.assign(n, kInside);
+    const size_t chunks = n == 0 ? 0 : (n + kUserGrain - 1) / kUserGrain;
+    if (batch_chunks.size() < chunks) batch_chunks.resize(chunks);
     ParallelForChunked(n, kUserGrain, [&](size_t lo, size_t hi) {
+      // Circle-form regions (initialization circles, FMD/CMD moving
+      // circles) stage into SoA lanes and settle with one batched
+      // closed-containment kernel call; stripes go through
+      // Stripe::Contains, which is itself vectorized across the stripe's
+      // cached segments. Verdicts are bit-exact either way, so exit_flags
+      // is identical to the scalar scan's.
+      BatchScratch& sc = batch_chunks[lo / kUserGrain];
+      sc.ids.clear();
+      sc.ax.clear();
+      sc.ay.clear();
+      sc.ar.clear();
+      sc.bx.clear();
+      sc.by.clear();
       for (size_t u = lo; u < hi; ++u) {
         if (!users[u].region) {
           // Only possible at epoch 0 before initialization.
           exit_flags[u] = kNeedsInit;
+          continue;
+        }
+        Circle c;
+        if (AsCircleAt(*users[u].region, epoch, &c)) {
+          sc.ids.push_back(static_cast<uint32_t>(u));
+          sc.ax.push_back(c.center.x);
+          sc.ay.push_back(c.center.y);
+          sc.ar.push_back(c.radius);
+          sc.bx.push_back(users[u].pos.x);
+          sc.by.push_back(users[u].pos.y);
         } else if (!ShapeContains(*users[u].region, users[u].pos, epoch)) {
           exit_flags[u] = kExited;
         }
+      }
+      const size_t m = sc.ids.size();
+      sc.flags.resize(m);
+      SimdScanMetrics::Get().exit_batch.Record(static_cast<double>(m));
+      SimdScanMetrics::Get().dispatches.Inc();
+      simd::CirclesContainPoints(sc.ax.data(), sc.ay.data(), sc.ar.data(),
+                                 sc.bx.data(), sc.by.data(), m,
+                                 /*strict=*/false, sc.flags.data());
+      for (size_t k = 0; k < m; ++k) {
+        if (!sc.flags[k]) exit_flags[sc.ids[k]] = kExited;
       }
     });
     for (UserId u = 0; u < static_cast<UserId>(n); ++u) {
@@ -569,14 +710,54 @@ struct RegionDetector::Impl {
     if (!use_grid) {
       const size_t n = edge_cache.size();
       edge_probe.assign(n, 0);
+      const size_t chunks = n == 0 ? 0 : (n + kEdgeGrain - 1) / kEdgeGrain;
+      if (batch_chunks.size() < chunks) batch_chunks.resize(chunks);
       ParallelForChunked(n, kEdgeGrain, [&](size_t lo, size_t hi) {
+        // Circle-circle pairs (the only kind FMD/CMD install) stage into
+        // SoA lanes; one batched gap < r kernel call settles the chunk.
+        // ShapeMinDistanceBelow's AABB prune only ever skips exact math
+        // whose outcome is already decided (box distance never exceeds the
+        // shape distance), so the direct exact compare is outcome-identical.
+        // Mixed/other shapes keep the pruned scalar call.
+        BatchScratch& sc = batch_chunks[lo / kEdgeGrain];
+        sc.ids.clear();
+        sc.ax.clear();
+        sc.ay.clear();
+        sc.ar.clear();
+        sc.bx.clear();
+        sc.by.clear();
+        sc.br.clear();
+        sc.thr.clear();
         for (size_t i = lo; i < hi; ++i) {
           const auto& e = edge_cache[i];
           if (IsMatched(e.u, e.w)) continue;
           if (users[e.u].needs_region || users[e.w].needs_region) continue;
           if (!users[e.u].region || !users[e.w].region) continue;
-          edge_probe[i] = ShapeMinDistanceBelow(
-              *users[e.u].region, *users[e.w].region, epoch, e.alert_radius);
+          Circle ca, cb;
+          if (AsCircleAt(*users[e.u].region, epoch, &ca) &&
+              AsCircleAt(*users[e.w].region, epoch, &cb)) {
+            sc.ids.push_back(static_cast<uint32_t>(i));
+            sc.ax.push_back(ca.center.x);
+            sc.ay.push_back(ca.center.y);
+            sc.ar.push_back(ca.radius);
+            sc.bx.push_back(cb.center.x);
+            sc.by.push_back(cb.center.y);
+            sc.br.push_back(cb.radius);
+            sc.thr.push_back(e.alert_radius);
+          } else {
+            edge_probe[i] = ShapeMinDistanceBelow(
+                *users[e.u].region, *users[e.w].region, epoch, e.alert_radius);
+          }
+        }
+        const size_t m = sc.ids.size();
+        sc.flags.resize(m);
+        SimdScanMetrics::Get().pair_check_batch.Record(static_cast<double>(m));
+        SimdScanMetrics::Get().dispatches.Inc();
+        simd::CirclePairsGapBelow(sc.ax.data(), sc.ay.data(), sc.ar.data(),
+                                  sc.bx.data(), sc.by.data(), sc.br.data(),
+                                  sc.thr.data(), m, sc.flags.data());
+        for (size_t k = 0; k < m; ++k) {
+          edge_probe[sc.ids[k]] = sc.flags[k];
         }
       });
       for (size_t i = 0; i < n; ++i) {
@@ -604,10 +785,23 @@ struct RegionDetector::Impl {
     // (moving circles drift). Regions without usable bounds fall back to an
     // adjacency scan; absent regions simply leave the grid.
     unindexed.clear();
+    circ_x.resize(users.size());
+    circ_y.resize(users.size());
+    circ_r.resize(users.size());
+    circ_ok.assign(users.size(), 0);
     for (UserId u = 0; u < static_cast<UserId>(users.size()); ++u) {
       BBox box;
       if (users[u].region && ShapeBoundsAt(*users[u].region, epoch, &box)) {
         region_grid.Upsert(u, box);
+        // Resolve the circle form once; the parallel scan below reads the
+        // plain arrays instead of revisiting the variant per pair.
+        Circle c;
+        if (AsCircleAt(*users[u].region, epoch, &c)) {
+          circ_x[u] = c.center.x;
+          circ_y[u] = c.center.y;
+          circ_r[u] = c.radius;
+          circ_ok[u] = 1;
+        }
       } else {
         region_grid.Remove(u);
         if (users[u].region) unindexed.push_back(u);
@@ -618,13 +812,29 @@ struct RegionDetector::Impl {
     if (flag_chunks.size() < chunks) flag_chunks.resize(chunks);
     if (cand_bufs.size() < chunks) cand_bufs.resize(chunks);
     if (chunk_work.size() < chunks) chunk_work.resize(chunks);
+    if (batch_chunks.size() < chunks) batch_chunks.resize(chunks);
     for (size_t c = 0; c < chunks; ++c) chunk_work[c] = ChunkWork{};
     ParallelForChunked(n, kQueryGrain, [&](size_t lo, size_t hi) {
       const size_t chunk = lo / kQueryGrain;
       std::vector<uint64_t>& out = flag_chunks[chunk];
       std::vector<int32_t>& cand = cand_bufs[chunk];
       ChunkWork& work = chunk_work[chunk];
+      BatchScratch& sc = batch_chunks[chunk];
       out.clear();
+      // Candidate pairs whose regions both have circle form stage into SoA
+      // lanes across the whole chunk and settle with one batched
+      // gap < r kernel call (outcome-identical to the AABB-pruned
+      // ShapeMinDistanceBelow — the prune only skips already-decided exact
+      // math). The flagged set is sorted downstream, so deferring the
+      // kernel verdicts to the end of the chunk reorders nothing.
+      sc.keys.clear();
+      sc.ax.clear();
+      sc.ay.clear();
+      sc.ar.clear();
+      sc.bx.clear();
+      sc.by.clear();
+      sc.br.clear();
+      sc.thr.clear();
       for (size_t ui = lo; ui < hi; ++ui) {
         const UserId u = static_cast<UserId>(ui);
         if (!users[u].region || users[u].needs_region) continue;
@@ -645,11 +855,31 @@ struct RegionDetector::Impl {
           if (it == edge_radius.end()) continue;  // Near, but no edge.
           if (users[w].needs_region || !users[w].region) continue;
           if (IsMatched(u, w)) continue;
-          if (ShapeMinDistanceBelow(*users[u].region, *users[w].region,
-                                    epoch, it->second)) {
+          if (circ_ok[u] && circ_ok[w]) {
+            sc.keys.push_back(PairKey(u, w));
+            sc.ax.push_back(circ_x[u]);
+            sc.ay.push_back(circ_y[u]);
+            sc.ar.push_back(circ_r[u]);
+            sc.bx.push_back(circ_x[w]);
+            sc.by.push_back(circ_y[w]);
+            sc.br.push_back(circ_r[w]);
+            sc.thr.push_back(it->second);
+          } else if (ShapeMinDistanceBelow(*users[u].region,
+                                           *users[w].region, epoch,
+                                           it->second)) {
             out.push_back(PairKey(u, w));
           }
         }
+      }
+      const size_t m = sc.keys.size();
+      sc.flags.resize(m);
+      SimdScanMetrics::Get().pair_check_batch.Record(static_cast<double>(m));
+      SimdScanMetrics::Get().dispatches.Inc();
+      simd::CirclePairsGapBelow(sc.ax.data(), sc.ay.data(), sc.ar.data(),
+                                sc.bx.data(), sc.by.data(), sc.br.data(),
+                                sc.thr.data(), m, sc.flags.data());
+      for (size_t k = 0; k < m; ++k) {
+        if (sc.flags[k]) out.push_back(sc.keys[k]);
       }
     });
     // Fallback for unindexable regions (degenerate bounds — impossible for
@@ -747,9 +977,9 @@ struct RegionDetector::Impl {
           const double d = Distance(l_u, users[w].pos);
           const double share = InitializationRadius(view.speed, v_u, d,
                                                     fe.alert_radius);
-          view.region = Circle{users[w].pos, share};
+          view.owned_region = Circle{users[w].pos, share};
         } else {
-          view.region = *users[w].region;
+          view.borrowed = &*users[w].region;
         }
         friend_views.push_back(std::move(view));
       }
@@ -761,7 +991,7 @@ struct RegionDetector::Impl {
       if (self.options_.validate_builds) {
         assert(ShapeContains(shape, l_u, epoch));
         for (const FriendView& view : friend_views) {
-          const double d = ShapeMinDistance(shape, view.region, epoch);
+          const double d = ShapeMinDistance(shape, view.region(), epoch);
           assert(d >= view.alert_radius - 1e-6);
           (void)d;
         }
@@ -804,18 +1034,22 @@ struct RegionDetector::Impl {
         }
         {
           obs::TraceScope span("match_region", "engine");
+          ScopedTimer phase_timer(self.phase_times_.match_region);
           MatchRegionPhase();
         }
         {
           obs::TraceScope span("exit_scan", "engine");
+          ScopedTimer phase_timer(self.phase_times_.exit_check);
           SafeRegionExitPhase();
         }
         if (per_epoch_check) {
           obs::TraceScope span("pair_check", "engine");
+          ScopedTimer phase_timer(self.phase_times_.pair_check);
           PerEpochPairCheck();
         }
         {
           obs::TraceScope span("resolve", "engine");
+          ScopedTimer phase_timer(self.phase_times_.rebuild);
           ResolvePhase();
         }
       }
@@ -829,6 +1063,7 @@ struct RegionDetector::Impl {
 
 void RegionDetector::Run(const World& world) {
   stats_ = CommStats();
+  phase_times_ = PhaseTimes();
   alerts_.clear();
   rebuild_count_ = 0;
   index_stats_ = SpatialIndexStats();

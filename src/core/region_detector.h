@@ -14,11 +14,25 @@ namespace proxdet {
 /// *effective* constraint region (the friend's installed safe region, or a
 /// virtual circle around its exact location when it is rebuilding in the
 /// same epoch), the pair's alert radius and the server's speed estimate.
+///
+/// The installed-region case BORROWS the engine's shape (`borrowed`)
+/// instead of copying it: a Stripe carries its per-segment SoA cache, and
+/// deep-copying ~F of them per rebuild was a top profile entry. The
+/// borrowed pointer is valid for the duration of the BuildRegion call (the
+/// resolve queue is serialized, and nothing reinstalls a friend's region
+/// between view collection and the build). The virtual-split case owns its
+/// small circle in `owned_region`. Views are safely movable/copyable —
+/// `region()` resolves through the pointer only at read time.
 struct FriendView {
   UserId id = -1;
-  SafeRegionShape region;
+  const SafeRegionShape* borrowed = nullptr;
+  SafeRegionShape owned_region;
   double alert_radius = 0.0;
   double speed = 0.0;  // m/epoch
+
+  const SafeRegionShape& region() const {
+    return borrowed != nullptr ? *borrowed : owned_region;
+  }
 };
 
 /// Strategy interface: how safe regions are constructed. The engine

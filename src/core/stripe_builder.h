@@ -12,9 +12,13 @@ namespace proxdet {
 /// A friend as seen by the stripe builder: the region the server currently
 /// attributes to the friend (or a virtual circle around an exact location
 /// when the friend is rebuilding in the same epoch), the pair's alert
-/// radius, and the friend's speed estimate.
+/// radius, and the friend's speed estimate. The region is borrowed — the
+/// caller's shape must outlive the BuildPredictiveStripe call. (A variant
+/// holding a Stripe is several hundred bytes plus heap blocks; copying one
+/// per friend per rebuild dominated the resolve phase before this became a
+/// handle.)
 struct StripeFriendConstraint {
-  SafeRegionShape region;
+  const SafeRegionShape* region = nullptr;
   double alert_radius = 0.0;
   double speed = 0.0;  // m/epoch
 };
@@ -76,6 +80,13 @@ struct StripeBuildResult {
   Stripe stripe;
   int m = 0;  // Number of predicted steps enclosed.
   RadiusSolution solution;
+  /// SoA lanes staged for this build (point-like constraints; concatenated
+  /// stripe segments) and the number of batched-kernel dispatches issued.
+  /// The builder itself is obs-free; the policy layer surfaces these as the
+  /// simd.batch.stripe_* histograms and the simd.dispatch.* counter.
+  size_t staged_point_lanes = 0;
+  size_t staged_segment_lanes = 0;
+  size_t kernel_dispatches = 0;
 };
 
 /// Algorithm 2: given the user's exact location, the predictor's future

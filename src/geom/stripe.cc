@@ -19,6 +19,38 @@ Stripe::Stripe(Polyline path, double radius)
     reject_box_.hi += Vec2{margin, margin};
     has_reject_box_ = true;
   }
+
+  // Build the SoA cache: per-segment a, b, d = b - a, len2 = |d|^2 (the
+  // exact doubles ClosestPointOnSegment derives per call), then the anchor
+  // coordinates. A single-point path becomes one degenerate segment.
+  const std::vector<Vec2>& pts = path_.points();
+  const size_t n = pts.size();
+  soa_segs_ = n == 0 ? 0 : (n == 1 ? 1 : n - 1);
+  soa_.resize(7 * soa_segs_ + 2 * n);
+  double* ax = soa_.data();
+  double* ay = ax + soa_segs_;
+  double* bx = ay + soa_segs_;
+  double* by = bx + soa_segs_;
+  double* dx = by + soa_segs_;
+  double* dy = dx + soa_segs_;
+  double* len2 = dy + soa_segs_;
+  for (size_t i = 0; i < soa_segs_; ++i) {
+    const Vec2& a = pts[i];
+    const Vec2& b = pts[n == 1 ? 0 : i + 1];
+    ax[i] = a.x;
+    ay[i] = a.y;
+    bx[i] = b.x;
+    by[i] = b.y;
+    dx[i] = b.x - a.x;
+    dy[i] = b.y - a.y;
+    len2[i] = dx[i] * dx[i] + dy[i] * dy[i];
+  }
+  double* px = len2 + soa_segs_;
+  double* py = px + n;
+  for (size_t i = 0; i < n; ++i) {
+    px[i] = pts[i].x;
+    py[i] = pts[i].y;
+  }
 }
 
 bool Stripe::Contains(const Vec2& p) const {
@@ -28,33 +60,83 @@ bool Stripe::Contains(const Vec2& p) const {
   if (!has_reject_box_ || !reject_box_.Contains(p)) {
     return false;
   }
-  return path_.DistanceToPoint(p) <= radius_ + 1e-9;
+  return std::sqrt(simd::PolylineSquaredDistanceToPoint(segments_soa(), p.x,
+                                                        p.y)) <=
+         radius_ + 1e-9;
 }
 
 double Stripe::DistanceToPoint(const Vec2& p) const {
-  return std::max(0.0, path_.DistanceToPoint(p) - radius_);
+  return std::max(
+      0.0, std::sqrt(simd::PolylineSquaredDistanceToPoint(segments_soa(), p.x,
+                                                          p.y)) -
+               radius_);
 }
 
 double Stripe::DistanceToStripe(const Stripe& other) const {
-  const double d = path_.DistanceToPolyline(other.path_);
+  // Polyline::DistanceToPolyline's branch structure, with the scans routed
+  // through the batched kernels (single-point paths take the point-distance
+  // branches exactly as the scalar code does — the degenerate-segment SoA
+  // encoding is only bit-safe for point kernels).
+  double d;
+  if (path_.empty() || other.path_.empty()) {
+    d = std::numeric_limits<double>::infinity();
+  } else if (path_.size() == 1) {
+    d = std::sqrt(simd::PolylineSquaredDistanceToPoint(
+        other.segments_soa(), path_.points()[0].x, path_.points()[0].y));
+  } else if (other.path_.size() == 1) {
+    d = std::sqrt(simd::PolylineSquaredDistanceToPoint(
+        segments_soa(), other.path_.points()[0].x, other.path_.points()[0].y));
+  } else {
+    const simd::SegmentSoA mine = segments_soa();
+    const simd::SegmentSoA theirs = other.segments_soa();
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < mine.n; ++i) {
+      const double row = simd::SegmentToPolylineSquaredDistance(
+          mine.ax[i], mine.ay[i], mine.bx[i], mine.by[i], theirs);
+      best = std::min(best, row);
+      if (best == 0.0) break;  // Crossing found: the scalar early exit.
+    }
+    d = std::sqrt(best);
+  }
   return std::max(0.0, d - radius_ - other.radius_);
 }
 
 double Stripe::ApproxDistanceToStripeEq8(const Stripe& other) const {
   // Eq. (8): min{ min_i d(a_i, S_w) - s^u, min_j d(b_j, S_u) - s^w } where
-  // a_i are this stripe's anchors and b_j the other's.
+  // a_i are this stripe's anchors and b_j the other's. Each anchor set is
+  // scanned as one batched polyline-distance call (chunked through a stack
+  // buffer); the min fold keeps the scalar's sequential order.
+  constexpr size_t kChunk = 64;
+  double sq[kChunk];
   double best = std::numeric_limits<double>::infinity();
-  for (const Vec2& a : path_.points()) {
-    best = std::min(best, other.DistanceToPoint(a) - radius_);
+  const simd::SegmentSoA mine = segments_soa();
+  const simd::SegmentSoA theirs = other.segments_soa();
+  for (size_t i0 = 0; i0 < anchor_count(); i0 += kChunk) {
+    const size_t c = std::min(kChunk, anchor_count() - i0);
+    simd::PolylineSquaredDistanceToPoints(theirs, anchor_xs() + i0,
+                                          anchor_ys() + i0, c, sq);
+    for (size_t k = 0; k < c; ++k) {
+      const double dp = std::max(0.0, std::sqrt(sq[k]) - other.radius_);
+      best = std::min(best, dp - radius_);
+    }
   }
-  for (const Vec2& b : other.path_.points()) {
-    best = std::min(best, DistanceToPoint(b) - other.radius_);
+  for (size_t i0 = 0; i0 < other.anchor_count(); i0 += kChunk) {
+    const size_t c = std::min(kChunk, other.anchor_count() - i0);
+    simd::PolylineSquaredDistanceToPoints(mine, other.anchor_xs() + i0,
+                                          other.anchor_ys() + i0, c, sq);
+    for (size_t k = 0; k < c; ++k) {
+      const double dp = std::max(0.0, std::sqrt(sq[k]) - radius_);
+      best = std::min(best, dp - other.radius_);
+    }
   }
   return std::max(0.0, best);
 }
 
 double Stripe::DistanceToCircle(const Circle& c) const {
-  return std::max(0.0, path_.DistanceToPoint(c.center) - radius_ - c.radius);
+  return std::max(
+      0.0, std::sqrt(simd::PolylineSquaredDistanceToPoint(
+               segments_soa(), c.center.x, c.center.y)) -
+               radius_ - c.radius);
 }
 
 double Stripe::CapsuleAreaUpperBound() const {

@@ -6,6 +6,7 @@
 #include "geom/bbox.h"
 #include "geom/circle.h"
 #include "geom/polyline.h"
+#include "geom/simd/simd.h"
 #include "geom/vec2.h"
 
 namespace proxdet {
@@ -27,6 +28,26 @@ class Stripe {
   /// from it are sound lower bounds. Only meaningful when has_bounds().
   const BBox& bounds() const { return reject_box_; }
   bool has_bounds() const { return has_reject_box_; }
+
+  /// SoA view of the path's segments, precomputed at construction (the
+  /// batched kernels read these instead of re-deriving b - a per query).
+  /// A single-point path is cached as one degenerate segment, which the
+  /// point-distance kernels resolve bitwise like the scalar special case;
+  /// callers doing segment-segment work must branch on path().size() == 1
+  /// exactly like Polyline::DistanceToPolyline does.
+  simd::SegmentSoA segments_soa() const {
+    const double* b = soa_.data();
+    const size_t s = soa_segs_;
+    return simd::SegmentSoA{b,         b + s,     b + 2 * s, b + 3 * s,
+                            b + 4 * s, b + 5 * s, b + 6 * s, s};
+  }
+  /// The path's anchor points split into coordinate arrays (for batched
+  /// Eq. (8) scans). anchor_count() == path().size().
+  const double* anchor_xs() const { return soa_.data() + 7 * soa_segs_; }
+  const double* anchor_ys() const {
+    return soa_.data() + 7 * soa_segs_ + path_.size();
+  }
+  size_t anchor_count() const { return path_.size(); }
 
   /// Closed containment: boundary points are inside the safe region.
   bool Contains(const Vec2& p) const;
@@ -54,8 +75,8 @@ class Stripe {
   double CapsuleAreaUpperBound() const;
 
   /// Exact (bitwise) structural equality on path and radius (the reject box
-  /// is derived from them); the wire codec's round-trip guarantee is stated
-  /// in terms of it.
+  /// and SoA cache are derived from them); the wire codec's round-trip
+  /// guarantee is stated in terms of it.
   friend bool operator==(const Stripe& a, const Stripe& b) {
     return a.radius_ == b.radius_ && a.path_ == b.path_;
   }
@@ -68,6 +89,11 @@ class Stripe {
   // it without scanning a single segment. Invalid when the path is empty.
   BBox reject_box_;
   bool has_reject_box_ = false;
+  // Segment SoA ([ax][ay][bx][by][dx][dy][len2], soa_segs_ each) followed by
+  // the anchor coordinate arrays ([px][py], path size each). One flat
+  // buffer, filled once in the constructor.
+  std::vector<double> soa_;
+  size_t soa_segs_ = 0;
 };
 
 }  // namespace proxdet

@@ -1,39 +1,78 @@
 #include "predict/kalman.h"
 
+#include "geom/simd/simd.h"
+
 namespace proxdet {
+
+namespace {
+
+/// Matrix::operator* on fixed 4x4 row-major arrays, preserving its
+/// `v == 0.0` accumulation skip (observable through signed zeros); the
+/// measurement update's (I - KH) factor is mostly zeros, so the skip also
+/// matters for the op sequence.
+void Mul4(const double* a, const double* b, double* out) {
+  for (int i = 0; i < 16; ++i) out[i] = 0.0;
+  for (int r = 0; r < 4; ++r) {
+    for (int k = 0; k < 4; ++k) {
+      const double v = a[r * 4 + k];
+      if (v == 0.0) continue;
+      for (int c = 0; c < 4; ++c) {
+        out[r * 4 + c] += v * b[k * 4 + c];
+      }
+    }
+  }
+}
+
+/// Matrix::Apply on a fixed 4-vector (plain accumulation, no skip).
+void Apply4(const double* m, const double* v, double* out) {
+  for (int r = 0; r < 4; ++r) {
+    double acc = 0.0;
+    for (int c = 0; c < 4; ++c) acc += m[r * 4 + c] * v[c];
+    out[r] = acc;
+  }
+}
+
+}  // namespace
 
 KalmanFilter2D::KalmanFilter2D(double dt, double process_noise,
                                double measurement_noise)
-    : dt_(dt), f_(4, 4), q_(4, 4), r_(measurement_noise * measurement_noise),
-      state_(4, 0.0), p_(4, 4) {
+    : dt_(dt), r_(measurement_noise * measurement_noise) {
   // Constant-velocity transition.
-  f_ = Matrix::Identity(4);
-  f_.At(0, 2) = dt_;
-  f_.At(1, 3) = dt_;
+  for (int i = 0; i < 16; ++i) f_[i] = 0.0;
+  for (int i = 0; i < 4; ++i) f_[i * 4 + i] = 1.0;
+  f_[0 * 4 + 2] = dt_;
+  f_[1 * 4 + 3] = dt_;
   // White-acceleration process noise (discretized), per axis:
   // Q = sigma_a^2 * [[dt^4/4, dt^3/2], [dt^3/2, dt^2]].
   const double s2 = process_noise * process_noise;
   const double dt2 = dt_ * dt_;
   const double dt3 = dt2 * dt_;
   const double dt4 = dt3 * dt_;
-  q_.At(0, 0) = q_.At(1, 1) = s2 * dt4 / 4.0;
-  q_.At(0, 2) = q_.At(2, 0) = s2 * dt3 / 2.0;
-  q_.At(1, 3) = q_.At(3, 1) = s2 * dt3 / 2.0;
-  q_.At(2, 2) = q_.At(3, 3) = s2 * dt2;
+  for (int i = 0; i < 16; ++i) q_[i] = 0.0;
+  q_[0 * 4 + 0] = q_[1 * 4 + 1] = s2 * dt4 / 4.0;
+  q_[0 * 4 + 2] = q_[2 * 4 + 0] = s2 * dt3 / 2.0;
+  q_[1 * 4 + 3] = q_[3 * 4 + 1] = s2 * dt3 / 2.0;
+  q_[2 * 4 + 2] = q_[3 * 4 + 3] = s2 * dt2;
+  for (int i = 0; i < 4; ++i) state_[i] = 0.0;
+  for (int i = 0; i < 16; ++i) p_[i] = 0.0;
 }
 
 void KalmanFilter2D::Reset(const Vec2& position) {
-  state_ = {position.x, position.y, 0.0, 0.0};
-  p_ = Matrix::Identity(4);
+  state_[0] = position.x;
+  state_[1] = position.y;
+  state_[2] = 0.0;
+  state_[3] = 0.0;
+  for (int i = 0; i < 16; ++i) p_[i] = 0.0;
+  for (int i = 0; i < 4; ++i) p_[i * 4 + i] = 1.0;
   // Position known to measurement accuracy; velocity essentially unknown.
-  p_.At(0, 0) = p_.At(1, 1) = r_;
-  p_.At(2, 2) = p_.At(3, 3) = 1e4;
+  p_[0 * 4 + 0] = p_[1 * 4 + 1] = r_;
+  p_[2 * 4 + 2] = p_[3 * 4 + 3] = 1e4;
   initialized_ = true;
 }
 
 void KalmanFilter2D::PredictStep() {
-  state_ = f_.Apply(state_);
-  p_ = f_ * p_ * f_.Transpose() + q_;
+  // state <- F state; P <- F P F^T + Q, via the dispatched batch kernel.
+  simd::KalmanPredict4(f_, q_, state_, p_);
 }
 
 void KalmanFilter2D::UpdateStep(const Vec2& measurement) {
@@ -42,10 +81,10 @@ void KalmanFilter2D::UpdateStep(const Vec2& measurement) {
     return;
   }
   // H picks (x, y); S = H P H^T + R is 2x2 so invert it directly.
-  const double s00 = p_.At(0, 0) + r_;
-  const double s01 = p_.At(0, 1);
-  const double s10 = p_.At(1, 0);
-  const double s11 = p_.At(1, 1) + r_;
+  const double s00 = p_[0 * 4 + 0] + r_;
+  const double s01 = p_[0 * 4 + 1];
+  const double s10 = p_[1 * 4 + 0];
+  const double s11 = p_[1 * 4 + 1] + r_;
   const double det = s00 * s11 - s01 * s10;
   if (det == 0.0) return;
   const double i00 = s11 / det, i01 = -s01 / det;
@@ -53,8 +92,8 @@ void KalmanFilter2D::UpdateStep(const Vec2& measurement) {
   // Kalman gain K = P H^T S^-1 (4x2).
   double k[4][2];
   for (int row = 0; row < 4; ++row) {
-    const double ph0 = p_.At(row, 0);
-    const double ph1 = p_.At(row, 1);
+    const double ph0 = p_[row * 4 + 0];
+    const double ph1 = p_[row * 4 + 1];
     k[row][0] = ph0 * i00 + ph1 * i10;
     k[row][1] = ph0 * i01 + ph1 * i11;
   }
@@ -64,12 +103,16 @@ void KalmanFilter2D::UpdateStep(const Vec2& measurement) {
     state_[row] += k[row][0] * y0 + k[row][1] * y1;
   }
   // P = (I - K H) P.
-  Matrix kh(4, 4);
+  double ikh[16];
+  for (int i = 0; i < 16; ++i) ikh[i] = 0.0;
+  for (int i = 0; i < 4; ++i) ikh[i * 4 + i] = 1.0;
   for (int row = 0; row < 4; ++row) {
-    kh.At(row, 0) = k[row][0];
-    kh.At(row, 1) = k[row][1];
+    ikh[row * 4 + 0] -= k[row][0];
+    ikh[row * 4 + 1] -= k[row][1];
   }
-  p_ = (Matrix::Identity(4) - kh) * p_;
+  double next_p[16];
+  Mul4(ikh, p_, next_p);
+  for (int i = 0; i < 16; ++i) p_[i] = next_p[i];
 }
 
 Vec2 KalmanFilter2D::position() const { return {state_[0], state_[1]}; }
@@ -79,9 +122,11 @@ Vec2 KalmanFilter2D::velocity() const { return {state_[2], state_[3]}; }
 std::vector<Vec2> KalmanFilter2D::Forecast(size_t steps) const {
   std::vector<Vec2> out;
   out.reserve(steps);
-  std::vector<double> s = state_;
+  double s[4] = {state_[0], state_[1], state_[2], state_[3]};
+  double next[4];
   for (size_t i = 0; i < steps; ++i) {
-    s = f_.Apply(s);
+    Apply4(f_, s, next);
+    for (int r = 0; r < 4; ++r) s[r] = next[r];
     out.push_back({s[0], s[1]});
   }
   return out;

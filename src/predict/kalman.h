@@ -1,7 +1,6 @@
 #ifndef PROXDET_PREDICT_KALMAN_H_
 #define PROXDET_PREDICT_KALMAN_H_
 
-#include "common/linalg.h"
 #include "predict/predictor.h"
 
 namespace proxdet {
@@ -9,6 +8,13 @@ namespace proxdet {
 /// Standalone constant-velocity Kalman filter over state [x, y, vx, vy] with
 /// position-only measurements. Usable on its own for tracking; the
 /// KalmanPredictor below wraps it for the Predictor interface.
+///
+/// Internals are fixed row-major 4x4 / 4-vector arrays (no Matrix heap
+/// allocations — the stripe builder replays a window through a fresh filter
+/// on every rebuild) and the time update runs through the dispatched
+/// simd::KalmanPredict4 kernel. Both are bit-exact with the original
+/// common/linalg formulation: the kernel replicates Matrix::Apply's
+/// accumulation order and Matrix::operator*'s zero-skip semantics.
 class KalmanFilter2D {
  public:
   /// `dt`: seconds between measurements. `process_noise` (sigma_a, m/s^2)
@@ -36,11 +42,11 @@ class KalmanFilter2D {
 
  private:
   double dt_;
-  Matrix f_;  // State transition (4x4).
-  Matrix q_;  // Process noise covariance (4x4).
-  double r_;  // Measurement noise variance (per axis).
-  std::vector<double> state_;  // [x, y, vx, vy]
-  Matrix p_;                   // State covariance (4x4).
+  double f_[16];     // State transition (4x4, row-major).
+  double q_[16];     // Process noise covariance (4x4, row-major).
+  double r_;         // Measurement noise variance (per axis).
+  double state_[4];  // [x, y, vx, vy]
+  double p_[16];     // State covariance (4x4, row-major).
   bool initialized_ = false;
 };
 

@@ -1,0 +1,39 @@
+#include "region/region_batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <variant>
+
+#include "geom/simd/simd.h"
+
+namespace proxdet {
+
+void ShapeDistanceToPoints(const SafeRegionShape& shape, const double* xs,
+                           const double* ys, size_t n, int epoch,
+                           double* out) {
+  std::visit(
+      [&](const auto& s) {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, Circle>) {
+          simd::CircleDistanceToPoints(s.center.x, s.center.y, s.radius, xs,
+                                       ys, n, out);
+        } else if constexpr (std::is_same_v<T, MovingCircle>) {
+          const Circle c = s.AtEpoch(epoch);
+          simd::CircleDistanceToPoints(c.center.x, c.center.y, c.radius, xs,
+                                       ys, n, out);
+        } else if constexpr (std::is_same_v<T, ConvexPolygon>) {
+          for (size_t i = 0; i < n; ++i) {
+            out[i] = s.DistanceToPoint({xs[i], ys[i]});
+          }
+        } else {  // Stripe
+          simd::PolylineSquaredDistanceToPoints(s.segments_soa(), xs, ys, n,
+                                                out);
+          for (size_t i = 0; i < n; ++i) {
+            out[i] = std::max(0.0, std::sqrt(out[i]) - s.radius());
+          }
+        }
+      },
+      shape);
+}
+
+}  // namespace proxdet

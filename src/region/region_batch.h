@@ -1,0 +1,19 @@
+#ifndef PROXDET_REGION_REGION_BATCH_H_
+#define PROXDET_REGION_REGION_BATCH_H_
+
+#include <cstddef>
+
+#include "region/region.h"
+
+namespace proxdet {
+
+/// Batched ShapeDistanceToPoint: out[i] = ShapeDistanceToPoint(shape,
+/// {xs[i], ys[i]}, epoch), bit-exact with the scalar call (the variant is
+/// resolved once and the per-point scan runs through the SIMD kernels;
+/// polygons fall back to the scalar loop — they are not on the hot path).
+void ShapeDistanceToPoints(const SafeRegionShape& shape, const double* xs,
+                           const double* ys, size_t n, int epoch, double* out);
+
+}  // namespace proxdet
+
+#endif  // PROXDET_REGION_REGION_BATCH_H_

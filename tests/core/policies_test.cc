@@ -19,7 +19,7 @@ FriendView CircleFriend(const Vec2& center, double radius, double r,
                         double speed) {
   FriendView f;
   f.id = 1;
-  f.region = Circle{center, radius};
+  f.owned_region = Circle{center, radius};
   f.alert_radius = r;
   f.speed = speed;
   return f;
@@ -43,7 +43,7 @@ TEST(StaticPolygonPolicyTest, FriendClipsPolygon) {
       0, {0, 0}, WindowEastward({0, 0}, 10, 5), 10.0, friends, 0);
   EXPECT_TRUE(ShapeContains(shape, {0, 0}, 0));
   // Safety: the region keeps alert-radius clearance from the friend.
-  EXPECT_GE(ShapeMinDistance(shape, friends[0].region, 0), 200.0 - 1e-6);
+  EXPECT_GE(ShapeMinDistance(shape, friends[0].region(), 0), 200.0 - 1e-6);
 }
 
 TEST(StaticPolygonPolicyTest, SqueezedFallsBackToPoint) {
@@ -53,7 +53,7 @@ TEST(StaticPolygonPolicyTest, SqueezedFallsBackToPoint) {
   const SafeRegionShape shape = policy.BuildRegion(
       0, {0, 0}, WindowEastward({0, 0}, 10, 5), 10.0, friends, 0);
   EXPECT_TRUE(ShapeContains(shape, {0, 0}, 0));
-  EXPECT_GE(ShapeMinDistance(shape, friends[0].region, 0), 200.0 - 1e-6);
+  EXPECT_GE(ShapeMinDistance(shape, friends[0].region(), 0), 200.0 - 1e-6);
 }
 
 TEST(StaticPolygonPolicyTest, SafeAgainstPolygonFriends) {
@@ -61,14 +61,14 @@ TEST(StaticPolygonPolicyTest, SafeAgainstPolygonFriends) {
   FriendView f;
   f.id = 2;
   // An elongated friend region to exercise the verify-and-shrink loop.
-  f.region = ConvexPolygon(
+  f.owned_region = ConvexPolygon(
       {{500, -4000}, {700, -4000}, {700, 4000}, {500, 4000}});
   f.alert_radius = 150.0;
   f.speed = 3.0;
   const SafeRegionShape shape = policy.BuildRegion(
       0, {0, 0}, WindowEastward({0, 0}, 10, 5), 10.0, {f}, 0);
   EXPECT_TRUE(ShapeContains(shape, {0, 0}, 0));
-  EXPECT_GE(ShapeMinDistance(shape, f.region, 0), 150.0 - 1e-6);
+  EXPECT_GE(ShapeMinDistance(shape, f.region(), 0), 150.0 - 1e-6);
 }
 
 TEST(MobileCirclePolicyTest, VelocityFromWindow) {
@@ -141,7 +141,7 @@ TEST(StripePolicyTest, SafetyAgainstFriends) {
   std::vector<FriendView> friends{CircleFriend({0, 500}, 20.0, 100.0, 5.0)};
   const SafeRegionShape shape = policy.BuildRegion(
       0, {0, 0}, WindowEastward({0, 0}, 50, 6), 50.0, friends, 0);
-  EXPECT_GE(ShapeMinDistance(shape, friends[0].region, 0), 100.0 - 1e-6);
+  EXPECT_GE(ShapeMinDistance(shape, friends[0].region(), 0), 100.0 - 1e-6);
 }
 
 TEST(StripePolicyTest, NameIncludesPredictor) {

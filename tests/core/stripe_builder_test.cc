@@ -44,8 +44,10 @@ TEST(StripeBuilderTest, ContainsCurrentLocationAlways) {
       p += Vec2{rng.Uniform(-30, 30), rng.Uniform(-30, 30)};
       predicted.push_back(p);
     }
+    const SafeRegionShape friend_region =
+        Circle{{rng.Uniform(100, 400), 0}, 10.0};
     std::vector<StripeFriendConstraint> friends;
-    friends.push_back({Circle{{rng.Uniform(100, 400), 0}, 10.0}, 50.0, 3.0});
+    friends.push_back({&friend_region, 50.0, 3.0});
     const StripeBuildResult res = BuildPredictiveStripe(
         current, predicted, friends, 10.0, config, 0);
     EXPECT_TRUE(res.stripe.Contains(current));
@@ -66,18 +68,20 @@ TEST(StripeBuilderTest, RespectsFriendSafetyInvariant) {
       p += Vec2{rng.Uniform(0, 40), rng.Uniform(-20, 20)};
       predicted.push_back(p);
     }
+    std::vector<SafeRegionShape> shapes;
     std::vector<StripeFriendConstraint> friends;
     const int nf = 1 + static_cast<int>(rng.NextIndex(3));
+    shapes.reserve(nf);
     for (int f = 0; f < nf; ++f) {
+      shapes.push_back(Circle{{rng.Uniform(150, 600), rng.Uniform(-300, 300)},
+                              rng.Uniform(5, 40)});
       friends.push_back(
-          {Circle{{rng.Uniform(150, 600), rng.Uniform(-300, 300)},
-                  rng.Uniform(5, 40)},
-           rng.Uniform(20, 80), rng.Uniform(1, 10)});
+          {&shapes.back(), rng.Uniform(20, 80), rng.Uniform(1, 10)});
     }
     // Ensure positive initial slack, else the engine would have probed.
     bool feasible = true;
     for (const auto& f : friends) {
-      if (ShapeDistanceToPoint(f.region, current, 0) <= f.alert_radius) {
+      if (ShapeDistanceToPoint(*f.region, current, 0) <= f.alert_radius) {
         feasible = false;
       }
     }
@@ -86,7 +90,7 @@ TEST(StripeBuilderTest, RespectsFriendSafetyInvariant) {
         current, predicted, friends, 20.0, config, 0);
     for (const auto& f : friends) {
       const double d =
-          ShapeMinDistance(SafeRegionShape(res.stripe), f.region, 0);
+          ShapeMinDistance(SafeRegionShape(res.stripe), *f.region, 0);
       EXPECT_GE(d, f.alert_radius - 1e-6);
     }
   }
@@ -99,8 +103,9 @@ TEST(StripeBuilderTest, TruncatesAtFriendViolatingAnchor) {
   config.sigma = 5.0;
   const Vec2 current{0, 0};
   const auto predicted = StraightPrediction(current, {100, 0}, 10);
+  const SafeRegionShape friend_region = Circle{{520, 0}, 10.0};
   std::vector<StripeFriendConstraint> friends;
-  friends.push_back({Circle{{520, 0}, 10.0}, 60.0, 2.0});
+  friends.push_back({&friend_region, 60.0, 2.0});
   // Anchor 5 is at x=500, within 60+10 of the friend: m <= 4.
   const StripeBuildResult res =
       BuildPredictiveStripe(current, predicted, friends, 100.0, config, 0);
@@ -123,8 +128,9 @@ TEST(StripeBuilderTest, SqueezedUserGetsPointRegion) {
   StripeBuildConfig config;
   config.sigma = 5.0;
   const Vec2 current{0, 0};
+  const SafeRegionShape friend_region = Circle{{61.0, 0}, 10.0};
   std::vector<StripeFriendConstraint> friends;
-  friends.push_back({Circle{{61.0, 0}, 10.0}, 50.0, 2.0});  // Slack = 1.
+  friends.push_back({&friend_region, 50.0, 2.0});  // Slack = 1.
   const StripeBuildResult res = BuildPredictiveStripe(
       current, StraightPrediction(current, {50, 0}, 5), friends, 50.0,
       config, 0);
@@ -140,8 +146,9 @@ TEST(StripeBuilderTest, BetterPredictorLongerObjectiveAtEqualCap) {
   // friend pressure punishes it.)
   const Vec2 current{0, 0};
   const auto predicted = StraightPrediction(current, {50, 0}, 10);
+  const SafeRegionShape friend_region = Circle{{0, 800}, 10.0};
   std::vector<StripeFriendConstraint> friends;
-  friends.push_back({Circle{{0, 800}, 10.0}, 50.0, 4.0});
+  friends.push_back({&friend_region, 50.0, 4.0});
   StripeBuildConfig good;
   good.sigma = 5.0;
   good.sigma_cap_mult = 64.0;  // Cap 320.
