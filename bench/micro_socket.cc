@@ -1,0 +1,399 @@
+// Loopback latency/throughput of the real-socket serving core: the full
+// detector pipeline over UDP loopback sockets — every client a real
+// nonblocking socket, one event loop per shard — reporting frames/s, MB/s
+// and p50/p99 round-trip latency (wall-clock obs sketches) across shard
+// counts, into BENCH_socket.json.
+//
+// Contract checks ride along, micro_net style, and the bench aborts on any
+// violation because throughput numbers from a broken transport are void:
+//  - parity: every paper method over UDP loopback at 0%% injected loss
+//    produces the ground-truth alert stream and the same engine message
+//    counts as both the in-process run and the SimNet-transported run
+//    (SimNet is the oracle; the kernel is just a different wire);
+//  - loss: with datagrams induced to drop, the retransmit/dedup layer
+//    still delivers the exact alert stream — no lost alerts;
+//  - accounting: the obs registry's net.bytes_up/down counters reconcile
+//    with CommStats to the unit over real sockets, retransmits included.
+//
+// Emits BENCH_socket.json (PROXDET_BENCH_JSON: "0" disables, unset/"1"
+// writes to the current directory, anything else is the target directory).
+// PROXDET_QUICK=1 shrinks to smoke-test size. Hosts without socket(2)
+// write {"udp_available": false} and exit 0 — absence of a kernel is not
+// a transport bug.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench_support/bench_json.h"
+#include "bench_support/obs_artifacts.h"
+#include "common/timer.h"
+#include "core/simulation.h"
+#include "net/socket/udp_net.h"
+#include "net/transport.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+
+namespace proxdet {
+namespace {
+
+struct ParityRow {
+  Method method = Method::kNaive;
+  int shards = 0;
+  uint64_t total_messages = 0;
+  uint64_t alert_count = 0;
+  bool alerts_exact = false;
+  bool same_counts_vs_inprocess = false;
+  bool same_counts_vs_simnet = false;
+};
+
+struct LossRow {
+  Method method = Method::kNaive;
+  double drop_rate = 0.0;
+  uint64_t drops = 0;
+  uint64_t retransmits = 0;
+  uint64_t dedup_discards = 0;
+  bool alerts_exact = false;
+};
+
+struct ThroughputRow {
+  int shards = 0;
+  size_t clients = 0;
+  int epochs = 0;
+  double seconds = 0.0;
+  uint64_t datagrams = 0;
+  uint64_t bytes = 0;
+  double frames_per_s = 0.0;
+  double mb_per_s = 0.0;
+  double rtt_p50_s = 0.0;
+  double rtt_p99_s = 0.0;
+  uint64_t rtt_samples = 0;
+  bool reconcile_exact = false;
+};
+
+WorkloadConfig ParityWorkloadConfig(bool quick) {
+  WorkloadConfig config;
+  config.dataset = DatasetKind::kTruck;
+  config.num_users = quick ? 60 : 150;
+  config.epochs = quick ? 20 : 40;
+  config.speed_steps = 8;
+  config.avg_friends = quick ? 6.0 : 10.0;
+  config.alert_radius_m = 6000.0;
+  config.seed = 20180416;
+  config.training_users = quick ? 16 : 30;
+  config.training_epochs = 60;
+  return config;
+}
+
+WorkloadConfig ThroughputWorkloadConfig(bool quick, size_t clients) {
+  WorkloadConfig config;
+  config.dataset = DatasetKind::kTruck;
+  config.num_users = clients;
+  config.epochs = quick ? 6 : 10;
+  config.speed_steps = 8;
+  config.avg_friends = 6.0;
+  config.alert_radius_m = 6000.0;
+  config.seed = 20180416;
+  config.training_users = 16;
+  config.training_epochs = 60;
+  return config;
+}
+
+net::NetConfig UdpConfig(int shards, double drop_rate = 0.0) {
+  net::NetConfig config;
+  config.transport = net::TransportKind::kUdp;
+  config.shards = shards;
+  config.udp_drop_rate = drop_rate;
+  config.udp_dup_rate = drop_rate > 0.0 ? 0.05 : 0.0;
+  config.udp_idle_timeout_s = 120.0;
+  config.seed = 20180416;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// (a) Parity: all paper methods, UDP loopback vs in-process vs SimNet.
+
+std::vector<ParityRow> RunParity(const Workload& workload, bool quick) {
+  const std::vector<Method> methods =
+      quick ? std::vector<Method>{Method::kNaive, Method::kCmd,
+                                  Method::kStripeKf}
+            : PaperMethodSet();
+  const int shards = 2;
+  std::vector<ParityRow> rows;
+  for (const Method method : methods) {
+    const RunResult direct = RunMethod(method, workload);
+    net::NetConfig sim_config;
+    sim_config.shards = shards;
+    const net::TransportedRunResult sim =
+        net::RunTransportedMethod(method, workload, sim_config);
+    const net::TransportedRunResult udp =
+        net::RunTransportedMethod(method, workload, UdpConfig(shards));
+
+    ParityRow row;
+    row.method = method;
+    row.shards = shards;
+    row.total_messages = udp.run.stats.TotalMessages();
+    row.alert_count = udp.run.alert_count;
+    row.alerts_exact = udp.run.alerts_exact && direct.alerts_exact &&
+                       sim.run.alerts_exact;
+    row.same_counts_vs_inprocess =
+        udp.run.stats.SameMessageCounts(direct.stats) &&
+        udp.run.rebuild_count == direct.rebuild_count;
+    row.same_counts_vs_simnet =
+        udp.run.stats.SameMessageCounts(sim.run.stats) &&
+        udp.run.rebuild_count == sim.run.rebuild_count;
+    if (!row.alerts_exact || !row.same_counts_vs_inprocess ||
+        !row.same_counts_vs_simnet || !udp.net.codec_exact ||
+        udp.net.failed) {
+      std::fprintf(stderr,
+                   "FATAL: %s diverged over UDP loopback (alerts_exact=%d "
+                   "vs_inprocess=%d vs_simnet=%d codec=%d failed=%d).\n",
+                   MethodName(method).c_str(), row.alerts_exact ? 1 : 0,
+                   row.same_counts_vs_inprocess ? 1 : 0,
+                   row.same_counts_vs_simnet ? 1 : 0,
+                   udp.net.codec_exact ? 1 : 0, udp.net.failed ? 1 : 0);
+      std::exit(1);
+    }
+    rows.push_back(row);
+    std::printf("  %-13s shards=%d  msgs %8llu  alerts %6llu  parity ok\n",
+                MethodName(method).c_str(), shards,
+                static_cast<unsigned long long>(row.total_messages),
+                static_cast<unsigned long long>(row.alert_count));
+    std::fflush(stdout);
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// (b) Induced loss: drop datagrams at the socket boundary, lose no alerts.
+
+std::vector<LossRow> RunLoss(const Workload& workload, bool quick) {
+  const std::vector<double> drops = quick ? std::vector<double>{0.05}
+                                          : std::vector<double>{0.02, 0.05};
+  const Method method = Method::kCmd;
+  std::vector<LossRow> rows;
+  for (const double drop : drops) {
+    const net::TransportedRunResult udp =
+        net::RunTransportedMethod(method, workload, UdpConfig(2, drop));
+    LossRow row;
+    row.method = method;
+    row.drop_rate = drop;
+    row.drops = udp.net.drops;
+    row.retransmits = udp.net.retransmits;
+    row.dedup_discards = udp.net.dedup_discards;
+    row.alerts_exact = udp.run.alerts_exact;
+    if (!row.alerts_exact || udp.net.failed || !udp.net.codec_exact) {
+      std::fprintf(stderr,
+                   "FATAL: %s lost alerts under %.0f%% induced datagram "
+                   "loss — the retransmit layer failed.\n",
+                   MethodName(method).c_str(), drop * 100.0);
+      std::exit(1);
+    }
+    if (row.drops == 0 || row.retransmits == 0) {
+      std::fprintf(stderr,
+                   "FATAL: loss cell at drop=%.2f induced no drops (%llu) "
+                   "or no retransmits (%llu) — the injection is dead.\n",
+                   drop, static_cast<unsigned long long>(row.drops),
+                   static_cast<unsigned long long>(row.retransmits));
+      std::exit(1);
+    }
+    rows.push_back(row);
+    std::printf(
+        "  %-13s drop=%.2f  dropped %6llu  retx %6llu  dedup %6llu  "
+        "alerts exact\n",
+        MethodName(method).c_str(), drop,
+        static_cast<unsigned long long>(row.drops),
+        static_cast<unsigned long long>(row.retransmits),
+        static_cast<unsigned long long>(row.dedup_discards));
+    std::fflush(stdout);
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// (c) Throughput: shard sweep, every client a live socket.
+
+ThroughputRow RunThroughputCell(const Workload& workload, int shards,
+                                int epochs) {
+  // Scope the wall-clock socket counters and the RTT sketch to this cell.
+  obs::Metrics().Reset();
+  const Method method = Method::kCmd;
+  WallTimer timer;
+  const net::TransportedRunResult udp =
+      net::RunTransportedMethod(method, workload, UdpConfig(shards));
+  ThroughputRow row;
+  row.shards = shards;
+  row.clients = workload.world.user_count();
+  row.epochs = epochs;
+  row.seconds = timer.ElapsedSeconds();
+  row.datagrams =
+      obs::Metrics()
+          .GetCounter("net.socket.datagrams_sent", obs::Kind::kWallClock)
+          .value();
+  row.bytes = obs::Metrics()
+                  .GetCounter("net.socket.bytes_sent", obs::Kind::kWallClock)
+                  .value();
+  const obs::StreamingQuantile rtt =
+      obs::Metrics()
+          .GetQuantile("net.socket.rtt_s", obs::Kind::kWallClock)
+          .snapshot();
+  row.rtt_samples = rtt.count();
+  row.rtt_p50_s = rtt.Quantile(0.5);
+  row.rtt_p99_s = rtt.Quantile(0.99);
+  row.frames_per_s = row.seconds > 0.0 ? row.datagrams / row.seconds : 0.0;
+  row.mb_per_s = row.seconds > 0.0 ? row.bytes / 1e6 / row.seconds : 0.0;
+
+  if (!udp.run.alerts_exact || udp.net.failed || !udp.net.codec_exact) {
+    std::fprintf(stderr,
+                 "FATAL: throughput cell (shards=%d) broke the transport "
+                 "contract.\n",
+                 shards);
+    std::exit(1);
+  }
+  // The registry's byte counters were fed by real-socket transmissions
+  // (retransmits and acks included); they must still reconcile with the
+  // engine's CommStats to the unit — same accounting, different wire.
+  obs::RunReport report = MakeRunReport("micro_socket:udp_loopback",
+                                        udp.run.stats);
+  AddShardNetSections(&report, udp.net);
+  std::string mismatch;
+  row.reconcile_exact =
+      ReconcileWithCommStats(report.metrics(), udp.run.stats, &mismatch);
+  if (!row.reconcile_exact) {
+    std::fprintf(stderr,
+                 "FATAL: socket-run metrics disagree with CommStats:\n%s",
+                 mismatch.c_str());
+    std::exit(1);
+  }
+  std::printf(
+      "  shards=%d clients=%zu  %7.3f s  %9.0f frames/s  %7.2f MB/s  "
+      "rtt p50 %6.3f ms  p99 %6.3f ms  (%llu samples)\n",
+      shards, row.clients, row.seconds, row.frames_per_s, row.mb_per_s,
+      row.rtt_p50_s * 1e3, row.rtt_p99_s * 1e3,
+      static_cast<unsigned long long>(row.rtt_samples));
+  std::fflush(stdout);
+  return row;
+}
+
+std::vector<ThroughputRow> RunThroughput(bool quick) {
+  const size_t clients = quick ? 200 : 1000;
+  const std::vector<int> shard_counts =
+      quick ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  const WorkloadConfig config = ThroughputWorkloadConfig(quick, clients);
+  std::printf("building %zu-client throughput workload...\n", clients);
+  const Workload workload = BuildWorkload(config);
+  std::vector<ThroughputRow> rows;
+  for (const int shards : shard_counts) {
+    rows.push_back(RunThroughputCell(workload, shards, config.epochs));
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+
+std::string WriteJson(bool udp_available, bool epoll,
+                      const std::vector<ParityRow>& parity,
+                      const std::vector<LossRow>& loss,
+                      const std::vector<ThroughputRow>& throughput) {
+  const std::string path = BenchJsonPath("BENCH_socket.json");
+  if (path.empty()) return "";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return "";
+  }
+  std::fprintf(f,
+               "{\n  \"figure\": \"socket\",\n  \"udp_available\": %s,\n"
+               "  \"backend\": \"%s\",\n  \"parity\": [\n",
+               udp_available ? "true" : "false", epoll ? "epoll" : "poll");
+  for (size_t i = 0; i < parity.size(); ++i) {
+    const ParityRow& r = parity[i];
+    std::fprintf(
+        f,
+        "    {\"method\": \"%s\", \"shards\": %d, \"total_messages\": %llu, "
+        "\"alert_count\": %llu, \"alerts_exact\": %s, "
+        "\"same_counts_vs_inprocess\": %s, \"same_counts_vs_simnet\": %s}%s\n",
+        MethodName(r.method).c_str(), r.shards,
+        static_cast<unsigned long long>(r.total_messages),
+        static_cast<unsigned long long>(r.alert_count),
+        r.alerts_exact ? "true" : "false",
+        r.same_counts_vs_inprocess ? "true" : "false",
+        r.same_counts_vs_simnet ? "true" : "false",
+        i + 1 == parity.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n  \"loss\": [\n");
+  for (size_t i = 0; i < loss.size(); ++i) {
+    const LossRow& r = loss[i];
+    std::fprintf(f,
+                 "    {\"method\": \"%s\", \"drop_rate\": %.2f, "
+                 "\"drops\": %llu, \"retransmits\": %llu, "
+                 "\"dedup_discards\": %llu, \"alerts_exact\": %s}%s\n",
+                 MethodName(r.method).c_str(), r.drop_rate,
+                 static_cast<unsigned long long>(r.drops),
+                 static_cast<unsigned long long>(r.retransmits),
+                 static_cast<unsigned long long>(r.dedup_discards),
+                 r.alerts_exact ? "true" : "false",
+                 i + 1 == loss.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n  \"throughput\": [\n");
+  for (size_t i = 0; i < throughput.size(); ++i) {
+    const ThroughputRow& r = throughput[i];
+    std::fprintf(
+        f,
+        "    {\"shards\": %d, \"clients\": %zu, \"epochs\": %d, "
+        "\"seconds\": %.6f, \"datagrams\": %llu, \"bytes\": %llu, "
+        "\"frames_per_s\": %.0f, \"mb_per_s\": %.3f, \"rtt_p50_s\": %.6f, "
+        "\"rtt_p99_s\": %.6f, \"rtt_samples\": %llu, "
+        "\"reconcile_exact\": %s}%s\n",
+        r.shards, r.clients, r.epochs, r.seconds,
+        static_cast<unsigned long long>(r.datagrams),
+        static_cast<unsigned long long>(r.bytes), r.frames_per_s, r.mb_per_s,
+        r.rtt_p50_s, r.rtt_p99_s,
+        static_cast<unsigned long long>(r.rtt_samples),
+        r.reconcile_exact ? "true" : "false",
+        i + 1 == throughput.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return path;
+}
+
+int Main() {
+  const bool quick = QuickMode();
+  if (!net::UdpNet::Available()) {
+    std::printf("loopback UDP sockets unavailable; writing stub artifact\n");
+    const std::string json = WriteJson(false, false, {}, {}, {});
+    if (!json.empty()) std::printf("wrote %s\n", json.c_str());
+    return 0;
+  }
+  const bool epoll = [] {
+    net::UdpNetConfig probe;
+    return net::UdpNet(probe).using_epoll();
+  }();
+  std::printf("socket backend: %s\n", epoll ? "epoll" : "poll");
+
+  const WorkloadConfig parity_config = ParityWorkloadConfig(quick);
+  std::printf("parity workload (%zu users, %d epochs)...\n",
+              parity_config.num_users, parity_config.epochs);
+  const Workload parity_workload = BuildWorkload(parity_config);
+
+  std::printf("UDP-loopback parity (every method, 2 shards, 0%% loss)...\n");
+  const std::vector<ParityRow> parity = RunParity(parity_workload, quick);
+
+  std::printf("induced datagram loss (cmd, 2 shards)...\n");
+  const std::vector<LossRow> loss = RunLoss(parity_workload, quick);
+
+  std::printf("loopback throughput sweep (cmd)...\n");
+  const std::vector<ThroughputRow> throughput = RunThroughput(quick);
+
+  const std::string json = WriteJson(true, epoll, parity, loss, throughput);
+  if (!json.empty()) std::printf("wrote %s\n", json.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace proxdet
+
+int main() { return proxdet::Main(); }

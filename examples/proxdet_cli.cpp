@@ -9,6 +9,7 @@
 //               [--users N] [--epochs S] [--friends F] [--radius-km R]
 //               [--speed V] [--seed SEED] [--csv]
 //               [--shards N] [--batch]
+//               [--transport sim|udp] [--port P] [--loopback-clients N]
 //               [--trace FILE] [--report FILE]
 //
 // --trace writes the run's epoch-phase spans as Chrome trace_event JSON
@@ -21,6 +22,14 @@
 // into one frame and ships grid-snapped installs delta-compressed. Alerts
 // stay bit-exact with the in-process engine either way — the `exact`
 // column proves it on every run.
+//
+// --transport udp carries the same serving plane over real UDP loopback
+// sockets (epoll event loops, one per shard; every client a nonblocking
+// socket) instead of the deterministic SimNet — the `exact` column still
+// has to say yes, which is the point. --port P binds the shard-facing
+// sockets at P, P+1, ... (default: kernel-assigned ephemeral ports);
+// --loopback-clients N sizes the event-loop pool shared by the client
+// sockets (default 2).
 
 #include <cstdio>
 #include <cstdlib>
@@ -66,6 +75,8 @@ void Usage(const char* argv0) {
                "          [--epochs S] [--friends F] [--radius-km R]\n"
                "          [--speed V] [--seed X] [--csv]\n"
                "          [--shards N] [--batch]\n"
+               "          [--transport sim|udp] [--port P]"
+               " [--loopback-clients N]\n"
                "          [--trace FILE] [--report FILE]\n",
                argv0);
 }
@@ -83,6 +94,9 @@ int main(int argc, char** argv) {
   bool csv = false;
   int shards = 0;  // 0 = in-process (no transport); >= 1 = transported.
   bool batch = false;
+  std::string transport_arg = "sim";
+  int udp_port = 0;
+  int loopback_clients = 0;
   std::string trace_path;
   std::string report_path;
 
@@ -126,6 +140,24 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--batch") {
       batch = true;
+    } else if (arg == "--transport") {
+      transport_arg = next();
+      if (transport_arg != "sim" && transport_arg != "udp") {
+        Usage(argv[0]);
+        return 2;
+      }
+    } else if (arg == "--port") {
+      udp_port = std::atoi(next());
+      if (udp_port < 0 || udp_port > 65535) {
+        Usage(argv[0]);
+        return 2;
+      }
+    } else if (arg == "--loopback-clients") {
+      loopback_clients = std::atoi(next());
+      if (loopback_clients < 1) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (arg == "--trace") {
       trace_path = next();
     } else if (arg == "--report") {
@@ -165,12 +197,19 @@ int main(int argc, char** argv) {
     tracer.Enable();
   }
 
-  // --batch without --shards still runs the serving plane (one partition).
-  const bool transported = shards >= 1 || batch;
+  // --batch or --transport udp without --shards still runs the serving
+  // plane (one partition).
+  const bool udp = transport_arg == "udp";
+  const bool transported = shards >= 1 || batch || udp;
   net::NetConfig net_config;
   net_config.shards = shards >= 1 ? shards : 1;
   net_config.batch_downlink = batch;
   net_config.compress_installs = batch;
+  if (udp) {
+    net_config.transport = net::TransportKind::kUdp;
+    net_config.udp_port = static_cast<uint16_t>(udp_port);
+    if (loopback_clients >= 1) net_config.udp_client_loops = loopback_clients;
+  }
 
   Table table("proxdet " + DatasetName(config.dataset));
   if (transported) {
@@ -236,6 +275,7 @@ int main(int argc, char** argv) {
     if (transported) {
       report.AddInfo("shards", std::to_string(net_config.shards));
       report.AddInfo("batch", batch ? "on" : "off");
+      report.AddInfo("transport", udp ? "udp" : "sim");
       // Per-shard wire sections describe a single run; with several methods
       // the registry still reconciles but a breakdown would be ambiguous.
       if (methods.size() == 1) AddShardNetSections(&report, last_net);

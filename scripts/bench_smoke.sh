@@ -29,7 +29,10 @@ trap 'rm -rf "$OUT"' EXIT
 # non-zero unless the grid is bit-exact with the exhaustive scan across
 # its whole method x threads x shards matrix AND wins superlinearly over
 # its user sweep.
-for bench in fig9_friends micro_detector micro_net micro_index; do
+# micro_socket runs the detector pipeline over real UDP loopback sockets
+# and FATALs unless every method's alerts and message counts match the
+# in-process and SimNet runs (and the loss cell loses no alerts).
+for bench in fig9_friends micro_detector micro_net micro_index micro_socket; do
   echo "== $bench (quick) =="
   PROXDET_QUICK=1 PROXDET_BENCH_JSON="$OUT" "$BUILD_DIR/bench/$bench" \
     > /dev/null
@@ -49,7 +52,8 @@ for artifact in "${artifacts[@]}"; do
   echo "ok: $(basename "$artifact")"
 done
 
-for required in TRACE_net.json REPORT_net.json BENCH_index.json; do
+for required in TRACE_net.json REPORT_net.json BENCH_index.json \
+                BENCH_socket.json; do
   if [[ ! -f "$OUT/$required" ]]; then
     echo "FAIL: expected artifact $required was not emitted" >&2
     exit 1
@@ -79,6 +83,49 @@ for want in [("threads", 1), ("threads", 2), ("threads", 4), ("threads", 8),
 assert doc["alloc"], "empty alloc probe"
 EOF
 echo "ok: BENCH_index.json schema + oracle parity"
+
+# BENCH_socket.json schema: the socket bench must carry its parity verdict
+# (UDP loopback bit-exact with the in-process engine AND the SimNet
+# oracle), a live loss cell, and a throughput sweep with real RTT sketches
+# (p99 > 0) whose byte counters reconciled with CommStats. On hosts where
+# socket(2) is forbidden the bench writes {"udp_available": false} and the
+# schema only checks the stub shape.
+python3 - "$OUT/BENCH_socket.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc.get("figure") == "socket", "figure != socket"
+for key in ("udp_available", "parity", "loss", "throughput"):
+    assert key in doc, f"missing field {key}"
+if doc["udp_available"]:
+    assert doc["backend"] in ("epoll", "poll"), "unknown readiness backend"
+    assert doc["parity"], "empty parity matrix"
+    for row in doc["parity"]:
+        assert row["alerts_exact"] is True, f"parity row lost alerts: {row}"
+        assert row["same_counts_vs_inprocess"] is True, \
+            f"parity row diverged from in-process: {row}"
+        assert row["same_counts_vs_simnet"] is True, \
+            f"parity row diverged from SimNet oracle: {row}"
+        assert row["shards"] >= 2, "parity must exercise the sharded plane"
+    assert doc["loss"], "empty loss cell"
+    for row in doc["loss"]:
+        assert row["alerts_exact"] is True, f"loss row lost alerts: {row}"
+        assert row["drops"] > 0 and row["retransmits"] > 0, \
+            f"loss row induced nothing: {row}"
+    assert doc["throughput"], "empty throughput sweep"
+    assert any(r["shards"] >= 2 for r in doc["throughput"]), \
+        "throughput sweep never sharded"
+    for row in doc["throughput"]:
+        assert row["frames_per_s"] > 0, f"dead throughput row: {row}"
+        assert row["rtt_p99_s"] > 0, f"no RTT samples: {row}"
+        assert row["rtt_p99_s"] >= row["rtt_p50_s"], f"p99 < p50: {row}"
+        assert row["reconcile_exact"] is True, \
+            f"socket bytes failed to reconcile with CommStats: {row}"
+else:
+    assert doc["parity"] == [] and doc["throughput"] == [], \
+        "stub artifact carries data rows"
+EOF
+echo "ok: BENCH_socket.json schema + loopback parity"
 
 if ! grep -q '"counters_reconcile": "exact"' "$OUT/REPORT_net.json"; then
   echo "FAIL: REPORT_net.json reconciliation verdict is not \"exact\"" >&2

@@ -24,6 +24,13 @@
 # collapses to scalar-vs-scalar identity there, and the detector/index
 # properties prove the engines are backend-agnostic).
 #
+# The `socket`-labelled suite (the real-socket UDP backend) runs in every
+# labelled leg, most importantly the TSan tree: the epoll loop threads only
+# move bytes while the driver thread owns all protocol state, and TSan is
+# the proof that the handoff queues are the only shared surface. Socket
+# tests skip themselves where socket(2)/bind are unavailable, so the legs
+# stay green in sandboxes that forbid networking.
+#
 # A fourth leg runs the `simd` and `index` suites under
 # -DPROXDET_SANITIZE=undefined: the branchless lane arithmetic in the
 # vector kernels (masked selects, safe-divisor guards) must not hide UB —
@@ -44,7 +51,7 @@ OBS_OFF_BUILD_DIR="${OBS_OFF_BUILD_DIR:-build-obs-off}"
 SIMD_OFF_BUILD_DIR="${SIMD_OFF_BUILD_DIR:-build-simd-off}"
 UBSAN_BUILD_DIR="${UBSAN_BUILD_DIR:-build-ubsan}"
 JOBS="$(nproc)"
-LABELS='sanitize|net|obs|shard|index|simd'
+LABELS='sanitize|net|obs|shard|index|simd|socket'
 
 cmake -B "$BUILD_DIR" -S . -DPROXDET_SANITIZE=thread "$@"
 cmake --build "$BUILD_DIR" -j "$JOBS"

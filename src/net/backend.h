@@ -1,0 +1,80 @@
+#ifndef PROXDET_NET_BACKEND_H_
+#define PROXDET_NET_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace proxdet {
+namespace net {
+
+/// Transport substrate behind the frame interface. Two implementations:
+/// the deterministic event-driven SimNet (virtual time, seeded impairment,
+/// the correctness oracle) and the real-socket UdpNet (nonblocking UDP
+/// sockets on epoll event loops, wall-clock retransmit timers). Everything
+/// above this line — framing, checksums, the ReliabilityPolicy retry/dedup
+/// state machine, ClientRuntime / ProtocolServer / ShardedFrontend — is
+/// shared verbatim, which is what makes the SimNet run a bit-exact oracle
+/// for the socket run.
+///
+/// Contract, common to both backends:
+///  - Endpoints are dense small integers in AddEndpoint order.
+///  - Handlers and scheduled timers run on the *driver* thread only — the
+///    thread that calls RunUntilIdle(). A real backend may move bytes on
+///    its own event-loop threads, but delivery into protocol code is always
+///    serialized onto the driver, so protocol state needs no locks (the
+///    same single-threaded discipline SimNet has always had).
+///  - Send/Schedule may be called from handlers (same thread, re-entrant).
+///  - RunUntilIdle() returns once the system quiesced: for SimNet when the
+///    event queue is empty; for a wall-clock backend when no datagrams are
+///    queued anywhere and the installed idle predicate (e.g. "every
+///    reliable endpoint has all sends acked") holds.
+class NetBackend {
+ public:
+  using Handler = std::function<void(int src, const std::vector<uint8_t>&)>;
+
+  virtual ~NetBackend() = default;
+
+  /// Registers an endpoint; returns its id (dense, starting at 0).
+  /// `group` is a placement hint for backends with several event loops
+  /// (group >= 0 pins the endpoint's socket to that shard's loop; -1 lets
+  /// the backend spread it over the client loops). SimNet ignores it.
+  virtual int AddEndpoint(Handler handler, int group) = 0;
+  int AddEndpoint(Handler handler) { return AddEndpoint(std::move(handler), -1); }
+
+  /// Transmits `frame` from src to dst (possibly impaired: dropped,
+  /// duplicated, delayed — by the seeded model in SimNet, by injection and
+  /// the kernel in UdpNet). Safe to call from inside a handler.
+  virtual void Send(int src, int dst, std::vector<uint8_t> frame) = 0;
+
+  /// Schedules `fn` to run on the driver thread at now() + delay_s
+  /// (retransmit timers). Virtual seconds for SimNet, monotonic wall-clock
+  /// seconds for UdpNet.
+  virtual void Schedule(double delay_s, std::function<void()> fn) = 0;
+
+  /// Drives the network until quiescent (see class comment).
+  virtual void RunUntilIdle() = 0;
+
+  /// Current time in the backend's clock domain: virtual seconds (SimNet)
+  /// or monotonic seconds since construction (UdpNet).
+  virtual double now() const = 0;
+
+  /// True when time above is real time — callers segregate latency
+  /// observations into wall-clock metrics exactly like CommStats does with
+  /// server_seconds.
+  virtual bool wall_clock() const { return false; }
+
+  // Wire counters (every copy that physically entered a link / the kernel).
+  virtual uint64_t frames_offered() const = 0;
+  virtual uint64_t frames_dropped() const = 0;
+  virtual uint64_t frames_duplicated() const = 0;
+
+  /// Determinism fingerprint of the delivery schedule; 0 for backends
+  /// whose schedule is not a pure function of the seed (real sockets).
+  virtual uint64_t schedule_hash() const { return 0; }
+};
+
+}  // namespace net
+}  // namespace proxdet
+
+#endif  // PROXDET_NET_BACKEND_H_

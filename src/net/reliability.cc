@@ -1,0 +1,241 @@
+#include "net/reliability.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace proxdet {
+namespace net {
+
+namespace {
+
+/// Reliability totals. Deterministic on the SimNet path (single-threaded,
+/// pure function of seed + call sequence); on the UDP path the endpoints
+/// still only run on the driver thread, so the handles need no extra
+/// synchronization beyond the counters' own atomics.
+struct ReliabilityMetrics {
+  obs::Counter& retransmits;
+  obs::Counter& dedup_discards;
+  obs::Counter& corrupt_frames;
+
+  static const ReliabilityMetrics& Get() {
+    static const ReliabilityMetrics m{
+        obs::Metrics().GetCounter("net.retransmits"),
+        obs::Metrics().GetCounter("net.dedup_discards"),
+        obs::Metrics().GetCounter("net.corrupt_frames"),
+    };
+    return m;
+  }
+};
+
+/// Round-trip latency of acked sends over a wall-clock backend: first
+/// transmission to first ack, retransmission delays included (that is the
+/// latency the protocol actually experienced).
+obs::QuantileMetric& RttSketch() {
+  static obs::QuantileMetric& q =
+      obs::Metrics().GetQuantile("net.socket.rtt_s", obs::Kind::kWallClock);
+  return q;
+}
+
+/// Per-message-kind wire accounting: one frames/bytes counter pair per
+/// MsgKind, counted once per logical transmission (first attempts and
+/// retransmissions alike, matching bytes_sent()).
+struct KindMetrics {
+  obs::Counter& frames;
+  obs::Counter& bytes;
+};
+
+const KindMetrics& MetricsForKind(MsgKind kind) {
+  static const KindMetrics by_kind[] = {
+      {obs::Metrics().GetCounter("net.frames.location_report"),
+       obs::Metrics().GetCounter("net.bytes.location_report")},
+      {obs::Metrics().GetCounter("net.frames.probe"),
+       obs::Metrics().GetCounter("net.bytes.probe")},
+      {obs::Metrics().GetCounter("net.frames.alert"),
+       obs::Metrics().GetCounter("net.bytes.alert")},
+      {obs::Metrics().GetCounter("net.frames.region_install"),
+       obs::Metrics().GetCounter("net.bytes.region_install")},
+      {obs::Metrics().GetCounter("net.frames.match_install"),
+       obs::Metrics().GetCounter("net.bytes.match_install")},
+      {obs::Metrics().GetCounter("net.frames.ack"),
+       obs::Metrics().GetCounter("net.bytes.ack")},
+      {obs::Metrics().GetCounter("net.frames.batch"),
+       obs::Metrics().GetCounter("net.bytes.batch")},
+      {obs::Metrics().GetCounter("net.frames.shard_forward"),
+       obs::Metrics().GetCounter("net.bytes.shard_forward")},
+  };
+  const size_t idx =
+      std::min<size_t>(static_cast<size_t>(kind) - 1, std::size(by_kind) - 1);
+  return by_kind[idx];
+}
+
+}  // namespace
+
+uint64_t ReliabilityPolicy::Enqueue(int dst, MsgKind kind,
+                                    const std::vector<uint8_t>& payload) {
+  const uint64_t seq = ++next_seq_[dst];
+  pending_.emplace(std::make_pair(dst, seq), EncodeFrame(kind, seq, payload));
+  return seq;
+}
+
+ReliabilityPolicy::TransmitPlan ReliabilityPolicy::PlanTransmit(int dst,
+                                                                uint64_t seq,
+                                                                int attempt) {
+  TransmitPlan plan;
+  const auto it = pending_.find({dst, seq});
+  if (it == pending_.end()) {
+    plan.verdict = TransmitPlan::Verdict::kSkip;  // Acked meanwhile.
+    return plan;
+  }
+  if (attempt > max_retries_) {
+    delivery_failed_ = true;
+    pending_.erase(it);
+    plan.verdict = TransmitPlan::Verdict::kGiveUp;
+    return plan;
+  }
+  if (attempt > 0) retransmits_ += 1;
+  plan.verdict = TransmitPlan::Verdict::kSend;
+  plan.frame = &it->second;
+  plan.is_retransmit = attempt > 0;
+  plan.next_delay_s = RetryDelay(attempt);
+  return plan;
+}
+
+ReliabilityPolicy::RxResult ReliabilityPolicy::OnDatagram(int src,
+                                                          const uint8_t* data,
+                                                          size_t size) {
+  RxResult result;
+  if (!DecodeFrame(data, size, &result.frame)) {
+    corrupt_frames_ += 1;
+    result.verdict = RxResult::Verdict::kCorrupt;
+    return result;
+  }
+  if (result.frame.kind == MsgKind::kAck) {
+    result.acked_pending = pending_.erase({src, result.frame.seq}) > 0;
+    result.verdict = RxResult::Verdict::kAck;
+    return result;
+  }
+  if (!MarkSeen(src, result.frame.seq)) {
+    dedup_discards_ += 1;
+    result.verdict = RxResult::Verdict::kDuplicate;
+    return result;
+  }
+  result.verdict = RxResult::Verdict::kDeliver;
+  return result;
+}
+
+bool ReliabilityPolicy::MarkSeen(int src, uint64_t seq) {
+  SeenWindow& window = seen_[src];
+  if (seq <= window.contiguous) return false;
+  if (!window.ahead.insert(seq).second) return false;
+  // Advance the contiguous frontier; keeps `ahead` tiny (out-of-order
+  // arrivals only happen within one jitter window).
+  while (!window.ahead.empty() &&
+         *window.ahead.begin() == window.contiguous + 1) {
+    window.ahead.erase(window.ahead.begin());
+    window.contiguous += 1;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+
+ReliableEndpoint::ReliableEndpoint(NetBackend* net, double rto_s,
+                                   int max_retries, FrameHandler handler,
+                                   int group)
+    : net_(net), policy_(rto_s, max_retries), handler_(std::move(handler)) {
+  id_ = net_->AddEndpoint(
+      [this](int src, const std::vector<uint8_t>& bytes) { OnWire(src, bytes); },
+      group);
+}
+
+void ReliableEndpoint::CountTx(const std::vector<uint8_t>& frame) {
+  bytes_sent_ += frame.size();
+  frames_sent_ += 1;
+  for (obs::Counter* counter : wire_bytes_counters_) counter->Inc(frame.size());
+  // Frame layout puts the MsgKind at byte 3 (after magic + version).
+  const KindMetrics& km = MetricsForKind(static_cast<MsgKind>(frame[3]));
+  km.frames.Inc();
+  km.bytes.Inc(frame.size());
+}
+
+void ReliableEndpoint::Send(int dst, MsgKind kind,
+                            const std::vector<uint8_t>& payload) {
+  uint64_t seq;
+  {
+    obs::TraceScope span("wire_encode", "net");
+    seq = policy_.Enqueue(dst, kind, payload);
+  }
+  Transmit(dst, seq, 0);
+}
+
+void ReliableEndpoint::Transmit(int dst, uint64_t seq, int attempt) {
+  const ReliabilityPolicy::TransmitPlan plan =
+      policy_.PlanTransmit(dst, seq, attempt);
+  using Verdict = ReliabilityPolicy::TransmitPlan::Verdict;
+  if (plan.verdict == Verdict::kSkip) return;
+  if (plan.verdict == Verdict::kGiveUp) {
+    tx_time_.erase({dst, seq});
+    return;
+  }
+  CountTx(*plan.frame);
+  if (plan.is_retransmit) {
+    ReliabilityMetrics::Get().retransmits.Inc();
+    obs::TraceScope span("retransmit", "net");
+    net_->Send(id_, dst, *plan.frame);
+  } else {
+    if (net_->wall_clock()) tx_time_[{dst, seq}] = net_->now();
+    net_->Send(id_, dst, *plan.frame);
+  }
+  // The retry timer is cancelled lazily: it fires, and PlanTransmit finds
+  // nothing pending.
+  net_->Schedule(plan.next_delay_s, [this, dst, seq, attempt] {
+    Transmit(dst, seq, attempt + 1);
+  });
+}
+
+void ReliableEndpoint::OnWire(int src, const std::vector<uint8_t>& bytes) {
+  ReliabilityPolicy::RxResult rx;
+  {
+    obs::TraceScope span("wire_decode", "net");
+    rx = policy_.OnDatagram(src, bytes.data(), bytes.size());
+  }
+  using Verdict = ReliabilityPolicy::RxResult::Verdict;
+  switch (rx.verdict) {
+    case Verdict::kCorrupt:
+      // SimNet never corrupts, but a real backend can (and the socket tests
+      // inject garbage); the sender's retry makes the loss equivalent to a
+      // dropped frame.
+      ReliabilityMetrics::Get().corrupt_frames.Inc();
+      return;
+    case Verdict::kAck:
+      if (rx.acked_pending && net_->wall_clock()) {
+        const auto it = tx_time_.find({src, rx.frame.seq});
+        if (it != tx_time_.end()) {
+          RttSketch().Record(net_->now() - it->second);
+          tx_time_.erase(it);
+        }
+      }
+      return;
+    case Verdict::kDuplicate:
+    case Verdict::kDeliver: {
+      // Ack every copy, even duplicates: the sender may be retrying because
+      // the first ack was lost.
+      const std::vector<uint8_t> ack =
+          EncodeFrame(MsgKind::kAck, rx.frame.seq, {});
+      CountTx(ack);
+      net_->Send(id_, src, ack);
+      if (rx.verdict == Verdict::kDuplicate) {
+        ReliabilityMetrics::Get().dedup_discards.Inc();
+        return;
+      }
+      handler_(src, std::move(rx.frame));
+      return;
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace proxdet

@@ -1,0 +1,170 @@
+#ifndef PROXDET_NET_RELIABILITY_H_
+#define PROXDET_NET_RELIABILITY_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "net/backend.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+
+namespace proxdet {
+namespace net {
+
+/// Transport-agnostic at-least-once retry/dedup state machine: every data
+/// frame carries a per-destination sequence number, is acked by the
+/// receiver, and is retransmitted on a timer until the ack lands (linear
+/// backoff, capped at max_retries). The receiver acks every copy —
+/// including duplicates, whose data is then discarded by the per-source
+/// seen-window — so alert semantics survive loss and duplication exactly.
+///
+/// Pure decision logic: no I/O, no clocks, no metrics registry. The same
+/// class drives the deterministic SimNet and the real-socket UdpNet, which
+/// is what makes "identical retry/dedup decisions for identical delivery
+/// traces" a structural property rather than a test hope. The caller
+/// (ReliableEndpoint) performs the transmissions, arms the timers, and
+/// attributes the bytes.
+class ReliabilityPolicy {
+ public:
+  ReliabilityPolicy(double rto_s, int max_retries)
+      : rto_s_(rto_s), max_retries_(max_retries) {}
+
+  /// Linear backoff: attempt k (0-based) waits (k + 1) * rto_s before the
+  /// next attempt — bounded retry storms at high drop rates, cheap to
+  /// reason about.
+  double RetryDelay(int attempt) const { return rto_s_ * (attempt + 1); }
+
+  /// Assigns the next per-destination sequence number, encodes the payload
+  /// into a tracked frame retained until acked, and returns the seq. The
+  /// caller follows up with PlanTransmit(dst, seq, 0).
+  uint64_t Enqueue(int dst, MsgKind kind, const std::vector<uint8_t>& payload);
+
+  struct TransmitPlan {
+    enum class Verdict {
+      kSkip,    // Acked since the timer was armed; nothing to do.
+      kSend,    // Transmit *frame, then arm a timer for next_delay_s.
+      kGiveUp,  // Retries exhausted; delivery_failed() is now latched.
+    };
+    Verdict verdict = Verdict::kSkip;
+    const std::vector<uint8_t>* frame = nullptr;  // Valid until next mutation.
+    bool is_retransmit = false;                   // attempt > 0.
+    double next_delay_s = 0.0;
+  };
+  /// One (re)transmission decision for attempt `attempt` of (dst, seq).
+  TransmitPlan PlanTransmit(int dst, uint64_t seq, int attempt);
+
+  struct RxResult {
+    enum class Verdict {
+      kCorrupt,    // Undecodable; drop (the sender's retry recovers).
+      kAck,        // Ack consumed; frame.seq names the acked send.
+      kDuplicate,  // Valid data, already seen: ack it, then discard.
+      kDeliver,    // Valid new data: ack it, then hand frame up.
+    };
+    Verdict verdict = Verdict::kCorrupt;
+    Frame frame;
+    bool acked_pending = false;  // kAck that cleared a live pending entry.
+  };
+  /// Classifies one received datagram and updates pending/dedup state.
+  /// For kDuplicate and kDeliver the caller must send an ack for frame.seq
+  /// back to src — every copy is acked, because the sender may be retrying
+  /// precisely because the first ack was lost.
+  RxResult OnDatagram(int src, const uint8_t* data, size_t size);
+
+  // Decision counters (pure functions of the enqueue/receive trace).
+  uint64_t retransmits() const { return retransmits_; }
+  uint64_t dedup_discards() const { return dedup_discards_; }
+  uint64_t corrupt_frames() const { return corrupt_frames_; }
+
+  /// True when some frame exhausted max_retries (only reachable with
+  /// drop_rate pinned near 1); surfaced as a run failure.
+  bool delivery_failed() const { return delivery_failed_; }
+  bool all_acked() const { return pending_.empty(); }
+
+ private:
+  struct SeenWindow {
+    uint64_t contiguous = 0;   // All seqs <= contiguous delivered.
+    std::set<uint64_t> ahead;  // Delivered seqs > contiguous.
+  };
+
+  bool MarkSeen(int src, uint64_t seq);
+
+  double rto_s_;
+  int max_retries_;
+  std::map<int, uint64_t> next_seq_;
+  std::map<std::pair<int, uint64_t>, std::vector<uint8_t>> pending_;
+  std::map<int, SeenWindow> seen_;
+  uint64_t retransmits_ = 0;
+  uint64_t dedup_discards_ = 0;
+  uint64_t corrupt_frames_ = 0;
+  bool delivery_failed_ = false;
+};
+
+/// ReliabilityPolicy driven over a NetBackend: owns one backend endpoint,
+/// executes the policy's transmit plans (data frames, retransmissions,
+/// acks), arms its retry timers via Schedule, and attributes every byte it
+/// puts on the wire. Works identically over SimNet (virtual time) and
+/// UdpNet (wall-clock timer wheel); on wall-clock backends it additionally
+/// records per-send round-trip latency into the "net.socket.rtt_s"
+/// quantile sketch.
+class ReliableEndpoint {
+ public:
+  using FrameHandler = std::function<void(int src, Frame&& frame)>;
+
+  /// Registers a fresh backend endpoint. `rto_s` is the base retransmission
+  /// timeout; attempt k waits k * rto_s. `group` is the backend placement
+  /// hint (see NetBackend::AddEndpoint).
+  ReliableEndpoint(NetBackend* net, double rto_s, int max_retries,
+                   FrameHandler handler, int group = -1);
+
+  int id() const { return id_; }
+
+  /// Attributes this endpoint's wire bytes (data frames, retransmissions
+  /// and acks it sends) to registry counters — the transport installs
+  /// net.bytes_up on client endpoints and net.bytes_down on server
+  /// endpoints, plus a per-shard counter each, so both the global and the
+  /// summed per-shard counters reconcile with CommStats byte accounting to
+  /// the unit. Every added counter receives every byte; nullptr is ignored.
+  void add_wire_bytes_counter(obs::Counter* counter) {
+    if (counter != nullptr) wire_bytes_counters_.push_back(counter);
+  }
+
+  /// Sends `payload` as a `kind` frame to `dst`, tracked until acked.
+  void Send(int dst, MsgKind kind, const std::vector<uint8_t>& payload);
+
+  // Wire accounting for this endpoint's *transmissions* (data frames,
+  // retransmissions and acks it sends; not what it receives).
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t frames_sent() const { return frames_sent_; }
+  uint64_t retransmits() const { return policy_.retransmits(); }
+  uint64_t dedup_discards() const { return policy_.dedup_discards(); }
+  uint64_t corrupt_frames() const { return policy_.corrupt_frames(); }
+
+  /// True when some frame exhausted max_retries (only reachable with
+  /// drop_rate pinned near 1); the transport surfaces it as a run failure.
+  bool delivery_failed() const { return policy_.delivery_failed(); }
+  bool all_acked() const { return policy_.all_acked(); }
+
+ private:
+  void Transmit(int dst, uint64_t seq, int attempt);
+  void OnWire(int src, const std::vector<uint8_t>& bytes);
+  void CountTx(const std::vector<uint8_t>& frame);
+
+  NetBackend* net_;
+  ReliabilityPolicy policy_;
+  FrameHandler handler_;
+  std::vector<obs::Counter*> wire_bytes_counters_;
+  int id_ = -1;
+  // First-transmit times for in-flight sends, kept only on wall-clock
+  // backends to feed the RTT sketch.
+  std::map<std::pair<int, uint64_t>, double> tx_time_;
+  uint64_t bytes_sent_ = 0;
+  uint64_t frames_sent_ = 0;
+};
+
+}  // namespace net
+}  // namespace proxdet
+
+#endif  // PROXDET_NET_RELIABILITY_H_

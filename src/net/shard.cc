@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "net/socket/socket_server.h"
 #include "obs/metrics.h"
 
 namespace proxdet {
@@ -76,11 +77,18 @@ ShardedFrontend::ShardedFrontend(const World& world, const NetConfig& config)
     : world_(world),
       config_(config),
       ring_(config.shards, config.ring_vnodes),
-      net_(config.seed),
       graph_(world.graph()) {
-  net_.set_record_log(config.record_log);
   const int user_count = static_cast<int>(world.user_count());
   const int shard_count = ring_.shard_count();
+  if (config.transport == TransportKind::kUdp) {
+    socket_server_ = std::make_unique<SocketServer>(config, shard_count);
+    net_ = socket_server_->backend();
+    if (!socket_server_->ok()) failed_ = true;
+  } else {
+    sim_net_ = std::make_unique<SimNet>(config.seed);
+    sim_net_->set_record_log(config.record_log);
+    net_ = sim_net_.get();
+  }
   home_.resize(user_count);
   for (UserId u = 0; u < user_count; ++u) home_[u] = ring_.ShardOf(u);
 
@@ -94,7 +102,7 @@ ShardedFrontend::ShardedFrontend(const World& world, const NetConfig& config)
   for (UserId u = 0; u < user_count; ++u) {
     const int server_id = user_count + 2 * home_[u];
     clients_.push_back(
-        std::make_unique<ClientRuntime>(&net_, &world_, u, server_id, config));
+        std::make_unique<ClientRuntime>(net_, &world_, u, server_id, config));
   }
   obs::Counter& bytes_up = obs::Metrics().GetCounter("net.bytes_up");
   obs::Counter& bytes_down = obs::Metrics().GetCounter("net.bytes_down");
@@ -102,15 +110,18 @@ ShardedFrontend::ShardedFrontend(const World& world, const NetConfig& config)
   shards_.resize(shard_count);
   for (int s = 0; s < shard_count; ++s) {
     Shard& shard = shards_[s];
-    shard.server =
-        std::make_unique<ProtocolServer>(&net_, world.user_count(), config);
+    // Shard endpoints carry placement group s: on the UDP backend that pins
+    // both of the shard's sockets to event loop s (one loop per shard).
+    shard.server = std::make_unique<ProtocolServer>(net_, world.user_count(),
+                                                    config, /*group=*/s);
     shard.server->set_served_filter(
         [this, s](UserId u) { return home_[u] == s; });
     shard.mesh = std::make_unique<ReliableEndpoint>(
-        &net_, config.retry_timeout_s, config.max_retries,
+        net_, config.retry_timeout_s, config.max_retries,
         [this, s](int src, Frame&& frame) {
           OnMeshFrame(s, src, std::move(frame));
-        });
+        },
+        /*group=*/s);
     shard.mesh_id = shard.mesh->id();
     // The id layout above is load-bearing (clients were already pointed at
     // user_count + 2s); fail loudly if endpoint registration ever drifts.
@@ -140,23 +151,43 @@ ShardedFrontend::ShardedFrontend(const World& world, const NetConfig& config)
     clients_[u]->endpoint().add_wire_bytes_counter(&shard_up);
   }
 
-  // Direction classification by endpoint id range: clients occupy
-  // [0, user_count), shard endpoints everything above. Shard -> shard is
-  // the mesh; shard -> client the downlink; client -> anything the uplink.
-  const LinkModel up = config.up;
-  const LinkModel down = config.down;
-  const LinkModel mesh = config.mesh;
-  const int n = user_count;
-  net_.SetLinkModelFn([up, down, mesh, n](int src, int dst) {
-    if (src < n) return up;
-    return dst < n ? down : mesh;
-  });
+  if (sim_net_ != nullptr) {
+    // Direction classification by endpoint id range: clients occupy
+    // [0, user_count), shard endpoints everything above. Shard -> shard is
+    // the mesh; shard -> client the downlink; client -> anything the uplink.
+    const LinkModel up = config.up;
+    const LinkModel down = config.down;
+    const LinkModel mesh = config.mesh;
+    const int n = user_count;
+    sim_net_->SetLinkModelFn([up, down, mesh, n](int src, int dst) {
+      if (src < n) return up;
+      return dst < n ? down : mesh;
+    });
+  } else {
+    // Quiescence over real sockets: queues drained and every reliable
+    // endpoint fully acked. Stale lazily-cancelled retry timers may stay
+    // armed — they fire later, find nothing pending, and do nothing.
+    // Driver-thread-only state throughout, per the NetBackend contract.
+    socket_server_->net().SetIdleFn([this] {
+      for (const auto& client : clients_) {
+        if (!client->endpoint().all_acked()) return false;
+      }
+      for (const Shard& shard : shards_) {
+        if (!shard.server->endpoint().all_acked() || !shard.mesh->all_acked()) {
+          return false;
+        }
+      }
+      return true;
+    });
+  }
 
   client_queue_.resize(user_count);
   mesh_queue_.assign(shard_count,
                      std::vector<std::vector<ShardForwardMsg>>(shard_count));
   expect_.resize(user_count);
 }
+
+ShardedFrontend::~ShardedFrontend() = default;
 
 void ShardedFrontend::ApplyGraphUpdates(int epoch) {
   const auto& updates = world_.scheduled_updates();
@@ -205,7 +236,7 @@ void ShardedFrontend::ForwardDigests(const LocationReportMsg& msg) {
     }
   }
   if (!config_.batch_downlink) {
-    net_.RunUntilIdle();
+    net_->RunUntilIdle();
     if (digests_outstanding_ != 0) failed_ = true;
   }
 }
@@ -214,7 +245,7 @@ void ShardedFrontend::Report(UserId u, int epoch, size_t window_len,
                              Vec2* position, std::vector<Vec2>* window) {
   ApplyGraphUpdates(epoch);
   clients_[u]->SendReport(epoch, window_len);
-  net_.RunUntilIdle();
+  net_->RunUntilIdle();
   LocationReportMsg msg;
   if (!shards_[home_[u]].server->TakeReport(u, &msg)) {
     // Only reachable when the reliability layer gave up (drop_rate ~ 1).
@@ -248,7 +279,7 @@ void ShardedFrontend::Downlink(UserId u, MsgKind kind,
   }
   shards_[home_[u]].server->endpoint().Send(static_cast<int>(u), kind,
                                             payload);
-  net_.RunUntilIdle();
+  net_->RunUntilIdle();
   VerifyClient(u);
 }
 
@@ -278,7 +309,7 @@ void ShardedFrontend::PairDownlink(UserId u, UserId a, UserId b, MsgKind kind,
   SendMesh(owner, home, fwd);
   // The relay's delivery to the client happens inside the same drain: the
   // mesh handler's Send enqueues onto the running event loop.
-  net_.RunUntilIdle();
+  net_->RunUntilIdle();
   if (!expected_relays_[{owner, home}].empty()) failed_ = true;
   VerifyClient(u);
 }
@@ -397,7 +428,7 @@ void ShardedFrontend::Probe(UserId u, int epoch) {
         PendingItem{MsgKind::kProbe, Encode(msg)});
     touched_.insert(u);
     FlushClient(u);
-    net_.RunUntilIdle();
+    net_->RunUntilIdle();
     VerifyClient(u);
     return;
   }
@@ -561,14 +592,14 @@ void ShardedFrontend::EndEpoch(int /*epoch*/) {
   // Mesh first: owners' digests and relay mirrors land (and are verified)
   // before any client sees its batch.
   for (int s = 0; s < ring_.shard_count(); ++s) FlushMesh(s);
-  net_.RunUntilIdle();
+  net_->RunUntilIdle();
   if (digests_outstanding_ != 0) failed_ = true;
   for (const auto& [key, pending] : expected_relays_) {
     if (!pending.empty()) failed_ = true;
   }
   // Then one coalesced frame per touched client.
   for (const UserId u : touched_) FlushClient(u);
-  net_.RunUntilIdle();
+  net_->RunUntilIdle();
   for (const UserId u : touched_) VerifyClient(u);
   touched_.clear();
 }
@@ -615,10 +646,14 @@ NetRunStats ShardedFrontend::Stats() const {
   s.compress_saved_bytes = compress_saved_bytes_;
   s.compress_mismatch = compress_mismatch_;
   if (failed_) s.failed = true;
-  s.drops = net_.frames_dropped();
-  s.duplicates = net_.frames_duplicated();
-  s.virtual_seconds = net_.now();
-  s.schedule_hash = net_.schedule_hash();
+  s.drops = net_->frames_dropped();
+  s.duplicates = net_->frames_duplicated();
+  s.virtual_seconds = net_->now();
+  s.schedule_hash = net_->schedule_hash();
+  if (socket_server_ != nullptr &&
+      (!socket_server_->ok() || socket_server_->idle_timeout_hit())) {
+    s.failed = true;
+  }
   s.codec_exact = codec_exact_;
   return s;
 }

@@ -74,9 +74,12 @@ class HashRing {
 /// match) against per-user expectation trackers at every flush point. Any
 /// mismatch marks the run failed / codec-inexact — the sharded plane has no
 /// silent divergence mode.
+class SocketServer;
+
 class ShardedFrontend {
  public:
   ShardedFrontend(const World& world, const NetConfig& config);
+  ~ShardedFrontend();
 
   // ClientLink-shaped surface (TransportLink delegates 1:1).
   void Report(UserId u, int epoch, size_t window_len, Vec2* position,
@@ -92,7 +95,10 @@ class ShardedFrontend {
   std::vector<AlertEvent> ClientAlerts() const;
 
   const ClientRuntime& client(UserId u) const { return *clients_[u]; }
-  const SimNet& sim_net() const { return net_; }
+  /// The deterministic backend, or nullptr when the run rides real sockets.
+  const SimNet* sim_net() const { return sim_net_.get(); }
+  /// The real-socket substrate, or nullptr on the SimNet path.
+  const SocketServer* socket_server() const { return socket_server_.get(); }
   const HashRing& ring() const { return ring_; }
   int home_shard(UserId u) const { return home_[u]; }
 
@@ -163,7 +169,14 @@ class ShardedFrontend {
   const World& world_;
   NetConfig config_;
   HashRing ring_;
-  SimNet net_;
+  /// Exactly one backend is live per run; net_ is the polymorphic view the
+  /// rest of the frontend drives. Declared before the endpoints below so
+  /// destruction tears the endpoints down first, then the substrate (for
+  /// UDP that joins the loop threads; handlers only ever ran on the driver
+  /// thread, so no handler can be in flight by then).
+  std::unique_ptr<SimNet> sim_net_;
+  std::unique_ptr<SocketServer> socket_server_;
+  NetBackend* net_ = nullptr;
   std::vector<std::unique_ptr<ClientRuntime>> clients_;
   std::vector<Shard> shards_;
   std::vector<int> home_;  // UserId -> shard.

@@ -12,26 +12,20 @@ namespace net {
 
 namespace {
 
-/// Link-impairment and reliability totals. All deterministic: SimNet is
-/// single-threaded and every random decision comes from its seeded Rng, so
-/// these are pure functions of (seed, Send/Schedule call sequence).
-struct NetMetrics {
+/// Link-impairment totals. All deterministic: SimNet is single-threaded and
+/// every random decision comes from its seeded Rng, so these are pure
+/// functions of (seed, Send/Schedule call sequence).
+struct SimNetMetrics {
   obs::Counter& frames_offered;
   obs::Counter& drops;
   obs::Counter& dups;
-  obs::Counter& retransmits;
-  obs::Counter& dedup_discards;
-  obs::Counter& corrupt_frames;
   obs::Gauge& queue_depth_max;
 
-  static const NetMetrics& Get() {
-    static const NetMetrics m{
+  static const SimNetMetrics& Get() {
+    static const SimNetMetrics m{
         obs::Metrics().GetCounter("net.frames_offered"),
         obs::Metrics().GetCounter("net.drops"),
         obs::Metrics().GetCounter("net.dups"),
-        obs::Metrics().GetCounter("net.retransmits"),
-        obs::Metrics().GetCounter("net.dedup_discards"),
-        obs::Metrics().GetCounter("net.corrupt_frames"),
         obs::Metrics().GetGauge("net.queue_depth_max",
                                 obs::Kind::kDeterministic),
     };
@@ -39,41 +33,9 @@ struct NetMetrics {
   }
 };
 
-/// Per-message-kind wire accounting: one frames/bytes counter pair per
-/// MsgKind, counted once per logical transmission (first attempts and
-/// retransmissions alike, matching bytes_sent()).
-struct KindMetrics {
-  obs::Counter& frames;
-  obs::Counter& bytes;
-};
-
-const KindMetrics& MetricsForKind(MsgKind kind) {
-  static const KindMetrics by_kind[] = {
-      {obs::Metrics().GetCounter("net.frames.location_report"),
-       obs::Metrics().GetCounter("net.bytes.location_report")},
-      {obs::Metrics().GetCounter("net.frames.probe"),
-       obs::Metrics().GetCounter("net.bytes.probe")},
-      {obs::Metrics().GetCounter("net.frames.alert"),
-       obs::Metrics().GetCounter("net.bytes.alert")},
-      {obs::Metrics().GetCounter("net.frames.region_install"),
-       obs::Metrics().GetCounter("net.bytes.region_install")},
-      {obs::Metrics().GetCounter("net.frames.match_install"),
-       obs::Metrics().GetCounter("net.bytes.match_install")},
-      {obs::Metrics().GetCounter("net.frames.ack"),
-       obs::Metrics().GetCounter("net.bytes.ack")},
-      {obs::Metrics().GetCounter("net.frames.batch"),
-       obs::Metrics().GetCounter("net.bytes.batch")},
-      {obs::Metrics().GetCounter("net.frames.shard_forward"),
-       obs::Metrics().GetCounter("net.bytes.shard_forward")},
-  };
-  const size_t idx =
-      std::min<size_t>(static_cast<size_t>(kind) - 1, std::size(by_kind) - 1);
-  return by_kind[idx];
-}
-
 }  // namespace
 
-int SimNet::AddEndpoint(Handler handler) {
+int SimNet::AddEndpoint(Handler handler, int /*group*/) {
   handlers_.push_back(std::move(handler));
   return static_cast<int>(handlers_.size()) - 1;
 }
@@ -81,7 +43,7 @@ int SimNet::AddEndpoint(Handler handler) {
 void SimNet::PushEvent(Event e) {
   heap_.push_back(std::move(e));
   std::push_heap(heap_.begin(), heap_.end(), EventAfter());
-  NetMetrics::Get().queue_depth_max.MaxOf(static_cast<double>(heap_.size()));
+  SimNetMetrics::Get().queue_depth_max.MaxOf(static_cast<double>(heap_.size()));
 }
 
 SimNet::Event SimNet::PopEvent() {
@@ -122,7 +84,7 @@ void SimNet::Send(int src, int dst, std::vector<uint8_t> frame) {
   const int copies = duplicate ? 2 : 1;
   if (duplicate) {
     frames_duplicated_ += 1;
-    NetMetrics::Get().dups.Inc();
+    SimNetMetrics::Get().dups.Inc();
   }
   const uint32_t frame_hash = Fnv1a32(frame.data(), frame.size());
   for (int c = 0; c < copies; ++c) {
@@ -130,7 +92,7 @@ void SimNet::Send(int src, int dst, std::vector<uint8_t> frame) {
     const double jitter =
         model.jitter_s > 0.0 ? rng_.Uniform(0.0, model.jitter_s) : 0.0;
     frames_offered_ += 1;
-    NetMetrics::Get().frames_offered.Inc();
+    SimNetMetrics::Get().frames_offered.Inc();
     DeliveryRecord record;
     record.send_time = now_;
     record.deliver_time = now_ + model.latency_s + jitter;
@@ -142,7 +104,7 @@ void SimNet::Send(int src, int dst, std::vector<uint8_t> frame) {
     RecordOutcome(record);
     if (drop) {
       frames_dropped_ += 1;
-      NetMetrics::Get().drops.Inc();
+      SimNetMetrics::Get().drops.Inc();
       continue;
     }
     Event e;
@@ -175,113 +137,6 @@ void SimNet::RunUntilIdle() {
       handlers_[e.dst](e.src, e.frame);
     }
   }
-}
-
-// ---------------------------------------------------------------------------
-
-ReliableEndpoint::ReliableEndpoint(SimNet* net, double rto_s, int max_retries,
-                                   FrameHandler handler)
-    : net_(net),
-      rto_s_(rto_s),
-      max_retries_(max_retries),
-      handler_(std::move(handler)) {
-  id_ = net_->AddEndpoint(
-      [this](int src, const std::vector<uint8_t>& bytes) { OnWire(src, bytes); });
-}
-
-void ReliableEndpoint::Send(int dst, MsgKind kind,
-                            const std::vector<uint8_t>& payload) {
-  const uint64_t seq = ++next_seq_[dst];
-  std::vector<uint8_t> frame;
-  {
-    obs::TraceScope span("wire_encode", "net");
-    frame = EncodeFrame(kind, seq, payload);
-  }
-  pending_.emplace(std::make_pair(dst, seq), std::move(frame));
-  Transmit(dst, seq, 0);
-}
-
-void ReliableEndpoint::Transmit(int dst, uint64_t seq, int attempt) {
-  const auto it = pending_.find({dst, seq});
-  if (it == pending_.end()) return;  // Acked since the timer was armed.
-  if (attempt > max_retries_) {
-    delivery_failed_ = true;
-    pending_.erase(it);
-    return;
-  }
-  bytes_sent_ += it->second.size();
-  frames_sent_ += 1;
-  for (obs::Counter* counter : wire_bytes_counters_) {
-    counter->Inc(it->second.size());
-  }
-  // Frame layout puts the MsgKind at byte 3 (after magic + version).
-  const KindMetrics& km = MetricsForKind(static_cast<MsgKind>(it->second[3]));
-  km.frames.Inc();
-  km.bytes.Inc(it->second.size());
-  if (attempt > 0) {
-    retransmits_ += 1;
-    NetMetrics::Get().retransmits.Inc();
-    obs::TraceScope span("retransmit", "net");
-    net_->Send(id_, dst, it->second);
-  } else {
-    net_->Send(id_, dst, it->second);
-  }
-  // Linear backoff keeps the retry storm bounded at high drop rates while
-  // staying cheap to reason about; the timer is cancelled lazily (it fires
-  // and finds nothing pending).
-  net_->Schedule(rto_s_ * (attempt + 1), [this, dst, seq, attempt] {
-    Transmit(dst, seq, attempt + 1);
-  });
-}
-
-void ReliableEndpoint::OnWire(int src, const std::vector<uint8_t>& bytes) {
-  Frame frame;
-  bool decoded;
-  {
-    obs::TraceScope span("wire_decode", "net");
-    decoded = DecodeFrame(bytes.data(), bytes.size(), &frame);
-  }
-  if (!decoded) {
-    // SimNet never corrupts, but a real backend could; count and drop —
-    // the sender's retry makes the loss equivalent to a dropped frame.
-    corrupt_frames_ += 1;
-    NetMetrics::Get().corrupt_frames.Inc();
-    return;
-  }
-  if (frame.kind == MsgKind::kAck) {
-    pending_.erase({src, frame.seq});
-    return;
-  }
-  // Ack every copy, even duplicates: the sender may be retrying because the
-  // first ack was lost.
-  const std::vector<uint8_t> ack = EncodeFrame(MsgKind::kAck, frame.seq, {});
-  bytes_sent_ += ack.size();
-  frames_sent_ += 1;
-  for (obs::Counter* counter : wire_bytes_counters_) counter->Inc(ack.size());
-  const KindMetrics& km = MetricsForKind(MsgKind::kAck);
-  km.frames.Inc();
-  km.bytes.Inc(ack.size());
-  net_->Send(id_, src, ack);
-  if (!MarkSeen(src, frame.seq)) {
-    dedup_discards_ += 1;
-    NetMetrics::Get().dedup_discards.Inc();
-    return;
-  }
-  handler_(src, std::move(frame));
-}
-
-bool ReliableEndpoint::MarkSeen(int src, uint64_t seq) {
-  SeenWindow& window = seen_[src];
-  if (seq <= window.contiguous) return false;
-  if (!window.ahead.insert(seq).second) return false;
-  // Advance the contiguous frontier; keeps `ahead` tiny (out-of-order
-  // arrivals only happen within one jitter window).
-  while (!window.ahead.empty() &&
-         *window.ahead.begin() == window.contiguous + 1) {
-    window.ahead.erase(window.ahead.begin());
-    window.contiguous += 1;
-  }
-  return true;
 }
 
 }  // namespace net

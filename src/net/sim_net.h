@@ -3,14 +3,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <set>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "net/backend.h"
+#include "net/reliability.h"
 #include "net/wire.h"
-#include "obs/metrics.h"
 
 namespace proxdet {
 namespace net {
@@ -37,24 +36,25 @@ struct DeliveryRecord {
   bool duplicate = false;  // This copy was spawned by the dup model.
 };
 
-/// Deterministic event-driven network simulator. Endpoints are small
-/// integers; frames are opaque byte vectors; time is virtual seconds,
-/// advanced only by the event queue. Events are ordered by
-/// (time, insertion id), so ties break deterministically and two runs with
-/// the same seed and the same Send/Schedule call sequence produce
-/// byte-identical delivery schedules (verified via schedule_hash()).
+/// Deterministic event-driven NetBackend. Endpoints are small integers;
+/// frames are opaque byte vectors; time is virtual seconds, advanced only
+/// by the event queue. Events are ordered by (time, insertion id), so ties
+/// break deterministically and two runs with the same seed and the same
+/// Send/Schedule call sequence produce byte-identical delivery schedules
+/// (verified via schedule_hash()). This is the correctness oracle for the
+/// real-socket backend in net/socket/.
 ///
 /// Single-threaded by design: the epoch-synchronous engines drive it from
 /// their serial commit sections, so it needs no locks even when the
 /// surrounding detector scans fan out over the thread pool.
-class SimNet {
+class SimNet : public NetBackend {
  public:
-  using Handler = std::function<void(int src, const std::vector<uint8_t>&)>;
-
   explicit SimNet(uint64_t seed) : rng_(seed) {}
 
-  /// Registers an endpoint; returns its id (dense, starting at 0).
-  int AddEndpoint(Handler handler);
+  /// Registers an endpoint; returns its id (dense, starting at 0). The
+  /// placement `group` is meaningless in-process and ignored.
+  using NetBackend::AddEndpoint;
+  int AddEndpoint(Handler handler, int group) override;
 
   /// Link model lookup by (src, dst); defaults to a perfect link. The
   /// transport installs a classifier that maps client->server to the "up"
@@ -66,26 +66,26 @@ class SimNet {
   /// Transmits `frame` from src to dst through the (src, dst) link model:
   /// possibly dropped, possibly duplicated, delivered at
   /// now + latency + jitter. Safe to call from inside a handler.
-  void Send(int src, int dst, std::vector<uint8_t> frame);
+  void Send(int src, int dst, std::vector<uint8_t> frame) override;
 
   /// Schedules `fn` to run at now + delay_s (retry timers).
-  void Schedule(double delay_s, std::function<void()> fn);
+  void Schedule(double delay_s, std::function<void()> fn) override;
 
   /// Runs events in timestamp order until the queue is empty. Handlers and
   /// timers may enqueue more work; the loop drains it all.
-  void RunUntilIdle();
+  void RunUntilIdle() override;
 
-  double now() const { return now_; }
+  double now() const override { return now_; }
 
   // Wire counters (all copies that physically entered a link).
-  uint64_t frames_offered() const { return frames_offered_; }
-  uint64_t frames_dropped() const { return frames_dropped_; }
-  uint64_t frames_duplicated() const { return frames_duplicated_; }
+  uint64_t frames_offered() const override { return frames_offered_; }
+  uint64_t frames_dropped() const override { return frames_dropped_; }
+  uint64_t frames_duplicated() const override { return frames_duplicated_; }
 
   /// Running FNV-1a hash over every transmission outcome (send time,
   /// deliver time, endpoints, frame bytes, drop/dup flags). Two runs with
   /// identical hashes experienced byte-identical delivery schedules.
-  uint64_t schedule_hash() const { return schedule_hash_; }
+  uint64_t schedule_hash() const override { return schedule_hash_; }
 
   /// When enabled, every transmission outcome is appended to log().
   void set_record_log(bool on) { record_log_ = on; }
@@ -123,76 +123,6 @@ class SimNet {
   uint64_t schedule_hash_ = 14695981039346656037ULL;  // FNV-1a 64 offset.
   bool record_log_ = false;
   std::vector<DeliveryRecord> log_;
-};
-
-/// At-least-once reliability on top of SimNet: every data frame carries a
-/// per-destination sequence number, is acked by the receiver, and is
-/// retransmitted on a timer until the ack lands (linear backoff, capped at
-/// max_retries). The receiver acks every copy — including duplicates, whose
-/// data is then discarded by the per-source seen-window — so alert
-/// semantics survive loss and duplication exactly.
-class ReliableEndpoint {
- public:
-  using FrameHandler = std::function<void(int src, Frame&& frame)>;
-
-  /// Registers a fresh SimNet endpoint. `rto_s` is the base retransmission
-  /// timeout; attempt k waits k * rto_s.
-  ReliableEndpoint(SimNet* net, double rto_s, int max_retries,
-                   FrameHandler handler);
-
-  int id() const { return id_; }
-
-  /// Attributes this endpoint's wire bytes (data frames, retransmissions
-  /// and acks it sends) to registry counters — the transport installs
-  /// net.bytes_up on client endpoints and net.bytes_down on server
-  /// endpoints, plus a per-shard counter each, so both the global and the
-  /// summed per-shard counters reconcile with CommStats byte accounting to
-  /// the unit. Every added counter receives every byte; nullptr is ignored.
-  void add_wire_bytes_counter(obs::Counter* counter) {
-    if (counter != nullptr) wire_bytes_counters_.push_back(counter);
-  }
-
-  /// Sends `payload` as a `kind` frame to `dst`, tracked until acked.
-  void Send(int dst, MsgKind kind, const std::vector<uint8_t>& payload);
-
-  // Wire accounting for this endpoint's *transmissions* (data frames,
-  // retransmissions and acks it sends; not what it receives).
-  uint64_t bytes_sent() const { return bytes_sent_; }
-  uint64_t frames_sent() const { return frames_sent_; }
-  uint64_t retransmits() const { return retransmits_; }
-  uint64_t dedup_discards() const { return dedup_discards_; }
-  uint64_t corrupt_frames() const { return corrupt_frames_; }
-
-  /// True when some frame exhausted max_retries (only reachable with
-  /// drop_rate pinned near 1); the transport surfaces it as a run failure.
-  bool delivery_failed() const { return delivery_failed_; }
-  bool all_acked() const { return pending_.empty(); }
-
- private:
-  struct SeenWindow {
-    uint64_t contiguous = 0;       // All seqs <= contiguous delivered.
-    std::set<uint64_t> ahead;      // Delivered seqs > contiguous.
-  };
-
-  void Transmit(int dst, uint64_t seq, int attempt);
-  void OnWire(int src, const std::vector<uint8_t>& bytes);
-  bool MarkSeen(int src, uint64_t seq);
-
-  SimNet* net_;
-  double rto_s_;
-  int max_retries_;
-  FrameHandler handler_;
-  std::vector<obs::Counter*> wire_bytes_counters_;
-  int id_ = -1;
-  std::map<int, uint64_t> next_seq_;
-  std::map<std::pair<int, uint64_t>, std::vector<uint8_t>> pending_;
-  std::map<int, SeenWindow> seen_;
-  uint64_t bytes_sent_ = 0;
-  uint64_t frames_sent_ = 0;
-  uint64_t retransmits_ = 0;
-  uint64_t dedup_discards_ = 0;
-  uint64_t corrupt_frames_ = 0;
-  bool delivery_failed_ = false;
 };
 
 }  // namespace net

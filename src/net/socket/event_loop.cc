@@ -1,0 +1,215 @@
+#include "net/socket/event_loop.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+#endif
+
+namespace proxdet {
+namespace net {
+
+#if defined(_WIN32)
+
+// Stub so the library links on non-POSIX hosts; UdpNet::Available() is
+// false there and every socket test skips.
+EventLoop::EventLoop(bool) {}
+EventLoop::~EventLoop() = default;
+bool EventLoop::Add(int) { return false; }
+void EventLoop::Remove(int) {}
+void EventLoop::SetWriteInterest(int, bool) {}
+int EventLoop::Poll(int, std::vector<Ready>*) { return -1; }
+void EventLoop::Wake() {}
+void EventLoop::DrainWakePipe() {}
+int EventLoop::PollWithEpoll(int, std::vector<Ready>*) { return -1; }
+int EventLoop::PollWithPoll(int, std::vector<Ready>*) { return -1; }
+
+#else  // POSIX
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool EnvForcesPoll() {
+  const char* v = std::getenv("PROXDET_FORCE_POLL");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+}  // namespace
+
+EventLoop::EventLoop(bool force_poll) {
+  int fds[2];
+  if (pipe(fds) != 0) return;
+  wake_read_ = fds[0];
+  wake_write_ = fds[1];
+  if (!SetNonBlocking(wake_read_) || !SetNonBlocking(wake_write_)) {
+    close(wake_read_);
+    close(wake_write_);
+    wake_read_ = wake_write_ = -1;
+    return;
+  }
+#if defined(__linux__)
+  if (!force_poll && !EnvForcesPoll()) {
+    epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ >= 0) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = wake_read_;
+      if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_read_, &ev) != 0) {
+        close(epoll_fd_);
+        epoll_fd_ = -1;
+      }
+    }
+  }
+#else
+  (void)force_poll;
+#endif
+  ok_ = true;  // poll(2) backend needs nothing beyond the wake pipe.
+}
+
+EventLoop::~EventLoop() {
+#if defined(__linux__)
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+#endif
+  if (wake_read_ >= 0) close(wake_read_);
+  if (wake_write_ >= 0) close(wake_write_);
+}
+
+bool EventLoop::Add(int fd) {
+  if (!ok_) return false;
+#if defined(__linux__)
+  if (epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+  }
+#endif
+  interests_.push_back({fd, false});
+  return true;
+}
+
+void EventLoop::Remove(int fd) {
+#if defined(__linux__)
+  if (epoll_fd_ >= 0) epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+  for (size_t i = 0; i < interests_.size(); ++i) {
+    if (interests_[i].fd == fd) {
+      interests_.erase(interests_.begin() + static_cast<long>(i));
+      return;
+    }
+  }
+}
+
+void EventLoop::SetWriteInterest(int fd, bool on) {
+  for (Interest& interest : interests_) {
+    if (interest.fd != fd) continue;
+    if (interest.write == on) return;
+    interest.write = on;
+#if defined(__linux__)
+    if (epoll_fd_ >= 0) {
+      epoll_event ev{};
+      ev.events = EPOLLIN | (on ? EPOLLOUT : 0u);
+      ev.data.fd = fd;
+      epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+    }
+#endif
+    return;
+  }
+}
+
+void EventLoop::DrainWakePipe() {
+  char buf[256];
+  while (read(wake_read_, buf, sizeof(buf)) > 0) {
+  }
+}
+
+int EventLoop::Poll(int timeout_ms, std::vector<Ready>* out) {
+  if (!ok_) return -1;
+#if defined(__linux__)
+  if (epoll_fd_ >= 0) return PollWithEpoll(timeout_ms, out);
+#endif
+  return PollWithPoll(timeout_ms, out);
+}
+
+int EventLoop::PollWithEpoll(int timeout_ms, std::vector<Ready>* out) {
+#if defined(__linux__)
+  epoll_event events[64];
+  int n;
+  do {
+    n = epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return -1;
+  int appended = 0;
+  for (int i = 0; i < n; ++i) {
+    if (events[i].data.fd == wake_read_) {
+      DrainWakePipe();
+      continue;
+    }
+    Ready r;
+    r.fd = events[i].data.fd;
+    r.readable = (events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0;
+    r.writable = (events[i].events & EPOLLOUT) != 0;
+    out->push_back(r);
+    ++appended;
+  }
+  return appended;
+#else
+  (void)timeout_ms;
+  (void)out;
+  return -1;
+#endif
+}
+
+int EventLoop::PollWithPoll(int timeout_ms, std::vector<Ready>* out) {
+  std::vector<pollfd> fds;
+  fds.reserve(interests_.size() + 1);
+  pollfd wake{};
+  wake.fd = wake_read_;
+  wake.events = POLLIN;
+  fds.push_back(wake);
+  for (const Interest& interest : interests_) {
+    pollfd p{};
+    p.fd = interest.fd;
+    p.events = static_cast<short>(POLLIN | (interest.write ? POLLOUT : 0));
+    fds.push_back(p);
+  }
+  int n;
+  do {
+    n = poll(fds.data(), fds.size(), timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return -1;
+  if (fds[0].revents & POLLIN) DrainWakePipe();
+  int appended = 0;
+  for (size_t i = 1; i < fds.size(); ++i) {
+    if (fds[i].revents == 0) continue;
+    Ready r;
+    r.fd = fds[i].fd;
+    r.readable = (fds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0;
+    r.writable = (fds[i].revents & POLLOUT) != 0;
+    out->push_back(r);
+    ++appended;
+  }
+  return appended;
+}
+
+void EventLoop::Wake() {
+  if (wake_write_ < 0) return;
+  const char byte = 1;
+  // Best-effort: a full pipe already guarantees a pending wakeup.
+  (void)!write(wake_write_, &byte, 1);
+}
+
+#endif  // POSIX
+
+}  // namespace net
+}  // namespace proxdet

@@ -1,0 +1,72 @@
+#ifndef PROXDET_NET_SOCKET_EVENT_LOOP_H_
+#define PROXDET_NET_SOCKET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace proxdet {
+namespace net {
+
+/// Readiness multiplexer for one socket-loop thread: epoll on Linux, with a
+/// portable poll(2) implementation compiled in everywhere and selectable at
+/// runtime (PROXDET_FORCE_POLL=1, or UdpNetConfig::force_poll) so the
+/// fallback path is actually exercised by the test suite, not just kept
+/// compiling. Not thread-safe except Wake(), which any thread may call to
+/// interrupt a blocked Poll() (self-pipe).
+class EventLoop {
+ public:
+  struct Ready {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+  };
+
+  explicit EventLoop(bool force_poll = false);
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// False when the multiplexer could not be constructed (no pipes / no fd
+  /// budget); callers must treat the loop as unusable.
+  bool ok() const { return ok_; }
+  bool using_epoll() const { return epoll_fd_ >= 0; }
+
+  /// Registers `fd` for read interest. Returns false on registration
+  /// failure. The fd must stay valid until Remove or destruction.
+  bool Add(int fd);
+  void Remove(int fd);
+
+  /// Toggles write interest (kept off except while a send backlog exists).
+  void SetWriteInterest(int fd, bool on);
+
+  /// Blocks up to timeout_ms (0 = poll and return, -1 = indefinitely) and
+  /// appends ready fds to *out (wake-pipe readiness is consumed
+  /// internally, never reported). Returns the number of entries appended,
+  /// or -1 on multiplexer failure.
+  int Poll(int timeout_ms, std::vector<Ready>* out);
+
+  /// Thread-safe: interrupts a concurrent Poll().
+  void Wake();
+
+ private:
+  struct Interest {
+    int fd = -1;
+    bool write = false;
+  };
+
+  void DrainWakePipe();
+  int PollWithEpoll(int timeout_ms, std::vector<Ready>* out);
+  int PollWithPoll(int timeout_ms, std::vector<Ready>* out);
+
+  bool ok_ = false;
+  int epoll_fd_ = -1;      // -1 => poll(2) backend.
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  std::vector<Interest> interests_;  // poll(2) backend's registry; also the
+                                     // source of truth for write interest.
+};
+
+}  // namespace net
+}  // namespace proxdet
+
+#endif  // PROXDET_NET_SOCKET_EVENT_LOOP_H_

@@ -1,0 +1,57 @@
+#include "net/socket/timer_wheel.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace proxdet {
+namespace net {
+
+void TimerWheel::Schedule(double now_s, double delay_s,
+                          std::function<void()> fn) {
+  Entry e;
+  // Clamp into the future relative to the fire cursor so a callback that
+  // re-arms an already-due timer lands in the next FireDue, not this one.
+  e.deadline_tick = std::max(TickOf(now_s + delay_s), cursor_tick_);
+  e.fn = std::move(fn);
+  buckets_[static_cast<size_t>(e.deadline_tick) % slots_].push_back(
+      std::move(e));
+  size_ += 1;
+}
+
+int TimerWheel::FireDue(double now_s) {
+  const int64_t now_tick = static_cast<int64_t>(now_s / tick_s_);
+  if (now_tick < cursor_tick_) return 0;
+  if (size_ == 0) {
+    cursor_tick_ = now_tick + 1;
+    return 0;
+  }
+  std::vector<std::function<void()>> due;
+  auto extract = [&](std::vector<Entry>& bucket) {
+    size_t keep = 0;
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      if (bucket[i].deadline_tick <= now_tick) {
+        due.push_back(std::move(bucket[i].fn));
+      } else {
+        if (keep != i) bucket[keep] = std::move(bucket[i]);
+        ++keep;
+      }
+    }
+    bucket.resize(keep);
+  };
+  if (now_tick - cursor_tick_ >= static_cast<int64_t>(slots_)) {
+    // A full revolution elapsed since the last fire: every bucket may hold
+    // due entries, so make one flat pass instead of spinning the cursor.
+    for (std::vector<Entry>& bucket : buckets_) extract(bucket);
+  } else {
+    for (int64_t t = cursor_tick_; t <= now_tick; ++t) {
+      extract(buckets_[static_cast<size_t>(t) % slots_]);
+    }
+  }
+  cursor_tick_ = now_tick + 1;
+  size_ -= due.size();
+  for (std::function<void()>& fn : due) fn();
+  return static_cast<int>(due.size());
+}
+
+}  // namespace net
+}  // namespace proxdet

@@ -1,0 +1,58 @@
+#ifndef PROXDET_NET_SOCKET_TIMER_WHEEL_H_
+#define PROXDET_NET_SOCKET_TIMER_WHEEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace proxdet {
+namespace net {
+
+/// Hashed timer wheel for the wall-clock retransmit timers of the UDP
+/// backend: O(1) insert, amortized O(1) per fired timer, no heap
+/// discipline. Deadlines are quantized to `tick_s` (default 1 ms — far
+/// below the 50 ms base RTO, so quantization never reorders retries
+/// meaningfully) and hashed into `slots` buckets; an entry whose deadline
+/// lies beyond one wheel revolution simply stays in its bucket until the
+/// lap that reaches it. Single-threaded: owned and driven by the UdpNet
+/// driver thread.
+class TimerWheel {
+ public:
+  explicit TimerWheel(double tick_s = 1e-3, size_t slots = 256)
+      : tick_s_(tick_s), slots_(slots) {}
+
+  /// Arms `fn` to fire once `now_s + delay_s` is reached.
+  void Schedule(double now_s, double delay_s, std::function<void()> fn);
+
+  /// Fires every armed entry whose deadline is <= now_s, in bucket order
+  /// (ties within a bucket fire in arming order). Fired callbacks may
+  /// re-arm timers; those are collected for later laps, never fired in the
+  /// same call even if already due. Returns the number fired.
+  int FireDue(double now_s);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Entry {
+    int64_t deadline_tick = 0;
+    std::function<void()> fn;
+  };
+
+  int64_t TickOf(double t_s) const {
+    return static_cast<int64_t>(t_s / tick_s_) + 1;  // Round up: never early.
+  }
+
+  double tick_s_;
+  size_t slots_;
+  std::vector<std::vector<Entry>> buckets_ =
+      std::vector<std::vector<Entry>>(slots_);
+  int64_t cursor_tick_ = 0;  // All entries with deadline < cursor fired.
+  size_t size_ = 0;
+};
+
+}  // namespace net
+}  // namespace proxdet
+
+#endif  // PROXDET_NET_SOCKET_TIMER_WHEEL_H_

@@ -12,7 +12,7 @@ namespace net {
 // ---------------------------------------------------------------------------
 // ClientRuntime
 
-ClientRuntime::ClientRuntime(SimNet* net, const World* world, UserId id,
+ClientRuntime::ClientRuntime(NetBackend* net, const World* world, UserId id,
                              int server_id, const NetConfig& config)
     : world_(world),
       id_(id),
@@ -94,13 +94,14 @@ void ClientRuntime::HandleFrame(Frame&& frame) {
 // ---------------------------------------------------------------------------
 // ProtocolServer
 
-ProtocolServer::ProtocolServer(SimNet* net, size_t user_count,
-                               const NetConfig& config)
+ProtocolServer::ProtocolServer(NetBackend* net, size_t user_count,
+                               const NetConfig& config, int group)
     : inbox_(user_count),
       endpoint_(net, config.retry_timeout_s, config.max_retries,
                 [this](int src, Frame&& frame) {
                   HandleFrame(src, std::move(frame));
-                }) {}
+                },
+                group) {}
 
 void ProtocolServer::HandleFrame(int src, Frame&& frame) {
   if (frame.kind != MsgKind::kLocationReport) {
@@ -179,7 +180,7 @@ const ClientRuntime& TransportLink::client(UserId u) const {
   return frontend_->client(u);
 }
 
-const SimNet& TransportLink::sim_net() const { return frontend_->sim_net(); }
+const SimNet* TransportLink::sim_net() const { return frontend_->sim_net(); }
 
 // ---------------------------------------------------------------------------
 // TransportedDetector

@@ -15,13 +15,20 @@
 namespace proxdet {
 namespace net {
 
+/// Which substrate carries the frames of a transported run.
+enum class TransportKind {
+  kSim,  // Deterministic in-process SimNet (virtual time; the oracle).
+  kUdp,  // Real UDP loopback sockets (net/socket/; wall-clock timers).
+};
+
 /// Configuration of one transported run: the two link directions, the
 /// transport seed (independent of the workload seed) and the reliability
 /// knobs.
 struct NetConfig {
-  LinkModel up;    // client -> server
-  LinkModel down;  // server -> client
-  LinkModel mesh;  // shard <-> shard (only used when shards > 1)
+  TransportKind transport = TransportKind::kSim;
+  LinkModel up;    // client -> server (SimNet only)
+  LinkModel down;  // server -> client (SimNet only)
+  LinkModel mesh;  // shard <-> shard (SimNet only; used when shards > 1)
   uint64_t seed = 0x9e3779b97f4a7c15ULL;
   double retry_timeout_s = 0.05;
   int max_retries = 64;
@@ -42,6 +49,23 @@ struct NetConfig {
   /// guard proves it decodes to the *identical* shape (see
   /// EncodeCompressed); falls back to the exact encoding otherwise.
   bool compress_installs = false;
+
+  // --- UDP backend knobs (transport == kUdp; ignored otherwise). The UDP
+  // path has no LinkModel (no synthetic latency/jitter — loopback is the
+  // latency); loss and duplication are injected per datagram copy at the
+  // socket layer instead.
+  /// First port for the shard-server/mesh sockets (port, port+1, ...);
+  /// 0 binds every socket to a kernel-chosen ephemeral port.
+  uint16_t udp_port = 0;
+  /// Event-loop threads shared by the client sockets (shards get one each).
+  int udp_client_loops = 2;
+  double udp_drop_rate = 0.0;
+  double udp_dup_rate = 0.0;
+  /// RunUntilIdle watchdog: a run making no progress for this long is
+  /// flagged failed instead of hanging.
+  double udp_idle_timeout_s = 60.0;
+  /// Use the portable poll(2) readiness path even where epoll exists.
+  bool udp_force_poll = false;
 };
 
 /// Per-shard wire accounting inside a sharded transported run. Uplink is
@@ -104,7 +128,7 @@ struct NetRunStats {
 /// alerts, safe-region installs, match notices.
 class ClientRuntime {
  public:
-  ClientRuntime(SimNet* net, const World* world, UserId id, int server_id,
+  ClientRuntime(NetBackend* net, const World* world, UserId id, int server_id,
                 const NetConfig& config);
 
   /// Encodes and sends this client's location report for `epoch`;
@@ -146,7 +170,10 @@ class ClientRuntime {
 /// inbox the engine link drains synchronously.
 class ProtocolServer {
  public:
-  ProtocolServer(SimNet* net, size_t user_count, const NetConfig& config);
+  /// `group` pins the server's socket to its shard's event loop on real
+  /// backends (see NetBackend::AddEndpoint).
+  ProtocolServer(NetBackend* net, size_t user_count, const NetConfig& config,
+                 int group = -1);
 
   bool TakeReport(UserId u, LocationReportMsg* out);
 
@@ -203,7 +230,8 @@ class TransportLink : public ClientLink {
   std::vector<AlertEvent> ClientAlerts() const;
 
   const ClientRuntime& client(UserId u) const;
-  const SimNet& sim_net() const;
+  /// The deterministic backend, or nullptr when the run rides real sockets.
+  const SimNet* sim_net() const;
   const ShardedFrontend& frontend() const { return *frontend_; }
 
  private:
