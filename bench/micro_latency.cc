@@ -1,0 +1,330 @@
+// Detect->deliver alert latency of the transported serving core: every
+// alert frame carries its wire-propagated TraceCtx (origin epoch, event id,
+// hop count) and the AlertLatencyTracker matches each engine Alert() call
+// to the delivering client frame — virtual seconds under SimNet
+// (deterministic, digest-checked by the latency test suite), wall-clock
+// seconds under UDP loopback — across induced drop rates, into
+// BENCH_latency.json.
+//
+// Contract checks ride along, micro_net style, and the bench aborts on any
+// violation because latency numbers from a broken tracker are void:
+//  - parity: every traced cell produces the ground-truth alert stream and
+//    the same engine message counts as the untraced in-process run
+//    (tracing must not perturb the engine);
+//  - reconciliation: tracker deliveries == CommStats alerts to the unit,
+//    nothing unmatched, nothing outstanding, and the latency sketch holds
+//    exactly one sample per delivered alert;
+//  - introspection: the live stats endpoint (--stats-port machinery,
+//    NetConfig::stats_port) answers both the Prometheus and the JSON
+//    snapshot forms while the serving plane is up.
+//
+// Emits BENCH_latency.json (PROXDET_BENCH_JSON: "0" disables, unset/"1"
+// writes to the current directory, anything else is the target directory).
+// PROXDET_QUICK=1 shrinks to smoke-test size. Hosts without socket(2)
+// still run the SimNet half and mark "udp_available": false.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench_support/bench_json.h"
+#include "bench_support/obs_artifacts.h"
+#include "core/simulation.h"
+#include "net/latency.h"
+#include "net/socket/udp_net.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace proxdet {
+namespace {
+
+struct LatencyRow {
+  Method method = Method::kNaive;
+  double drop_rate = 0.0;
+  int shards = 0;
+  uint64_t alerts = 0;     // Engine Alert() calls (CommStats).
+  uint64_t delivered = 0;  // Tracker-matched client deliveries.
+  uint64_t retransmits = 0;
+  LatencySummary latency;  // Virtual (SimNet) or wall (UDP) sketch.
+  bool reconcile_exact = false;
+};
+
+struct EndpointProbe {
+  bool attempted = false;
+  bool metrics_ok = false;
+  bool snapshot_ok = false;
+};
+
+WorkloadConfig LatencyWorkloadConfig(bool quick) {
+  WorkloadConfig config;
+  config.dataset = DatasetKind::kTruck;
+  config.num_users = quick ? 40 : 120;
+  config.epochs = quick ? 50 : 60;
+  config.speed_steps = 8;
+  config.avg_friends = quick ? 5.0 : 10.0;
+  config.alert_radius_m = 6000.0;
+  config.seed = 1234;
+  config.training_users = quick ? 12 : 24;
+  config.training_epochs = 60;
+  return config;
+}
+
+// SimNet cell: realistic one-way delays so the virtual detect->deliver
+// distribution is nondegenerate, plus symmetric induced loss so the retry
+// tail shows up in p99/p999.
+net::NetConfig SimConfig(int shards, double drop_rate) {
+  net::NetConfig config;
+  config.shards = shards;
+  config.batch_downlink = true;
+  config.compress_installs = true;
+  config.trace = true;
+  config.up.latency_s = 0.02;
+  config.up.jitter_s = 0.005;
+  config.down.latency_s = 0.02;
+  config.down.jitter_s = 0.005;
+  config.mesh.latency_s = 0.01;
+  config.mesh.jitter_s = 0.002;
+  config.up.drop_rate = drop_rate;
+  config.down.drop_rate = drop_rate;
+  config.mesh.drop_rate = drop_rate;
+  config.seed = 20180416;
+  return config;
+}
+
+net::NetConfig UdpConfig(int shards, double drop_rate) {
+  net::NetConfig config;
+  config.transport = net::TransportKind::kUdp;
+  config.shards = shards;
+  config.batch_downlink = true;
+  config.compress_installs = true;
+  config.trace = true;
+  config.udp_drop_rate = drop_rate;
+  config.udp_dup_rate = drop_rate > 0.0 ? 0.02 : 0.0;
+  config.udp_idle_timeout_s = 120.0;
+  config.seed = 20180416;
+  return config;
+}
+
+#ifndef _WIN32
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+#endif
+
+/// One traced transported cell, gated FATAL on every latency-plane
+/// contract. When `probe` is non-null the cell additionally serves the
+/// live stats endpoint on an ephemeral port and polls it (Prometheus +
+/// JSON snapshot) while the serving plane is still up.
+LatencyRow RunCell(Method method, const Workload& workload,
+                   net::NetConfig config, const RunResult& direct,
+                   double drop_rate, EndpointProbe* probe) {
+  obs::Metrics().Reset();
+  const bool wall = config.transport == net::TransportKind::kUdp;
+  if (probe != nullptr) config.stats_port = 0;  // Kernel-chosen ephemeral.
+
+  auto detector = MakeDetector(method, workload);
+  net::TransportLink link(workload.world, config);
+  detector->set_link(&link);
+  detector->Run(workload.world);
+  detector->set_link(nullptr);
+
+  std::vector<AlertEvent> alerts = link.ClientAlerts();
+  SortAlerts(&alerts);
+  const bool alerts_exact = alerts == workload.GroundTruth();
+  const CommStats stats = detector->stats();
+  const net::AlertLatencyTracker* tracker = link.latency_tracker();
+
+  LatencyRow row;
+  row.method = method;
+  row.drop_rate = drop_rate;
+  row.shards = config.shards;
+  row.alerts = stats.alerts;
+  row.delivered = tracker != nullptr ? tracker->delivered() : 0;
+  row.retransmits = link.Stats().retransmits;
+  row.latency = SummarizeLatency(
+      wall ? "net.latency.wall_s" : "net.latency.virtual_s",
+      wall ? obs::Kind::kWallClock : obs::Kind::kDeterministic);
+  row.reconcile_exact =
+      tracker != nullptr && row.delivered == row.alerts &&
+      tracker->unmatched() == 0 && tracker->outstanding() == 0 &&
+      row.latency.samples == row.delivered;
+
+  if (!alerts_exact || link.Stats().failed ||
+      !stats.SameMessageCounts(direct.stats) || !row.reconcile_exact) {
+    std::fprintf(
+        stderr,
+        "FATAL: %s traced cell (drop=%.2f, %s) broke the latency contract "
+        "(alerts_exact=%d failed=%d same_counts=%d delivered=%llu "
+        "alerts=%llu samples=%llu).\n",
+        MethodName(method).c_str(), drop_rate, wall ? "udp" : "sim",
+        alerts_exact ? 1 : 0, link.Stats().failed ? 1 : 0,
+        stats.SameMessageCounts(direct.stats) ? 1 : 0,
+        static_cast<unsigned long long>(row.delivered),
+        static_cast<unsigned long long>(row.alerts),
+        static_cast<unsigned long long>(row.latency.samples));
+    std::exit(1);
+  }
+
+#ifndef _WIN32
+  if (probe != nullptr && link.stats_port() > 0) {
+    probe->attempted = true;
+    const std::string metrics = HttpGet(link.stats_port(), "/metrics");
+    probe->metrics_ok =
+        metrics.find("200 OK") != std::string::npos &&
+        metrics.find("net_latency_delivered") != std::string::npos;
+    const std::string snapshot = HttpGet(link.stats_port(), "/snapshot");
+    probe->snapshot_ok =
+        snapshot.find("\"quantiles\"") != std::string::npos &&
+        snapshot.find("\"flight_head\"") != std::string::npos;
+    if (!probe->metrics_ok || !probe->snapshot_ok) {
+      std::fprintf(stderr,
+                   "FATAL: live stats endpoint on port %d served a bad "
+                   "response (metrics_ok=%d snapshot_ok=%d).\n",
+                   link.stats_port(), probe->metrics_ok ? 1 : 0,
+                   probe->snapshot_ok ? 1 : 0);
+      std::exit(1);
+    }
+  }
+#endif
+
+  std::printf(
+      "  %-13s drop=%.2f %s  alerts %6llu  delivered %6llu  retx %6llu  "
+      "p50 %7.2f ms  p99 %7.2f ms  p999 %7.2f ms\n",
+      MethodName(method).c_str(), drop_rate, wall ? "udp" : "sim",
+      static_cast<unsigned long long>(row.alerts),
+      static_cast<unsigned long long>(row.delivered),
+      static_cast<unsigned long long>(row.retransmits),
+      row.latency.p50_s * 1e3, row.latency.p99_s * 1e3,
+      row.latency.p999_s * 1e3);
+  std::fflush(stdout);
+  return row;
+}
+
+void WriteRows(std::FILE* f, const std::vector<LatencyRow>& rows) {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const LatencyRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"method\": \"%s\", \"drop_rate\": %.2f, \"shards\": %d, "
+        "\"alerts\": %llu, \"delivered\": %llu, \"retransmits\": %llu, "
+        "\"samples\": %llu, \"p50_s\": %.6f, \"p99_s\": %.6f, "
+        "\"p999_s\": %.6f, \"reconcile_exact\": %s}%s\n",
+        MethodName(r.method).c_str(), r.drop_rate, r.shards,
+        static_cast<unsigned long long>(r.alerts),
+        static_cast<unsigned long long>(r.delivered),
+        static_cast<unsigned long long>(r.retransmits),
+        static_cast<unsigned long long>(r.latency.samples), r.latency.p50_s,
+        r.latency.p99_s, r.latency.p999_s,
+        r.reconcile_exact ? "true" : "false",
+        i + 1 == rows.size() ? "" : ",");
+  }
+}
+
+std::string WriteJson(bool udp_available, const std::vector<LatencyRow>& sim,
+                      const std::vector<LatencyRow>& udp,
+                      const EndpointProbe& probe) {
+  const std::string path = BenchJsonPath("BENCH_latency.json");
+  if (path.empty()) return "";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return "";
+  }
+  std::fprintf(f,
+               "{\n  \"figure\": \"latency\",\n  \"udp_available\": %s,\n"
+               "  \"stats_endpoint\": {\"attempted\": %s, "
+               "\"metrics_ok\": %s, \"snapshot_ok\": %s},\n"
+               "  \"virtual\": [\n",
+               udp_available ? "true" : "false",
+               probe.attempted ? "true" : "false",
+               probe.metrics_ok ? "true" : "false",
+               probe.snapshot_ok ? "true" : "false");
+  WriteRows(f, sim);
+  std::fprintf(f, "  ],\n  \"wall\": [\n");
+  WriteRows(f, udp);
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return path;
+}
+
+int Main() {
+  const bool quick = QuickMode();
+  const std::vector<double> drops = quick
+                                        ? std::vector<double>{0.0, 0.05}
+                                        : std::vector<double>{0.0, 0.02, 0.05};
+  const std::vector<Method> methods =
+      quick ? std::vector<Method>{Method::kNaive, Method::kCmd,
+                                  Method::kStripeKf}
+            : PaperMethodSet();
+  const int shards = 2;
+
+  const WorkloadConfig config = LatencyWorkloadConfig(quick);
+  std::printf("latency workload (%zu users, %d epochs)...\n",
+              config.num_users, config.epochs);
+  const Workload workload = BuildWorkload(config);
+
+  std::printf("SimNet virtual detect->deliver (every method, %d shards)...\n",
+              shards);
+  std::vector<LatencyRow> sim;
+  EndpointProbe probe;
+  for (const Method method : methods) {
+    const RunResult direct = RunMethod(method, workload);
+    for (const double drop : drops) {
+      // Poll the live endpoint once, on the first cell.
+      EndpointProbe* p = sim.empty() ? &probe : nullptr;
+      sim.push_back(
+          RunCell(method, workload, SimConfig(shards, drop), direct, drop, p));
+    }
+  }
+
+  std::vector<LatencyRow> udp;
+  const bool udp_available = net::UdpNet::Available();
+  if (udp_available) {
+    std::printf("UDP loopback wall-clock detect->deliver (cmd)...\n");
+    const RunResult direct = RunMethod(Method::kCmd, workload);
+    for (const double drop : drops) {
+      udp.push_back(RunCell(Method::kCmd, workload, UdpConfig(shards, drop),
+                            direct, drop, nullptr));
+    }
+  } else {
+    std::printf("loopback UDP unavailable; skipping the wall-clock half\n");
+  }
+
+  const std::string json = WriteJson(udp_available, sim, udp, probe);
+  if (!json.empty()) std::printf("wrote %s\n", json.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace proxdet
+
+int main() { return proxdet::Main(); }

@@ -69,6 +69,7 @@ struct ThroughputRow {
   double mb_per_s = 0.0;
   double rtt_p50_s = 0.0;
   double rtt_p99_s = 0.0;
+  double rtt_p999_s = 0.0;
   uint64_t rtt_samples = 0;
   bool reconcile_exact = false;
 };
@@ -235,13 +236,15 @@ ThroughputRow RunThroughputCell(const Workload& workload, int shards,
   row.bytes = obs::Metrics()
                   .GetCounter("net.socket.bytes_sent", obs::Kind::kWallClock)
                   .value();
-  const obs::StreamingQuantile rtt =
-      obs::Metrics()
-          .GetQuantile("net.socket.rtt_s", obs::Kind::kWallClock)
-          .snapshot();
-  row.rtt_samples = rtt.count();
-  row.rtt_p50_s = rtt.Quantile(0.5);
-  row.rtt_p99_s = rtt.Quantile(0.99);
+  // The RTT percentiles come from the shared obs sketch summary — the same
+  // helper micro_latency uses for detect->deliver, so both benches report
+  // percentiles with identical semantics.
+  const LatencySummary rtt =
+      SummarizeLatency("net.socket.rtt_s", obs::Kind::kWallClock);
+  row.rtt_samples = rtt.samples;
+  row.rtt_p50_s = rtt.p50_s;
+  row.rtt_p99_s = rtt.p99_s;
+  row.rtt_p999_s = rtt.p999_s;
   row.frames_per_s = row.seconds > 0.0 ? row.datagrams / row.seconds : 0.0;
   row.mb_per_s = row.seconds > 0.0 ? row.bytes / 1e6 / row.seconds : 0.0;
 
@@ -345,12 +348,12 @@ std::string WriteJson(bool udp_available, bool epoll,
         "    {\"shards\": %d, \"clients\": %zu, \"epochs\": %d, "
         "\"seconds\": %.6f, \"datagrams\": %llu, \"bytes\": %llu, "
         "\"frames_per_s\": %.0f, \"mb_per_s\": %.3f, \"rtt_p50_s\": %.6f, "
-        "\"rtt_p99_s\": %.6f, \"rtt_samples\": %llu, "
+        "\"rtt_p99_s\": %.6f, \"rtt_p999_s\": %.6f, \"rtt_samples\": %llu, "
         "\"reconcile_exact\": %s}%s\n",
         r.shards, r.clients, r.epochs, r.seconds,
         static_cast<unsigned long long>(r.datagrams),
         static_cast<unsigned long long>(r.bytes), r.frames_per_s, r.mb_per_s,
-        r.rtt_p50_s, r.rtt_p99_s,
+        r.rtt_p50_s, r.rtt_p99_s, r.rtt_p999_s,
         static_cast<unsigned long long>(r.rtt_samples),
         r.reconcile_exact ? "true" : "false",
         i + 1 == throughput.size() ? "" : ",");

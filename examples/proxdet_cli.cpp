@@ -10,11 +10,21 @@
 //               [--speed V] [--seed SEED] [--csv]
 //               [--shards N] [--batch]
 //               [--transport sim|udp] [--port P] [--loopback-clients N]
+//               [--stats-port P] [--flight-dump FILE]
 //               [--trace FILE] [--report FILE]
 //
 // --trace writes the run's epoch-phase spans as Chrome trace_event JSON
 // (load in chrome://tracing or ui.perfetto.dev); --report writes a
 // RunReport joining the metrics snapshot with the aggregate CommStats.
+//
+// --stats-port P serves the live introspection endpoint on loopback TCP
+// port P for each run's duration: GET /metrics answers Prometheus text,
+// any other path a JSON snapshot (counters, gauges, p50/p99/p999
+// quantiles, the flight-recorder head). Implies the serving plane (like
+// --shards 1). --flight-dump FILE arms the protocol flight recorder's
+// post-mortem: on a reliability give-up or socket idle-timeout the
+// bounded per-shard ring of protocol events (sends, acks, retransmits,
+// dedups, forwards, give-ups) is written to FILE as JSON.
 //
 // --shards N runs every method through the simulated serving plane with N
 // consistent-hash ProtocolServer partitions (wire columns appear in the
@@ -41,6 +51,7 @@
 #include "common/table.h"
 #include "core/simulation.h"
 #include "net/transport.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -77,7 +88,19 @@ void Usage(const char* argv0) {
                "          [--shards N] [--batch]\n"
                "          [--transport sim|udp] [--port P]"
                " [--loopback-clients N]\n"
-               "          [--trace FILE] [--report FILE]\n",
+               "          [--stats-port P] [--flight-dump FILE]\n"
+               "          [--trace FILE] [--report FILE]\n"
+               "\n"
+               "  --stats-port P   serve live introspection on loopback TCP\n"
+               "                   port P while each run is up: GET /metrics\n"
+               "                   -> Prometheus text, anything else -> JSON\n"
+               "                   snapshot incl. the flight-recorder head\n"
+               "                   (implies the serving plane, like"
+               " --shards 1)\n"
+               "  --flight-dump F  write the protocol flight recorder's ring\n"
+               "                   (sends/acks/retransmits/dedups/forwards)\n"
+               "                   to F as JSON on a reliability give-up or\n"
+               "                   socket idle-timeout\n",
                argv0);
 }
 
@@ -97,6 +120,8 @@ int main(int argc, char** argv) {
   std::string transport_arg = "sim";
   int udp_port = 0;
   int loopback_clients = 0;
+  int stats_port = -1;  // -1 = no live endpoint.
+  std::string flight_dump_path;
   std::string trace_path;
   std::string report_path;
 
@@ -158,6 +183,14 @@ int main(int argc, char** argv) {
         Usage(argv[0]);
         return 2;
       }
+    } else if (arg == "--stats-port") {
+      stats_port = std::atoi(next());
+      if (stats_port < 0 || stats_port > 65535) {
+        Usage(argv[0]);
+        return 2;
+      }
+    } else if (arg == "--flight-dump") {
+      flight_dump_path = next();
     } else if (arg == "--trace") {
       trace_path = next();
     } else if (arg == "--report") {
@@ -197,14 +230,25 @@ int main(int argc, char** argv) {
     tracer.Enable();
   }
 
-  // --batch or --transport udp without --shards still runs the serving
-  // plane (one partition).
+  if (!flight_dump_path.empty()) {
+    obs::Flight().set_dump_path(flight_dump_path);
+  }
+
+  // --batch, --transport udp or --stats-port without --shards still runs
+  // the serving plane (one partition).
   const bool udp = transport_arg == "udp";
-  const bool transported = shards >= 1 || batch || udp;
+  const bool transported = shards >= 1 || batch || udp || stats_port >= 0;
   net::NetConfig net_config;
   net_config.shards = shards >= 1 ? shards : 1;
   net_config.batch_downlink = batch;
   net_config.compress_installs = batch;
+  net_config.stats_port = stats_port;
+  if (stats_port > 0) {
+    std::fprintf(stderr,
+                 "serving live introspection on 127.0.0.1:%d "
+                 "(GET /metrics -> Prometheus, else JSON snapshot)\n",
+                 stats_port);
+  }
   if (udp) {
     net_config.transport = net::TransportKind::kUdp;
     net_config.udp_port = static_cast<uint16_t>(udp_port);

@@ -32,7 +32,11 @@ trap 'rm -rf "$OUT"' EXIT
 # micro_socket runs the detector pipeline over real UDP loopback sockets
 # and FATALs unless every method's alerts and message counts match the
 # in-process and SimNet runs (and the loss cell loses no alerts).
-for bench in fig9_friends micro_detector micro_net micro_index micro_socket; do
+# micro_latency runs traced cells (SimNet virtual + UDP wall clock) and
+# FATALs unless the detect->deliver tracker reconciles with CommStats
+# alert counts to the unit and the live stats endpoint answers.
+for bench in fig9_friends micro_detector micro_net micro_index micro_socket \
+             micro_latency; do
   echo "== $bench (quick) =="
   PROXDET_QUICK=1 PROXDET_BENCH_JSON="$OUT" "$BUILD_DIR/bench/$bench" \
     > /dev/null
@@ -53,7 +57,7 @@ for artifact in "${artifacts[@]}"; do
 done
 
 for required in TRACE_net.json REPORT_net.json BENCH_index.json \
-                BENCH_socket.json; do
+                BENCH_socket.json BENCH_latency.json; do
   if [[ ! -f "$OUT/$required" ]]; then
     echo "FAIL: expected artifact $required was not emitted" >&2
     exit 1
@@ -126,6 +130,39 @@ else:
         "stub artifact carries data rows"
 EOF
 echo "ok: BENCH_socket.json schema + loopback parity"
+
+# BENCH_latency.json schema: every traced cell must have reconciled its
+# detect->deliver tracker with the engine's CommStats alert count to the
+# unit (delivered == alerts == sketch samples — the bench aborts on
+# mismatch, but assert the committed verdicts here too), the virtual rows
+# must carry real sketches, and the live stats endpoint must have answered
+# both forms. The wall half is empty where socket(2) is forbidden.
+python3 - "$OUT/BENCH_latency.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc.get("figure") == "latency", "figure != latency"
+for key in ("udp_available", "stats_endpoint", "virtual", "wall"):
+    assert key in doc, f"missing field {key}"
+assert doc["virtual"], "empty virtual (SimNet) half"
+for row in doc["virtual"] + doc["wall"]:
+    assert row["reconcile_exact"] is True, f"tracker not reconciled: {row}"
+    assert row["delivered"] == row["alerts"] == row["samples"], \
+        f"delivered/alerts/samples disagree: {row}"
+    assert row["shards"] >= 2, "latency cells must exercise the sharded plane"
+    if row["alerts"] > 0:
+        assert row["p999_s"] >= row["p99_s"] >= row["p50_s"] > 0, \
+            f"degenerate latency sketch: {row}"
+drops = {row["drop_rate"] for row in doc["virtual"]}
+assert 0.0 in drops and len(drops) >= 2, "virtual half never swept drop rate"
+probe = doc["stats_endpoint"]
+if probe["attempted"]:
+    assert probe["metrics_ok"] and probe["snapshot_ok"], \
+        f"live stats endpoint misbehaved: {probe}"
+if doc["udp_available"]:
+    assert doc["wall"], "UDP available but wall half empty"
+EOF
+echo "ok: BENCH_latency.json schema + tracker reconciliation"
 
 if ! grep -q '"counters_reconcile": "exact"' "$OUT/REPORT_net.json"; then
   echo "FAIL: REPORT_net.json reconciliation verdict is not \"exact\"" >&2

@@ -31,6 +31,12 @@
 # tests skip themselves where socket(2)/bind are unavailable, so the legs
 # stay green in sandboxes that forbid networking.
 #
+# The `latency`-labelled suite (causal tracing + detect->deliver latency
+# accounting) also runs in every labelled leg: the tracker is fed from the
+# same serial commit sections as the link, and its deterministic digest
+# invariance across thread counts is exactly the property TSan and the
+# OBS-OFF build must not perturb.
+#
 # A fourth leg runs the `simd` and `index` suites under
 # -DPROXDET_SANITIZE=undefined: the branchless lane arithmetic in the
 # vector kernels (masked selects, safe-divisor guards) must not hide UB —
@@ -51,7 +57,7 @@ OBS_OFF_BUILD_DIR="${OBS_OFF_BUILD_DIR:-build-obs-off}"
 SIMD_OFF_BUILD_DIR="${SIMD_OFF_BUILD_DIR:-build-simd-off}"
 UBSAN_BUILD_DIR="${UBSAN_BUILD_DIR:-build-ubsan}"
 JOBS="$(nproc)"
-LABELS='sanitize|net|obs|shard|index|simd|socket'
+LABELS='sanitize|net|obs|shard|index|simd|socket|latency'
 
 cmake -B "$BUILD_DIR" -S . -DPROXDET_SANITIZE=thread "$@"
 cmake --build "$BUILD_DIR" -j "$JOBS"

@@ -47,6 +47,19 @@ obs::RunReport MakeRunReport(const std::string& run_name,
   return report;
 }
 
+LatencySummary SummarizeLatency(const std::string& name, obs::Kind kind) {
+  const obs::StreamingQuantile sketch =
+      obs::Metrics().GetQuantile(name, kind).snapshot();
+  LatencySummary summary;
+  summary.samples = sketch.count();
+  if (summary.samples > 0) {
+    summary.p50_s = sketch.Quantile(0.5);
+    summary.p99_s = sketch.Quantile(0.99);
+    summary.p999_s = sketch.Quantile(0.999);
+  }
+  return summary;
+}
+
 void AddShardNetSections(obs::RunReport* report,
                          const net::NetRunStats& net) {
   for (size_t i = 0; i < net.shards.size(); ++i) {

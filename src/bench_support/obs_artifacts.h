@@ -48,6 +48,20 @@ bool ReconcileIndexStats(const obs::MetricsSnapshot& snapshot,
 bool ReconcileWithCommStats(const obs::MetricsSnapshot& snapshot,
                             const CommStats& stats, std::string* error);
 
+/// Tail summary of one registry quantile sketch — the single latency
+/// digest shared by the benches: micro_socket reads "net.socket.rtt_s"
+/// (wall clock) and micro_latency reads "net.latency.virtual_s" /
+/// "net.latency.wall_s" through the same helper, so every reported
+/// percentile comes from the same obs sketch rather than per-bench
+/// ad-hoc math.
+struct LatencySummary {
+  uint64_t samples = 0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  double p999_s = 0.0;
+};
+LatencySummary SummarizeLatency(const std::string& name, obs::Kind kind);
+
 /// Writes the global tracer's buffered spans as Chrome trace JSON, the
 /// path resolved by the PROXDET_BENCH_JSON convention (see BenchJsonPath).
 /// Returns the path written, or "" when emission is disabled or the

@@ -52,6 +52,20 @@ class NetBackend {
   /// seconds for UdpNet.
   virtual void Schedule(double delay_s, std::function<void()> fn) = 0;
 
+  /// Like Schedule, but returns a token CancelTimer accepts. A cancelled
+  /// timer never runs — and on a virtual-time backend never advances the
+  /// clock, so an acked exchange leaves no trace in virtual time (the
+  /// property that keeps detect->deliver latencies shard-count invariant).
+  /// Backends without cancellation return 0 (CancelTimer ignores it) and
+  /// rely on the callback's own pending check, exactly the old lazy
+  /// discipline.
+  virtual uint64_t ScheduleCancelable(double delay_s,
+                                      std::function<void()> fn) {
+    Schedule(delay_s, std::move(fn));
+    return 0;
+  }
+  virtual void CancelTimer(uint64_t /*token*/) {}
+
   /// Drives the network until quiescent (see class comment).
   virtual void RunUntilIdle() = 0;
 

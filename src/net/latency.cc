@@ -1,0 +1,57 @@
+#include "net/latency.h"
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace proxdet {
+namespace net {
+
+AlertLatencyTracker::AlertLatencyTracker(NetBackend* net, int shard_count)
+    : net_(net),
+      delivered_counter_(obs::Metrics().GetCounter("net.latency.delivered",
+                                                   obs::Kind::kDeterministic)),
+      virtual_sketch_(obs::Metrics().GetQuantile("net.latency.virtual_s",
+                                                 obs::Kind::kDeterministic)),
+      wall_sketch_(obs::Metrics().GetQuantile("net.latency.wall_s",
+                                              obs::Kind::kWallClock)) {
+  shard_wall_sketches_.reserve(shard_count > 0 ? shard_count : 0);
+  for (int s = 0; s < shard_count; ++s) {
+    shard_wall_sketches_.push_back(&obs::Metrics().GetQuantile(
+        "net.shard" + std::to_string(s) + ".latency_wall_s",
+        obs::Kind::kWallClock));
+  }
+}
+
+void AlertLatencyTracker::RecordDetect(uint64_t event_id, int shard) {
+  Pending& p = pending_[event_id];
+  p.detect_s = net_->now();
+  p.shard = shard;
+  obs::Tracer::Global().FlowBegin("alert_flow", "latency", event_id);
+}
+
+void AlertLatencyTracker::RecordDeliver(const TraceCtx& ctx) {
+  const auto it = pending_.find(ctx.event_id);
+  if (it == pending_.end()) {
+    unmatched_ += 1;
+    return;
+  }
+  const double latency_s = net_->now() - it->second.detect_s;
+  if (net_->wall_clock()) {
+    wall_sketch_.Record(latency_s);
+    const int shard = it->second.shard;
+    if (shard >= 0 &&
+        shard < static_cast<int>(shard_wall_sketches_.size())) {
+      shard_wall_sketches_[shard]->Record(latency_s);
+    }
+  } else {
+    virtual_sketch_.Record(latency_s);
+  }
+  delivered_counter_.Inc();
+  delivered_ += 1;
+  pending_.erase(it);
+  obs::Tracer::Global().FlowEnd("alert_flow", "latency", ctx.event_id);
+}
+
+}  // namespace net
+}  // namespace proxdet

@@ -1,0 +1,103 @@
+#ifndef PROXDET_NET_LATENCY_H_
+#define PROXDET_NET_LATENCY_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/backend.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+
+namespace proxdet {
+namespace net {
+
+/// SplitMix64 finalizer: the bijective mixer HashRing already trusts.
+inline uint64_t MixEventBits(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Event id of the alert for pair (a, b) delivered to endpoint `user` at
+/// `epoch`: one id per Alert() call, so delivered-event counts reconcile
+/// with CommStats alert counts to the unit. Deterministic — both sides of
+/// the wire (and every retransmitted copy) derive the same id.
+inline uint64_t AlertEventId(int64_t user, int64_t a, int64_t b,
+                             int32_t epoch) {
+  uint64_t h = MixEventBits(static_cast<uint64_t>(user) + 1);
+  h = MixEventBits(h ^ static_cast<uint64_t>(a));
+  h = MixEventBits(h ^ static_cast<uint64_t>(b));
+  h = MixEventBits(h ^ static_cast<uint64_t>(static_cast<int64_t>(epoch)));
+  return h;
+}
+
+/// Event id of user `user`'s location report for `epoch` — the causal root
+/// of everything the report triggers. Domain-separated from alert ids.
+inline uint64_t ReportEventId(int64_t user, int32_t epoch) {
+  constexpr uint64_t kReportSalt = 0xc2b2ae3d27d4eb4fULL;
+  uint64_t h = MixEventBits(kReportSalt ^ static_cast<uint64_t>(user));
+  h = MixEventBits(h ^ static_cast<uint64_t>(static_cast<int64_t>(epoch)));
+  return h;
+}
+
+/// Per-alert detect->deliver latency accounting, driven entirely from the
+/// driver thread (detects fire at the engines' serial commit sites, via
+/// the serving plane's Alert(); delivers fire in the client runtime's
+/// frame handler), so it needs no synchronization of its own.
+///
+/// Clock-domain segregation mirrors CommStats::server_seconds:
+///  - SimNet (virtual time): latencies land in the kDeterministic
+///    "net.latency.virtual_s" sketch — a pure function of (workload seed,
+///    transport seed), digest-checked across thread counts; with the
+///    default zero-latency LinkModel every sample is exactly 0.0, which is
+///    what keeps the digest invariant across shard counts too.
+///  - UdpNet (wall clock): latencies land in kWallClock sketches,
+///    "net.latency.wall_s" globally plus "net.shard<i>.latency_wall_s" for
+///    the shard that detected the alert — reported, never digest-compared.
+/// The deterministic counter "net.latency.delivered" counts delivered
+/// alerts on both paths; it must reconcile with CommStats alerts exactly.
+///
+/// Each detect also opens a Chrome-trace flow arrow ("alert_flow", id =
+/// event id) that the matching deliver closes, stitching the cross-shard
+/// hop into one rendered flow.
+class AlertLatencyTracker {
+ public:
+  /// `shard_count` sizes the per-shard wall-clock sketch table.
+  AlertLatencyTracker(NetBackend* net, int shard_count);
+
+  /// The serving plane decided an alert: remember when (backend clock) and
+  /// where (detecting shard, -1 if unsharded).
+  void RecordDetect(uint64_t event_id, int shard);
+
+  /// The client runtime received the alert frame carrying `ctx`.
+  void RecordDeliver(const TraceCtx& ctx);
+
+  uint64_t delivered() const { return delivered_; }
+  /// Delivers whose event id had no pending detect — 0 in a correct run
+  /// (dedup guarantees the handler sees each alert exactly once).
+  uint64_t unmatched() const { return unmatched_; }
+  /// Detects still awaiting delivery — 0 once the epoch's downlink drains.
+  size_t outstanding() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    double detect_s = 0.0;
+    int shard = -1;
+  };
+
+  NetBackend* net_;
+  obs::Counter& delivered_counter_;
+  obs::QuantileMetric& virtual_sketch_;
+  obs::QuantileMetric& wall_sketch_;
+  std::vector<obs::QuantileMetric*> shard_wall_sketches_;
+  std::map<uint64_t, Pending> pending_;
+  uint64_t delivered_ = 0;
+  uint64_t unmatched_ = 0;
+};
+
+}  // namespace net
+}  // namespace proxdet
+
+#endif  // PROXDET_NET_LATENCY_H_

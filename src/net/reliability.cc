@@ -74,9 +74,11 @@ const KindMetrics& MetricsForKind(MsgKind kind) {
 }  // namespace
 
 uint64_t ReliabilityPolicy::Enqueue(int dst, MsgKind kind,
-                                    const std::vector<uint8_t>& payload) {
+                                    const std::vector<uint8_t>& payload,
+                                    const std::vector<TraceEntry>& trace) {
   const uint64_t seq = ++next_seq_[dst];
-  pending_.emplace(std::make_pair(dst, seq), EncodeFrame(kind, seq, payload));
+  pending_.emplace(std::make_pair(dst, seq),
+                   EncodeFrameTraced(kind, seq, payload, trace));
   return seq;
 }
 
@@ -161,12 +163,33 @@ void ReliableEndpoint::CountTx(const std::vector<uint8_t>& frame) {
   km.bytes.Inc(frame.size());
 }
 
+void ReliableEndpoint::RecordFlight(obs::FlightEventKind kind, int peer,
+                                    uint64_t seq, uint8_t msg_kind) {
+  obs::FlightRecorder& recorder = obs::Flight();
+  if (!recorder.enabled()) return;
+  obs::FlightEvent event;
+  event.kind = kind;
+  event.shard = flight_shard_;
+  event.src = id_;
+  event.dst = peer;
+  event.seq = seq;
+  event.msg_kind = msg_kind;
+  event.time_s = net_->now();
+  recorder.Record(event);
+}
+
 void ReliableEndpoint::Send(int dst, MsgKind kind,
                             const std::vector<uint8_t>& payload) {
+  Send(dst, kind, payload, {});
+}
+
+void ReliableEndpoint::Send(int dst, MsgKind kind,
+                            const std::vector<uint8_t>& payload,
+                            const std::vector<TraceEntry>& trace) {
   uint64_t seq;
   {
     obs::TraceScope span("wire_encode", "net");
-    seq = policy_.Enqueue(dst, kind, payload);
+    seq = policy_.Enqueue(dst, kind, payload, trace);
   }
   Transmit(dst, seq, 0);
 }
@@ -178,9 +201,19 @@ void ReliableEndpoint::Transmit(int dst, uint64_t seq, int attempt) {
   if (plan.verdict == Verdict::kSkip) return;
   if (plan.verdict == Verdict::kGiveUp) {
     tx_time_.erase({dst, seq});
+    retry_timer_.erase({dst, seq});
+    RecordFlight(obs::FlightEventKind::kGiveUp, dst, seq, 0);
+    // The give-up latches delivery_failed_ and the run will FATAL; leave a
+    // diagnosable artifact behind first (no-op unless a dump path is set).
+    obs::Flight().DumpOnFailure("reliability give-up: dst " +
+                                std::to_string(dst) + " seq " +
+                                std::to_string(seq));
     return;
   }
   CountTx(*plan.frame);
+  RecordFlight(plan.is_retransmit ? obs::FlightEventKind::kRetransmit
+                                  : obs::FlightEventKind::kSend,
+               dst, seq, (*plan.frame)[3]);
   if (plan.is_retransmit) {
     ReliabilityMetrics::Get().retransmits.Inc();
     obs::TraceScope span("retransmit", "net");
@@ -189,11 +222,13 @@ void ReliableEndpoint::Transmit(int dst, uint64_t seq, int attempt) {
     if (net_->wall_clock()) tx_time_[{dst, seq}] = net_->now();
     net_->Send(id_, dst, *plan.frame);
   }
-  // The retry timer is cancelled lazily: it fires, and PlanTransmit finds
-  // nothing pending.
-  net_->Schedule(plan.next_delay_s, [this, dst, seq, attempt] {
-    Transmit(dst, seq, attempt + 1);
-  });
+  // The retry timer is cancelled eagerly when the ack lands (see OnWire);
+  // on backends without cancellation the fired timer's PlanTransmit finds
+  // nothing pending and the call is a no-op.
+  retry_timer_[{dst, seq}] =
+      net_->ScheduleCancelable(plan.next_delay_s, [this, dst, seq, attempt] {
+        Transmit(dst, seq, attempt + 1);
+      });
 }
 
 void ReliableEndpoint::OnWire(int src, const std::vector<uint8_t>& bytes) {
@@ -209,13 +244,22 @@ void ReliableEndpoint::OnWire(int src, const std::vector<uint8_t>& bytes) {
       // inject garbage); the sender's retry makes the loss equivalent to a
       // dropped frame.
       ReliabilityMetrics::Get().corrupt_frames.Inc();
+      RecordFlight(obs::FlightEventKind::kCorrupt, src, 0, 0);
       return;
     case Verdict::kAck:
-      if (rx.acked_pending && net_->wall_clock()) {
-        const auto it = tx_time_.find({src, rx.frame.seq});
-        if (it != tx_time_.end()) {
-          RttSketch().Record(net_->now() - it->second);
-          tx_time_.erase(it);
+      if (rx.acked_pending) {
+        const auto timer = retry_timer_.find({src, rx.frame.seq});
+        if (timer != retry_timer_.end()) {
+          net_->CancelTimer(timer->second);
+          retry_timer_.erase(timer);
+        }
+        RecordFlight(obs::FlightEventKind::kAck, src, rx.frame.seq, 0);
+        if (net_->wall_clock()) {
+          const auto it = tx_time_.find({src, rx.frame.seq});
+          if (it != tx_time_.end()) {
+            RttSketch().Record(net_->now() - it->second);
+            tx_time_.erase(it);
+          }
         }
       }
       return;
@@ -229,8 +273,12 @@ void ReliableEndpoint::OnWire(int src, const std::vector<uint8_t>& bytes) {
       net_->Send(id_, src, ack);
       if (rx.verdict == Verdict::kDuplicate) {
         ReliabilityMetrics::Get().dedup_discards.Inc();
+        RecordFlight(obs::FlightEventKind::kDedup, src, rx.frame.seq,
+                     static_cast<uint8_t>(rx.frame.kind));
         return;
       }
+      RecordFlight(obs::FlightEventKind::kDeliver, src, rx.frame.seq,
+                   static_cast<uint8_t>(rx.frame.kind));
       handler_(src, std::move(rx.frame));
       return;
     }

@@ -9,6 +9,7 @@
 
 #include "net/backend.h"
 #include "net/wire.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace proxdet {
@@ -38,9 +39,12 @@ class ReliabilityPolicy {
   double RetryDelay(int attempt) const { return rto_s_ * (attempt + 1); }
 
   /// Assigns the next per-destination sequence number, encodes the payload
-  /// into a tracked frame retained until acked, and returns the seq. The
-  /// caller follows up with PlanTransmit(dst, seq, 0).
-  uint64_t Enqueue(int dst, MsgKind kind, const std::vector<uint8_t>& payload);
+  /// (plus the optional trace extension — frames are encoded exactly once,
+  /// so the context rides every retransmission unchanged) into a tracked
+  /// frame retained until acked, and returns the seq. The caller follows up
+  /// with PlanTransmit(dst, seq, 0).
+  uint64_t Enqueue(int dst, MsgKind kind, const std::vector<uint8_t>& payload,
+                   const std::vector<TraceEntry>& trace = {});
 
   struct TransmitPlan {
     enum class Verdict {
@@ -134,6 +138,18 @@ class ReliableEndpoint {
   /// Sends `payload` as a `kind` frame to `dst`, tracked until acked.
   void Send(int dst, MsgKind kind, const std::vector<uint8_t>& payload);
 
+  /// Like Send, but stamps the frame with trace-extension entries (see
+  /// TraceCtx): the context is encoded once at enqueue time and therefore
+  /// survives retransmission byte-identically. Empty entries degenerate to
+  /// the untraced version-1 encoding.
+  void Send(int dst, MsgKind kind, const std::vector<uint8_t>& payload,
+            const std::vector<TraceEntry>& trace);
+
+  /// Shard label stamped on this endpoint's flight-recorder events
+  /// (-1 = unsharded, the default).
+  void set_flight_shard(int shard) { flight_shard_ = shard; }
+  int flight_shard() const { return flight_shard_; }
+
   // Wire accounting for this endpoint's *transmissions* (data frames,
   // retransmissions and acks it sends; not what it receives).
   uint64_t bytes_sent() const { return bytes_sent_; }
@@ -151,15 +167,23 @@ class ReliableEndpoint {
   void Transmit(int dst, uint64_t seq, int attempt);
   void OnWire(int src, const std::vector<uint8_t>& bytes);
   void CountTx(const std::vector<uint8_t>& frame);
+  void RecordFlight(obs::FlightEventKind kind, int peer, uint64_t seq,
+                    uint8_t msg_kind);
 
   NetBackend* net_;
   ReliabilityPolicy policy_;
   FrameHandler handler_;
   std::vector<obs::Counter*> wire_bytes_counters_;
   int id_ = -1;
+  int flight_shard_ = -1;
   // First-transmit times for in-flight sends, kept only on wall-clock
   // backends to feed the RTT sketch.
   std::map<std::pair<int, uint64_t>, double> tx_time_;
+  // Latest retry-timer token per in-flight send; cancelled eagerly when the
+  // ack lands so retired timers never advance SimNet's virtual clock (token
+  // 0 = backend without cancellation, where the timer's own pending check
+  // makes the firing a no-op).
+  std::map<std::pair<int, uint64_t>, uint64_t> retry_timer_;
   uint64_t bytes_sent_ = 0;
   uint64_t frames_sent_ = 0;
 };

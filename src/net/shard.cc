@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "net/socket/socket_server.h"
+#include "net/socket/stats_server.h"
 #include "obs/metrics.h"
 
 namespace proxdet {
@@ -38,6 +39,13 @@ obs::HistogramMetric& BatchFillHistogram() {
 /// estimated at the common 1-byte width) plus the receiver's minimal ack.
 size_t SoloCost(size_t payload_len) {
   return payload_len + FrameOverheadBytes(1, payload_len) + kMinFrameBytes;
+}
+
+/// Trace-entry list for a solo (non-batch) frame: one entry at item index
+/// 0, or none when the message is untraced.
+std::vector<TraceEntry> SoloTrace(const TraceCtx* ctx) {
+  if (ctx == nullptr) return {};
+  return {TraceEntry{0, *ctx}};
 }
 
 }  // namespace
@@ -142,6 +150,9 @@ ShardedFrontend::ShardedFrontend(const World& world, const NetConfig& config)
     shard.server->endpoint().add_wire_bytes_counter(&shard_down);
     shard.mesh->add_wire_bytes_counter(&bytes_xshard);
     shard.mesh->add_wire_bytes_counter(&shard_xshard);
+    // Flight-recorder events from this shard's endpoints carry its label.
+    shard.server->endpoint().set_flight_shard(s);
+    shard.mesh->set_flight_shard(s);
   }
   for (UserId u = 0; u < user_count; ++u) {
     shards_[home_[u]].users.push_back(u);
@@ -149,6 +160,16 @@ ShardedFrontend::ShardedFrontend(const World& world, const NetConfig& config)
         "net.shard" + std::to_string(home_[u]) + ".bytes_up");
     clients_[u]->endpoint().add_wire_bytes_counter(&bytes_up);
     clients_[u]->endpoint().add_wire_bytes_counter(&shard_up);
+    clients_[u]->endpoint().set_flight_shard(home_[u]);
+  }
+  if (config.trace) {
+    latency_ = std::make_unique<AlertLatencyTracker>(net_, shard_count);
+    for (auto& client : clients_) client->set_latency_tracker(latency_.get());
+  }
+  if (config.stats_port >= 0) {
+    // Introspection is best-effort: a failed bind leaves stats_port() == -1
+    // without failing the run.
+    stats_server_ = std::make_unique<StatsServer>(config.stats_port);
   }
 
   if (sim_net_ != nullptr) {
@@ -183,11 +204,17 @@ ShardedFrontend::ShardedFrontend(const World& world, const NetConfig& config)
 
   client_queue_.resize(user_count);
   mesh_queue_.assign(shard_count,
-                     std::vector<std::vector<ShardForwardMsg>>(shard_count));
+                     std::vector<std::vector<MeshItem>>(shard_count));
   expect_.resize(user_count);
 }
 
 ShardedFrontend::~ShardedFrontend() = default;
+
+int ShardedFrontend::stats_port() const {
+  return stats_server_ != nullptr && stats_server_->ok()
+             ? stats_server_->port()
+             : -1;
+}
 
 void ShardedFrontend::ApplyGraphUpdates(int epoch) {
   const auto& updates = world_.scheduled_updates();
@@ -203,7 +230,8 @@ void ShardedFrontend::ApplyGraphUpdates(int epoch) {
   }
 }
 
-void ShardedFrontend::ForwardDigests(const LocationReportMsg& msg) {
+void ShardedFrontend::ForwardDigests(const LocationReportMsg& msg,
+                                     const TraceCtx* ctx) {
   if (ring_.shard_count() == 1) return;
   const UserId u = msg.user;
   // Owners of u's cross-shard pairs: the home shard of every *smaller*
@@ -226,13 +254,21 @@ void ShardedFrontend::ForwardDigests(const LocationReportMsg& msg) {
   ShardForwardMsg fwd;
   fwd.inner_kind = static_cast<uint8_t>(MsgKind::kLocationReport);
   fwd.inner = Encode(digest);
+  // The digest's mesh leg is one more hop of the original report frame.
+  TraceCtx mesh_ctx;
+  if (ctx != nullptr) {
+    mesh_ctx = *ctx;
+    mesh_ctx.hops = static_cast<uint8_t>(ctx->hops + 1);
+  }
+  const TraceCtx* mesh_ctx_ptr = ctx != nullptr ? &mesh_ctx : nullptr;
   for (const int t : targets) {
     expected_digests_[{t, u}] = digest;
     digests_outstanding_ += 1;
     if (config_.batch_downlink) {
-      mesh_queue_[home_[u]][t].push_back(fwd);
+      mesh_queue_[home_[u]][t].push_back(
+          MeshItem{fwd, ctx != nullptr, mesh_ctx});
     } else {
-      SendMesh(home_[u], t, fwd);
+      SendMesh(home_[u], t, fwd, mesh_ctx_ptr);
     }
   }
   if (!config_.batch_downlink) {
@@ -259,7 +295,9 @@ void ShardedFrontend::Report(UserId u, int epoch, size_t window_len,
   }
   // Keep the owner shards of u's cross-shard pairs current before the
   // engine acts on the report.
-  ForwardDigests(msg);
+  const std::optional<TraceCtx> report_ctx =
+      shards_[home_[u]].server->report_trace(u);
+  ForwardDigests(msg, report_ctx.has_value() ? &*report_ctx : nullptr);
   // The home shard indexes its own users by the position it decoded —
   // never a foreign user, and never the engine's direct-read mirror.
   shards_[home_[u]].index.Upsert(u, msg.position);
@@ -271,42 +309,65 @@ void ShardedFrontend::Report(UserId u, int epoch, size_t window_len,
 }
 
 void ShardedFrontend::Downlink(UserId u, MsgKind kind,
-                               std::vector<uint8_t> payload) {
+                               std::vector<uint8_t> payload,
+                               const TraceCtx* ctx) {
   if (config_.batch_downlink) {
-    client_queue_[u].push_back(PendingItem{kind, std::move(payload)});
+    client_queue_[u].push_back(PendingItem{kind, std::move(payload),
+                                           ctx != nullptr,
+                                           ctx != nullptr ? *ctx : TraceCtx{}});
     touched_.insert(u);
     return;
   }
   shards_[home_[u]].server->endpoint().Send(static_cast<int>(u), kind,
-                                            payload);
+                                            payload, SoloTrace(ctx));
   net_->RunUntilIdle();
   VerifyClient(u);
 }
 
 void ShardedFrontend::PairDownlink(UserId u, UserId a, UserId b, MsgKind kind,
-                                   std::vector<uint8_t> payload) {
+                                   std::vector<uint8_t> payload,
+                                   const TraceCtx* ctx) {
   const int owner = ring_.OwnerOf(a, b);
   const int home = home_[u];
   if (owner == home) {
-    Downlink(u, kind, std::move(payload));
+    TraceCtx direct_ctx;
+    if (ctx != nullptr) {
+      direct_ctx = *ctx;
+      direct_ctx.hops = 1;  // One reliable hop: home shard -> client.
+    }
+    Downlink(u, kind, std::move(payload),
+             ctx != nullptr ? &direct_ctx : nullptr);
     return;
   }
   // Cross-shard: the owner decided the message, the home shard delivers it.
+  // Two reliable hops — the context rides both legs, hop count advancing,
+  // and the value delivered to the client is identical in batched and
+  // unbatched runs (the batched direct-append pre-sets hops = 2).
   ShardForwardMsg fwd;
   fwd.inner_kind = static_cast<uint8_t>(kind);
   fwd.inner = std::move(payload);
   expected_relays_[{owner, home}].insert(Encode(fwd));
+  TraceCtx mesh_ctx;
+  TraceCtx client_ctx;
+  if (ctx != nullptr) {
+    mesh_ctx = *ctx;
+    mesh_ctx.hops = 1;
+    client_ctx = *ctx;
+    client_ctx.hops = 2;
+  }
   if (config_.batch_downlink) {
     // Direct-append to the home queue at engine-call time so the client's
     // delivery order equals the engine's call order for every shard count;
     // the mesh copy still crosses the simulated wire and is verified (and
     // consumed) on receipt instead of delivered twice.
-    client_queue_[u].push_back(PendingItem{kind, fwd.inner});
+    client_queue_[u].push_back(
+        PendingItem{kind, fwd.inner, ctx != nullptr, client_ctx});
     touched_.insert(u);
-    mesh_queue_[owner][home].push_back(std::move(fwd));
+    mesh_queue_[owner][home].push_back(
+        MeshItem{std::move(fwd), ctx != nullptr, mesh_ctx});
     return;
   }
-  SendMesh(owner, home, fwd);
+  SendMesh(owner, home, fwd, ctx != nullptr ? &mesh_ctx : nullptr);
   // The relay's delivery to the client happens inside the same drain: the
   // mesh handler's Send enqueues onto the running event loop.
   net_->RunUntilIdle();
@@ -315,9 +376,11 @@ void ShardedFrontend::PairDownlink(UserId u, UserId a, UserId b, MsgKind kind,
 }
 
 void ShardedFrontend::SendMesh(int from_shard, int to_shard,
-                               const ShardForwardMsg& fwd) {
+                               const ShardForwardMsg& fwd,
+                               const TraceCtx* ctx) {
   shards_[from_shard].mesh->Send(shards_[to_shard].mesh_id,
-                                 MsgKind::kShardForward, Encode(fwd));
+                                 MsgKind::kShardForward, Encode(fwd),
+                                 SoloTrace(ctx));
 }
 
 void ShardedFrontend::OnMeshFrame(int shard, int src, Frame&& frame) {
@@ -327,7 +390,7 @@ void ShardedFrontend::OnMeshFrame(int shard, int src, Frame&& frame) {
       failed_ = true;
       return;
     }
-    HandleMeshMessage(shard, src, fwd);
+    HandleMeshMessage(shard, src, fwd, frame.TraceFor(0));
     return;
   }
   if (frame.kind == MsgKind::kBatch) {
@@ -336,14 +399,15 @@ void ShardedFrontend::OnMeshFrame(int shard, int src, Frame&& frame) {
       failed_ = true;
       return;
     }
-    for (const BatchItem& item : items) {
+    for (size_t i = 0; i < items.size(); ++i) {
       ShardForwardMsg fwd;
-      if (item.kind != MsgKind::kShardForward ||
-          !Decode(item.payload, &fwd)) {
+      if (items[i].kind != MsgKind::kShardForward ||
+          !Decode(items[i].payload, &fwd)) {
         failed_ = true;
         return;
       }
-      HandleMeshMessage(shard, src, fwd);
+      HandleMeshMessage(shard, src, fwd,
+                        frame.TraceFor(static_cast<uint32_t>(i)));
     }
     return;
   }
@@ -351,7 +415,8 @@ void ShardedFrontend::OnMeshFrame(int shard, int src, Frame&& frame) {
 }
 
 void ShardedFrontend::HandleMeshMessage(int shard, int src,
-                                        const ShardForwardMsg& fwd) {
+                                        const ShardForwardMsg& fwd,
+                                        const TraceCtx* ctx) {
   // Mesh endpoint ids are user_count + 2s + 1; recover the sending shard.
   const int from_shard =
       (src - static_cast<int>(world_.user_count()) - 1) / 2;
@@ -410,9 +475,26 @@ void ShardedFrontend::HandleMeshMessage(int shard, int src,
     failed_ = true;
     return;
   }
+  // The relayed delivery is one more reliable hop than the mesh leg.
+  TraceCtx out_ctx;
+  if (ctx != nullptr) {
+    out_ctx = *ctx;
+    out_ctx.hops = static_cast<uint8_t>(ctx->hops + 1);
+  }
+  // Flight-recorder breadcrumb: the ownership forward was relayed onward.
+  if (obs::Flight().enabled()) {
+    obs::FlightEvent event;
+    event.kind = obs::FlightEventKind::kForward;
+    event.shard = shard;
+    event.src = src;
+    event.dst = static_cast<int>(target);
+    event.msg_kind = fwd.inner_kind;
+    event.time_s = net_->now();
+    obs::Flight().Record(event);
+  }
   shards_[shard].server->endpoint().Send(
       static_cast<int>(target), static_cast<MsgKind>(fwd.inner_kind),
-      fwd.inner);
+      fwd.inner, SoloTrace(ctx != nullptr ? &out_ctx : nullptr));
 }
 
 void ShardedFrontend::Probe(UserId u, int epoch) {
@@ -425,14 +507,14 @@ void ShardedFrontend::Probe(UserId u, int epoch) {
     // probed report next. Enqueue (coalescing any earlier same-epoch items
     // for u into the same frame) and flush immediately.
     client_queue_[u].push_back(
-        PendingItem{MsgKind::kProbe, Encode(msg)});
+        PendingItem{MsgKind::kProbe, Encode(msg), false, TraceCtx{}});
     touched_.insert(u);
     FlushClient(u);
     net_->RunUntilIdle();
     VerifyClient(u);
     return;
   }
-  Downlink(u, MsgKind::kProbe, Encode(msg));
+  Downlink(u, MsgKind::kProbe, Encode(msg), nullptr);
 }
 
 void ShardedFrontend::Alert(UserId u, UserId a, UserId b, int epoch) {
@@ -442,7 +524,20 @@ void ShardedFrontend::Alert(UserId u, UserId a, UserId b, int epoch) {
   msg.w = b;
   msg.epoch = epoch;
   expect_[u].alerts += 1;
-  PairDownlink(u, a, b, MsgKind::kAlert, Encode(msg));
+  if (latency_ != nullptr) {
+    // Detect fires here, at the engine's serial commit site: one event id
+    // per Alert() call, stamped with the owner shard's identity and the
+    // backend clock, matched when the client's handler sees the frame.
+    const uint64_t event_id = AlertEventId(u, a, b, epoch);
+    latency_->RecordDetect(event_id, ring_.OwnerOf(a, b));
+    TraceCtx ctx;
+    ctx.origin_epoch = epoch;
+    ctx.event_id = event_id;
+    ctx.hops = 0;  // PairDownlink sets the per-leg hop counts.
+    PairDownlink(u, a, b, MsgKind::kAlert, Encode(msg), &ctx);
+    return;
+  }
+  PairDownlink(u, a, b, MsgKind::kAlert, Encode(msg), nullptr);
 }
 
 void ShardedFrontend::InstallRegion(UserId u, int epoch,
@@ -474,7 +569,7 @@ void ShardedFrontend::InstallRegion(UserId u, int epoch,
   }
   expect_[u].regions += 1;
   expect_[u].region = region;
-  Downlink(u, MsgKind::kRegionInstall, std::move(payload));
+  Downlink(u, MsgKind::kRegionInstall, std::move(payload), nullptr);
 }
 
 void ShardedFrontend::InstallMatch(UserId u, int epoch, MatchOp op, UserId a,
@@ -493,7 +588,7 @@ void ShardedFrontend::InstallMatch(UserId u, int epoch, MatchOp op, UserId a,
   } else {
     expect_[u].match = region;
   }
-  PairDownlink(u, a, b, MsgKind::kMatchInstall, Encode(msg));
+  PairDownlink(u, a, b, MsgKind::kMatchInstall, Encode(msg), nullptr);
 }
 
 void ShardedFrontend::FlushClient(UserId u) {
@@ -503,15 +598,22 @@ void ShardedFrontend::FlushClient(UserId u) {
   BatchFillHistogram().Record(static_cast<double>(queue.size()));
   if (queue.size() == 1) {
     endpoint.Send(static_cast<int>(u), queue.front().kind,
-                  queue.front().payload);
+                  queue.front().payload,
+                  SoloTrace(queue.front().traced ? &queue.front().ctx
+                                                 : nullptr));
     queue.clear();
     return;
   }
   std::vector<BatchItem> items;
+  std::vector<TraceEntry> trace;
   items.reserve(queue.size());
   size_t solo_bytes = 0;
-  for (PendingItem& item : queue) {
+  for (size_t i = 0; i < queue.size(); ++i) {
+    PendingItem& item = queue[i];
     solo_bytes += SoloCost(item.payload.size());
+    if (item.traced) {
+      trace.push_back(TraceEntry{static_cast<uint32_t>(i), item.ctx});
+    }
     items.push_back(BatchItem{item.kind, std::move(item.payload)});
   }
   const std::vector<uint8_t> payload = EncodeBatch(items);
@@ -521,25 +623,31 @@ void ShardedFrontend::FlushClient(UserId u) {
   if (solo_bytes > batched_bytes) {
     batch_saved_bytes_ += solo_bytes - batched_bytes;
   }
-  endpoint.Send(static_cast<int>(u), MsgKind::kBatch, payload);
+  endpoint.Send(static_cast<int>(u), MsgKind::kBatch, payload, trace);
   queue.clear();
 }
 
 void ShardedFrontend::FlushMesh(int from_shard) {
   for (int to = 0; to < ring_.shard_count(); ++to) {
-    std::vector<ShardForwardMsg>& queue = mesh_queue_[from_shard][to];
+    std::vector<MeshItem>& queue = mesh_queue_[from_shard][to];
     if (queue.empty()) continue;
     if (queue.size() == 1) {
-      SendMesh(from_shard, to, queue.front());
+      SendMesh(from_shard, to, queue.front().fwd,
+               queue.front().traced ? &queue.front().ctx : nullptr);
       queue.clear();
       continue;
     }
     std::vector<BatchItem> items;
+    std::vector<TraceEntry> trace;
     items.reserve(queue.size());
     size_t solo_bytes = 0;
-    for (const ShardForwardMsg& fwd : queue) {
-      std::vector<uint8_t> bytes = Encode(fwd);
+    for (size_t i = 0; i < queue.size(); ++i) {
+      const MeshItem& item = queue[i];
+      std::vector<uint8_t> bytes = Encode(item.fwd);
       solo_bytes += SoloCost(bytes.size());
+      if (item.traced) {
+        trace.push_back(TraceEntry{static_cast<uint32_t>(i), item.ctx});
+      }
       items.push_back(BatchItem{MsgKind::kShardForward, std::move(bytes)});
     }
     const std::vector<uint8_t> payload = EncodeBatch(items);
@@ -550,7 +658,7 @@ void ShardedFrontend::FlushMesh(int from_shard) {
       batch_saved_bytes_ += solo_bytes - batched_bytes;
     }
     shards_[from_shard].mesh->Send(shards_[to].mesh_id, MsgKind::kBatch,
-                                   payload);
+                                   payload, trace);
     queue.clear();
   }
 }

@@ -11,6 +11,7 @@
 
 #include "core/spatial_index.h"
 #include "graph/interest_graph.h"
+#include "net/latency.h"
 #include "net/transport.h"
 
 namespace proxdet {
@@ -75,6 +76,7 @@ class HashRing {
 /// mismatch marks the run failed / codec-inexact — the sharded plane has no
 /// silent divergence mode.
 class SocketServer;
+class StatsServer;
 
 class ShardedFrontend {
  public:
@@ -101,6 +103,10 @@ class ShardedFrontend {
   const SocketServer* socket_server() const { return socket_server_.get(); }
   const HashRing& ring() const { return ring_; }
   int home_shard(UserId u) const { return home_[u]; }
+  /// The run's latency tracker, or nullptr when NetConfig::trace is off.
+  const AlertLatencyTracker* latency_tracker() const { return latency_.get(); }
+  /// Bound port of the live introspection endpoint, or -1 when disabled.
+  int stats_port() const;
 
   /// The shard's uniform-grid index over the last decoded report position
   /// of each *owned* user (foreign users never enter it — cross-shard
@@ -137,28 +143,48 @@ class ShardedFrontend {
     bool match_known = false;  // InstallMatch seen at least once.
   };
 
-  /// One queued downlink message for a client (batch mode).
+  /// One queued downlink message for a client (batch mode), with the trace
+  /// context it will carry on the wire (hops pre-set to the delivered
+  /// value, so batched and unbatched runs stamp identical contexts).
   struct PendingItem {
     MsgKind kind;
     std::vector<uint8_t> payload;
+    bool traced = false;
+    TraceCtx ctx;
+  };
+
+  /// One queued mesh message (batch mode), with the context its mesh-leg
+  /// frame carries.
+  struct MeshItem {
+    ShardForwardMsg fwd;
+    bool traced = false;
+    TraceCtx ctx;
   };
 
   void ApplyGraphUpdates(int epoch);
   /// Fan the freshly decoded report out as location digests to every shard
-  /// owning one of u's cross-shard pairs.
-  void ForwardDigests(const LocationReportMsg& msg);
+  /// owning one of u's cross-shard pairs; `ctx` is the report frame's trace
+  /// context (nullptr when untraced) and rides the digest mesh frames with
+  /// its hop count advanced.
+  void ForwardDigests(const LocationReportMsg& msg, const TraceCtx* ctx);
   /// Queue (batched) or immediately deliver (unbatched) one downlink
-  /// message for user u from its home shard.
-  void Downlink(UserId u, MsgKind kind, std::vector<uint8_t> payload);
+  /// message for user u from its home shard; `ctx` (nullptr = untraced)
+  /// must already carry the delivered hop count.
+  void Downlink(UserId u, MsgKind kind, std::vector<uint8_t> payload,
+                const TraceCtx* ctx);
   /// Route one pair-scoped message: owner delivers directly when it homes
   /// u, otherwise relays over the mesh (and, batched, direct-appends to the
   /// home queue so per-client order matches the engine for every shard
-  /// count, with the mesh copy verified on receipt).
+  /// count, with the mesh copy verified on receipt). `ctx`'s hops field is
+  /// ignored: the route sets it per leg (1 for a direct delivery, 1 on the
+  /// mesh leg and 2 on the relayed delivery).
   void PairDownlink(UserId u, UserId a, UserId b, MsgKind kind,
-                    std::vector<uint8_t> payload);
-  void SendMesh(int from_shard, int to_shard, const ShardForwardMsg& fwd);
+                    std::vector<uint8_t> payload, const TraceCtx* ctx);
+  void SendMesh(int from_shard, int to_shard, const ShardForwardMsg& fwd,
+                const TraceCtx* ctx);
   void OnMeshFrame(int shard, int src, Frame&& frame);
-  void HandleMeshMessage(int shard, int src, const ShardForwardMsg& fwd);
+  void HandleMeshMessage(int shard, int src, const ShardForwardMsg& fwd,
+                         const TraceCtx* ctx);
   /// Flush u's queued downlink: one plain frame for a single item, one
   /// kBatch frame otherwise. No-op when the queue is empty.
   void FlushClient(UserId u);
@@ -200,9 +226,14 @@ class ShardedFrontend {
 
   // Batch mode queues.
   std::vector<std::vector<PendingItem>> client_queue_;        // By UserId.
-  std::vector<std::vector<std::vector<ShardForwardMsg>>> mesh_queue_;
+  std::vector<std::vector<std::vector<MeshItem>>> mesh_queue_;
   std::vector<ClientExpect> expect_;
   std::set<UserId> touched_;  // Clients with traffic this epoch.
+
+  /// Per-alert detect->deliver accounting (NetConfig::trace runs only).
+  std::unique_ptr<AlertLatencyTracker> latency_;
+  /// Live introspection endpoint (NetConfig::stats_port >= 0 runs only).
+  std::unique_ptr<StatsServer> stats_server_;
 
   // Accounting (see NetRunStats).
   uint64_t batch_frames_ = 0;

@@ -126,9 +126,26 @@ void SimNet::Schedule(double delay_s, std::function<void()> fn) {
   PushEvent(std::move(e));
 }
 
+uint64_t SimNet::ScheduleCancelable(double delay_s, std::function<void()> fn) {
+  const uint64_t id = next_event_id_;
+  Schedule(delay_s, std::move(fn));
+  return id + 1;  // 0 is the base API's "not cancellable" sentinel.
+}
+
+void SimNet::CancelTimer(uint64_t token) {
+  if (token != 0) cancelled_timers_.insert(token - 1);
+}
+
 void SimNet::RunUntilIdle() {
   while (!heap_.empty()) {
     Event e = PopEvent();
+    if (e.timer && !cancelled_timers_.empty() &&
+        cancelled_timers_.erase(e.id) > 0) {
+      // Cancelled retry timer: discard without running it and — crucially —
+      // without advancing now_, so retired timers leave virtual time
+      // untouched (see ScheduleCancelable in the header).
+      continue;
+    }
     now_ = std::max(now_, e.time);
     if (e.timer) {
       e.timer();

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -71,6 +72,16 @@ class SimNet : public NetBackend {
   /// Schedules `fn` to run at now + delay_s (retry timers).
   void Schedule(double delay_s, std::function<void()> fn) override;
 
+  /// Cancellable timers with *eager* semantics: a cancelled timer event is
+  /// skipped by RunUntilIdle without advancing virtual time. This matters
+  /// for latency accounting — a retransmit timer retired by an ack must not
+  /// drag now() forward to the retry deadline, or detect->deliver virtual
+  /// latencies would depend on how many acked exchanges happen to be in
+  /// flight (and hence on the shard count).
+  uint64_t ScheduleCancelable(double delay_s,
+                              std::function<void()> fn) override;
+  void CancelTimer(uint64_t token) override;
+
   /// Runs events in timestamp order until the queue is empty. Handlers and
   /// timers may enqueue more work; the loop drains it all.
   void RunUntilIdle() override;
@@ -115,6 +126,9 @@ class SimNet : public NetBackend {
   std::vector<Handler> handlers_;
   std::function<LinkModel(int, int)> link_model_;
   std::vector<Event> heap_;  // Binary min-heap under EventAfter.
+  // Event ids of cancelled (but still heap-resident) timers; tokens are
+  // event id + 1 so 0 stays the "not cancellable" sentinel of the base API.
+  std::unordered_set<uint64_t> cancelled_timers_;
   uint64_t next_event_id_ = 0;
   double now_ = 0.0;
   uint64_t frames_offered_ = 0;

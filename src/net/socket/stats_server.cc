@@ -1,0 +1,206 @@
+#include "net/socket/stats_server.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace proxdet {
+namespace net {
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendKey(const std::string& name, std::string* out) {
+  out->push_back('"');
+  AppendEscaped(name, out);
+  *out += "\": ";
+}
+
+std::string NumberJson(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string StatsServer::SnapshotJson() {
+  const obs::MetricsSnapshot snap = obs::Metrics().Snapshot();
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, entry] : snap.counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendKey(name, &out);
+    out += std::to_string(entry.second);
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, entry] : snap.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendKey(name, &out);
+    out += NumberJson(entry.second);
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"quantiles\": {";
+  first = true;
+  for (const auto& [name, entry] : snap.quantiles) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendKey(name, &out);
+    const auto& q = entry.value;
+    out += "{\"count\": " + std::to_string(q.count()) +
+           ", \"sum\": " + NumberJson(q.sum()) +
+           ", \"p50\": " + NumberJson(q.Quantile(0.50)) +
+           ", \"p99\": " + NumberJson(q.Quantile(0.99)) +
+           ", \"p999\": " + NumberJson(q.Quantile(0.999)) + "}";
+  }
+  out += first ? "}" : "\n  }";
+  // Flight-recorder head: the most recent protocol events, already JSON.
+  const std::vector<obs::FlightEvent> head = obs::Flight().Head(32);
+  out += ",\n  \"flight_head\": [";
+  char buf[224];
+  for (size_t i = 0; i < head.size(); ++i) {
+    const obs::FlightEvent& e = head[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    {\"id\": %llu, \"kind\": \"%s\", \"shard\": %d, "
+                  "\"src\": %d, \"dst\": %d, \"seq\": %llu, \"msg_kind\": %u, "
+                  "\"time_s\": %.9f}",
+                  i == 0 ? "" : ",", static_cast<unsigned long long>(e.id),
+                  obs::FlightEventKindName(e.kind), e.shard, e.src, e.dst,
+                  static_cast<unsigned long long>(e.seq),
+                  static_cast<unsigned>(e.msg_kind), e.time_s);
+    out += buf;
+  }
+  out += head.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+#if defined(_WIN32)
+
+StatsServer::StatsServer(int) {}
+StatsServer::~StatsServer() = default;
+void StatsServer::Serve() {}
+void StatsServer::HandleConnection(int) {}
+
+#else  // POSIX
+
+StatsServer::StatsServer(int port) {
+  if (port < 0) return;
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return;
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(listen_fd_, 16) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  ok_ = true;
+  thread_ = std::thread([this] { Serve(); });
+}
+
+StatsServer::~StatsServer() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) close(listen_fd_);
+}
+
+void StatsServer::Serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    // Short timeout: the stop flag is polled between accepts.
+    const int n = poll(&pfd, 1, 50);
+    if (n <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    HandleConnection(fd);
+    close(fd);
+  }
+}
+
+void StatsServer::HandleConnection(int fd) {
+  // Read the request line; one short-timeout poll round is plenty for a
+  // loopback scrape, and a stalled client just gets dropped.
+  char req[1024];
+  size_t got = 0;
+  while (got < sizeof(req) - 1) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    if (poll(&pfd, 1, 200) <= 0) break;
+    const ssize_t n = recv(fd, req + got, sizeof(req) - 1 - got, 0);
+    if (n <= 0) break;
+    got += static_cast<size_t>(n);
+    req[got] = '\0';
+    if (std::strstr(req, "\r\n") != nullptr ||
+        std::strchr(req, '\n') != nullptr) {
+      break;
+    }
+  }
+  req[got] = '\0';
+  const bool metrics = std::strncmp(req, "GET /metrics", 12) == 0;
+  const std::string body =
+      metrics ? obs::Metrics().PrometheusDump() : SnapshotJson();
+  std::string response = "HTTP/1.0 200 OK\r\nContent-Type: ";
+  response += metrics ? "text/plain; version=0.0.4" : "application/json";
+  response += "\r\nContent-Length: " + std::to_string(body.size()) +
+              "\r\nConnection: close\r\n\r\n";
+  response += body;
+  size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n =
+        send(fd, response.data() + sent, response.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+#endif  // _WIN32
+
+}  // namespace net
+}  // namespace proxdet

@@ -1,0 +1,61 @@
+#ifndef PROXDET_NET_SOCKET_STATS_SERVER_H_
+#define PROXDET_NET_SOCKET_STATS_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace proxdet {
+namespace net {
+
+/// Live introspection endpoint: a tiny single-threaded HTTP/1.0 server on a
+/// loopback TCP port, running on its own thread for the lifetime of the
+/// serving plane (both transports — it reads only the thread-safe obs
+/// registry and flight recorder, never protocol state).
+///
+///   GET /metrics   -> the Prometheus text exposition dump
+///   GET <anything> -> a JSON snapshot: per-shard gauges and counters,
+///                     latency sketch summaries (p50/p99/p999) and the
+///                     flight-recorder head (most recent protocol events)
+///
+/// One request per connection (Connection: close); requests are read with a
+/// short timeout so a stalled client cannot wedge the serving thread.
+class StatsServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = kernel-chosen; see port()) and starts the
+  /// accept loop. ok() reports whether the listener came up.
+  explicit StatsServer(int port);
+  ~StatsServer();
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  bool ok() const { return ok_; }
+  /// The bound TCP port (resolved for ephemeral binds), or -1 when !ok().
+  int port() const { return port_; }
+  /// Requests served so far (all paths).
+  uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// The JSON snapshot body served for non-/metrics paths (exposed for
+  /// tests and for --flight-dump style offline use).
+  static std::string SnapshotJson();
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  bool ok_ = false;
+  int port_ = -1;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace net
+}  // namespace proxdet
+
+#endif  // PROXDET_NET_SOCKET_STATS_SERVER_H_

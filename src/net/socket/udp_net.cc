@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -426,6 +427,11 @@ void UdpNet::RunUntilIdle() {
     if (QueuesDrained() && (idle_fn_ ? idle_fn_() : wheel_.empty())) return;
     if (SecondsSince(last_progress) > config_.idle_timeout_s) {
       idle_timeout_hit_ = true;
+      // Post-mortem: dump the protocol-event ring so the wedged exchange
+      // (who stopped acking whom) is reconstructible from the artifact.
+      obs::Flight().DumpOnFailure("udp idle timeout after " +
+                                  std::to_string(config_.idle_timeout_s) +
+                                  "s without progress");
       return;
     }
     std::unique_lock<std::mutex> lock(inbound_mutex_);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "net/latency.h"
 #include "net/shard.h"
 #include "obs/metrics.h"
 
@@ -17,6 +18,7 @@ ClientRuntime::ClientRuntime(NetBackend* net, const World* world, UserId id,
     : world_(world),
       id_(id),
       server_id_(server_id),
+      trace_(config.trace),
       endpoint_(net, config.retry_timeout_s, config.max_retries,
                 [this](int /*src*/, Frame&& frame) {
                   HandleFrame(std::move(frame));
@@ -30,11 +32,24 @@ void ClientRuntime::SendReport(int epoch, size_t window_len) {
   if (window_len > 0) {
     msg.window = world_->RecentWindow(id_, epoch, window_len);
   }
+  if (trace_) {
+    // The causal root: hop 0 of the position update's journey. The server
+    // keeps the context alongside the decoded report so digest fan-out and
+    // any resulting alert can be linked back to this frame.
+    TraceCtx ctx;
+    ctx.origin_epoch = epoch;
+    ctx.event_id = ReportEventId(id_, epoch);
+    ctx.hops = 0;
+    endpoint_.Send(server_id_, MsgKind::kLocationReport, Encode(msg),
+                   {TraceEntry{0, ctx}});
+    return;
+  }
   endpoint_.Send(server_id_, MsgKind::kLocationReport, Encode(msg));
 }
 
 bool ClientRuntime::HandleMessage(MsgKind kind,
-                                  const std::vector<uint8_t>& payload) {
+                                  const std::vector<uint8_t>& payload,
+                                  const TraceCtx* ctx) {
   switch (kind) {
     case MsgKind::kProbe: {
       ProbeMsg msg;
@@ -46,6 +61,10 @@ bool ClientRuntime::HandleMessage(MsgKind kind,
       AlertMsg msg;
       if (!Decode(payload, &msg)) return false;
       alerts_.push_back(AlertEvent{msg.epoch, msg.u, msg.w});
+      if (ctx != nullptr) {
+        alert_traces_.push_back(*ctx);
+        if (latency_ != nullptr) latency_->RecordDeliver(*ctx);
+      }
       return true;
     }
     case MsgKind::kRegionInstall: {
@@ -74,21 +93,25 @@ bool ClientRuntime::HandleMessage(MsgKind kind,
 void ClientRuntime::HandleFrame(Frame&& frame) {
   if (frame.kind == MsgKind::kBatch) {
     // One coalesced epoch's downlink: unpack and apply the items in order —
-    // exactly the per-message path, amortizing frame + ack overhead.
+    // exactly the per-message path, amortizing frame + ack overhead. Trace
+    // entry i of the frame belongs to batch item i.
     std::vector<BatchItem> items;
     if (!DecodeBatch(frame.payload, &items)) {
       protocol_error_ = true;
       return;
     }
-    for (const BatchItem& item : items) {
-      if (!HandleMessage(item.kind, item.payload)) {
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (!HandleMessage(items[i].kind, items[i].payload,
+                         frame.TraceFor(static_cast<uint32_t>(i)))) {
         protocol_error_ = true;
         return;
       }
     }
     return;
   }
-  if (!HandleMessage(frame.kind, frame.payload)) protocol_error_ = true;
+  if (!HandleMessage(frame.kind, frame.payload, frame.TraceFor(0))) {
+    protocol_error_ = true;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -97,6 +120,7 @@ void ClientRuntime::HandleFrame(Frame&& frame) {
 ProtocolServer::ProtocolServer(NetBackend* net, size_t user_count,
                                const NetConfig& config, int group)
     : inbox_(user_count),
+      inbox_trace_(user_count),
       endpoint_(net, config.retry_timeout_s, config.max_retries,
                 [this](int src, Frame&& frame) {
                   HandleFrame(src, std::move(frame));
@@ -126,6 +150,9 @@ void ProtocolServer::HandleFrame(int src, Frame&& frame) {
     protocol_error_ = true;
     return;
   }
+  const TraceCtx* ctx = frame.TraceFor(0);
+  inbox_trace_[msg.user] = ctx != nullptr ? std::optional<TraceCtx>(*ctx)
+                                          : std::nullopt;
   inbox_[msg.user] = std::move(msg);
 }
 
@@ -181,6 +208,12 @@ const ClientRuntime& TransportLink::client(UserId u) const {
 }
 
 const SimNet* TransportLink::sim_net() const { return frontend_->sim_net(); }
+
+const AlertLatencyTracker* TransportLink::latency_tracker() const {
+  return frontend_->latency_tracker();
+}
+
+int TransportLink::stats_port() const { return frontend_->stats_port(); }
 
 // ---------------------------------------------------------------------------
 // TransportedDetector

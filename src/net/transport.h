@@ -49,6 +49,17 @@ struct NetConfig {
   /// guard proves it decodes to the *identical* shape (see
   /// EncodeCompressed); falls back to the exact encoding otherwise.
   bool compress_installs = false;
+  /// Stamp alert frames with a wire-propagated TraceCtx (version-2 trace
+  /// extension) and account per-alert detect->deliver latency — virtual
+  /// time under SimNet, wall clock under UDP (see AlertLatencyTracker).
+  /// Off by default: untraced runs stay byte-identical with pre-trace
+  /// builds.
+  bool trace = false;
+  /// Serve the live introspection endpoint (GET /metrics -> Prometheus
+  /// text, anything else -> JSON snapshot) on this TCP port for the run's
+  /// duration: -1 = disabled, 0 = kernel-chosen ephemeral port (see
+  /// StatsServer::port()), >0 = fixed port.
+  int stats_port = -1;
 
   // --- UDP backend knobs (transport == kUdp; ignored otherwise). The UDP
   // path has no LinkModel (no synthetic latency/jitter — loopback is the
@@ -122,6 +133,8 @@ struct NetRunStats {
   bool failed = false;
 };
 
+class AlertLatencyTracker;
+
 /// Client-side runtime of one user: reads its own trajectory from the
 /// World (that is the client's private knowledge), uploads reports on
 /// request, and records everything the server pushes down — probes,
@@ -135,12 +148,21 @@ class ClientRuntime {
   /// `window_len` == 0 sends a position-only report.
   void SendReport(int epoch, size_t window_len);
 
+  /// Routes delivered alert trace contexts into the run's latency tracker
+  /// (nullptr, the default, ignores them).
+  void set_latency_tracker(AlertLatencyTracker* tracker) {
+    latency_ = tracker;
+  }
+
   ReliableEndpoint& endpoint() { return endpoint_; }
   const ReliableEndpoint& endpoint() const { return endpoint_; }
   const std::vector<AlertEvent>& alerts() const { return alerts_; }
   uint64_t probes_received() const { return probes_received_; }
   uint64_t regions_installed() const { return regions_installed_; }
   uint64_t match_notices() const { return match_notices_; }
+  /// Trace contexts of delivered alerts, in delivery order (only populated
+  /// on traced runs; alerts_[i] matches traced_alerts_[i] when sizes agree).
+  const std::vector<TraceCtx>& alert_traces() const { return alert_traces_; }
   const std::optional<SafeRegionShape>& installed_region() const {
     return installed_region_;
   }
@@ -150,13 +172,18 @@ class ClientRuntime {
  private:
   void HandleFrame(Frame&& frame);
   /// One logical downlink message (either a whole frame's payload or one
-  /// batch envelope item). Returns false on a decode/protocol violation.
-  bool HandleMessage(MsgKind kind, const std::vector<uint8_t>& payload);
+  /// batch envelope item, with the trace context its frame carried for it —
+  /// nullptr when untraced). Returns false on a decode/protocol violation.
+  bool HandleMessage(MsgKind kind, const std::vector<uint8_t>& payload,
+                     const TraceCtx* ctx);
 
   const World* world_;
   UserId id_;
   int server_id_;
+  bool trace_ = false;
+  AlertLatencyTracker* latency_ = nullptr;
   std::vector<AlertEvent> alerts_;
+  std::vector<TraceCtx> alert_traces_;
   uint64_t probes_received_ = 0;
   uint64_t regions_installed_ = 0;
   uint64_t match_notices_ = 0;
@@ -177,6 +204,14 @@ class ProtocolServer {
 
   bool TakeReport(UserId u, LocationReportMsg* out);
 
+  /// Trace context the user's last report frame carried, consumed with the
+  /// report (empty for untraced runs). Call before or after TakeReport
+  /// within the same drain — the slot is cleared by the *next* report.
+  std::optional<TraceCtx> report_trace(UserId u) const {
+    if (u < 0 || static_cast<size_t>(u) >= inbox_trace_.size()) return {};
+    return inbox_trace_[u];
+  }
+
   /// Restricts the users this server accepts reports from (a sharded
   /// frontend serves only its ring partition); a report from any other user
   /// is a protocol violation. Unset accepts every user (single-server).
@@ -192,6 +227,7 @@ class ProtocolServer {
   void HandleFrame(int src, Frame&& frame);
 
   std::vector<std::optional<LocationReportMsg>> inbox_;
+  std::vector<std::optional<TraceCtx>> inbox_trace_;
   std::function<bool(UserId)> served_;
   bool protocol_error_ = false;
   ReliableEndpoint endpoint_;
@@ -233,6 +269,10 @@ class TransportLink : public ClientLink {
   /// The deterministic backend, or nullptr when the run rides real sockets.
   const SimNet* sim_net() const;
   const ShardedFrontend& frontend() const { return *frontend_; }
+  /// The run's latency tracker, or nullptr when NetConfig::trace is off.
+  const AlertLatencyTracker* latency_tracker() const;
+  /// Bound port of the live introspection endpoint, or -1 when disabled.
+  int stats_port() const;
 
  private:
   /// All serving-plane state (SimNet, clients, shards, ring, batch queues)

@@ -599,6 +599,35 @@ std::vector<uint8_t> EncodeFrame(MsgKind kind, uint64_t seq,
   return bytes;
 }
 
+std::vector<uint8_t> EncodeFrameTraced(MsgKind kind, uint64_t seq,
+                                       const std::vector<uint8_t>& payload,
+                                       const std::vector<TraceEntry>& trace) {
+  if (trace.empty()) return EncodeFrame(kind, seq, payload);
+  WireWriter w;
+  w.PutU16(kWireMagic);
+  w.PutU8(kWireVersionTraced);
+  w.PutU8(static_cast<uint8_t>(kind));
+  w.PutVarint(seq);
+  w.PutVarint(payload.size());
+  std::vector<uint8_t> bytes = w.Take();
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  WireWriter ext;
+  ext.PutVarint(trace.size());
+  for (const TraceEntry& e : trace) {
+    ext.PutVarint(e.index);
+    ext.PutZigzag(e.ctx.origin_epoch);
+    ext.PutVarint(e.ctx.event_id);
+    ext.PutU8(e.ctx.hops);
+  }
+  const std::vector<uint8_t>& ext_bytes = ext.bytes();
+  bytes.insert(bytes.end(), ext_bytes.begin(), ext_bytes.end());
+  const uint32_t checksum = Fnv1a32(bytes.data(), bytes.size());
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<uint8_t>(checksum >> (8 * i)));
+  }
+  return bytes;
+}
+
 bool DecodeFrame(const uint8_t* data, size_t size, Frame* out) {
   // Smallest legal frame: magic(2) + version(1) + kind(1) + seq(1) +
   // len(1) + checksum(4).
@@ -611,15 +640,46 @@ bool DecodeFrame(const uint8_t* data, size_t size, Frame* out) {
   WireReader r(data, size - 4);
   if (r.GetU16() != kWireMagic) return false;
   out->version = r.GetU8();
-  if (out->version != kWireVersion) return false;
+  if (out->version != kWireVersion && out->version != kWireVersionTraced) {
+    return false;
+  }
   const uint8_t kind = r.GetU8();
   if (kind < 1 || kind > kMaxMsgKind) return false;
   out->kind = static_cast<MsgKind>(kind);
   out->seq = r.GetVarint();
   const uint64_t length = r.GetVarint();
-  if (!r.ok() || length != r.remaining()) return false;
-  out->payload.assign(data + (size - 4 - length), data + (size - 4));
-  return true;
+  if (!r.ok() || length > r.remaining()) return false;
+  const size_t payload_off = (size - 4) - r.remaining();
+  out->payload.assign(data + payload_off, data + payload_off + length);
+  out->trace.clear();
+  if (out->version == kWireVersion) {
+    // Version 1: the payload must run exactly to the checksum.
+    return length == r.remaining();
+  }
+  // Version 2: a trace extension follows the payload. An empty extension is
+  // a framing bug — untraced frames are version 1.
+  WireReader t(data + payload_off + length,
+               r.remaining() - static_cast<size_t>(length));
+  const uint64_t count = t.GetVarint();
+  // Each entry costs at least 4 bytes (index + epoch + event id + hops).
+  if (!t.ok() || count == 0 || count * 4 > t.remaining()) return false;
+  out->trace.reserve(count);
+  uint64_t prev_index = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    TraceEntry e;
+    const uint64_t index = t.GetVarint();
+    if (index > UINT32_MAX) return false;
+    if (i > 0 && index <= prev_index) return false;
+    prev_index = index;
+    e.index = static_cast<uint32_t>(index);
+    const int64_t epoch = t.GetZigzag();
+    if (epoch < INT32_MIN || epoch > INT32_MAX) return false;
+    e.ctx.origin_epoch = static_cast<int32_t>(epoch);
+    e.ctx.event_id = t.GetVarint();
+    e.ctx.hops = t.GetU8();
+    out->trace.push_back(e);
+  }
+  return t.ok() && t.remaining() == 0;
 }
 
 }  // namespace net

@@ -23,14 +23,24 @@ namespace net {
 ///
 /// Frame layout (DecodeFrame rejects anything malformed):
 ///   u16  magic 0x5044 ("PD", little-endian)
-///   u8   version (kWireVersion)
+///   u8   version (kWireVersion, or kWireVersionTraced)
 ///   u8   kind (MsgKind)
 ///   var  sequence number (per src->dst stream; acks echo the acked seq)
 ///   var  payload byte length
 ///   ...  payload
+///   ...  trace extension (kWireVersionTraced frames only; see TraceCtx)
 ///   u32  FNV-1a checksum of everything above
 constexpr uint16_t kWireMagic = 0x5044;
 constexpr uint8_t kWireVersion = 1;
+
+/// Version-2 frames append a trace extension between the payload and the
+/// checksum: varint entry count (>= 1; an untraced frame stays version 1),
+/// then per entry (varint item_index, zigzag origin_epoch, varint event_id,
+/// u8 hops) with strictly increasing item indices. Decoders accept both
+/// versions — old-version frames simply carry no TraceCtx — and the
+/// checksum still covers every byte, so single-byte corruption of a traced
+/// frame is rejected exactly like an untraced one.
+constexpr uint8_t kWireVersionTraced = 2;
 
 /// Hard cap on decoded point-list lengths: rejects length-bomb frames
 /// before any allocation. Far above any real payload (windows are ~10
@@ -305,6 +315,35 @@ bool DecodeBatch(const std::vector<uint8_t>& payload,
                  std::vector<BatchItem>* out);
 
 // ---------------------------------------------------------------------------
+// Trace context.
+
+/// Causal trace context riding a wire frame: which epoch originated the
+/// message, a 64-bit event id linking detect to deliver across shards and
+/// retransmits, and how many reliable-link hops the message has crossed.
+struct TraceCtx {
+  int32_t origin_epoch = 0;
+  uint64_t event_id = 0;
+  uint8_t hops = 0;
+
+  friend bool operator==(const TraceCtx& a, const TraceCtx& b) {
+    return a.origin_epoch == b.origin_epoch && a.event_id == b.event_id &&
+           a.hops == b.hops;
+  }
+};
+
+/// One trace-extension entry: `index` names the batch item the context
+/// belongs to (0 for solo frames); indices are strictly increasing within a
+/// frame, and items without an entry are simply untraced.
+struct TraceEntry {
+  uint32_t index = 0;
+  TraceCtx ctx;
+
+  friend bool operator==(const TraceEntry& a, const TraceEntry& b) {
+    return a.index == b.index && a.ctx == b.ctx;
+  }
+};
+
+// ---------------------------------------------------------------------------
 // Framing.
 
 struct Frame {
@@ -312,15 +351,36 @@ struct Frame {
   MsgKind kind = MsgKind::kAck;
   uint64_t seq = 0;
   std::vector<uint8_t> payload;
+  /// Trace extension entries (empty for version-1 frames), sorted by index.
+  std::vector<TraceEntry> trace;
+
+  /// Context for batch item `index` (use 0 for solo frames), or nullptr
+  /// when the frame carries none for that item.
+  const TraceCtx* TraceFor(uint32_t index) const {
+    for (const TraceEntry& e : trace) {
+      if (e.index == index) return &e.ctx;
+      if (e.index > index) break;
+    }
+    return nullptr;
+  }
 };
 
 /// Wraps a payload in the versioned, checksummed header described above.
+/// Always emits a version-1 frame; byte-identical to pre-trace builds.
 std::vector<uint8_t> EncodeFrame(MsgKind kind, uint64_t seq,
                                  const std::vector<uint8_t>& payload);
 
-/// Parses one frame. Returns false — never throws, never reads past
-/// `size` — on truncation, bad magic/version/kind, length mismatch or
-/// checksum failure.
+/// Like EncodeFrame, but appends the trace extension and stamps the frame
+/// kWireVersionTraced. `trace` must be sorted by strictly increasing index;
+/// an empty list degenerates to the plain version-1 encoding, so untraced
+/// traffic never changes on the wire.
+std::vector<uint8_t> EncodeFrameTraced(MsgKind kind, uint64_t seq,
+                                       const std::vector<uint8_t>& payload,
+                                       const std::vector<TraceEntry>& trace);
+
+/// Parses one frame (either version). Returns false — never throws, never
+/// reads past `size` — on truncation, bad magic/version/kind, length
+/// mismatch, malformed trace extension or checksum failure.
 bool DecodeFrame(const uint8_t* data, size_t size, Frame* out);
 
 }  // namespace net

@@ -1,0 +1,133 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace proxdet {
+namespace obs {
+inline namespace enabled {
+
+void FlightRecorder::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  for (auto& [shard, ring] : rings_) {
+    while (ring.size() > capacity_) ring.pop_front();
+  }
+}
+
+size_t FlightRecorder::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+void FlightRecorder::set_dump_path(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dump_path_ = path;
+}
+
+std::string FlightRecorder::dump_path() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dump_path_;
+}
+
+void FlightRecorder::Record(const FlightEvent& event) {
+  if (!enabled()) return;
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_ == 0) return;
+  std::deque<FlightEvent>& ring = rings_[event.shard];
+  ring.push_back(event);
+  ring.back().id = next_id_++;
+  while (ring.size() > capacity_) ring.pop_front();
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rings_.clear();
+  next_id_ = 0;
+  recorded_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [shard, ring] : rings_) {
+      out.insert(out.end(), ring.begin(), ring.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::vector<FlightEvent> FlightRecorder::Head(size_t n) const {
+  std::vector<FlightEvent> all = snapshot();
+  if (all.size() > n) all.erase(all.begin(), all.end() - n);
+  return all;
+}
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string FlightRecorder::ToJson(const std::string& reason) const {
+  const std::vector<FlightEvent> events = snapshot();
+  std::string out = "{\n  \"reason\": \"";
+  AppendEscaped(reason, &out);
+  out += "\",\n  \"recorded\": " + std::to_string(recorded());
+  out += ",\n  \"buffered\": " + std::to_string(events.size());
+  out += ",\n  \"events\": [";
+  char buf[224];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FlightEvent& e = events[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    {\"id\": %llu, \"kind\": \"%s\", \"shard\": %d, "
+                  "\"src\": %d, \"dst\": %d, \"seq\": %llu, \"msg_kind\": %u, "
+                  "\"time_s\": %.9f}",
+                  i == 0 ? "" : ",", static_cast<unsigned long long>(e.id),
+                  FlightEventKindName(e.kind), e.shard, e.src, e.dst,
+                  static_cast<unsigned long long>(e.seq),
+                  static_cast<unsigned>(e.msg_kind), e.time_s);
+    out += buf;
+  }
+  out += events.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+bool FlightRecorder::DumpOnFailure(const std::string& reason) const {
+  const std::string path = dump_path();
+  if (path.empty()) return false;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = ToJson(reason);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == json.size();
+  return ok;
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // Leaked: exit-safe.
+  return *recorder;
+}
+
+}  // namespace enabled
+}  // namespace obs
+}  // namespace proxdet

@@ -126,7 +126,8 @@ std::string MetricsJson(const MetricsSnapshot& snap, Kind kind,
            ", \"min\": " + JsonNum(q.min()) + ", \"max\": " + JsonNum(q.max()) +
            ", \"p50\": " + JsonNum(q.Quantile(0.5)) +
            ", \"p90\": " + JsonNum(q.Quantile(0.9)) +
-           ", \"p99\": " + JsonNum(q.Quantile(0.99)) + "}";
+           ", \"p99\": " + JsonNum(q.Quantile(0.99)) +
+           ", \"p999\": " + JsonNum(q.Quantile(0.999)) + "}";
   }
   out += first ? "}" : "\n" + inner + "}";
 

@@ -13,14 +13,22 @@
 namespace proxdet {
 namespace obs {
 
-/// One completed span. `name` and `category` must be string literals (or
-/// otherwise outlive the tracer) — spans never copy them.
+/// Chrome trace_event phase of a recorded event: a complete span ("X"), or
+/// one side of a flow arrow ("s" start / "f" finish) stitching causally
+/// linked spans — possibly on different shards — into one rendered flow.
+enum class TracePhase : uint8_t { kComplete = 0, kFlowStart = 1, kFlowEnd = 2 };
+
+/// One completed span or flow endpoint. `name` and `category` must be
+/// string literals (or otherwise outlive the tracer) — events never copy
+/// them.
 struct TraceEvent {
   const char* name = nullptr;
   const char* category = nullptr;
   uint64_t start_us = 0;  // Microseconds since tracer construction.
   uint64_t dur_us = 0;
   uint32_t tid = 0;  // Dense per-tracer thread index, 0 = first seen.
+  TracePhase phase = TracePhase::kComplete;
+  uint64_t flow_id = 0;  // Links a kFlowStart to its kFlowEnd.
 };
 
 #ifndef PROXDET_OBS_DISABLED
@@ -64,6 +72,14 @@ class Tracer {
   /// Appends a completed span (thread-safe).
   void Record(const char* name, const char* category, uint64_t start_us,
               uint64_t end_us);
+
+  /// Appends a flow-start ("s") event at the current time: the tail of a
+  /// flow arrow, e.g. the detect side of an alert. `flow_id` must match the
+  /// FlowEnd that consumes it.
+  void FlowBegin(const char* name, const char* category, uint64_t flow_id);
+
+  /// Appends the matching flow-finish ("f") event, e.g. the deliver side.
+  void FlowEnd(const char* name, const char* category, uint64_t flow_id);
 
   std::vector<TraceEvent> snapshot() const;
   uint64_t span_count() const;
@@ -132,6 +148,8 @@ class Tracer {
   void set_capacity(size_t) {}
   uint64_t NowMicros() const { return 0; }
   void Record(const char*, const char*, uint64_t, uint64_t) {}
+  void FlowBegin(const char*, const char*, uint64_t) {}
+  void FlowEnd(const char*, const char*, uint64_t) {}
   std::vector<TraceEvent> snapshot() const { return {}; }
   uint64_t span_count() const { return 0; }
   uint64_t dropped() const { return 0; }

@@ -74,6 +74,53 @@ TEST(RunReportTest, CapturedMetricsAreSegregatedByKind) {
   EXPECT_GT(json.find("\"wall.count\": 9"), wall);
 }
 
+TEST(RunReportTest, EmptyWallClockSubtreeStaysValidJson) {
+  // Regression guard: a SimNet-only run captures no wall-clock metrics at
+  // all — every group of the wall_clock subtree is empty — and the report
+  // must still serialize as structurally valid JSON (balanced braces, no
+  // dangling commas), with both kind subtrees present.
+  obs::Metrics().Reset();
+  obs::Metrics().GetCounter("det.only", Kind::kDeterministic).Inc(1);
+  RunReport report("virtual_only");
+  report.CaptureMetrics(obs::Metrics().Snapshot());
+  const std::string json = report.ToJson();
+
+  ASSERT_NE(json.find("\"wall_clock\""), std::string::npos);
+  EXPECT_NE(json.find("\"det.only\": 1"), std::string::npos);
+  EXPECT_EQ(json.find(",}"), std::string::npos) << "dangling comma";
+  EXPECT_EQ(json.find(",\n}"), std::string::npos) << "dangling comma";
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0) << "unbalanced braces at offset " << i;
+  }
+  EXPECT_EQ(depth, 0);
+  obs::Metrics().Reset();
+}
+
+TEST(RunReportTest, QuantileJsonCarriesTailPercentiles) {
+  obs::Metrics().Reset();
+  obs::QuantileMetric& q =
+      obs::Metrics().GetQuantile("lat.q", Kind::kDeterministic);
+  for (int i = 1; i <= 1000; ++i) q.Record(static_cast<double>(i));
+  RunReport report("tails");
+  report.CaptureMetrics(obs::Metrics().Snapshot());
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+  obs::Metrics().Reset();
+}
+
 TEST(RunReportTest, WriteFileRoundTrips) {
   RunReport report("disk_run");
   report.AddInfo("k", "v");
