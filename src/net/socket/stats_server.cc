@@ -182,7 +182,13 @@ void StatsServer::HandleConnection(int fd) {
     }
   }
   req[got] = '\0';
-  const bool metrics = std::strncmp(req, "GET /metrics", 12) == 0;
+  // Match the /metrics path exactly: the prefix must end at the path's end
+  // (space before HTTP version, query string, or end of request line), so
+  // e.g. "GET /metricsfoo" falls through to the JSON snapshot.
+  const bool metrics =
+      std::strncmp(req, "GET /metrics", 12) == 0 &&
+      (req[12] == ' ' || req[12] == '?' || req[12] == '\0' ||
+       req[12] == '\r' || req[12] == '\n');
   const std::string body =
       metrics ? obs::Metrics().PrometheusDump() : SnapshotJson();
   std::string response = "HTTP/1.0 200 OK\r\nContent-Type: ";

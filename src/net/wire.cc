@@ -662,7 +662,12 @@ bool DecodeFrame(const uint8_t* data, size_t size, Frame* out) {
                r.remaining() - static_cast<size_t>(length));
   const uint64_t count = t.GetVarint();
   // Each entry costs at least 4 bytes (index + epoch + event id + hops).
-  if (!t.ok() || count == 0 || count * 4 > t.remaining()) return false;
+  // Cap before the size math so a 64-bit count can't overflow it, and
+  // reject length bombs before reserve() allocates anything.
+  if (!t.ok() || count == 0 || count > kMaxTraceEntries ||
+      count > t.remaining() / 4) {
+    return false;
+  }
   out->trace.reserve(count);
   uint64_t prev_index = 0;
   for (uint64_t i = 0; i < count; ++i) {

@@ -47,6 +47,11 @@ constexpr uint8_t kWireVersionTraced = 2;
 /// points, stripes tens).
 constexpr uint64_t kMaxWirePoints = 1u << 20;
 
+/// Hard cap on decoded trace-extension entry counts, mirroring
+/// kMaxWirePoints: rejects length-bomb frames before any allocation. A
+/// trace entry covers one payload item, so real counts track payload sizes.
+constexpr uint64_t kMaxTraceEntries = 1u << 20;
+
 /// Encoded size of a LEB128 varint — the batching math in the sharded
 /// frontend and the frame-overhead accounting below share this with the
 /// codec, so the two can never drift.

@@ -1,3 +1,5 @@
+#ifndef PROXDET_OBS_DISABLED
+
 #include "obs/flight_recorder.h"
 
 #include <algorithm>
@@ -131,3 +133,5 @@ FlightRecorder& FlightRecorder::Global() {
 }  // namespace enabled
 }  // namespace obs
 }  // namespace proxdet
+
+#endif  // PROXDET_OBS_DISABLED

@@ -102,7 +102,7 @@ class FlightRecorder {
 
   uint64_t recorded() const { return recorded_.load(std::memory_order_relaxed); }
 
-  /// The dump document: {"reason", "recorded", "dropped", "events": [...]}.
+  /// The dump document: {"reason", "recorded", "buffered", "events": [...]}.
   std::string ToJson(const std::string& reason) const;
 
   /// Writes ToJson(reason) to dump_path(); false when no path is set or

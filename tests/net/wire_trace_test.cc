@@ -162,6 +162,15 @@ TEST(WireTraceTest, MalformedExtensionsRejectedEvenWithValidChecksum) {
     EXPECT_FALSE(DecodeFrame(bytes.data(), bytes.size(), &frame));
   }
   {
+    // Overflow-bomb count of exactly 2^62: `count * 4` wraps to zero in
+    // 64-bit, so the size guard must divide (and cap), not multiply —
+    // otherwise reserve(2^62) throws on checksum-valid network input.
+    const auto bytes = RawTracedFrame(
+        kWireVersionTraced, kAlertKind, {0xAA},
+        {0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x40});
+    EXPECT_FALSE(DecodeFrame(bytes.data(), bytes.size(), &frame));
+  }
+  {
     // Non-increasing item indices (0 then 0).
     const std::vector<uint8_t> ext = {0x02, 0x00, 0x06, 0x34, 0x02,
                                       0x00, 0x06, 0x34, 0x02};
