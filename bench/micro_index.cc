@@ -42,6 +42,7 @@
 
 #include "bench/bench_common.h"
 #include "bench_support/bench_json.h"
+#include "bench_support/mem_probe.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "core/detector.h"
@@ -50,38 +51,10 @@
 #include "net/transport.h"
 #include "obs/metrics.h"
 
-// ---------------------------------------------------------------------------
-// Allocation probe: count every global operator new. The counter is always
-// live (worker threads allocate too); callers read deltas around the region
-// of interest.
-static std::atomic<uint64_t> g_alloc_count{0};
+// Allocation probe: the shared bench_support counters, installed into this
+// binary's global operator new here (one TU per binary, see mem_probe.h).
+PROXDET_INSTALL_ALLOC_PROBE()
 
-static void* CountedAlloc(std::size_t size) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (size == 0) size = 1;
-  void* p = std::malloc(size);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-
-void* operator new(std::size_t size) { return CountedAlloc(size); }
-void* operator new[](std::size_t size) { return CountedAlloc(size); }
-void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(size == 0 ? 1 : size);
-}
-void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(size == 0 ? 1 : size);
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
-void operator delete[](void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
-}
 // ---------------------------------------------------------------------------
 
 namespace proxdet {
@@ -210,9 +183,9 @@ struct AllocRow {
 };
 
 uint64_t CountRunAllocs(Detector* detector, const World& world) {
-  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  const uint64_t before = AllocProbe::AllocCount();
   detector->Run(world);
-  return g_alloc_count.load(std::memory_order_relaxed) - before;
+  return AllocProbe::AllocCount() - before;
 }
 
 // --- JSON -----------------------------------------------------------------

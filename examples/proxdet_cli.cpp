@@ -4,6 +4,8 @@
 //
 // Usage:
 //   proxdet_cli [--dataset truck|geolife|beijing|singapore]
+//               [--scenario commuter_rush|flash_crowd|heavy_churn|mixed_fleet]
+//               [--stream|--no-stream]
 //               [--method all|naive|static|fmd|cmd|stripe-kf|stripe-rmf|
 //                         stripe-hmm|stripe-r2d2|stripe-linear]
 //               [--users N] [--epochs S] [--friends F] [--radius-km R]
@@ -12,6 +14,15 @@
 //               [--transport sim|udp] [--port P] [--loopback-clients N]
 //               [--stats-port P] [--flight-dump FILE]
 //               [--trace FILE] [--report FILE]
+//
+// --scenario replaces the dataset workload with a city-scale scenario from
+// the streaming substrate: positions are generated per epoch from a seeded
+// RNG in O(active users) memory (default; --no-stream materializes the
+// same streams up front, bit-exact by contract), and the table grows
+// ep/s and B/user columns — epoch throughput and steady-state resident
+// bytes per user. Above 100k users the ground-truth sweep is skipped and
+// the `exact` column is vacuously yes — this is what makes
+// `--scenario commuter_rush --users 1000000` finish.
 //
 // --trace writes the run's epoch-phase spans as Chrome trace_event JSON
 // (load in chrome://tracing or ui.perfetto.dev); --report writes a
@@ -47,8 +58,10 @@
 #include <optional>
 #include <string>
 
+#include "bench_support/mem_probe.h"
 #include "bench_support/obs_artifacts.h"
 #include "common/table.h"
+#include "common/timer.h"
 #include "core/simulation.h"
 #include "net/transport.h"
 #include "obs/flight_recorder.h"
@@ -83,6 +96,8 @@ std::optional<Method> ParseMethod(const std::string& s) {
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--dataset D] [--method M|all] [--users N]\n"
+               "          [--scenario commuter_rush|flash_crowd|heavy_churn|\n"
+               "                      mixed_fleet] [--stream|--no-stream]\n"
                "          [--epochs S] [--friends F] [--radius-km R]\n"
                "          [--speed V] [--seed X] [--csv]\n"
                "          [--shards N] [--batch]\n"
@@ -115,6 +130,12 @@ int main(int argc, char** argv) {
   config.alert_radius_m = 5000.0;
   std::string method_arg = "all";
   bool csv = false;
+  std::string scenario_arg;  // Empty = dataset workload (BuildWorkload).
+  bool stream = true;
+  bool users_set = false;
+  bool epochs_set = false;
+  bool friends_set = false;
+  bool radius_set = false;
   int shards = 0;  // 0 = in-process (no transport); >= 1 = transported.
   bool batch = false;
   std::string transport_arg = "sim";
@@ -143,14 +164,29 @@ int main(int argc, char** argv) {
       config.dataset = *d;
     } else if (arg == "--method") {
       method_arg = next();
+    } else if (arg == "--scenario") {
+      scenario_arg = next();
+      ScenarioKind kind;
+      if (!ParseScenarioName(scenario_arg, &kind)) {
+        Usage(argv[0]);
+        return 2;
+      }
+    } else if (arg == "--stream") {
+      stream = true;
+    } else if (arg == "--no-stream") {
+      stream = false;
     } else if (arg == "--users") {
       config.num_users = static_cast<size_t>(std::atoll(next()));
+      users_set = true;
     } else if (arg == "--epochs") {
       config.epochs = std::atoi(next());
+      epochs_set = true;
     } else if (arg == "--friends") {
       config.avg_friends = std::atof(next());
+      friends_set = true;
     } else if (arg == "--radius-km") {
       config.alert_radius_m = std::atof(next()) * 1000.0;
+      radius_set = true;
     } else if (arg == "--speed") {
       config.speed_steps = std::atoi(next());
     } else if (arg == "--seed") {
@@ -213,13 +249,58 @@ int main(int argc, char** argv) {
     methods.push_back(*m);
   }
 
-  std::fprintf(stderr, "building %s workload: N=%zu S=%d F=%.0f r=%.1fkm V=%d\n",
-               DatasetName(config.dataset).c_str(), config.num_users,
-               config.epochs, config.avg_friends,
-               config.alert_radius_m / 1000.0, config.speed_steps);
-  const Workload workload = BuildWorkload(config);
-  std::fprintf(stderr, "%zu ground-truth alerts\n",
-               workload.ground_truth.size());
+  const bool scenario_mode = !scenario_arg.empty();
+  double build_bytes_per_user = 0.0;
+  const Workload workload = [&] {
+    if (!scenario_mode) {
+      std::fprintf(stderr,
+                   "building %s workload: N=%zu S=%d F=%.0f r=%.1fkm V=%d\n",
+                   DatasetName(config.dataset).c_str(), config.num_users,
+                   config.epochs, config.avg_friends,
+                   config.alert_radius_m / 1000.0, config.speed_steps);
+      return BuildWorkload(config);
+    }
+    ScenarioWorkloadConfig sc;
+    ParseScenarioName(scenario_arg, &sc.scenario.kind);
+    sc.scenario.num_users = users_set ? config.num_users : 10000;
+    sc.scenario.epochs = epochs_set ? config.epochs : 60;
+    sc.scenario.speed_steps = config.speed_steps;
+    // City scenarios default to their own density (2 friends, 400 m) —
+    // the dataset workload's 15-friend / 5 km defaults would drown a
+    // 200 m-spaced grid in alerts. Explicit flags still win.
+    if (friends_set) sc.scenario.avg_friends = config.avg_friends;
+    if (radius_set) sc.scenario.alert_radius_m = config.alert_radius_m;
+    sc.scenario.seed = config.seed;
+    sc.stream = stream;
+    // The O(E x epochs) oracle sweep is what a million-user run cannot
+    // afford; past this point the exact column is vacuously yes.
+    sc.compute_ground_truth = sc.scenario.num_users <= 100000;
+    std::fprintf(stderr,
+                 "building %s scenario: N=%zu S=%d F=%.0f r=%.1fkm %s%s\n",
+                 scenario_arg.c_str(), sc.scenario.num_users,
+                 sc.scenario.epochs, sc.scenario.avg_friends,
+                 sc.scenario.alert_radius_m / 1000.0,
+                 stream ? "streaming" : "materialized",
+                 sc.compute_ground_truth ? "" : " (oracle skipped)");
+    const uint64_t rss_before = CurrentRssBytes();
+    Workload w = BuildScenarioWorkload(sc);
+    const uint64_t rss_after = CurrentRssBytes();
+    build_bytes_per_user =
+        static_cast<double>(rss_after > rss_before ? rss_after - rss_before
+                                                   : 0) /
+        static_cast<double>(sc.scenario.num_users);
+    config.num_users = sc.scenario.num_users;
+    config.epochs = sc.scenario.epochs;
+    return w;
+  }();
+  if (scenario_mode) {
+    std::fprintf(stderr, "workload build: %.0f resident B/user\n",
+                 build_bytes_per_user);
+  }
+  if (!scenario_mode || workload.oracle_enabled) {
+    std::fprintf(stderr, "%zu ground-truth alerts\n",
+                 workload.GroundTruth().size());
+  }
 
   // Scope the metrics (and optionally the tracer) to exactly the runs
   // below so a --report snapshot reconciles with the summed CommStats.
@@ -255,11 +336,15 @@ int main(int argc, char** argv) {
     if (loopback_clients >= 1) net_config.udp_client_loops = loopback_clients;
   }
 
-  Table table("proxdet " + DatasetName(config.dataset));
+  Table table("proxdet " +
+              (scenario_mode ? scenario_arg : DatasetName(config.dataset)));
   if (transported) {
     table.SetHeader({"method", "total", "reports", "probes", "alerts",
                      "region", "match", "bytes_up", "bytes_down", "bytes_x",
                      "saved", "exact"});
+  } else if (scenario_mode) {
+    table.SetHeader({"method", "total", "reports", "probes", "alerts",
+                     "region", "match", "ep/s", "B/user", "exact"});
   } else {
     table.SetHeader({"method", "total", "reports", "probes", "alerts",
                      "region", "match", "server_cpu_s", "exact"});
@@ -285,6 +370,25 @@ int main(int argc, char** argv) {
            std::to_string(t.net.bytes_xshard), std::to_string(saved),
            t.run.alerts_exact && t.net.codec_exact && !t.net.failed ? "yes"
                                                                     : "NO"});
+    } else if (scenario_mode) {
+      WallTimer timer;
+      const RunResult r = RunMethod(method, workload);
+      const double seconds = timer.ElapsedSeconds();
+      // Resident footprint after the run, amortized per user: build-time
+      // world + detector steady state (peak RSS never shrinks, so this is
+      // an upper bound covering the run's high-water mark).
+      const double bytes_per_user =
+          static_cast<double>(PeakRssBytes()) /
+          static_cast<double>(config.num_users);
+      total += r.stats;
+      table.AddRow(
+          {MethodName(method), std::to_string(r.stats.TotalMessages()),
+           std::to_string(r.stats.reports), std::to_string(r.stats.probes),
+           std::to_string(r.stats.alerts),
+           std::to_string(r.stats.region_installs),
+           std::to_string(r.stats.match_installs),
+           FormatDouble(config.epochs / std::max(seconds, 1e-9), 1),
+           FormatDouble(bytes_per_user, 0), r.alerts_exact ? "yes" : "NO"});
     } else {
       const RunResult r = RunMethod(method, workload);
       total += r.stats;

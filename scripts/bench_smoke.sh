@@ -36,7 +36,7 @@ trap 'rm -rf "$OUT"' EXIT
 # FATALs unless the detect->deliver tracker reconciles with CommStats
 # alert counts to the unit and the live stats endpoint answers.
 for bench in fig9_friends micro_detector micro_net micro_index micro_socket \
-             micro_latency; do
+             micro_latency micro_scale; do
   echo "== $bench (quick) =="
   PROXDET_QUICK=1 PROXDET_BENCH_JSON="$OUT" "$BUILD_DIR/bench/$bench" \
     > /dev/null
@@ -57,7 +57,7 @@ for artifact in "${artifacts[@]}"; do
 done
 
 for required in TRACE_net.json REPORT_net.json BENCH_index.json \
-                BENCH_socket.json BENCH_latency.json; do
+                BENCH_socket.json BENCH_latency.json BENCH_scale.json; do
   if [[ ! -f "$OUT/$required" ]]; then
     echo "FAIL: expected artifact $required was not emitted" >&2
     exit 1
@@ -163,6 +163,43 @@ if doc["udp_available"]:
     assert doc["wall"], "UDP available but wall half empty"
 EOF
 echo "ok: BENCH_latency.json schema + tracker reconciliation"
+
+# BENCH_scale.json schema: the streaming substrate must have proven
+# streaming == materialized bit-exactness across its parity matrix (the
+# bench aborts on mismatch, but assert the committed verdicts too), every
+# scenario row must have run, and the big streaming cell must be under the
+# committed heap ceiling and over the throughput floor.
+python3 - "$OUT/BENCH_scale.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc.get("figure") == "scale", "figure != scale"
+for key in ("parity", "parity_exact", "scenarios", "million",
+            "bytes_per_user_ceiling", "epochs_per_sec_floor"):
+    assert key in doc, f"missing field {key}"
+assert doc["parity_exact"] is True, "streaming != materialized somewhere"
+assert doc["parity"], "empty parity matrix"
+for row in doc["parity"]:
+    assert row["exact"] is True, f"parity row not exact: {row}"
+methods = {row["method"] for row in doc["parity"]}
+assert len(methods) == 8, f"parity covers {len(methods)} methods, not 8"
+modes = {(row["mode"], row["value"]) for row in doc["parity"]}
+for need in (("threads", 1), ("threads", 4), ("shards", 1), ("shards", 2)):
+    assert need in modes, f"parity matrix missing {need}"
+names = {row["scenario"] for row in doc["scenarios"]}
+assert names == {"commuter_rush", "flash_crowd", "heavy_churn",
+                 "mixed_fleet"}, f"scenario pack incomplete: {names}"
+ceiling = doc["bytes_per_user_ceiling"]
+floor = doc["epochs_per_sec_floor"]
+for row in doc["scenarios"]:
+    assert row["epochs_per_sec"] > 0, f"degenerate throughput row: {row}"
+    assert 0 < row["bytes_per_user_stream"] <= ceiling, \
+        f"scenario row over the heap ceiling: {row}"
+big = doc["million"]
+assert big["bytes_per_user"] <= ceiling, f"streaming cell over ceiling: {big}"
+assert big["epochs_per_sec"] >= floor, f"streaming cell under floor: {big}"
+EOF
+echo "ok: BENCH_scale.json schema + streaming parity"
 
 if ! grep -q '"counters_reconcile": "exact"' "$OUT/REPORT_net.json"; then
   echo "FAIL: REPORT_net.json reconciliation verdict is not \"exact\"" >&2

@@ -1,0 +1,45 @@
+#include "bench_support/mem_probe.h"
+
+#include <malloc.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace proxdet {
+
+std::atomic<uint64_t> AllocProbe::alloc_count{0};
+std::atomic<uint64_t> AllocProbe::live_bytes{0};
+std::atomic<uint64_t> AllocProbe::peak_live_bytes{0};
+
+size_t ProbeUsableSize(void* p) { return malloc_usable_size(p); }
+
+namespace {
+
+/// Reads a "Vm...:  <kB> kB" line from /proc/self/status. Returns bytes,
+/// or 0 when the field (or procfs) is absent.
+uint64_t ReadStatusKb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const size_t field_len = std::strlen(field);
+  char line[256];
+  uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 && line[field_len] == ':') {
+      unsigned long long value = 0;
+      if (std::sscanf(line + field_len + 1, "%llu", &value) == 1) {
+        kb = value;
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+}  // namespace
+
+uint64_t PeakRssBytes() { return ReadStatusKb("VmHWM"); }
+
+uint64_t CurrentRssBytes() { return ReadStatusKb("VmRSS"); }
+
+}  // namespace proxdet

@@ -1,0 +1,115 @@
+#ifndef PROXDET_BENCH_SUPPORT_MEM_PROBE_H_
+#define PROXDET_BENCH_SUPPORT_MEM_PROBE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace proxdet {
+
+/// Shared live-heap accounting behind the PROXDET_INSTALL_ALLOC_PROBE
+/// operator-new override below. The counters live in the bench_support
+/// library so every bench binary reads the same definitions; the override
+/// itself must be stamped into exactly one TU of the *binary* (replacing
+/// global operator new from a static library is ODR-fragile), which is
+/// what the macro is for.
+struct AllocProbe {
+  /// Total calls to global operator new since process start.
+  static std::atomic<uint64_t> alloc_count;
+  /// Bytes currently live (usable size of every outstanding allocation).
+  static std::atomic<uint64_t> live_bytes;
+  /// High-water mark of live_bytes (monotone CAS max).
+  static std::atomic<uint64_t> peak_live_bytes;
+
+  static uint64_t AllocCount() {
+    return alloc_count.load(std::memory_order_relaxed);
+  }
+  static uint64_t LiveBytes() {
+    return live_bytes.load(std::memory_order_relaxed);
+  }
+  static uint64_t PeakLiveBytes() {
+    return peak_live_bytes.load(std::memory_order_relaxed);
+  }
+  /// Restarts the high-water mark from the current live level, so a probe
+  /// around a region of interest measures that region's peak, not the
+  /// process history's.
+  static void ResetPeak() {
+    peak_live_bytes.store(live_bytes.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+
+  // Called by the installed operator new/delete; exposed so the macro
+  // body stays small. `usable` is malloc_usable_size(p).
+  static void OnAlloc(size_t usable) {
+    alloc_count.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t now =
+        live_bytes.fetch_add(usable, std::memory_order_relaxed) + usable;
+    uint64_t peak = peak_live_bytes.load(std::memory_order_relaxed);
+    while (now > peak && !peak_live_bytes.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+  static void OnFree(size_t usable) {
+    live_bytes.fetch_sub(usable, std::memory_order_relaxed);
+  }
+};
+
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status), or 0 if unavailable. Covers everything the alloc
+/// probe cannot see: thread stacks, code, mmap'd arenas.
+uint64_t PeakRssBytes();
+
+/// Current resident set size in bytes (VmRSS), or 0 if unavailable.
+uint64_t CurrentRssBytes();
+
+/// Returns malloc's usable size for `p` (0 for nullptr). Thin wrapper so
+/// the macro below does not need <malloc.h> at its expansion site.
+size_t ProbeUsableSize(void* p);
+
+}  // namespace proxdet
+
+/// Expands to the global operator new/delete overrides that feed
+/// AllocProbe. Place at namespace scope in exactly ONE translation unit of
+/// a bench binary. The counters are always live (worker threads allocate
+/// too); callers read deltas around the region of interest and use
+/// ResetPeak() + PeakLiveBytes() for high-water measurements.
+#define PROXDET_INSTALL_ALLOC_PROBE()                                         \
+  void* operator new(std::size_t size) {                                      \
+    if (size == 0) size = 1;                                                  \
+    void* p = std::malloc(size);                                              \
+    if (p == nullptr) throw std::bad_alloc();                                 \
+    ::proxdet::AllocProbe::OnAlloc(::proxdet::ProbeUsableSize(p));            \
+    return p;                                                                 \
+  }                                                                           \
+  void* operator new[](std::size_t size) { return ::operator new(size); }     \
+  void* operator new(std::size_t size, const std::nothrow_t&) noexcept {      \
+    void* p = std::malloc(size == 0 ? 1 : size);                              \
+    if (p != nullptr)                                                         \
+      ::proxdet::AllocProbe::OnAlloc(::proxdet::ProbeUsableSize(p));          \
+    return p;                                                                 \
+  }                                                                           \
+  void* operator new[](std::size_t size, const std::nothrow_t& t) noexcept {  \
+    return ::operator new(size, t);                                           \
+  }                                                                           \
+  void operator delete(void* p) noexcept {                                    \
+    if (p != nullptr)                                                         \
+      ::proxdet::AllocProbe::OnFree(::proxdet::ProbeUsableSize(p));           \
+    std::free(p);                                                             \
+  }                                                                           \
+  void operator delete[](void* p) noexcept { ::operator delete(p); }          \
+  void operator delete(void* p, std::size_t) noexcept {                       \
+    ::operator delete(p);                                                     \
+  }                                                                           \
+  void operator delete[](void* p, std::size_t) noexcept {                     \
+    ::operator delete(p);                                                     \
+  }                                                                           \
+  void operator delete(void* p, const std::nothrow_t&) noexcept {             \
+    ::operator delete(p);                                                     \
+  }                                                                           \
+  void operator delete[](void* p, const std::nothrow_t&) noexcept {           \
+    ::operator delete(p);                                                     \
+  }
+
+#endif  // PROXDET_BENCH_SUPPORT_MEM_PROBE_H_

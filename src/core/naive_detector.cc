@@ -179,6 +179,9 @@ void NaiveDetector::Run(const World& world) {
   std::vector<Vec2> window_scratch;  // Transported reports (window_len 0).
 
   for (int epoch = 0; epoch < world.epochs(); ++epoch) {
+    // Streaming worlds generate this epoch's positions here — the one
+    // serial point before the parallel position fan-out below.
+    world.BeginEpoch(epoch);
     while (next_update < updates.size() &&
            updates[next_update].epoch <= epoch) {
       const GraphUpdate& up = updates[next_update];

@@ -173,13 +173,26 @@ struct RegionDetector::Impl {
   struct UserState {
     std::optional<SafeRegionShape> region;
     double speed = kMinSpeed;  // m/epoch estimate from reported windows.
-    // Per-epoch flags.
-    bool reported = false;
-    bool needs_region = false;
-    bool rebuilt = false;
-    bool queued = false;
-    Vec2 pos;  // Exact location; server-visible only when `reported`.
+    Vec2 pos;  // Exact location; server-visible only when reported(u).
   };
+
+  // Per-epoch flags, split out of UserState into one byte per user: the
+  // epoch reset collapses to a single fill, and the scan phases touch a
+  // dense array instead of striding through the fat region records. All
+  // writes happen in serial-commit code; parallel scans only read.
+  static constexpr uint8_t kReported = 1;
+  static constexpr uint8_t kNeedsRegion = 2;
+  static constexpr uint8_t kRebuilt = 4;
+  static constexpr uint8_t kQueued = 8;
+  std::vector<uint8_t> epoch_flags;
+  bool reported(UserId u) const { return epoch_flags[u] & kReported; }
+  bool needs_region(UserId u) const { return epoch_flags[u] & kNeedsRegion; }
+  bool rebuilt(UserId u) const { return epoch_flags[u] & kRebuilt; }
+  bool queued(UserId u) const { return epoch_flags[u] & kQueued; }
+  void mark(UserId u, uint8_t bit) { epoch_flags[u] |= bit; }
+  void unmark(UserId u, uint8_t bit) {
+    epoch_flags[u] &= static_cast<uint8_t>(~bit);
+  }
 
   const World& world;
   RegionDetector& self;
@@ -257,6 +270,7 @@ struct RegionDetector::Impl {
         self(s),
         graph(w.graph()),
         users(w.user_count()),
+        epoch_flags(w.user_count(), 0),
         per_epoch_check(s.policy_->NeedsPerEpochPairCheck()),
         use_grid(per_epoch_check && s.options_.use_spatial_index),
         use_match_cls(s.options_.use_match_regions &&
@@ -289,8 +303,8 @@ struct RegionDetector::Impl {
   /// Client -> server location upload (at most one per user per epoch).
   /// Serial-commit code only (reuses the shared window buffer).
   void Report(UserId u) {
-    if (users[u].reported) return;
-    users[u].reported = true;
+    if (reported(u)) return;
+    mark(u, kReported);
     self.stats_.reports += 1;
     EngineMetrics::Get().reports.Inc();
     // The report carries the recent window; refresh the speed estimate.
@@ -315,9 +329,9 @@ struct RegionDetector::Impl {
   }
 
   void EnqueueRebuild(UserId u) {
-    users[u].needs_region = true;
-    if (!users[u].queued) {
-      users[u].queued = true;
+    mark(u, kNeedsRegion);
+    if (!queued(u)) {
+      mark(u, kQueued);
       queue.push_back(u);
     }
   }
@@ -325,7 +339,7 @@ struct RegionDetector::Impl {
   /// Server -> client probe: request the exact location, then rebuild the
   /// probed user's region (Sec. V-B case 2).
   void Probe(UserId u) {
-    if (users[u].reported) {
+    if (reported(u)) {
       EnqueueRebuild(u);
       return;
     }
@@ -731,7 +745,7 @@ struct RegionDetector::Impl {
         for (size_t i = lo; i < hi; ++i) {
           const auto& e = edge_cache[i];
           if (IsMatched(e.u, e.w)) continue;
-          if (users[e.u].needs_region || users[e.w].needs_region) continue;
+          if (needs_region(e.u) || needs_region(e.w)) continue;
           if (!users[e.u].region || !users[e.w].region) continue;
           Circle ca, cb;
           if (AsCircleAt(*users[e.u].region, epoch, &ca) &&
@@ -767,7 +781,7 @@ struct RegionDetector::Impl {
         // an endpoint for rebuild, which skips the pair just as the serial
         // loop would have.
         if (IsMatched(e.u, e.w)) continue;
-        if (users[e.u].needs_region || users[e.w].needs_region) continue;
+        if (needs_region(e.u) || needs_region(e.w)) continue;
         EngineMetrics::Get().pair_check_probed_edges.Inc();
         Probe(e.u);
         Probe(e.w);
@@ -837,7 +851,7 @@ struct RegionDetector::Impl {
       sc.thr.clear();
       for (size_t ui = lo; ui < hi; ++ui) {
         const UserId u = static_cast<UserId>(ui);
-        if (!users[u].region || users[u].needs_region) continue;
+        if (!users[u].region || needs_region(u)) continue;
         if (!region_grid.Contains(u)) continue;  // Degenerate bounds.
         const double slack = max_incident[u];
         if (slack <= 0.0) continue;  // Isolated user: no edges to check.
@@ -853,7 +867,7 @@ struct RegionDetector::Impl {
           if (w <= static_cast<int32_t>(u)) continue;
           const auto it = edge_radius.find(PairKey(u, w));
           if (it == edge_radius.end()) continue;  // Near, but no edge.
-          if (users[w].needs_region || !users[w].region) continue;
+          if (needs_region(w) || !users[w].region) continue;
           if (IsMatched(u, w)) continue;
           if (circ_ok[u] && circ_ok[w]) {
             sc.keys.push_back(PairKey(u, w));
@@ -888,10 +902,10 @@ struct RegionDetector::Impl {
     // side of mixed pairs too, since the grid never saw this user.
     flagged.clear();
     for (const UserId u : unindexed) {
-      if (users[u].needs_region) continue;
+      if (needs_region(u)) continue;
       for (const FriendEdge& fe : graph.FriendsOf(u)) {
         const UserId w = fe.other;
-        if (!users[w].region || users[w].needs_region) continue;
+        if (!users[w].region || needs_region(w)) continue;
         if (IsMatched(u, w)) continue;
         if (ShapeMinDistanceBelow(*users[u].region, *users[w].region, epoch,
                                   fe.alert_radius)) {
@@ -912,7 +926,7 @@ struct RegionDetector::Impl {
       const UserId u = PairKeyMin(key);
       const UserId w = PairKeyMax(key);
       if (IsMatched(u, w)) continue;
-      if (users[u].needs_region || users[w].needs_region) continue;
+      if (needs_region(u) || needs_region(w)) continue;
       EngineMetrics::Get().pair_check_probed_edges.Inc();
       Probe(u);
       Probe(w);
@@ -933,7 +947,7 @@ struct RegionDetector::Impl {
     while (!queue.empty()) {
       const UserId u = queue.front();
       queue.pop_front();
-      if (!users[u].needs_region) continue;
+      if (!needs_region(u)) continue;
       const Vec2 l_u = users[u].pos;
       const double v_u = users[u].speed;
 
@@ -942,7 +956,7 @@ struct RegionDetector::Impl {
       for (const FriendEdge& fe : graph.FriendsOf(u)) {
         const UserId w = fe.other;
         if (IsMatched(u, w)) continue;
-        if (!users[w].reported) {
+        if (!reported(w)) {
           // gap <= min_gap + closing, phrased so the AABB lower bound can
           // settle the comparison without exact point-to-shape geometry.
           const double closing =
@@ -954,7 +968,7 @@ struct RegionDetector::Impl {
             Probe(w);
           }
         }
-        if (users[w].reported) {
+        if (reported(w)) {
           const double d = Distance(l_u, users[w].pos);
           if (d < fe.alert_radius) CreateMatch(u, w, fe.alert_radius);
         }
@@ -969,7 +983,7 @@ struct RegionDetector::Impl {
         view.id = w;
         view.alert_radius = fe.alert_radius;
         view.speed = std::max(users[w].speed, kMinSpeed);
-        if (users[w].reported && users[w].needs_region && !users[w].rebuilt) {
+        if (reported(w) && needs_region(w) && !rebuilt(w)) {
           // Friend rebuilds later this epoch: constrain against a virtual
           // circle holding its Eq. (5) share of the slack, so the pair
           // splits the corridor speed-proportionally (Lemma 2); safety is
@@ -998,8 +1012,8 @@ struct RegionDetector::Impl {
       }
       if (self.link_ != nullptr) self.link_->InstallRegion(u, epoch, shape);
       users[u].region = std::move(shape);
-      users[u].rebuilt = true;
-      users[u].needs_region = false;
+      mark(u, kRebuilt);
+      unmark(u, kNeedsRegion);
       self.stats_.region_installs += 1;
       self.rebuild_count_ += 1;
       EngineMetrics::Get().region_installs.Inc();
@@ -1010,13 +1024,14 @@ struct RegionDetector::Impl {
   void Run() {
     size_t next_update = 0;
     for (epoch = 0; epoch < world.epochs(); ++epoch) {
-      // Per-user reset + position fetch: independent slots, fanned out.
+      // Streaming worlds generate this epoch's positions here — the one
+      // serial point before the parallel fetch fan-out below.
+      world.BeginEpoch(epoch);
+      // Per-epoch flags clear in one pass over the dense byte array;
+      // the position fetch fans out over independent slots.
+      std::fill(epoch_flags.begin(), epoch_flags.end(), uint8_t{0});
       ParallelForChunked(users.size(), kUserGrain, [&](size_t lo, size_t hi) {
         for (size_t u = lo; u < hi; ++u) {
-          users[u].reported = false;
-          users[u].needs_region = false;
-          users[u].rebuilt = false;
-          users[u].queued = false;
           users[u].pos = world.Position(static_cast<UserId>(u), epoch);
         }
       });

@@ -12,6 +12,7 @@
 #include "predict/predictor.h"
 #include "traj/dataset.h"
 #include "traj/generator.h"
+#include "traj/scenario.h"
 
 namespace proxdet {
 
@@ -62,27 +63,56 @@ struct Workload {
            std::vector<Trajectory> training,
            std::vector<AlertEvent> ground_truth);
 
+  /// Whether RunMethod checks alerts against GroundTruth(). Scenario
+  /// workloads built with compute_ground_truth=false (the million-user
+  /// streaming runs, where even the O(N) oracle sweep is unwanted) set
+  /// this false and RunResult::alerts_exact becomes vacuous.
+  bool oracle_enabled = true;
+
   /// The oracle matching the world's *current* update schedule. Returns
   /// `ground_truth` when nothing was scheduled after build; otherwise
-  /// recomputes the full scan once and memoizes it (keyed on the schedule
-  /// length; thread-safe, so concurrent method cells share one scan).
+  /// recomputes the full scan exactly once and memoizes it. The first
+  /// call is `std::call_once`-guarded: SweepRunner fans method cells out
+  /// across the pool and they all land here concurrently — every caller
+  /// blocks until the one scan finishes, then reads lock-free.
   /// RunMethod historically re-ran the scan for every method on
   /// dynamic-graph workloads — fig13 paid the oracle 8x per sweep point.
   const std::vector<AlertEvent>& GroundTruth() const;
 
  private:
-  // Heap-held so Workload stays movable (mutex members are not).
+  // Heap-held so Workload stays movable (once_flag/mutex members are not).
   struct OracleCache {
-    std::mutex mutex;
-    bool valid = false;
+    std::once_flag once;
     size_t update_count = 0;  // Schedule length the cache was computed at.
     std::vector<AlertEvent> alerts;
+    // Rekey path for the rare schedule-mutated-again case; like
+    // ScheduleUpdate itself it must not race with concurrent readers.
+    std::mutex rekey_mutex;
   };
   std::unique_ptr<OracleCache> oracle_cache_;
 };
 
 /// Generates trajectories, the interest graph and the training set.
 Workload BuildWorkload(const WorkloadConfig& config);
+
+/// A city-scale scenario workload (the streaming substrate's driver).
+/// `stream=true` builds a streaming World — O(active users) steady-state
+/// memory, positions generated per epoch inside the detectors'
+/// BeginEpoch — while `stream=false` materializes the *same* per-user
+/// streams into full trajectories (the oracle twin): the two modes are
+/// bit-exact in alerts, CommStats, rebuild counts and obs digests for
+/// every method, thread count and shard count.
+struct ScenarioWorkloadConfig {
+  ScenarioSpec scenario;
+  bool stream = true;
+  /// False skips the ground-truth sweep entirely (million-user runs);
+  /// the workload's oracle_enabled flag records it.
+  bool compute_ground_truth = true;
+  size_t training_users = 60;
+  int training_epochs = 200;
+};
+
+Workload BuildScenarioWorkload(const ScenarioWorkloadConfig& config);
 
 /// Constructs a ready-to-run detector for the method: stripe methods get
 /// their predictor built, trained on the workload's training set, and their

@@ -64,7 +64,7 @@ void UniformGridIndex::SetCellSize(double cell_size) {
   table_used_ = 0;
   for (size_t id = 0; id < entries_.size(); ++id) {
     Entry& e = entries_[id];
-    if (!e.live) continue;
+    if (!e.live()) continue;
     e.cell = CellOf(e.pos);
     e.bucket = BucketFor(e.cell);
     e.bucket_slot = static_cast<uint32_t>(buckets_[e.bucket].size());
@@ -116,7 +116,7 @@ void UniformGridIndex::RemoveFromBucket(Entry& e) {
   bucket[e.bucket_slot] = moved;
   bucket.pop_back();
   if (moved >= 0 && static_cast<size_t>(moved) < entries_.size() &&
-      entries_[moved].live && entries_[moved].bucket == e.bucket) {
+      entries_[moved].bucket == e.bucket) {
     entries_[moved].bucket_slot = e.bucket_slot;
   }
 }
@@ -129,13 +129,12 @@ void UniformGridIndex::Upsert(int32_t id, const Vec2& p) {
   stats_.upserts += 1;
   Entry& e = entries_[id];
   const CellCoord cell = CellOf(p);
-  if (e.live) {
+  if (e.live()) {
     e.pos = p;
     if (cell == e.cell) return;  // Same cell: position refresh only.
     RemoveFromBucket(e);
     stats_.moves += 1;
   } else {
-    e.live = true;
     e.pos = p;
     ++live_count_;
   }
@@ -148,16 +147,16 @@ void UniformGridIndex::Upsert(int32_t id, const Vec2& p) {
 void UniformGridIndex::Remove(int32_t id) {
   if (id < 0 || static_cast<size_t>(id) >= entries_.size()) return;
   Entry& e = entries_[id];
-  if (!e.live) return;
+  if (!e.live()) return;
   RemoveFromBucket(e);
-  e.live = false;
+  e.bucket = kNoBucket;
   --live_count_;
   stats_.removes += 1;
 }
 
 bool UniformGridIndex::Contains(int32_t id) const {
   return id >= 0 && static_cast<size_t>(id) < entries_.size() &&
-         entries_[id].live;
+         entries_[id].live();
 }
 
 uint64_t UniformGridIndex::Query(const Vec2& center, double radius,
@@ -182,7 +181,7 @@ std::vector<std::pair<int32_t, Vec2>> UniformGridIndex::SortedEntries() const {
   std::vector<std::pair<int32_t, Vec2>> out;
   out.reserve(live_count_);
   for (size_t id = 0; id < entries_.size(); ++id) {
-    if (entries_[id].live) {
+    if (entries_[id].live()) {
       out.emplace_back(static_cast<int32_t>(id), entries_[id].pos);
     }
   }

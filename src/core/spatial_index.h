@@ -151,12 +151,17 @@ class UniformGridIndex {
   std::vector<std::pair<int32_t, Vec2>> SortedEntries() const;
 
  private:
+  /// Absent-bucket sentinel; doubles as the Entry liveness flag, so the
+  /// per-id record packs to 32 bytes (this array is per-user in both
+  /// engines — at a million users the old padded bool was 8 MB of air).
+  static constexpr uint32_t kNoBucket = 0xFFFFFFFFu;
+
   struct Entry {
-    bool live = false;
     Vec2 pos;
     CellCoord cell;
-    uint32_t bucket = 0;       // Index into buckets_.
-    uint32_t bucket_slot = 0;  // Position inside the bucket.
+    uint32_t bucket = kNoBucket;  // Index into buckets_; kNoBucket = dead.
+    uint32_t bucket_slot = 0;     // Position inside the bucket.
+    bool live() const { return bucket != kNoBucket; }
   };
 
   // Open-addressed cell table slot: a packed cell key plus its bucket.

@@ -1,6 +1,7 @@
 #include "core/world.h"
 
 #include <algorithm>
+#include <cassert>
 #include <unordered_map>
 
 #include "exec/thread_pool.h"
@@ -19,13 +20,51 @@ World::World(std::vector<Trajectory> trajectories, InterestGraph graph,
       epochs_(epochs),
       schedule_state_(std::make_unique<ScheduleState>()) {}
 
+World::World(std::unique_ptr<StreamingGenerator> stream, InterestGraph graph,
+             int epochs)
+    : graph_(std::move(graph)),
+      speed_steps_(1),
+      epochs_(epochs),
+      stream_(std::make_unique<StreamState>()),
+      schedule_state_(std::make_unique<ScheduleState>()) {
+  stream_->gen = std::move(stream);
+  stream_->ring.resize(static_cast<size_t>(kStreamWindow) *
+                       stream_->gen->user_count());
+}
+
 double World::epoch_seconds() const {
+  if (stream_) return stream_->gen->epoch_seconds();
   const double tick =
       trajectories_.empty() ? 1.0 : trajectories_.front().dt();
   return tick * static_cast<double>(speed_steps_);
 }
 
+void World::BeginEpoch(int epoch) const {
+  if (!stream_) return;
+  StreamState& s = *stream_;
+  if (epoch == 0 && s.generated > 0) {
+    // A fresh Run over the same world: rewind and replay bit-identically.
+    s.gen->Reset();
+    s.generated = 0;
+  }
+  const size_t n = s.gen->user_count();
+  while (s.generated <= epoch) {
+    s.gen->NextEpoch(
+        &s.ring[static_cast<size_t>(s.generated % kStreamWindow) * n]);
+    ++s.generated;
+  }
+}
+
 Vec2 World::Position(UserId u, int epoch) const {
+  if (stream_) {
+    const StreamState& s = *stream_;
+    // Readable epochs are the ring window ending at the BeginEpoch cursor;
+    // anything else means a driver skipped its BeginEpoch call.
+    assert(epoch < s.generated && epoch >= s.generated - kStreamWindow);
+    const size_t n = s.gen->user_count();
+    return s.ring[static_cast<size_t>(epoch % kStreamWindow) * n +
+                  static_cast<size_t>(u)];
+  }
   const Trajectory& traj = trajectories_[u];
   const size_t idx = std::min(static_cast<size_t>(epoch) * speed_steps_,
                               traj.size() - 1);
@@ -67,27 +106,25 @@ const std::vector<GraphUpdate>& World::scheduled_updates() const {
   return updates_;
 }
 
-std::vector<AlertEvent> World::GroundTruthAlerts() const {
-  // Resolve the lazily-sorted schedule once; the per-pair replay below
-  // depends on epoch order.
-  const std::vector<GraphUpdate>& updates = scheduled_updates();
-  // Pairs never interact: an edge's alert timeline depends only on its own
-  // updates and the two trajectories. The scan therefore partitions by
-  // *pair* — each pair replays all epochs with its private live/matched
-  // state — and the per-pair streams are merged and sorted. This yields
-  // the same alert set as the historical per-epoch sweep over a shared
-  // live map, for any thread count.
-  struct PairState {
-    UserId u = -1;
-    UserId w = -1;
-    double initial_radius = 0.0;
-    bool initially_live = false;
-    // Indices into updates_ touching this pair, in schedule order.
-    std::vector<size_t> updates;
-  };
+namespace {
+
+/// Per-pair ground-truth replay state (see GroundTruthAlerts).
+struct PairState {
+  UserId u = -1;
+  UserId w = -1;
+  double initial_radius = 0.0;
+  bool initially_live = false;
+  // Indices into the update schedule touching this pair, in order.
+  std::vector<size_t> updates;
+};
+
+/// Every pair that is ever live: the initial edges plus every pair the
+/// update schedule touches, each carrying its private update queue.
+std::vector<PairState> BuildPairStates(const InterestGraph& graph,
+                                       const std::vector<GraphUpdate>& updates) {
   std::vector<PairState> pairs;
   std::unordered_map<uint64_t, size_t> pair_index;
-  for (const auto& e : graph_.Edges()) {
+  for (const auto& e : graph.Edges()) {
     pair_index.emplace(PairKey(e.u, e.w), pairs.size());
     pairs.push_back({std::min(e.u, e.w), std::max(e.u, e.w), e.alert_radius,
                      true, {}});
@@ -102,6 +139,23 @@ std::vector<AlertEvent> World::GroundTruthAlerts() const {
     }
     pairs[it->second].updates.push_back(i);
   }
+  return pairs;
+}
+
+}  // namespace
+
+std::vector<AlertEvent> World::GroundTruthAlerts() const {
+  if (stream_) return StreamingGroundTruth();
+  // Resolve the lazily-sorted schedule once; the per-pair replay below
+  // depends on epoch order.
+  const std::vector<GraphUpdate>& updates = scheduled_updates();
+  // Pairs never interact: an edge's alert timeline depends only on its own
+  // updates and the two trajectories. The scan therefore partitions by
+  // *pair* — each pair replays all epochs with its private live/matched
+  // state — and the per-pair streams are merged and sorted. This yields
+  // the same alert set as the historical per-epoch sweep over a shared
+  // live map, for any thread count.
+  const std::vector<PairState> pairs = BuildPairStates(graph_, updates);
 
   // Chunked fan-out keeps per-task bookkeeping negligible next to the
   // epochs * pairs distance work.
@@ -146,6 +200,78 @@ std::vector<AlertEvent> World::GroundTruthAlerts() const {
       }
     }
   });
+
+  std::vector<AlertEvent> alerts;
+  for (const std::vector<AlertEvent>& part : partial) {
+    alerts.insert(alerts.end(), part.begin(), part.end());
+  }
+  SortAlerts(&alerts);
+  return alerts;
+}
+
+std::vector<AlertEvent> World::StreamingGroundTruth() const {
+  // The pair-major replay above needs random epoch access, which a
+  // streaming world deliberately does not have. Instead an independent
+  // rewound clone re-walks the stream epoch-major: one shared position
+  // buffer per epoch, pair chunks carrying their live/matched state across
+  // epochs. O(user_count) memory like the world itself; the distance work
+  // is identical, so this stays a small-N oracle by cost, not by limits.
+  const std::vector<GraphUpdate>& updates = scheduled_updates();
+  const std::vector<PairState> pairs = BuildPairStates(graph_, updates);
+
+  const std::unique_ptr<StreamingGenerator> gen = stream_->gen->Clone();
+  const size_t n = gen->user_count();
+  std::vector<Vec2> pos(n);
+
+  struct ReplayState {
+    bool live = false;
+    bool matched = false;
+    double radius = 0.0;
+    size_t next_update = 0;
+  };
+  std::vector<ReplayState> states(pairs.size());
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    states[p].live = pairs[p].initially_live;
+    states[p].radius = pairs[p].initial_radius;
+  }
+
+  const size_t chunk = 64;
+  const size_t chunks = (pairs.size() + chunk - 1) / chunk;
+  std::vector<std::vector<AlertEvent>> partial(chunks);
+  for (int epoch = 0; epoch < epochs_; ++epoch) {
+    gen->NextEpoch(pos.data());
+    ParallelFor(chunks, [&](size_t c) {
+      const size_t lo = c * chunk;
+      const size_t hi = std::min(lo + chunk, pairs.size());
+      for (size_t p = lo; p < hi; ++p) {
+        const PairState& pair = pairs[p];
+        ReplayState& st = states[p];
+        while (st.next_update < pair.updates.size() &&
+               updates[pair.updates[st.next_update]].epoch <= epoch) {
+          const GraphUpdate& up = updates[pair.updates[st.next_update]];
+          if (up.insert) {
+            if (!st.live) {
+              st.live = true;
+              st.radius = up.alert_radius;
+            }
+          } else {
+            st.live = false;
+            st.matched = false;
+          }
+          ++st.next_update;
+        }
+        if (!st.live) continue;
+        const double d = Distance(pos[pair.u], pos[pair.w]);
+        const bool inside = d < st.radius;
+        if (inside && !st.matched) {
+          partial[c].push_back({epoch, pair.u, pair.w});
+          st.matched = true;
+        } else if (!inside && st.matched) {
+          st.matched = false;
+        }
+      }
+    });
+  }
 
   std::vector<AlertEvent> alerts;
   for (const std::vector<AlertEvent>& part : partial) {

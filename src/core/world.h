@@ -8,6 +8,7 @@
 
 #include "core/events.h"
 #include "graph/interest_graph.h"
+#include "traj/streaming.h"
 #include "traj/trajectory.h"
 
 namespace proxdet {
@@ -30,12 +31,36 @@ class World {
   World(std::vector<Trajectory> trajectories, InterestGraph graph,
         int speed_steps, int epochs);
 
-  size_t user_count() const { return trajectories_.size(); }
+  /// Streaming world: positions come from the generator one epoch at a
+  /// time into a fixed ring of `kStreamWindow` epoch rows, so steady-state
+  /// memory is O(user_count) instead of O(user_count x epochs). Drivers
+  /// must call BeginEpoch(e) (serially) before reading epoch e; Position/
+  /// RecentWindow then serve any epoch within the ring window. Epoch 0
+  /// rewinds the stream, so repeated detector Runs over one streaming
+  /// world replay bit-identical positions.
+  World(std::unique_ptr<StreamingGenerator> stream, InterestGraph graph,
+        int epochs);
+
+  /// Epoch rows held by a streaming world's ring: the deepest lookback any
+  /// engine needs (the region detector's 10-epoch report window, plus the
+  /// current epoch) with one row of slack.
+  static constexpr int kStreamWindow = 12;
+
+  size_t user_count() const {
+    return stream_ ? stream_->gen->user_count() : trajectories_.size();
+  }
   int epochs() const { return epochs_; }
   int speed_steps() const { return speed_steps_; }
+  bool streaming() const { return stream_ != nullptr; }
 
   /// Seconds covered by one epoch.
   double epoch_seconds() const;
+
+  /// Streaming worlds: generates positions up through `epoch` (a no-op for
+  /// materialized worlds and already-generated epochs; epoch 0 rewinds the
+  /// stream first). Serial point — detectors call it at the top of the
+  /// epoch loop, before any parallel Position/RecentWindow fan-out.
+  void BeginEpoch(int epoch) const;
 
   /// User u's exact position at the given epoch (clamped to the trajectory
   /// end if the data runs short).
@@ -81,10 +106,23 @@ class World {
     std::mutex mutex;
   };
 
+  // Streaming mode: the generator plus the epoch-major position ring
+  // (`ring[(epoch % kStreamWindow) * N + u]`). Heap-held and mutable:
+  // BeginEpoch is logically const (the stream is a pure function of the
+  // seed) but advances the cursor. Only the serial BeginEpoch writes it.
+  struct StreamState {
+    std::unique_ptr<StreamingGenerator> gen;
+    std::vector<Vec2> ring;
+    int generated = 0;  // Epochs emitted since the last rewind.
+  };
+
+  std::vector<AlertEvent> StreamingGroundTruth() const;
+
   std::vector<Trajectory> trajectories_;
   InterestGraph graph_;
   int speed_steps_;
   int epochs_;
+  mutable std::unique_ptr<StreamState> stream_;
   mutable std::vector<GraphUpdate> updates_;  // Sorted by epoch when clean.
   std::unique_ptr<ScheduleState> schedule_state_;
 };

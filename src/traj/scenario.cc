@@ -1,0 +1,198 @@
+#include "traj/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace proxdet {
+
+std::vector<ScenarioKind> AllScenarioKinds() {
+  return {ScenarioKind::kCommuterRush, ScenarioKind::kFlashCrowd,
+          ScenarioKind::kHeavyChurn, ScenarioKind::kMixedFleet};
+}
+
+std::string ScenarioName(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kCommuterRush:
+      return "commuter_rush";
+    case ScenarioKind::kFlashCrowd:
+      return "flash_crowd";
+    case ScenarioKind::kHeavyChurn:
+      return "heavy_churn";
+    case ScenarioKind::kMixedFleet:
+      return "mixed_fleet";
+  }
+  return "unknown";
+}
+
+bool ParseScenarioName(const std::string& name, ScenarioKind* out) {
+  for (ScenarioKind kind : AllScenarioKinds()) {
+    if (ScenarioName(kind) == name) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Grid side for N users: grows with sqrt(N) so user density (and with it
+/// the alert rate per user) stays roughly constant across scales.
+int GridSideFor(size_t num_users) {
+  const int side = static_cast<int>(std::sqrt(static_cast<double>(num_users)) / 3.0);
+  return std::clamp(side, 24, 160);
+}
+
+std::shared_ptr<const RoadNetwork> BuildSubstrate(const ScenarioSpec& spec,
+                                                  int* rows, int* cols) {
+  *rows = spec.grid_rows > 0 ? spec.grid_rows : GridSideFor(spec.num_users);
+  *cols = spec.grid_cols > 0 ? spec.grid_cols : *rows;
+  Rng rng(spec.seed ^ 0x5EEDULL);
+  return std::make_shared<RoadNetwork>(RoadNetwork::MakeCityGrid(
+      *rows, *cols, spec.grid_spacing_m, /*arterial_every=*/5,
+      /*jitter=*/20.0, &rng));
+}
+
+std::vector<FlowConfig::Modality> ModalitiesFor(ScenarioKind kind) {
+  // Single-class city fleet (taxi-like) by default; the mixed-fleet
+  // scenario runs pedestrians, taxis and trucks in one graph.
+  if (kind == ScenarioKind::kMixedFleet) {
+    return {{1.4, 1.8, 0.5}, {7.0, 12.0, 0.35}, {5.0, 16.0, 0.15}};
+  }
+  return {{7.0, 12.0, 1.0}};
+}
+
+}  // namespace
+
+Scenario BuildScenario(const ScenarioSpec& spec) {
+  Scenario scenario;
+  scenario.spec = spec;
+
+  int rows = 0;
+  int cols = 0;
+  std::shared_ptr<const RoadNetwork> network =
+      BuildSubstrate(spec, &rows, &cols);
+  const BBox& extent = network->extent();
+  const Vec2 center = extent.Center();
+  const double span = std::max(extent.Width(), extent.Height());
+
+  FlowConfig flow;
+  flow.user_count = spec.num_users;
+  flow.seed = spec.seed;
+  flow.speed_steps = spec.speed_steps;
+  flow.modalities = ModalitiesFor(spec.kind);
+
+  switch (spec.kind) {
+    case ScenarioKind::kCommuterRush:
+      // Morning rush: most trips target the central work district, so
+      // arterials toward it carry correlated corridor flows; after the
+      // window closes the population disperses.
+      flow.attractors.push_back({0, (spec.epochs * 11) / 20, 0.75, center,
+                                 span / 6.0});
+      break;
+    case ScenarioKind::kFlashCrowd: {
+      // Mid-run event: a tight attractor pulls a density spike around the
+      // event point, then uniform destinations disperse it.
+      const Vec2 event = {center.x + span / 8.0, center.y - span / 8.0};
+      flow.attractors.push_back(
+          {spec.epochs / 3, (2 * spec.epochs) / 3, 0.85, event, span / 10.0});
+      break;
+    }
+    case ScenarioKind::kHeavyChurn:
+    case ScenarioKind::kMixedFleet:
+      break;
+  }
+
+  Rng graph_rng(spec.seed ^ 0x9e3779b97f4a7c15ULL);
+  scenario.graph = InterestGraph::Random(
+      spec.num_users, spec.avg_friends, 0.7 * spec.alert_radius_m,
+      1.3 * spec.alert_radius_m, &graph_rng);
+
+  if (spec.kind == ScenarioKind::kHeavyChurn) {
+    // Membership windows: a churn_fraction of users joins/leaves mid-run
+    // (idling at spawn outside the window); their interest edges enter and
+    // leave the graph with them, and an extra stream of pure edge churn
+    // exercises the Sec. VI-E dynamic-graph machinery throughout.
+    Rng churn_rng(spec.seed ^ 0xC0C0AULL);
+    auto windows = std::make_shared<std::vector<std::pair<int, int>>>(
+        spec.num_users, std::pair<int, int>{0, spec.epochs + 1});
+    for (size_t u = 0; u < spec.num_users; ++u) {
+      if (churn_rng.NextDouble() >= spec.churn_fraction) continue;
+      const int join = static_cast<int>(churn_rng.NextIndex(
+          static_cast<uint64_t>(std::max(1, spec.epochs / 2))));
+      const int duration = static_cast<int>(
+          churn_rng.UniformInt(spec.epochs / 4, (3 * spec.epochs) / 4));
+      (*windows)[u] = {join, std::min(join + duration, spec.epochs + 1)};
+    }
+    // Edges whose endpoints are not simultaneously present for the whole
+    // run move onto the churn schedule.
+    for (const auto& e : scenario.graph.Edges()) {
+      const auto& wu = (*windows)[e.u];
+      const auto& ww = (*windows)[e.w];
+      const int lo = std::max(wu.first, ww.first);
+      const int hi = std::min(wu.second, ww.second);
+      if (lo == 0 && hi >= spec.epochs) continue;  // Present throughout.
+      if (lo < hi) {
+        scenario.churn.push_back({lo, true, e.u, e.w, e.alert_radius});
+        if (hi <= spec.epochs) {
+          scenario.churn.push_back({hi, false, e.u, e.w, 0.0});
+        }
+      }
+    }
+    for (const EdgeChurnEvent& ev : scenario.churn) {
+      if (ev.insert) scenario.graph.RemoveEdge(ev.u, ev.w);
+    }
+    // Pure edge churn among present users: friendships forming and
+    // dissolving while both endpoints stay online.
+    const size_t extra = std::max<size_t>(spec.num_users / 4, 8);
+    for (size_t i = 0; i < extra; ++i) {
+      const UserId u =
+          static_cast<UserId>(churn_rng.NextIndex(spec.num_users));
+      const UserId w =
+          static_cast<UserId>(churn_rng.NextIndex(spec.num_users));
+      if (u == w) continue;
+      const int begin = static_cast<int>(churn_rng.UniformInt(
+          1, std::max(2, spec.epochs - 2)));
+      const int end = static_cast<int>(
+          churn_rng.UniformInt(begin + 1, spec.epochs));
+      const double radius =
+          churn_rng.Uniform(0.7 * spec.alert_radius_m,
+                            1.3 * spec.alert_radius_m);
+      scenario.churn.push_back({begin, true, u, w, radius});
+      scenario.churn.push_back({end, false, u, w, 0.0});
+    }
+    std::stable_sort(scenario.churn.begin(), scenario.churn.end(),
+                     [](const EdgeChurnEvent& a, const EdgeChurnEvent& b) {
+                       return a.epoch < b.epoch;
+                     });
+    flow.active_windows = std::move(windows);
+  }
+
+  scenario.generator =
+      std::make_unique<RoadFlowGenerator>(std::move(flow), std::move(network));
+  return scenario;
+}
+
+std::vector<Trajectory> BuildScenarioTraining(const ScenarioSpec& spec,
+                                              size_t training_users,
+                                              int training_epochs) {
+  // Same substrate and motion profile, disjoint seed, no attractors or
+  // churn: the predictors learn the scenario's speed/turn statistics from
+  // a small materialized fleet regardless of how the monitored population
+  // is generated.
+  int rows = 0;
+  int cols = 0;
+  std::shared_ptr<const RoadNetwork> network =
+      BuildSubstrate(spec, &rows, &cols);
+  FlowConfig flow;
+  flow.user_count = training_users;
+  flow.seed = spec.seed ^ 0x7EA1ULL;
+  flow.speed_steps = spec.speed_steps;
+  flow.modalities = ModalitiesFor(spec.kind);
+  RoadFlowGenerator gen(std::move(flow), std::move(network));
+  return MaterializeStream(gen, training_epochs + 1);
+}
+
+}  // namespace proxdet

@@ -1,0 +1,76 @@
+#ifndef PROXDET_TRAJ_SCENARIO_H_
+#define PROXDET_TRAJ_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/interest_graph.h"
+#include "traj/streaming.h"
+
+namespace proxdet {
+
+/// The city-scale scenario pack (ROADMAP's million-user workload item).
+/// Each scenario is a (streaming generator, interest graph, edge-churn
+/// schedule) triple over one shared road substrate.
+enum class ScenarioKind {
+  kCommuterRush,  // Correlated corridor flows into a work district.
+  kFlashCrowd,    // Density spike around an event point, then dispersal.
+  kHeavyChurn,    // Users + interest edges joining/leaving continuously.
+  kMixedFleet,    // Pedestrian/taxi/truck speed classes in one graph.
+};
+
+std::vector<ScenarioKind> AllScenarioKinds();
+std::string ScenarioName(ScenarioKind kind);
+/// Parses the ScenarioName form ("commuter_rush", ...); false on unknown.
+bool ParseScenarioName(const std::string& name, ScenarioKind* out);
+
+/// An interest-edge change scheduled by a scenario (mirrors the core
+/// layer's GraphUpdate; duplicated here so traj stays below core).
+struct EdgeChurnEvent {
+  int epoch = 0;
+  bool insert = true;
+  UserId u = -1;
+  UserId w = -1;
+  double alert_radius = 0.0;
+};
+
+/// A scenario configuration. Substrate dimensions default to 0 = derived
+/// from `num_users` (the grid grows with sqrt(N) at constant density, so
+/// alert rates stay comparable across scales).
+struct ScenarioSpec {
+  ScenarioKind kind = ScenarioKind::kCommuterRush;
+  size_t num_users = 10000;
+  int epochs = 200;
+  int speed_steps = 8;
+  double avg_friends = 2.0;
+  double alert_radius_m = 400.0;
+  uint64_t seed = 42;
+  int grid_rows = 0;
+  int grid_cols = 0;
+  double grid_spacing_m = 200.0;
+  /// Heavy-churn shape: fraction of users with bounded membership windows.
+  double churn_fraction = 0.5;
+};
+
+/// A built scenario: the stream, the graph, and the churn schedule the
+/// caller must feed through World::ScheduleUpdate.
+struct Scenario {
+  ScenarioSpec spec;
+  std::unique_ptr<StreamingGenerator> generator;
+  InterestGraph graph;
+  std::vector<EdgeChurnEvent> churn;
+};
+
+Scenario BuildScenario(const ScenarioSpec& spec);
+
+/// A small materialized training fleet from the same scenario family
+/// (distinct seed, same substrate parameters): stripe predictors train on
+/// it identically whether the monitored population streams or not.
+std::vector<Trajectory> BuildScenarioTraining(const ScenarioSpec& spec,
+                                              size_t training_users,
+                                              int training_epochs);
+
+}  // namespace proxdet
+
+#endif  // PROXDET_TRAJ_SCENARIO_H_

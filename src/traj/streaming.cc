@@ -1,0 +1,237 @@
+#include "traj/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exec/thread_pool.h"
+
+namespace proxdet {
+
+double StreamRng::Gaussian(double mean, double stddev) {
+  // Box-Muller, one variate per call; u1 is kept away from 0 so the log is
+  // finite. No cached spare: the per-user record stays 8 bytes.
+  const double u1 = (static_cast<double>(NextU64() >> 11) + 1.0) * 0x1.0p-53;
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+namespace {
+
+/// Per-user seeding: decorrelate adjacent user ids, then one mix step so
+/// the first draw is already well distributed.
+StreamRng SeedFor(uint64_t seed, size_t u) {
+  StreamRng rng;
+  rng.state = seed ^ ((u + 1) * 0x9e3779b97f4a7c15ULL);
+  rng.NextU64();
+  return rng;
+}
+
+constexpr size_t kUserGrain = 512;
+
+}  // namespace
+
+RoadFlowGenerator::RoadFlowGenerator(
+    FlowConfig config, std::shared_ptr<const RoadNetwork> network)
+    : config_(std::move(config)), network_(std::move(network)) {
+  attractor_nodes_.resize(config_.attractors.size());
+  for (size_t a = 0; a < config_.attractors.size(); ++a) {
+    const FlowConfig::Attractor& at = config_.attractors[a];
+    std::vector<NodeId>& nodes = attractor_nodes_[a];
+    for (NodeId n = 0; n < static_cast<NodeId>(network_->node_count()); ++n) {
+      if (Distance(network_->node_position(n), at.center) <= at.radius_m) {
+        nodes.push_back(n);
+      }
+    }
+    if (nodes.empty()) nodes.push_back(network_->NearestNode(at.center));
+  }
+  Reset();
+}
+
+void RoadFlowGenerator::Reset() {
+  epoch_ = 0;
+  users_.assign(config_.user_count, UserFlow{});
+  // Per-user records are independent, so initialization fans out too.
+  ParallelForChunked(users_.size(), kUserGrain, [&](size_t lo, size_t hi) {
+    for (size_t u = lo; u < hi; ++u) InitUser(u);
+  });
+}
+
+void RoadFlowGenerator::InitUser(size_t u) {
+  UserFlow& f = users_[u];
+  f.rng = SeedFor(config_.seed, u);
+  // Weighted modality draw (pedestrian/taxi/truck classes in one graph).
+  double total = 0.0;
+  for (const auto& m : config_.modalities) total += m.weight;
+  double pick = f.rng.NextDouble() * total;
+  f.modality = static_cast<uint8_t>(config_.modalities.size() - 1);
+  for (size_t m = 0; m < config_.modalities.size(); ++m) {
+    pick -= config_.modalities[m].weight;
+    if (pick < 0.0) {
+      f.modality = static_cast<uint8_t>(m);
+      break;
+    }
+  }
+  f.at = static_cast<NodeId>(f.rng.NextIndex(network_->node_count()));
+  f.prev = -1;
+  f.next = f.at;
+  f.dest = f.at;
+  f.pos = network_->node_position(f.at);
+  // Stagger departures so the whole population doesn't pulse in lockstep.
+  f.pause_ticks = static_cast<uint16_t>(
+      f.rng.NextIndex(static_cast<uint64_t>(config_.max_pause_ticks) + 1));
+}
+
+bool RoadFlowGenerator::ActiveAt(size_t u, int epoch) const {
+  if (config_.active_windows == nullptr) return true;
+  const auto& w = (*config_.active_windows)[u];
+  return epoch >= w.first && epoch < w.second;
+}
+
+void RoadFlowGenerator::BeginTrip(UserFlow& f) {
+  if (f.rng.NextBool(config_.pause_probability)) {
+    f.pause_ticks = static_cast<uint16_t>(
+        1 + f.rng.NextIndex(static_cast<uint64_t>(config_.max_pause_ticks)));
+  }
+  // Destination: an active attractor window captures the pick with its
+  // bias probability; otherwise uniform over the grid.
+  NodeId dest = -1;
+  for (size_t a = 0; a < config_.attractors.size(); ++a) {
+    const FlowConfig::Attractor& at = config_.attractors[a];
+    if (epoch_ < at.begin_epoch || epoch_ >= at.end_epoch) continue;
+    if (!f.rng.NextBool(at.bias)) continue;
+    const std::vector<NodeId>& nodes = attractor_nodes_[a];
+    dest = nodes[f.rng.NextIndex(nodes.size())];
+    break;
+  }
+  if (dest < 0) {
+    dest = static_cast<NodeId>(f.rng.NextIndex(network_->node_count()));
+  }
+  f.dest = dest;
+  f.trip_factor = static_cast<float>(
+      f.rng.Uniform(config_.trip_factor_lo, config_.trip_factor_hi));
+  // Greedy steering fuse: generous next to any sane hop count, but bounds
+  // pathological oscillation on jittered grids.
+  f.hop_budget = static_cast<uint16_t>(
+      std::min<size_t>(network_->node_count(), 4096));
+  f.prev = -1;
+}
+
+void RoadFlowGenerator::SelectHop(UserFlow& f) {
+  const std::vector<RoadEdge>& edges = network_->edges_from(f.at);
+  if (edges.empty() || f.dest == f.at) {
+    f.next = f.at;
+    f.dest = f.at;
+    return;
+  }
+  const Vec2 goal = network_->node_position(f.dest);
+  int best = -1;
+  double best_d = 0.0;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    // Suppress immediate backtracking unless the node is a dead end.
+    if (edges[i].to == f.prev && edges.size() > 1) continue;
+    const double d = Distance(network_->node_position(edges[i].to), goal);
+    if (best < 0 || d < best_d) {
+      best = static_cast<int>(i);
+      best_d = d;
+    }
+  }
+  const RoadEdge& e = edges[best];
+  f.next = e.to;
+  f.edge_pos_m = 0.0f;
+  f.edge_len_m = static_cast<float>(e.length);
+  const FlowConfig::Modality& m = config_.modalities[f.modality];
+  const double cls =
+      e.road_class == RoadClass::kLocal ? m.local_mps : m.arterial_mps;
+  f.speed_mps = static_cast<float>(cls * f.trip_factor);
+  if (f.hop_budget > 0) --f.hop_budget;
+}
+
+void RoadFlowGenerator::AdvanceTick(UserFlow& f) {
+  if (f.pause_ticks > 0) {
+    --f.pause_ticks;
+    return;
+  }
+  if (f.next == f.at) {
+    // Idle at a node: start the next trip (or the next hop of a pending
+    // one, when a dwell interrupted it).
+    if (f.at == f.dest || f.hop_budget == 0) BeginTrip(f);
+    if (f.pause_ticks > 0) return;
+    SelectHop(f);
+    if (f.next == f.at) return;  // Isolated node or degenerate trip.
+  }
+  double remaining = static_cast<double>(f.speed_mps) * config_.tick_seconds;
+  while (remaining > 0.0) {
+    const double left =
+        static_cast<double>(f.edge_len_m) - static_cast<double>(f.edge_pos_m);
+    if (remaining < left) {
+      f.edge_pos_m += static_cast<float>(remaining);
+      break;
+    }
+    remaining -= left;
+    f.prev = f.at;
+    f.at = f.next;
+    f.edge_pos_m = 0.0f;
+    if (f.at == f.dest || f.hop_budget == 0) {
+      // Trip complete: park at the node; the next tick begins a new trip.
+      f.next = f.at;
+      f.pos = network_->node_position(f.at);
+      return;
+    }
+    SelectHop(f);
+    if (f.next == f.at) {
+      f.pos = network_->node_position(f.at);
+      return;
+    }
+  }
+  const Vec2 a = network_->node_position(f.at);
+  const Vec2 b = network_->node_position(f.next);
+  const double t = f.edge_len_m > 0.0f
+                       ? static_cast<double>(f.edge_pos_m) / f.edge_len_m
+                       : 0.0;
+  f.pos = {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+void RoadFlowGenerator::NextEpoch(Vec2* out) {
+  const int epoch = epoch_;
+  // Epoch e is the state after e * speed_steps ticks, so the first emitted
+  // epoch (0) is the spawn configuration. Per-user state is private and
+  // output slots are disjoint: the fan-out is bit-exact for any thread
+  // count.
+  ParallelForChunked(users_.size(), kUserGrain, [&](size_t lo, size_t hi) {
+    for (size_t u = lo; u < hi; ++u) {
+      UserFlow& f = users_[u];
+      if (epoch > 0 && ActiveAt(u, epoch)) {
+        for (int t = 0; t < config_.speed_steps; ++t) AdvanceTick(f);
+      }
+      out[u] = {f.pos.x + f.rng.Gaussian(0.0, config_.gps_noise_m),
+                f.pos.y + f.rng.Gaussian(0.0, config_.gps_noise_m)};
+    }
+  });
+  ++epoch_;
+}
+
+std::unique_ptr<StreamingGenerator> RoadFlowGenerator::Clone() const {
+  return std::make_unique<RoadFlowGenerator>(config_, network_);
+}
+
+std::vector<Trajectory> MaterializeStream(const StreamingGenerator& gen,
+                                          int epochs) {
+  std::unique_ptr<StreamingGenerator> g = gen.Clone();
+  const size_t n = g->user_count();
+  std::vector<std::vector<Vec2>> points(n);
+  for (std::vector<Vec2>& p : points) p.reserve(static_cast<size_t>(epochs));
+  std::vector<Vec2> buf(n);
+  for (int e = 0; e < epochs; ++e) {
+    g->NextEpoch(buf.data());
+    for (size_t u = 0; u < n; ++u) points[u].push_back(buf[u]);
+  }
+  std::vector<Trajectory> out;
+  out.reserve(n);
+  for (size_t u = 0; u < n; ++u) {
+    out.emplace_back(std::move(points[u]), g->epoch_seconds());
+  }
+  return out;
+}
+
+}  // namespace proxdet

@@ -1,0 +1,191 @@
+#ifndef PROXDET_TRAJ_STREAMING_H_
+#define PROXDET_TRAJ_STREAMING_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geom/vec2.h"
+#include "road/road_network.h"
+#include "traj/trajectory.h"
+
+namespace proxdet {
+
+/// Per-epoch location source with O(active users) state: instead of
+/// materializing full `Trajectory` histories up front (N x epochs memory,
+/// the cap ROADMAP.md calls out), a streaming generator holds one compact
+/// motion record per user and emits the next epoch's positions on demand
+/// from a seeded RNG. The stream is a pure function of the seed:
+///
+///   - `NextEpoch` advances every user by one detection epoch and writes
+///     the resulting positions into a caller-owned, user-indexed buffer.
+///   - `Reset` rewinds to epoch 0; replaying yields bit-identical samples.
+///   - `Clone` is an independent rewound copy (sharing the immutable road
+///     substrate), so oracles can re-walk the stream without disturbing
+///     the live cursor.
+///
+/// Per-user draws come from per-user RNG streams, so the emitted positions
+/// do not depend on generation order — `NextEpoch` may fan out across the
+/// pool and stays bit-exact for any thread count.
+class StreamingGenerator {
+ public:
+  virtual ~StreamingGenerator() = default;
+
+  virtual size_t user_count() const = 0;
+
+  /// Seconds of simulated time covered by one emitted epoch.
+  virtual double epoch_seconds() const = 0;
+
+  /// Rewinds the stream to the state before the first `NextEpoch`.
+  virtual void Reset() = 0;
+
+  /// Advances one epoch and writes `user_count()` positions to `out`
+  /// (indexed by user id). The first call after Reset() emits epoch 0.
+  virtual void NextEpoch(Vec2* out) = 0;
+
+  /// Independent rewound copy of this stream.
+  virtual std::unique_ptr<StreamingGenerator> Clone() const = 0;
+};
+
+/// Compact 8-byte SplitMix64 stream, the per-user RNG of the streaming
+/// generators: the library-wide `Rng` (xoshiro + cached gaussian spare) is
+/// 48 bytes, which at a million users is pure waste next to this.
+struct StreamRng {
+  uint64_t state = 0;
+
+  uint64_t NextU64() {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+  uint64_t NextIndex(uint64_t n) { return NextU64() % n; }
+  bool NextBool(double p) { return NextDouble() < p; }
+  /// Box-Muller without the cached spare (stateless beyond `state`).
+  double Gaussian(double mean, double stddev);
+};
+
+/// Configuration of the road-flow streaming generator. The motion model is
+/// a lighter cousin of `TrajectoryGenerator`: trips over a shared city
+/// grid, but routed by greedy next-hop steering (O(1) per edge) instead of
+/// a stored Dijkstra path — the per-user state must stay constant-size.
+struct FlowConfig {
+  size_t user_count = 0;
+  uint64_t seed = 42;
+
+  /// Raw motion ticks integrated per emitted epoch (the paper's V knob)
+  /// and the base tick length; epoch_seconds = speed_steps * tick_seconds.
+  int speed_steps = 8;
+  double tick_seconds = 5.0;
+
+  /// Measurement noise applied to every emitted sample, meters.
+  double gps_noise_m = 2.0;
+
+  /// Dwell behavior at trip ends.
+  double pause_probability = 0.3;
+  int max_pause_ticks = 24;
+
+  /// Speed profile of one transport modality (m/s by road class); users
+  /// draw a modality by weight at creation — one graph can mix pedestrian,
+  /// taxi and truck fleets.
+  struct Modality {
+    double local_mps = 1.4;
+    double arterial_mps = 1.8;
+    double weight = 1.0;
+  };
+  std::vector<Modality> modalities = {{}};
+
+  /// Per-trip speed jitter bounds (multiplies the modality profile).
+  double trip_factor_lo = 0.9;
+  double trip_factor_hi = 1.1;
+
+  /// Destination attractor: while `epoch` is in [begin_epoch, end_epoch),
+  /// a user ending a trip picks its next destination among the nodes
+  /// within `radius_m` of `center` with probability `bias` (uniform over
+  /// the whole grid otherwise). Commuter corridors and flash crowds are
+  /// both just attractor windows.
+  struct Attractor {
+    int begin_epoch = 0;
+    int end_epoch = 0;
+    double bias = 0.0;
+    Vec2 center;
+    double radius_m = 0.0;
+  };
+  std::vector<Attractor> attractors;
+
+  /// Optional per-user membership windows [join_epoch, leave_epoch): a
+  /// user outside its window idles at its spawn node (heavy-churn
+  /// scenarios pair these with interest-edge updates). Empty = everyone
+  /// active for the whole run. Shared because Clone() must not copy an
+  /// O(users) schedule.
+  std::shared_ptr<const std::vector<std::pair<int, int>>> active_windows;
+};
+
+/// The road-flow streaming generator. State per user is one fixed-size
+/// record (~64 bytes); the road network is shared and immutable.
+class RoadFlowGenerator final : public StreamingGenerator {
+ public:
+  RoadFlowGenerator(FlowConfig config,
+                    std::shared_ptr<const RoadNetwork> network);
+
+  size_t user_count() const override { return config_.user_count; }
+  double epoch_seconds() const override {
+    return config_.tick_seconds * config_.speed_steps;
+  }
+  void Reset() override;
+  void NextEpoch(Vec2* out) override;
+  std::unique_ptr<StreamingGenerator> Clone() const override;
+
+  const RoadNetwork& network() const { return *network_; }
+  const FlowConfig& config() const { return config_; }
+
+ private:
+  /// Compact per-user motion record; the whole streaming footprint is
+  /// users_.size() of these.
+  struct UserFlow {
+    StreamRng rng;           // 8 B: private stream, order-independent.
+    Vec2 pos;                // Current exact position.
+    NodeId at = -1;          // Last node reached.
+    NodeId next = -1;        // Node currently driven toward (== at: idle).
+    NodeId prev = -1;        // Node before `at` (backtrack suppression).
+    NodeId dest = -1;        // Trip destination.
+    float edge_pos_m = 0;    // Progress along at->next.
+    float edge_len_m = 0;
+    float speed_mps = 0;     // Class speed x modality x trip factor.
+    float trip_factor = 1;
+    uint16_t pause_ticks = 0;
+    uint16_t hop_budget = 0;  // Greedy steering fuse (ends trip at 0).
+    uint8_t modality = 0;
+  };
+
+  void InitUser(size_t u);
+  void BeginTrip(UserFlow& f);
+  /// Greedy next hop from f.at toward f.dest; loads the edge into f.
+  void SelectHop(UserFlow& f);
+  void AdvanceTick(UserFlow& f);
+  bool ActiveAt(size_t u, int epoch) const;
+
+  FlowConfig config_;
+  std::shared_ptr<const RoadNetwork> network_;
+  std::vector<UserFlow> users_;
+  /// Candidate node lists per attractor (precomputed once).
+  std::vector<std::vector<NodeId>> attractor_nodes_;
+  int epoch_ = 0;
+};
+
+/// Runs a rewound clone of `gen` through `epochs` epochs and records full
+/// epoch-spaced trajectories — the materialized twin used as the
+/// bit-exactness oracle for streaming runs (O(N x epochs) memory; small-N
+/// only by design).
+std::vector<Trajectory> MaterializeStream(const StreamingGenerator& gen,
+                                          int epochs);
+
+}  // namespace proxdet
+
+#endif  // PROXDET_TRAJ_STREAMING_H_
